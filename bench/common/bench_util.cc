@@ -1,0 +1,73 @@
+#include "common/bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace hybridtier::bench {
+
+const std::vector<RatioPoint>& PaperRatios() {
+  static const std::vector<RatioPoint> ratios = {
+      {"1:16", 1.0 / 16}, {"1:8", 1.0 / 8}, {"1:4", 1.0 / 4}};
+  return ratios;
+}
+
+SimulationResult RunCell(const RunSpec& spec) {
+  auto workload = MakeWorkload(spec.workload_id, spec.workload_scale,
+                               spec.seed, spec.churn);
+  auto policy = MakePolicy(spec.policy_name, spec.policy_options);
+
+  SimulationConfig config = spec.base_config;
+  config.fast_tier_fraction =
+      FastFractionFor(spec.policy_name, spec.fast_fraction);
+  config.allocation = AllocationPolicyFor(spec.policy_name);
+  config.max_accesses = spec.max_accesses;
+  config.warmup_accesses = spec.warmup_accesses;
+  config.mode = spec.mode;
+  config.seed = spec.seed;
+
+  return RunSimulation(config, workload.get(), policy.get());
+}
+
+double DefaultScaleFor(const std::string& workload_id) {
+  if (workload_id == "cdn" || workload_id == "social") return 0.1;
+  if (workload_id == "bwaves" || workload_id == "roms") return 0.25;
+  if (workload_id == "silo") return 0.25;
+  if (workload_id == "xgboost") return 0.5;
+  // GAP kernels: scale 2.0 selects a 2^19-node, 4M-edge graph.
+  return 2.0;
+}
+
+uint64_t SteadyDurationNs(const SimulationResult& result) {
+  return result.SteadyDurationNs();
+}
+
+double GeoMean(const std::vector<double>& values) {
+  double log_sum = 0.0;
+  size_t counted = 0;
+  for (const double v : values) {
+    if (v <= 0.0) continue;
+    log_sum += std::log(v);
+    ++counted;
+  }
+  return counted == 0 ? 0.0
+                      : std::exp(log_sum / static_cast<double>(counted));
+}
+
+std::string FormatSpeedup(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", value);
+  return buf;
+}
+
+void Banner(const std::string& name, const std::string& what) {
+  std::printf("== %s: %s ==\n", name.c_str(), what.c_str());
+  std::fflush(stdout);
+}
+
+std::string CsvPath(const std::string& bench_name) {
+  return bench_name + ".csv";
+}
+
+}  // namespace hybridtier::bench

@@ -1,0 +1,80 @@
+#ifndef HYBRIDTIER_BENCH_COMMON_BENCH_UTIL_H_
+#define HYBRIDTIER_BENCH_COMMON_BENCH_UTIL_H_
+
+/**
+ * @file
+ * Shared driver for the per-figure/per-table benchmark binaries.
+ *
+ * Each bench binary reproduces one paper artifact: it sweeps the
+ * relevant (workload x policy x ratio) cells, prints the same rows or
+ * series the paper reports, and writes a CSV next to the binary.
+ *
+ * The scaled defaults here (access budget, cooling periods, churn
+ * timing) are the time-compressed equivalents of the paper's setup; the
+ * mapping is documented in EXPERIMENTS.md.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "core/simulation.h"
+#include "workloads/factory.h"
+
+namespace hybridtier::bench {
+
+/** The paper's fast:slow ratios, as fast-tier fractions. */
+struct RatioPoint {
+  const char* label;  //!< e.g. "1:16".
+  double fraction;    //!< e.g. 1.0/16.
+};
+
+/** {1:16, 1:8, 1:4} in paper order. */
+const std::vector<RatioPoint>& PaperRatios();
+
+/** One simulation cell: workload id + policy name + ratio + budgets. */
+struct RunSpec {
+  std::string workload_id;
+  std::string policy_name = "HybridTier";
+  double fast_fraction = 1.0 / 8;
+  double workload_scale = 0.25;       //!< Factory footprint scale.
+  uint64_t max_accesses = 6000000;    //!< Access budget per run.
+  uint64_t warmup_accesses = 1000000; //!< Stats reset after warmup.
+  PageMode mode = PageMode::kRegular;
+  uint64_t seed = 42;
+  std::vector<ChurnEvent> churn;      //!< CacheLib-only.
+  PolicyOptions policy_options;       //!< Scaled policy knobs.
+  SimulationConfig base_config;       //!< Further overrides.
+};
+
+/** Executes one cell and returns its results. */
+SimulationResult RunCell(const RunSpec& spec);
+
+/**
+ * Bench-default footprint scale per workload id, chosen so every
+ * workload's footprint is far larger than the modeled LLC while full
+ * sweeps stay within the access budget.
+ */
+double DefaultScaleFor(const std::string& workload_id);
+
+/**
+ * Post-warmup runtime in ns — the figure-of-merit for equal-access-count
+ * runs (lower is better).
+ */
+uint64_t SteadyDurationNs(const SimulationResult& result);
+
+/** Geometric mean of a vector (ignores non-positive entries). */
+double GeoMean(const std::vector<double>& values);
+
+/** Formats a ratio like "1.23x". */
+std::string FormatSpeedup(double value);
+
+/** Standard "[bench] ..." banner line to stdout. */
+void Banner(const std::string& name, const std::string& what);
+
+/** Output directory for CSVs (current directory). */
+std::string CsvPath(const std::string& bench_name);
+
+}  // namespace hybridtier::bench
+
+#endif  // HYBRIDTIER_BENCH_COMMON_BENCH_UTIL_H_

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 11 — HybridTier performance normalized against an all-fast-tier
+ * baseline (the upper bound of any tiering system), for all 12
+ * workloads at 1:16 / 1:8 / 1:4.
+ *
+ * Shape target: HybridTier lands within ~14% / 9% / 6% of all-fast on
+ * average at 1:16 / 1:8 / 1:4 — closer as the fast tier grows.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "common/table.h"
+
+namespace hybridtier::bench {
+namespace {
+
+constexpr uint64_t kAccessBudget = 3500000;
+constexpr uint64_t kWarmup = 1000000;
+
+uint64_t RunDuration(const std::string& workload_id,
+                     const std::string& policy_name,
+                     double fast_fraction) {
+  RunSpec spec;
+  spec.workload_id = workload_id;
+  spec.workload_scale = DefaultScaleFor(workload_id);
+  spec.policy_name = policy_name;
+  spec.fast_fraction = fast_fraction;
+  spec.max_accesses = kAccessBudget;
+  spec.warmup_accesses = kWarmup;
+  return RunCell(spec).SteadyDurationNs();
+}
+
+}  // namespace
+}  // namespace hybridtier::bench
+
+int main() {
+  using namespace hybridtier;
+  using namespace hybridtier::bench;
+  Banner("fig11", "HybridTier normalized to the all-fast-tier oracle");
+
+  TablePrinter table({"workload", "1:16", "1:8", "1:4"});
+  table.SetTitle(
+      "Figure 11: HybridTier performance relative to all-fast-tier "
+      "(1.0 = matches the upper bound)");
+  std::vector<std::vector<double>> per_ratio(PaperRatios().size());
+
+  for (const std::string& workload : AllWorkloadIds()) {
+    // The oracle is ratio-independent (everything is fast).
+    const uint64_t oracle_ns = RunDuration(workload, "AllFast", 1.0);
+    std::vector<std::string> row = {workload};
+    for (size_t r = 0; r < PaperRatios().size(); ++r) {
+      const uint64_t ns =
+          RunDuration(workload, "HybridTier", PaperRatios()[r].fraction);
+      const double relative =
+          ns == 0 ? 0.0
+                  : static_cast<double>(oracle_ns) /
+                        static_cast<double>(ns);
+      per_ratio[r].push_back(relative);
+      row.push_back(FormatDouble(relative, 3));
+    }
+    table.AddRow(row);
+  }
+  std::vector<std::string> geo = {"geomean"};
+  for (auto& values : per_ratio) {
+    geo.push_back(FormatDouble(GeoMean(values), 3));
+  }
+  table.AddRow(geo);
+  table.Print(std::cout);
+  table.WriteCsv(CsvPath("fig11_upper_bound"));
+  std::cout << "paper: HybridTier is on average 14% / 9% / 6% slower than "
+               "all-fast at 1:16 / 1:8 / 1:4\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 12 — huge-page (2 MiB) performance: HybridTier speedup over
+ * Memtis for all 12 workloads at 1:16 / 1:8 / 1:4 with tracking and
+ * migration at huge-page granularity.
+ *
+ * Shape target: HybridTier ~on par at 1:16 and ahead on average at
+ * 1:8 / 1:4 (paper: +9% and +11%).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "common/table.h"
+
+namespace hybridtier::bench {
+namespace {
+
+constexpr uint64_t kAccessBudget = 3500000;
+constexpr uint64_t kWarmup = 1000000;
+
+uint64_t RunDuration(const std::string& workload_id,
+                     const std::string& policy_name,
+                     double fast_fraction) {
+  RunSpec spec;
+  spec.workload_id = workload_id;
+  spec.workload_scale = DefaultScaleFor(workload_id);
+  spec.policy_name = policy_name;
+  spec.fast_fraction = fast_fraction;
+  spec.max_accesses = kAccessBudget;
+  spec.warmup_accesses = kWarmup;
+  spec.mode = PageMode::kHuge;
+  return RunCell(spec).SteadyDurationNs();
+}
+
+}  // namespace
+}  // namespace hybridtier::bench
+
+int main() {
+  using namespace hybridtier;
+  using namespace hybridtier::bench;
+  Banner("fig12", "huge-page HybridTier speedup over Memtis");
+
+  TablePrinter table({"workload", "1:16", "1:8", "1:4"});
+  table.SetTitle(
+      "Figure 12: HybridTier huge-page performance relative to Memtis "
+      "(>1 = HybridTier faster)");
+  std::vector<std::vector<double>> per_ratio(PaperRatios().size());
+
+  for (const std::string& workload : AllWorkloadIds()) {
+    std::vector<std::string> row = {workload};
+    for (size_t r = 0; r < PaperRatios().size(); ++r) {
+      const double fraction = PaperRatios()[r].fraction;
+      const uint64_t memtis_ns = RunDuration(workload, "Memtis", fraction);
+      const uint64_t hybrid_ns =
+          RunDuration(workload, "HybridTier", fraction);
+      const double speedup =
+          hybrid_ns == 0 ? 0.0
+                         : static_cast<double>(memtis_ns) /
+                               static_cast<double>(hybrid_ns);
+      per_ratio[r].push_back(speedup);
+      row.push_back(FormatDouble(speedup, 3));
+    }
+    table.AddRow(row);
+  }
+  std::vector<std::string> geo = {"geomean"};
+  for (auto& values : per_ratio) {
+    geo.push_back(FormatDouble(GeoMean(values), 3));
+  }
+  table.AddRow(geo);
+  table.Print(std::cout);
+  table.WriteCsv(CsvPath("fig12_hugepage"));
+  std::cout << "paper: geomean ~1.00 / 1.09 / 1.11 at 1:16 / 1:8 / 1:4\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the tracking data structures:
+ * update/lookup throughput of the blocked CBF vs standard CBF vs exact
+ * table, cooling passes, Zipf sampling, and the cache model. These back
+ * the paper's data-structure-level claims (compactness and locality of
+ * the blocked CBF) with direct operation costs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_sim.h"
+#include "common/rng.h"
+#include "probstruct/blocked_cbf.h"
+#include "probstruct/cbf.h"
+#include "probstruct/exact_table.h"
+#include "probstruct/sizing.h"
+#include "workloads/zipf.h"
+
+namespace hybridtier {
+namespace {
+
+constexpr size_t kFastPages = 1 << 20;  // 4 GiB fast tier.
+
+void BM_BlockedCbfIncrement(benchmark::State& state) {
+  BlockedCountingBloomFilter cbf(FrequencyCbfSizing(kFastPages), 1);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cbf.Increment(rng.NextBounded(kFastPages)));
+  }
+}
+BENCHMARK(BM_BlockedCbfIncrement);
+
+void BM_StandardCbfIncrement(benchmark::State& state) {
+  CountingBloomFilter cbf(FrequencyCbfSizing(kFastPages), 1);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cbf.Increment(rng.NextBounded(kFastPages)));
+  }
+}
+BENCHMARK(BM_StandardCbfIncrement);
+
+void BM_ExactTableIncrement(benchmark::State& state) {
+  ExactCounterTable table(kFastPages * 16);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.Increment(rng.NextBounded(kFastPages * 16)));
+  }
+}
+BENCHMARK(BM_ExactTableIncrement);
+
+void BM_BlockedCbfGet(benchmark::State& state) {
+  BlockedCountingBloomFilter cbf(FrequencyCbfSizing(kFastPages), 1);
+  Rng rng(7);
+  for (uint64_t i = 0; i < kFastPages / 4; ++i) {
+    cbf.Increment(rng.NextBounded(kFastPages));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cbf.Get(rng.NextBounded(kFastPages)));
+  }
+}
+BENCHMARK(BM_BlockedCbfGet);
+
+void BM_StandardCbfGet(benchmark::State& state) {
+  CountingBloomFilter cbf(FrequencyCbfSizing(kFastPages), 1);
+  Rng rng(7);
+  for (uint64_t i = 0; i < kFastPages / 4; ++i) {
+    cbf.Increment(rng.NextBounded(kFastPages));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cbf.Get(rng.NextBounded(kFastPages)));
+  }
+}
+BENCHMARK(BM_StandardCbfGet);
+
+void BM_BlockedCbfCooling(benchmark::State& state) {
+  BlockedCountingBloomFilter cbf(
+      FrequencyCbfSizing(static_cast<size_t>(state.range(0))), 1);
+  for (auto _ : state) {
+    cbf.CoolByHalving();
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(cbf.memory_bytes()));
+}
+BENCHMARK(BM_BlockedCbfCooling)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ExactTableCooling(benchmark::State& state) {
+  ExactCounterTable table(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    table.CoolByHalving();
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(table.memory_bytes()));
+}
+BENCHMARK(BM_ExactTableCooling)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ZipfNext(benchmark::State& state) {
+  ZipfGenerator zipf(100000000, 0.99);
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+}
+BENCHMARK(BM_ZipfNext);
+
+void BM_CacheHierarchyAccess(benchmark::State& state) {
+  Cache cache(CacheConfig{.size_bytes = 1 << 20, .ways = 16,
+                          .line_size = 64});
+  Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.AccessLine(rng.NextBounded(1 << 22), AccessOwner::kApp));
+  }
+}
+BENCHMARK(BM_CacheHierarchyAccess);
+
+}  // namespace
+}  // namespace hybridtier
+
+BENCHMARK_MAIN();

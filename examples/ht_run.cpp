@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Command-line runner: simulate any (workload, policy, ratio) cell from
+ * the paper's evaluation matrix without writing code.
+ *
+ *   ./build/examples/ht_run --workload cdn --policy HybridTier \
+ *       --ratio 1:8 --accesses 5000000 [--huge] [--scale 0.1] [--seed 42]
+ *
+ * Prints the headline metrics of the run. Lists valid workloads and
+ * policies with --help.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/logging.h"
+#include "core/policy_factory.h"
+#include "core/simulation.h"
+#include "workloads/factory.h"
+
+namespace {
+
+using namespace hybridtier;
+
+void PrintUsage() {
+  std::cout
+      << "usage: ht_run [options]\n"
+         "  --workload <id>   one of:";
+  for (const std::string& id : AllWorkloadIds()) std::cout << ' ' << id;
+  std::cout
+      << "\n  --policy <name>   TPP | AutoNUMA | Memtis | ARC | TwoQ |\n"
+         "                    HybridTier | HybridTier-onlyFreq |\n"
+         "                    HybridTier-CBF | HybridTier-exact |\n"
+         "                    AllFast | FirstTouch\n"
+         "  --ratio 1:N       fast:slow capacity ratio (default 1:8)\n"
+         "  --accesses <n>    access budget (default 5000000)\n"
+         "  --scale <f>       workload footprint scale (default: bench)\n"
+         "  --seed <n>        RNG seed (default 42)\n"
+         "  --huge            2 MiB tracking/migration granularity\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload_id = "cdn";
+  std::string policy_name = "HybridTier";
+  double ratio = 1.0 / 8;
+  double scale = -1.0;
+  uint64_t accesses = 5000000;
+  uint64_t seed = 42;
+  bool huge = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg == "--workload") {
+      workload_id = next();
+    } else if (arg == "--policy") {
+      policy_name = next();
+    } else if (arg == "--ratio") {
+      const std::string value = next();
+      const size_t colon = value.find(':');
+      if (colon == std::string::npos) {
+        std::cerr << "--ratio must look like 1:8\n";
+        return 1;
+      }
+      ratio = std::stod(value.substr(0, colon)) /
+              std::stod(value.substr(colon + 1));
+    } else if (arg == "--accesses") {
+      accesses = std::stoull(next());
+    } else if (arg == "--scale") {
+      scale = std::stod(next());
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (arg == "--huge") {
+      huge = true;
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      PrintUsage();
+      return 1;
+    }
+  }
+
+  if (!IsWorkloadId(workload_id)) {
+    std::cerr << "unknown workload '" << workload_id << "'\n";
+    PrintUsage();
+    return 1;
+  }
+  if (!IsPolicyName(policy_name)) {
+    std::cerr << "unknown policy '" << policy_name << "'\n";
+    PrintUsage();
+    return 1;
+  }
+  if (scale < 0) {
+    // Match the bench defaults per workload family.
+    scale = (workload_id == "cdn" || workload_id == "social") ? 0.1
+            : (workload_id == "bwaves" || workload_id == "roms" ||
+               workload_id == "silo")
+                ? 0.25
+            : workload_id == "xgboost" ? 0.5
+                                       : 2.0;
+  }
+
+  auto workload = MakeWorkload(workload_id, scale, seed);
+  auto policy = MakePolicy(policy_name);
+
+  SimulationConfig config;
+  config.fast_tier_fraction = FastFractionFor(policy_name, ratio);
+  config.allocation = AllocationPolicyFor(policy_name);
+  config.max_accesses = accesses;
+  config.mode = huge ? PageMode::kHuge : PageMode::kRegular;
+  config.seed = seed;
+
+  Simulation simulation(config, workload.get(), policy.get());
+  const SimulationResult result = simulation.Run();
+
+  std::cout << "workload:          " << workload->name() << " ("
+            << workload->footprint_pages() << " pages, scale " << scale
+            << ")\n"
+            << "policy:            " << policy->name() << "\n"
+            << "fast tier:         " << simulation.fast_capacity_units()
+            << " / " << simulation.footprint_units() << " units\n"
+            << "accesses:          " << result.accesses << " in "
+            << FormatTime(result.duration_ns) << " virtual\n"
+            << "median op latency: " << result.median_latency_ns << " ns\n"
+            << "p99 op latency:    " << result.p99_latency_ns << " ns\n"
+            << "throughput:        " << result.throughput_mops
+            << " Mop/s\n"
+            << "fast-fill rate:    "
+            << FormatDouble(result.FastAccessFraction() * 100, 1) << " %\n"
+            << "promoted/demoted:  " << result.migration.promoted_pages
+            << " / " << result.migration.demoted_pages << " pages\n"
+            << "metadata:          " << FormatBytes(result.metadata_bytes)
+            << "\n"
+            << "tiering LLC share: "
+            << FormatDouble(result.TieringLlcMissShare() * 100, 1)
+            << " % of misses\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "cache/cache_sim.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace hybridtier {
+
+Cache::Cache(const CacheConfig& config, std::string name)
+    : config_(config), name_(std::move(name)) {
+  HT_ASSERT(config.line_size > 0 && std::has_single_bit(config.line_size),
+            "line size must be a power of two");
+  HT_ASSERT(config.ways > 0, "cache must have at least one way");
+  const uint64_t lines = config.size_bytes / config.line_size;
+  HT_ASSERT(lines >= config.ways, "cache too small for its associativity");
+  num_sets_ = lines / config.ways;
+  HT_ASSERT(num_sets_ > 0 && std::has_single_bit(num_sets_),
+            "cache geometry must yield a power-of-two set count, got ",
+            num_sets_, " sets");
+  ways_.assign(num_sets_ * config.ways, Way{});
+}
+
+bool Cache::AccessLine(uint64_t line_addr, AccessOwner owner) {
+  const uint64_t set = line_addr & (num_sets_ - 1);
+  const uint64_t tag = line_addr >> std::countr_zero(num_sets_);
+  Way* base = &ways_[set * config_.ways];
+  ++tick_;
+
+  Way* lru = base;
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    Way& way = base[w];
+    if (way.tag == tag) {
+      way.last_used = tick_;
+      ++stats_.hits[static_cast<size_t>(owner)];
+      return true;
+    }
+    if (way.last_used < lru->last_used) lru = &base[w];
+  }
+
+  // Miss: allocate into the LRU way.
+  lru->tag = tag;
+  lru->last_used = tick_;
+  ++stats_.misses[static_cast<size_t>(owner)];
+  return false;
+}
+
+void Cache::Flush() {
+  for (auto& way : ways_) way = Way{};
+  tick_ = 0;
+}
+
+}  // namespace hybridtier

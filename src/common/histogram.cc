@@ -1,0 +1,75 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hybridtier {
+
+Histogram::Histogram(uint32_t max_value) : buckets_(max_value + 1, 0) {}
+
+void Histogram::Add(uint32_t value, uint64_t weight) {
+  value = std::min(value, max_value());
+  buckets_[value] += weight;
+  total_ += weight;
+}
+
+void Histogram::Remove(uint32_t value, uint64_t weight) {
+  value = std::min(value, max_value());
+  const uint64_t removed = std::min(buckets_[value], weight);
+  buckets_[value] -= removed;
+  total_ -= removed;
+}
+
+uint64_t Histogram::Count(uint32_t value) const {
+  return buckets_[std::min(value, max_value())];
+}
+
+uint32_t Histogram::ThresholdForBudget(uint64_t budget) const {
+  uint64_t above = 0;
+  // Walk down from the hottest bucket; stop before the budget is exceeded.
+  for (uint32_t v = max_value();; --v) {
+    if (above + buckets_[v] > budget) return v + 1;
+    above += buckets_[v];
+    if (v == 0) break;
+  }
+  return 0;
+}
+
+uint64_t Histogram::CountAtOrAbove(uint32_t threshold) const {
+  if (threshold > max_value()) return 0;
+  uint64_t above = 0;
+  for (uint32_t v = threshold; v <= max_value(); ++v) above += buckets_[v];
+  return above;
+}
+
+void Histogram::CoolByHalving() {
+  for (uint32_t v = 1; v <= max_value(); ++v) {
+    const uint64_t n = buckets_[v];
+    if (n == 0) continue;
+    buckets_[v] = 0;
+    buckets_[v / 2] += n;
+  }
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = 0;
+}
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  if (count_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+}  // namespace hybridtier

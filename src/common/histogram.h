@@ -1,0 +1,105 @@
+#ifndef HYBRIDTIER_COMMON_HISTOGRAM_H_
+#define HYBRIDTIER_COMMON_HISTOGRAM_H_
+
+/**
+ * @file
+ * Histogram utilities used by hotness tracking and result reporting.
+ *
+ * `Histogram` is a dense fixed-range histogram over integer values; it
+ * backs the Memtis-style hotness histogram from which the dynamic
+ * frequency threshold is derived (paper §2.3.1 / §3.1).
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace hybridtier {
+
+/**
+ * Dense histogram over the closed integer range [0, max_value].
+ *
+ * Values above max_value are clamped into the last bucket, matching the
+ * saturating counters used by the trackers (a 4-bit counter caps at 15).
+ */
+class Histogram {
+ public:
+  /** Creates a histogram with buckets for values 0..max_value. */
+  explicit Histogram(uint32_t max_value);
+
+  /** Adds `weight` observations of `value` (clamped to max_value). */
+  void Add(uint32_t value, uint64_t weight = 1);
+
+  /** Removes `weight` observations of `value`; saturates at zero. */
+  void Remove(uint32_t value, uint64_t weight = 1);
+
+  /** Returns the count in the bucket for `value`. */
+  uint64_t Count(uint32_t value) const;
+
+  /** Returns the total number of observations. */
+  uint64_t total() const { return total_; }
+
+  /** Largest representable value (== number of buckets - 1). */
+  uint32_t max_value() const {
+    return static_cast<uint32_t>(buckets_.size() - 1);
+  }
+
+  /**
+   * Returns the smallest threshold T such that the number of observations
+   * with value >= T is at most `budget`. This is exactly how a
+   * frequency-based tiering system converts "fast tier holds B pages" into
+   * a hotness threshold: pages with count >= T fill at most B slots.
+   * Returns max_value()+1 if even the top bucket exceeds the budget.
+   */
+  uint32_t ThresholdForBudget(uint64_t budget) const;
+
+  /** Returns the number of observations with value >= threshold. */
+  uint64_t CountAtOrAbove(uint32_t threshold) const;
+
+  /** Halves every value: observation of v is re-counted as v/2 (cooling). */
+  void CoolByHalving();
+
+  /** Clears all buckets. */
+  void Reset();
+
+  /** Read-only view of the raw bucket array. */
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t total_ = 0;
+};
+
+/**
+ * Accumulates a running mean / min / max / variance without storing
+ * samples (Welford's algorithm).
+ */
+class RunningStats {
+ public:
+  /** Adds one observation. */
+  void Add(double x);
+
+  /** Number of observations so far. */
+  uint64_t count() const { return count_; }
+  /** Mean of observations; 0 if empty. */
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /** Population variance; 0 if fewer than 2 observations. */
+  double variance() const { return count_ > 1 ? m2_ / count_ : 0.0; }
+  /** Smallest observation; 0 if empty. */
+  double min() const { return count_ ? min_ : 0.0; }
+  /** Largest observation; 0 if empty. */
+  double max() const { return count_ ? max_ : 0.0; }
+  /** Sum of all observations. */
+  double sum() const { return sum_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_COMMON_HISTOGRAM_H_

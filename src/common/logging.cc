@@ -1,0 +1,36 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hybridtier {
+
+namespace {
+std::atomic<LogLevel> g_log_level{LogLevel::kInform};
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(level); }
+
+LogLevel GetLogLevel() { return g_log_level.load(); }
+
+namespace detail {
+
+void Emit(LogLevel level, const char* tag, const char* file, int line,
+          const std::string& message) {
+  if (level < g_log_level.load()) return;
+  std::fprintf(stderr, "[%s] %s:%d: %s\n", tag, file, line, message.c_str());
+}
+
+void PanicImpl(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "[panic] %s:%d: %s\n", file, line, message.c_str());
+  std::abort();
+}
+
+void FatalImpl(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "[fatal] %s:%d: %s\n", file, line, message.c_str());
+  std::exit(1);
+}
+
+}  // namespace detail
+}  // namespace hybridtier

@@ -1,0 +1,101 @@
+#ifndef HYBRIDTIER_COMMON_LOGGING_H_
+#define HYBRIDTIER_COMMON_LOGGING_H_
+
+/**
+ * @file
+ * Logging and error-handling primitives.
+ *
+ * Follows the gem5 convention:
+ *  - HT_PANIC:  a bug in HybridTier itself; never the user's fault. Aborts.
+ *  - HT_FATAL:  the simulation cannot continue due to a user error (bad
+ *               configuration, impossible parameters). Exits with code 1.
+ *  - HT_WARN:   something is suspicious but the run can continue.
+ *  - HT_INFORM: status messages with no negative connotation.
+ *  - HT_ASSERT: invariant check that panics with a message on violation.
+ */
+
+#include <sstream>
+#include <string>
+
+namespace hybridtier {
+
+/** Severity levels for runtime log filtering. */
+enum class LogLevel {
+  kDebug = 0,
+  kInform = 1,
+  kWarn = 2,
+  kError = 3,
+  kSilent = 4,
+};
+
+/** Sets the global minimum level that will be printed to stderr. */
+void SetLogLevel(LogLevel level);
+
+/** Returns the current global log level. */
+LogLevel GetLogLevel();
+
+namespace detail {
+
+/** Concatenates a pack of streamable values into one string. */
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+
+/** Emits one log record to stderr if `level` passes the global filter. */
+void Emit(LogLevel level, const char* tag, const char* file, int line,
+          const std::string& message);
+
+/** Prints the message and calls std::abort (simulator bug path). */
+[[noreturn]] void PanicImpl(const char* file, int line,
+                            const std::string& message);
+
+/** Prints the message and calls std::exit(1) (user error path). */
+[[noreturn]] void FatalImpl(const char* file, int line,
+                            const std::string& message);
+
+}  // namespace detail
+}  // namespace hybridtier
+
+/** Unrecoverable internal error: prints and aborts. */
+#define HT_PANIC(...)                                      \
+  ::hybridtier::detail::PanicImpl(__FILE__, __LINE__,      \
+                                  ::hybridtier::detail::StrCat(__VA_ARGS__))
+
+/** Unrecoverable user/configuration error: prints and exits. */
+#define HT_FATAL(...)                                      \
+  ::hybridtier::detail::FatalImpl(__FILE__, __LINE__,      \
+                                  ::hybridtier::detail::StrCat(__VA_ARGS__))
+
+/** Continuable warning. */
+#define HT_WARN(...)                                                     \
+  ::hybridtier::detail::Emit(::hybridtier::LogLevel::kWarn, "warn",      \
+                             __FILE__, __LINE__,                         \
+                             ::hybridtier::detail::StrCat(__VA_ARGS__))
+
+/** Informational status message. */
+#define HT_INFORM(...)                                                   \
+  ::hybridtier::detail::Emit(::hybridtier::LogLevel::kInform, "info",    \
+                             __FILE__, __LINE__,                         \
+                             ::hybridtier::detail::StrCat(__VA_ARGS__))
+
+/** Debug-level trace message. */
+#define HT_DEBUG(...)                                                    \
+  ::hybridtier::detail::Emit(::hybridtier::LogLevel::kDebug, "debug",    \
+                             __FILE__, __LINE__,                         \
+                             ::hybridtier::detail::StrCat(__VA_ARGS__))
+
+/** Invariant check; violations are HybridTier bugs and panic. */
+#define HT_ASSERT(cond, ...)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::hybridtier::detail::PanicImpl(                                    \
+          __FILE__, __LINE__,                                             \
+          ::hybridtier::detail::StrCat("assertion failed: " #cond " — ",  \
+                                       ##__VA_ARGS__));                   \
+    }                                                                     \
+  } while (false)
+
+#endif  // HYBRIDTIER_COMMON_LOGGING_H_

@@ -1,0 +1,49 @@
+#ifndef HYBRIDTIER_COMMON_TABLE_H_
+#define HYBRIDTIER_COMMON_TABLE_H_
+
+/**
+ * @file
+ * ASCII table and CSV output used by the benchmark harness to print the
+ * rows/series corresponding to each paper table and figure.
+ */
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hybridtier {
+
+/** Column-aligned ASCII table with an optional title. */
+class TablePrinter {
+ public:
+  /** Creates a table with the given column headers. */
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /** Sets a title printed above the table. */
+  void SetTitle(std::string title) { title_ = std::move(title); }
+
+  /** Appends a row; must have exactly as many cells as there are headers. */
+  void AddRow(std::vector<std::string> cells);
+
+  /** Renders the table to `os`. */
+  void Print(std::ostream& os) const;
+
+  /** Writes the table as CSV to the file at `path` (overwrites). */
+  void WriteCsv(const std::string& path) const;
+
+  /** Number of data rows added so far. */
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/** Quotes a cell for CSV output if needed. */
+std::string CsvEscape(const std::string& cell);
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_COMMON_TABLE_H_

@@ -1,0 +1,51 @@
+#include "common/units.h"
+
+#include <array>
+#include <cstdio>
+
+namespace hybridtier {
+
+namespace {
+
+std::string FormatScaled(double value, const char* unit) {
+  char buf[64];
+  if (value >= 100.0 || value == static_cast<uint64_t>(value)) {
+    std::snprintf(buf, sizeof(buf), "%.0f%s", value, unit);
+  } else if (value >= 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", value, unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f%s", value, unit);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatBytes(uint64_t bytes) {
+  if (bytes >= kGiB) return FormatScaled(static_cast<double>(bytes) / kGiB, "GiB");
+  if (bytes >= kMiB) return FormatScaled(static_cast<double>(bytes) / kMiB, "MiB");
+  if (bytes >= kKiB) return FormatScaled(static_cast<double>(bytes) / kKiB, "KiB");
+  return FormatScaled(static_cast<double>(bytes), "B");
+}
+
+std::string FormatTime(TimeNs ns) {
+  if (ns >= kMinute) {
+    return FormatScaled(static_cast<double>(ns) / kMinute, "min");
+  }
+  if (ns >= kSecond) return FormatScaled(static_cast<double>(ns) / kSecond, "s");
+  if (ns >= kMillisecond) {
+    return FormatScaled(static_cast<double>(ns) / kMillisecond, "ms");
+  }
+  if (ns >= kMicrosecond) {
+    return FormatScaled(static_cast<double>(ns) / kMicrosecond, "us");
+  }
+  return FormatScaled(static_cast<double>(ns), "ns");
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace hybridtier

@@ -1,0 +1,55 @@
+#ifndef HYBRIDTIER_COMMON_UNITS_H_
+#define HYBRIDTIER_COMMON_UNITS_H_
+
+/**
+ * @file
+ * Byte-size and time-unit constants plus human-readable formatting.
+ *
+ * All simulator time is an unsigned count of *nanoseconds of virtual
+ * time* (`TimeNs`). All sizes are bytes unless a name says otherwise.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace hybridtier {
+
+/** Virtual-time type: nanoseconds since simulation start. */
+using TimeNs = uint64_t;
+
+// Byte sizes.
+inline constexpr uint64_t kKiB = 1024ULL;
+inline constexpr uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr uint64_t kGiB = 1024ULL * kMiB;
+
+/** Base (small) page size used throughout the simulator. */
+inline constexpr uint64_t kPageSize = 4 * kKiB;
+
+/** Huge page size (Linux THP default). */
+inline constexpr uint64_t kHugePageSize = 2 * kMiB;
+
+/** Number of base pages per huge page. */
+inline constexpr uint64_t kPagesPerHugePage = kHugePageSize / kPageSize;
+
+/** CPU cache line size assumed by the cache model and blocked CBF. */
+inline constexpr uint64_t kCacheLineSize = 64;
+
+// Time units, expressed in nanoseconds.
+inline constexpr TimeNs kNanosecond = 1;
+inline constexpr TimeNs kMicrosecond = 1000 * kNanosecond;
+inline constexpr TimeNs kMillisecond = 1000 * kMicrosecond;
+inline constexpr TimeNs kSecond = 1000 * kMillisecond;
+inline constexpr TimeNs kMinute = 60 * kSecond;
+
+/** Formats a byte count as e.g. "3.9GiB", "128MiB", "512B". */
+std::string FormatBytes(uint64_t bytes);
+
+/** Formats a nanosecond count as e.g. "124ns", "1.5us", "2.3s". */
+std::string FormatTime(TimeNs ns);
+
+/** Formats a double with the given precision (helper for table output). */
+std::string FormatDouble(double value, int precision = 2);
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_COMMON_UNITS_H_

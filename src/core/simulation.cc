@@ -1,0 +1,254 @@
+#include "core/simulation.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hybridtier {
+
+/** Forwards metadata lines into the shared cache hierarchy. */
+class Simulation::HierarchySink : public MetadataTrafficSink {
+ public:
+  explicit HierarchySink(CacheHierarchy* hierarchy)
+      : hierarchy_(hierarchy) {}
+
+  void Touch(uint64_t line_addr) override {
+    hierarchy_->Access(line_addr, AccessOwner::kTiering);
+  }
+
+ private:
+  CacheHierarchy* hierarchy_;
+};
+
+Simulation::Simulation(const SimulationConfig& config, Workload* workload,
+                       TieringPolicy* policy)
+    : config_(config),
+      workload_(workload),
+      policy_(policy),
+      window_(config.latency_window),
+      reservoir_(65536, config.seed ^ 0xfeedULL) {
+  HT_ASSERT(workload != nullptr && policy != nullptr,
+            "simulation needs a workload and a policy");
+  HT_ASSERT(config.fast_tier_fraction > 0.0 &&
+                config.fast_tier_fraction <= 1.0,
+            "fast tier fraction must be in (0,1], got ",
+            config.fast_tier_fraction);
+
+  const uint64_t footprint_pages = workload->footprint_pages();
+  const uint64_t units_per_page =
+      config.mode == PageMode::kHuge ? kPagesPerHugePage : 1;
+  footprint_units_ =
+      std::max<uint64_t>(1, (footprint_pages + units_per_page - 1) /
+                                units_per_page);
+  fast_capacity_units_ = std::max<uint64_t>(
+      16, static_cast<uint64_t>(config.fast_tier_fraction *
+                                static_cast<double>(footprint_units_)));
+  fast_capacity_units_ = std::min(fast_capacity_units_, footprint_units_);
+
+  memory_ = std::make_unique<TieredMemory>(
+      footprint_units_, fast_capacity_units_, footprint_units_,
+      config.allocation);
+  perf_ = std::make_unique<PerfModel>(
+      config.perf, DefaultFastTier(fast_capacity_units_),
+      DefaultSlowTier(footprint_units_));
+  hierarchy_ = std::make_unique<CacheHierarchy>(config.cache);
+  migration_ =
+      std::make_unique<MigrationEngine>(memory_.get(), perf_.get(),
+                                        config.mode);
+  sampler_ = std::make_unique<AccessSampler>(
+      config.sample_period, config.sample_buffer, config.seed);
+  if (config.measure_metadata_traffic) {
+    sink_ = std::make_unique<HierarchySink>(hierarchy_.get());
+  } else {
+    sink_ = std::make_unique<NullTrafficSink>();
+  }
+
+  PolicyContext context;
+  context.memory = memory_.get();
+  context.migration = migration_.get();
+  context.metadata_sink = sink_.get();
+  context.mode = config.mode;
+  context.footprint_units = footprint_units_;
+  context.fast_capacity_units = fast_capacity_units_;
+  policy_->Bind(context);
+}
+
+Simulation::~Simulation() = default;
+
+void Simulation::RecordTimelinePoint() {
+  result_.latency_timeline.Add(now_, window_.Median());
+
+  const uint64_t l1_app = hierarchy_->L1Misses(AccessOwner::kApp);
+  const uint64_t l1_tier = hierarchy_->L1Misses(AccessOwner::kTiering);
+  const uint64_t llc_app = hierarchy_->LlcMisses(AccessOwner::kApp);
+  const uint64_t llc_tier = hierarchy_->LlcMisses(AccessOwner::kTiering);
+
+  const uint64_t d_l1_app = l1_app - last_l1_app_misses_;
+  const uint64_t d_l1_tier = l1_tier - last_l1_tiering_misses_;
+  const uint64_t d_llc_app = llc_app - last_llc_app_misses_;
+  const uint64_t d_llc_tier = llc_tier - last_llc_tiering_misses_;
+  last_l1_app_misses_ = l1_app;
+  last_l1_tiering_misses_ = l1_tier;
+  last_llc_app_misses_ = llc_app;
+  last_llc_tiering_misses_ = llc_tier;
+
+  const uint64_t l1_total = d_l1_app + d_l1_tier;
+  const uint64_t llc_total = d_llc_app + d_llc_tier;
+  result_.tiering_l1_share_timeline.Add(
+      now_, l1_total ? static_cast<double>(d_l1_tier) /
+                           static_cast<double>(l1_total)
+                     : 0.0);
+  result_.tiering_llc_share_timeline.Add(
+      now_, llc_total ? static_cast<double>(d_llc_tier) /
+                            static_cast<double>(llc_total)
+                      : 0.0);
+  result_.fast_used_timeline.Add(
+      now_, static_cast<double>(memory_->UsedPages(Tier::kFast)) /
+                static_cast<double>(
+                    std::max<uint64_t>(1, fast_capacity_units_)));
+}
+
+SimulationResult Simulation::Run() {
+  OpTrace op;
+  std::vector<SampleRecord> samples;
+  samples.reserve(1024);
+
+  TimeNs next_tick = config_.tick_interval_ns;
+  TimeNs next_stats = config_.stats_interval_ns;
+  bool warmed_up = config_.warmup_accesses == 0;
+
+  if (config_.prefault_at_start) {
+    // Application initialization: allocate the whole footprint in
+    // address order (see SimulationConfig::prefault_at_start).
+    for (PageId unit = 0; unit < footprint_units_; ++unit) {
+      memory_->Touch(unit, now_);
+    }
+  }
+
+  while (accesses_ < config_.max_accesses) {
+    if (config_.max_ops != 0 && ops_ >= config_.max_ops) break;
+    if (config_.max_time_ns != 0 && now_ >= config_.max_time_ns) break;
+    if (!workload_->NextOp(now_, &op)) break;
+
+    TimeNs op_latency = config_.op_overhead_ns;
+    now_ += config_.op_overhead_ns;
+
+    for (const MemoryAccess& access : op.accesses) {
+      const PageId unit = TrackingUnitOfAddr(access.addr, config_.mode);
+      const TouchResult touch = memory_->Touch(unit, now_);
+
+      TimeNs latency = 0;
+      const HitLevel level =
+          hierarchy_->Access(access.addr, AccessOwner::kApp);
+      switch (level) {
+        case HitLevel::kL1:
+          latency = perf_->L1Latency();
+          break;
+        case HitLevel::kLlc:
+          latency = perf_->LlcLatency();
+          break;
+        case HitLevel::kMemory:
+          latency = perf_->MemoryAccess(touch.tier, now_);
+          if (touch.tier == Tier::kFast) {
+            ++result_.fast_mem_accesses;
+          } else {
+            ++result_.slow_mem_accesses;
+          }
+          break;
+      }
+      if (touch.hint_fault) {
+        latency += perf_->HintFaultLatency();
+        ++result_.hint_faults;
+      }
+
+      policy_->OnAccess(unit, touch, now_);
+      sampler_->OnAccess(unit, touch.tier, now_);
+
+      now_ += latency;
+      op_latency += latency;
+      ++accesses_;
+    }
+
+    // Drain the PEBS buffer to the policy (the tiering thread's loop).
+    samples.clear();
+    sampler_->Drain(&samples, samples.capacity());
+    for (const SampleRecord& sample : samples) policy_->OnSample(sample);
+
+    // Periodic policy maintenance.
+    while (now_ >= next_tick) {
+      policy_->Tick(next_tick);
+      next_tick += config_.tick_interval_ns;
+    }
+
+    // Application-visible migration stalls: each move_pages batch the
+    // policy issued since the last op sends TLB-shootdown IPIs to the
+    // app's cores (see PerfModelConfig::tlb_batch_stall_ns).
+    const MigrationStats& mig = migration_->stats();
+    const uint64_t batches =
+        mig.promotion_batches + mig.demotion_batches;
+    const uint64_t pages = mig.promoted_pages + mig.demoted_pages;
+    if (batches != last_migration_batches_ ||
+        pages != last_migration_pages_) {
+      const TimeNs stall =
+          (batches - last_migration_batches_) *
+              config_.perf.tlb_batch_stall_ns +
+          (pages - last_migration_pages_) * config_.perf.tlb_page_stall_ns;
+      now_ += stall;
+      op_latency += stall;
+      last_migration_batches_ = batches;
+      last_migration_pages_ = pages;
+    }
+
+    ++ops_;
+    window_.Add(static_cast<double>(op_latency));
+    reservoir_.Add(static_cast<double>(op_latency));
+
+    while (now_ >= next_stats) {
+      RecordTimelinePoint();
+      next_stats += config_.stats_interval_ns;
+    }
+
+    if (!warmed_up && accesses_ >= config_.warmup_accesses) {
+      warmed_up = true;
+      result_.warmup_end_ns = now_;
+      hierarchy_->ResetStats();
+      reservoir_.Reset();
+      result_.fast_mem_accesses = 0;
+      result_.slow_mem_accesses = 0;
+      result_.hint_faults = 0;
+      last_l1_app_misses_ = 0;
+      last_l1_tiering_misses_ = 0;
+      last_llc_app_misses_ = 0;
+      last_llc_tiering_misses_ = 0;
+    }
+  }
+
+  result_.ops = ops_;
+  result_.accesses = accesses_;
+  result_.duration_ns = now_;
+  result_.throughput_mops =
+      now_ == 0 ? 0.0
+                : static_cast<double>(ops_) * 1000.0 /
+                      static_cast<double>(now_);
+  result_.median_latency_ns = reservoir_.Quantile(0.5);
+  result_.p99_latency_ns = reservoir_.Quantile(0.99);
+  result_.mean_latency_ns = reservoir_.Mean();
+  result_.migration = migration_->stats();
+  result_.l1_app_misses = hierarchy_->L1Misses(AccessOwner::kApp);
+  result_.l1_tiering_misses = hierarchy_->L1Misses(AccessOwner::kTiering);
+  result_.llc_app_misses = hierarchy_->LlcMisses(AccessOwner::kApp);
+  result_.llc_tiering_misses =
+      hierarchy_->LlcMisses(AccessOwner::kTiering);
+  result_.metadata_bytes = policy_->MetadataBytes();
+  result_.samples_taken = sampler_->samples_taken();
+  result_.samples_dropped = sampler_->samples_dropped();
+  return result_;
+}
+
+SimulationResult RunSimulation(const SimulationConfig& config,
+                               Workload* workload, TieringPolicy* policy) {
+  Simulation simulation(config, workload, policy);
+  return simulation.Run();
+}
+
+}  // namespace hybridtier

@@ -1,0 +1,204 @@
+#ifndef HYBRIDTIER_CORE_SIMULATION_H_
+#define HYBRIDTIER_CORE_SIMULATION_H_
+
+/**
+ * @file
+ * The end-to-end simulation harness.
+ *
+ * Drives a Workload's access stream through the cache hierarchy, the
+ * tiered memory + timing model, and the PEBS-analogue sampler, while a
+ * TieringPolicy observes the streams and migrates pages. Virtual time
+ * advances by each access's modeled latency; an operation's latency is
+ * the sum of its accesses (plus a fixed software overhead), which is the
+ * metric the paper reports.
+ *
+ * The harness is deterministic: same config + workload seed => identical
+ * results.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "common/percentile.h"
+#include "common/units.h"
+#include "mem/migration.h"
+#include "mem/page.h"
+#include "mem/perf_model.h"
+#include "mem/tiered_memory.h"
+#include "policies/policy.h"
+#include "sampling/sampler.h"
+#include "workloads/workload.h"
+
+namespace hybridtier {
+
+/** All knobs of one simulation run. */
+struct SimulationConfig {
+  PageMode mode = PageMode::kRegular;   //!< Tracking/migration granularity.
+  /** Fast-tier capacity as a fraction of the footprint; the paper's
+   *  "1:N" configuration maps to 1.0 / N. */
+  double fast_tier_fraction = 1.0 / 8;
+  AllocationPolicy allocation = AllocationPolicy::kFastFirst;
+  uint64_t max_accesses = 20000000;     //!< Stop after this many accesses.
+  uint64_t max_ops = 0;                 //!< 0 = unlimited.
+  TimeNs max_time_ns = 0;               //!< 0 = unlimited.
+  uint64_t warmup_accesses = 0;         //!< Reset measurement stats after.
+  TimeNs op_overhead_ns = 60;           //!< Non-memory work per op.
+  uint64_t sample_period = 61;          //!< PEBS period (accesses/sample).
+  size_t sample_buffer = 8192;          //!< PEBS buffer depth.
+  TimeNs tick_interval_ns = 1 * kMillisecond;   //!< Policy maintenance.
+  TimeNs stats_interval_ns = 20 * kMillisecond; //!< Timeline sampling.
+  size_t latency_window = 4096;         //!< Window for timeline medians.
+  HierarchyConfig cache;                //!< Cache geometry.
+  PerfModelConfig perf;                 //!< Timing constants.
+  bool measure_metadata_traffic = true; //!< Replay metadata lines in LLC.
+  /**
+   * Touch the whole address space once (in address order) before the
+   * access stream starts, modeling application initialization: real
+   * workloads allocate and populate their heaps (cache slabs, graph
+   * CSR, training matrices) before steady state, so first-touch
+   * placement is address-ordered, not popularity-ordered.
+   */
+  bool prefault_at_start = true;
+  uint64_t seed = 1;                    //!< Sampler jitter seed.
+};
+
+/** Everything a run produces. */
+struct SimulationResult {
+  // Volume.
+  uint64_t ops = 0;
+  uint64_t accesses = 0;
+  TimeNs duration_ns = 0;
+  TimeNs warmup_end_ns = 0;  //!< Virtual time when warmup ended.
+
+  /** Post-warmup runtime (== duration_ns when no warmup configured). */
+  TimeNs SteadyDurationNs() const { return duration_ns - warmup_end_ns; }
+
+  // Headline performance.
+  double throughput_mops = 0.0;    //!< Operations per virtual us.
+  double median_latency_ns = 0.0;  //!< Whole-run op latency median.
+  double p99_latency_ns = 0.0;
+  double mean_latency_ns = 0.0;
+
+  // Timelines (sampled every stats_interval_ns).
+  TimeSeries latency_timeline;          //!< Windowed median op latency.
+  TimeSeries tiering_l1_share_timeline; //!< Per-interval tiering L1 share.
+  TimeSeries tiering_llc_share_timeline;
+  TimeSeries fast_used_timeline;        //!< Fast-tier occupancy fraction.
+
+  // Memory system.
+  uint64_t fast_mem_accesses = 0;  //!< Demand fills served by fast tier.
+  uint64_t slow_mem_accesses = 0;
+  uint64_t hint_faults = 0;
+  MigrationStats migration;
+
+  // Cache attribution (post warmup).
+  uint64_t l1_app_misses = 0;
+  uint64_t l1_tiering_misses = 0;
+  uint64_t llc_app_misses = 0;
+  uint64_t llc_tiering_misses = 0;
+
+  // Tiering metadata.
+  size_t metadata_bytes = 0;
+  uint64_t samples_taken = 0;
+  uint64_t samples_dropped = 0;
+
+  /** Fraction of demand fills served by the fast tier. */
+  double FastAccessFraction() const {
+    const uint64_t total = fast_mem_accesses + slow_mem_accesses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(fast_mem_accesses) /
+                            static_cast<double>(total);
+  }
+
+  /** Tiering share of all L1 misses. */
+  double TieringL1MissShare() const {
+    const uint64_t total = l1_app_misses + l1_tiering_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(l1_tiering_misses) /
+                            static_cast<double>(total);
+  }
+
+  /** Tiering share of all LLC misses. */
+  double TieringLlcMissShare() const {
+    const uint64_t total = llc_app_misses + llc_tiering_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(llc_tiering_misses) /
+                            static_cast<double>(total);
+  }
+};
+
+/** One wired-up simulation run. */
+class Simulation {
+ public:
+  /**
+   * @param config run parameters.
+   * @param workload access generator (not owned; consumed statefully).
+   * @param policy  tiering policy (not owned; bound to this run).
+   */
+  Simulation(const SimulationConfig& config, Workload* workload,
+             TieringPolicy* policy);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /** Executes the run to its budget and returns the results. */
+  SimulationResult Run();
+
+  /** Tiered memory view (valid during and after Run). */
+  const TieredMemory& memory() const { return *memory_; }
+
+  /** Fast-tier capacity in tracking units for this run. */
+  uint64_t fast_capacity_units() const { return fast_capacity_units_; }
+
+  /** Footprint in tracking units. */
+  uint64_t footprint_units() const { return footprint_units_; }
+
+ private:
+  class HierarchySink;
+
+  /** Captures per-interval timeline points. */
+  void RecordTimelinePoint();
+
+  SimulationConfig config_;
+  Workload* workload_;
+  TieringPolicy* policy_;
+
+  uint64_t footprint_units_ = 0;
+  uint64_t fast_capacity_units_ = 0;
+
+  std::unique_ptr<TieredMemory> memory_;
+  std::unique_ptr<PerfModel> perf_;
+  std::unique_ptr<CacheHierarchy> hierarchy_;
+  std::unique_ptr<MigrationEngine> migration_;
+  std::unique_ptr<AccessSampler> sampler_;
+  std::unique_ptr<MetadataTrafficSink> sink_;
+
+  // Run state.
+  TimeNs now_ = 0;
+  uint64_t ops_ = 0;
+  uint64_t accesses_ = 0;
+  SimulationResult result_;
+  WindowedPercentile window_;
+  ReservoirSampler reservoir_;
+
+  // Migration-stall accounting (TLB shootdowns hit the app cores).
+  uint64_t last_migration_batches_ = 0;
+  uint64_t last_migration_pages_ = 0;
+
+  // Interval bookkeeping for miss-share timelines.
+  uint64_t last_l1_app_misses_ = 0;
+  uint64_t last_l1_tiering_misses_ = 0;
+  uint64_t last_llc_app_misses_ = 0;
+  uint64_t last_llc_tiering_misses_ = 0;
+};
+
+/** Convenience wrapper: construct, run, return. */
+SimulationResult RunSimulation(const SimulationConfig& config,
+                               Workload* workload, TieringPolicy* policy);
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_CORE_SIMULATION_H_

@@ -1,0 +1,89 @@
+#include "core/trackers.h"
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace hybridtier {
+
+const char* EstimatorKindName(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kBlockedCbf:
+      return "blocked-cbf";
+    case EstimatorKind::kStandardCbf:
+      return "standard-cbf";
+    case EstimatorKind::kExact:
+      return "exact";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<FrequencyEstimator> MakeEstimator(EstimatorKind kind,
+                                                  const CbfSizing& sizing,
+                                                  uint64_t exact_units,
+                                                  uint64_t seed) {
+  switch (kind) {
+    case EstimatorKind::kBlockedCbf:
+      return std::make_unique<BlockedCountingBloomFilter>(sizing, seed);
+    case EstimatorKind::kStandardCbf:
+      return std::make_unique<CountingBloomFilter>(sizing, seed);
+    case EstimatorKind::kExact:
+      HT_ASSERT(exact_units > 0, "exact estimator needs a unit count");
+      return std::make_unique<ExactCounterTable>(
+          exact_units, (1u << sizing.counter_bits) - 1);
+  }
+  HT_PANIC("unreachable estimator kind");
+}
+
+AccessTracker::AccessTracker(const TrackerConfig& config)
+    : config_(config),
+      estimator_(MakeEstimator(config.kind, config.sizing,
+                               config.exact_units, config.seed)) {}
+
+void AccessTracker::TouchLines(PageId unit,
+                               MetadataTrafficSink& sink) const {
+  scratch_lines_.clear();
+  estimator_->AppendTouchedLines(unit, &scratch_lines_);
+  for (const uint64_t line : scratch_lines_) {
+    sink.Touch(config_.metadata_base + line * kCacheLineSize);
+  }
+}
+
+uint32_t AccessTracker::RecordAccess(PageId unit,
+                                     MetadataTrafficSink& sink) {
+  ++samples_;
+  cooled_on_last_record_ = false;
+  const uint32_t count = estimator_->Increment(unit);
+  TouchLines(unit, sink);
+
+  if (config_.cooling_period_samples != 0 &&
+      samples_ - samples_at_last_cooling_ >=
+          config_.cooling_period_samples) {
+    samples_at_last_cooling_ = samples_;
+    estimator_->CoolByHalving();
+    ++coolings_;
+    cooled_on_last_record_ = true;
+    // Cooling rewrites the whole filter — one pass over its lines.
+    const uint64_t lines = estimator_->memory_bytes() / kCacheLineSize;
+    for (uint64_t line = 0; line < lines; ++line) {
+      sink.Touch(config_.metadata_base + line * kCacheLineSize);
+    }
+  }
+  return count;
+}
+
+uint32_t AccessTracker::GetTracked(PageId unit,
+                                   MetadataTrafficSink& sink) const {
+  const uint32_t count = estimator_->Get(unit);
+  TouchLines(unit, sink);
+  return count;
+}
+
+void AccessTracker::Reset() {
+  estimator_->Reset();
+  samples_ = 0;
+  samples_at_last_cooling_ = 0;
+  coolings_ = 0;
+  cooled_on_last_record_ = false;
+}
+
+}  // namespace hybridtier

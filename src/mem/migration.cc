@@ -1,0 +1,51 @@
+#include "mem/migration.h"
+
+#include "common/logging.h"
+
+namespace hybridtier {
+
+MigrationEngine::MigrationEngine(TieredMemory* memory, PerfModel* perf_model,
+                                 PageMode mode)
+    : memory_(memory), perf_model_(perf_model), mode_(mode) {
+  HT_ASSERT(memory != nullptr && perf_model != nullptr,
+            "migration engine needs memory and perf model");
+}
+
+TimeNs MigrationEngine::ExecuteBatch(std::span<const PageId> pages, Tier dst,
+                                     TimeNs now) {
+  if (pages.empty()) return 0;
+  uint64_t moved = 0;
+  for (const PageId page : pages) {
+    const bool ok = memory_->IsResident(page) && memory_->Migrate(page, dst);
+    if (ok) {
+      ++moved;
+    } else if (dst == Tier::kFast) {
+      ++stats_.failed_promotions;
+    } else {
+      ++stats_.failed_demotions;
+    }
+  }
+
+  if (dst == Tier::kFast) {
+    stats_.promoted_pages += moved;
+    ++stats_.promotion_batches;
+  } else {
+    stats_.demoted_pages += moved;
+    ++stats_.demotion_batches;
+  }
+
+  const TimeNs cost =
+      perf_model_->MigrationCost(moved, PageBytes(mode_), now);
+  stats_.migration_time_ns += cost;
+  return cost;
+}
+
+TimeNs MigrationEngine::Promote(std::span<const PageId> pages, TimeNs now) {
+  return ExecuteBatch(pages, Tier::kFast, now);
+}
+
+TimeNs MigrationEngine::Demote(std::span<const PageId> pages, TimeNs now) {
+  return ExecuteBatch(pages, Tier::kSlow, now);
+}
+
+}  // namespace hybridtier

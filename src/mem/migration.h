@@ -1,0 +1,75 @@
+#ifndef HYBRIDTIER_MEM_MIGRATION_H_
+#define HYBRIDTIER_MEM_MIGRATION_H_
+
+/**
+ * @file
+ * Batched page-migration engine.
+ *
+ * All tiering policies execute their promotion/demotion decisions through
+ * this engine so that every policy pays identical migration prices: a
+ * per-batch syscall overhead plus per-page kernel work, with the copy
+ * traffic occupying both tiers' memory channels (see PerfModel). This
+ * mirrors HybridTier's use of batched move_pages-style syscalls
+ * (paper §4.3: 100,000 samples per promotion batch, one syscall).
+ */
+
+#include <cstdint>
+#include <span>
+
+#include "common/units.h"
+#include "mem/page.h"
+#include "mem/perf_model.h"
+#include "mem/tiered_memory.h"
+
+namespace hybridtier {
+
+/** Cumulative migration counters. */
+struct MigrationStats {
+  uint64_t promoted_pages = 0;    //!< Pages moved slow -> fast.
+  uint64_t demoted_pages = 0;     //!< Pages moved fast -> slow.
+  uint64_t promotion_batches = 0; //!< Promotion syscalls issued.
+  uint64_t demotion_batches = 0;  //!< Demotion syscalls issued.
+  uint64_t failed_promotions = 0; //!< Skipped: fast tier full / not slow.
+  uint64_t failed_demotions = 0;  //!< Skipped: slow tier full / not fast.
+  TimeNs migration_time_ns = 0;   //!< Total modeled migration time.
+};
+
+/** Executes batched migrations against the tiered memory + timing model. */
+class MigrationEngine {
+ public:
+  /**
+   * @param memory     placement substrate (not owned).
+   * @param perf_model timing model charged for copies (not owned).
+   * @param mode       tracking-unit granularity (4 KiB or 2 MiB).
+   */
+  MigrationEngine(TieredMemory* memory, PerfModel* perf_model,
+                  PageMode mode = PageMode::kRegular);
+
+  /**
+   * Promotes `pages` (slow -> fast) as one batch at time `now`. Pages
+   * that are not in the slow tier or do not fit are skipped and counted
+   * as failed. Returns the modeled batch duration.
+   */
+  TimeNs Promote(std::span<const PageId> pages, TimeNs now);
+
+  /** Demotes `pages` (fast -> slow) as one batch at time `now`. */
+  TimeNs Demote(std::span<const PageId> pages, TimeNs now);
+
+  /** Cumulative statistics. */
+  const MigrationStats& stats() const { return stats_; }
+
+  /** Tracking-unit granularity. */
+  PageMode mode() const { return mode_; }
+
+ private:
+  TimeNs ExecuteBatch(std::span<const PageId> pages, Tier dst, TimeNs now);
+
+  TieredMemory* memory_;
+  PerfModel* perf_model_;
+  PageMode mode_;
+  MigrationStats stats_;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_MEM_MIGRATION_H_

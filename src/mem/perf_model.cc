@@ -1,0 +1,65 @@
+#include "mem/perf_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hybridtier {
+
+PerfModel::PerfModel(const PerfModelConfig& config, const TierConfig& fast,
+                     const TierConfig& slow)
+    : config_(config), tiers_{fast, slow} {
+  HT_ASSERT(fast.bandwidth_gbps > 0 && slow.bandwidth_gbps > 0,
+            "tier bandwidth must be positive");
+  HT_ASSERT(config.threads >= 1, "threads must be >= 1");
+}
+
+TimeNs PerfModel::TransferTime(Tier tier, uint64_t bytes) const {
+  const double gbps = tiers_[static_cast<size_t>(tier)].bandwidth_gbps;
+  // bytes / (GB/s) = bytes / (bytes/ns * 1e0): 1 GB/s == 1 byte/ns.
+  const double ns = static_cast<double>(bytes) / gbps;
+  return std::max<TimeNs>(static_cast<TimeNs>(ns), 1);
+}
+
+TimeNs PerfModel::MemoryAccess(Tier tier, TimeNs now) {
+  const size_t t = static_cast<size_t>(tier);
+  // A demand line fill occupies the channel for one line per thread-share:
+  // 16 threads issuing concurrently are folded into one modeled stream, so
+  // each modeled access stands for `threads` line transfers of pressure.
+  const uint64_t bytes = kCacheLineSize * config_.threads;
+  const TimeNs service = TransferTime(tier, bytes);
+
+  TimeNs queue_delay = 0;
+  if (busy_until_[t] > now) {
+    queue_delay = std::min<TimeNs>(
+        busy_until_[t] - now,
+        static_cast<TimeNs>(config_.max_queue_delay_ns));
+  }
+  busy_until_[t] = std::max(busy_until_[t], now) + service;
+  bytes_transferred_[t] += bytes;
+
+  return tiers_[t].idle_latency_ns + queue_delay;
+}
+
+TimeNs PerfModel::OccupyChannel(Tier tier, uint64_t bytes, TimeNs now) {
+  const size_t t = static_cast<size_t>(tier);
+  const TimeNs duration = TransferTime(tier, bytes);
+  busy_until_[t] = std::max(busy_until_[t], now) + duration;
+  bytes_transferred_[t] += bytes;
+  return duration;
+}
+
+TimeNs PerfModel::MigrationCost(uint64_t num_pages, uint64_t page_bytes,
+                                TimeNs now) {
+  if (num_pages == 0) return 0;
+  const uint64_t bytes = num_pages * page_bytes;
+  // The copy reads one tier and writes the other; both channels are busy.
+  const TimeNs copy_fast = OccupyChannel(Tier::kFast, bytes, now);
+  const TimeNs copy_slow = OccupyChannel(Tier::kSlow, bytes, now);
+  const TimeNs kernel_cost =
+      config_.migration_syscall_ns +
+      num_pages * config_.migration_page_ns * (page_bytes / kPageSize);
+  return kernel_cost + std::max(copy_fast, copy_slow);
+}
+
+}  // namespace hybridtier

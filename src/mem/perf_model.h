@@ -1,0 +1,108 @@
+#ifndef HYBRIDTIER_MEM_PERF_MODEL_H_
+#define HYBRIDTIER_MEM_PERF_MODEL_H_
+
+/**
+ * @file
+ * Memory-system timing model.
+ *
+ * Each tier is modeled as a single channel server: an access or migration
+ * transfer occupies the channel for `bytes / bandwidth` of virtual time,
+ * and an access arriving while the channel is busy queues behind it. This
+ * reproduces the two first-order effects the paper's results depend on:
+ *  - slow-tier accesses cost ~50-100 ns more than fast-tier accesses, and
+ *  - migrations consume bandwidth that delays demand accesses.
+ *
+ * The configured `threads` factor inflates per-access channel occupancy
+ * to approximate the paper's 16 application threads sharing the channel
+ * while the simulator models a single serialized access stream.
+ */
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "mem/tier.h"
+
+namespace hybridtier {
+
+/** Tunable latency constants for the timing model. */
+struct PerfModelConfig {
+  TimeNs l1_latency_ns = 1;            //!< L1 hit service time.
+  TimeNs llc_latency_ns = 12;          //!< LLC hit service time.
+  TimeNs hint_fault_ns = 1500;         //!< Minor/hint page fault cost.
+  TimeNs migration_page_ns = 1200;     //!< Per-4KiB-page migration CPU cost.
+  TimeNs migration_syscall_ns = 4000;  //!< Per-move_pages-batch overhead.
+  /** Application-visible stall per migration batch: unmapping pages for
+   *  migration sends TLB-shootdown IPIs to every core running the
+   *  process, so each move_pages call stalls the app briefly. This is
+   *  what makes per-page migrators (ARC/TwoQ, fault-time promotion) pay
+   *  for their lenient policies while batched systems amortize it. */
+  TimeNs tlb_batch_stall_ns = 2000;
+  /** Additional app-visible stall per migrated page (shootdown + minor
+   *  fault on next touch). */
+  TimeNs tlb_page_stall_ns = 150;
+  uint32_t threads = 16;               //!< Modeled application threads.
+  double max_queue_delay_ns = 2000.0;  //!< Cap on queueing delay per access.
+};
+
+/** Channel-occupancy timing model over the two tiers. */
+class PerfModel {
+ public:
+  PerfModel(const PerfModelConfig& config, const TierConfig& fast,
+            const TierConfig& slow);
+
+  /**
+   * Returns the latency of a demand access of one cache line served by
+   * `tier` at virtual time `now`, including any queueing delay, and
+   * occupies the channel accordingly.
+   */
+  TimeNs MemoryAccess(Tier tier, TimeNs now);
+
+  /**
+   * Accounts a bulk transfer of `bytes` on `tier`'s channel starting at
+   * `now` (used for page migrations: the source is read and the
+   * destination written). Returns the transfer duration.
+   */
+  TimeNs OccupyChannel(Tier tier, uint64_t bytes, TimeNs now);
+
+  /**
+   * Full cost of migrating `num_pages` pages of `page_bytes` each in one
+   * batch at time `now`: syscall overhead + per-page kernel cost, with
+   * both tiers' channels occupied by the copy traffic.
+   */
+  TimeNs MigrationCost(uint64_t num_pages, uint64_t page_bytes, TimeNs now);
+
+  /** Service latency of an L1 hit. */
+  TimeNs L1Latency() const { return config_.l1_latency_ns; }
+
+  /** Service latency of an LLC hit. */
+  TimeNs LlcLatency() const { return config_.llc_latency_ns; }
+
+  /** Cost of taking a hint fault (AutoNUMA/TPP promotion path). */
+  TimeNs HintFaultLatency() const { return config_.hint_fault_ns; }
+
+  /** Idle (unloaded) latency of `tier`. */
+  TimeNs IdleLatency(Tier tier) const {
+    return tiers_[static_cast<size_t>(tier)].idle_latency_ns;
+  }
+
+  /** Cumulative bytes transferred on `tier`. */
+  uint64_t BytesTransferred(Tier tier) const {
+    return bytes_transferred_[static_cast<size_t>(tier)];
+  }
+
+  /** Configuration in use. */
+  const PerfModelConfig& config() const { return config_; }
+
+ private:
+  /** ns the channel is busy transferring `bytes` on `tier`. */
+  TimeNs TransferTime(Tier tier, uint64_t bytes) const;
+
+  PerfModelConfig config_;
+  TierConfig tiers_[kNumTiers];
+  TimeNs busy_until_[kNumTiers] = {0, 0};
+  uint64_t bytes_transferred_[kNumTiers] = {0, 0};
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_MEM_PERF_MODEL_H_

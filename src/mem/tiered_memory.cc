@@ -1,0 +1,121 @@
+#include "mem/tiered_memory.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hybridtier {
+
+TieredMemory::TieredMemory(uint64_t total_pages, uint64_t fast_capacity,
+                           uint64_t slow_capacity,
+                           AllocationPolicy allocation_policy)
+    : flags_(total_pages, 0),
+      protect_time_(total_pages, 0),
+      capacity_{fast_capacity, slow_capacity},
+      allocation_policy_(allocation_policy) {
+  HT_ASSERT(total_pages > 0, "address space must not be empty");
+  HT_ASSERT(fast_capacity + slow_capacity >= total_pages,
+            "tiers too small for the footprint: ", fast_capacity, "+",
+            slow_capacity, " < ", total_pages);
+}
+
+TouchResult TieredMemory::Touch(PageId page, TimeNs now) {
+  HT_ASSERT(page < flags_.size(), "page ", page, " outside address space");
+  uint8_t& f = flags_[page];
+  TouchResult result;
+
+  if (!(f & kResident)) {
+    // First touch: allocate per policy.
+    Tier tier = Tier::kSlow;
+    if (allocation_policy_ == AllocationPolicy::kFastFirst &&
+        FreePages(Tier::kFast) > 0) {
+      tier = Tier::kFast;
+    }
+    HT_ASSERT(FreePages(tier) > 0, "both tiers full allocating page ", page);
+    f |= kResident;
+    if (tier == Tier::kSlow) {
+      f |= kTierSlow;
+    } else {
+      f &= static_cast<uint8_t>(~kTierSlow);
+    }
+    ++used_[static_cast<size_t>(tier)];
+    result.first_touch = true;
+    result.tier = tier;
+    return result;
+  }
+
+  result.tier = (f & kTierSlow) ? Tier::kSlow : Tier::kFast;
+  if (f & kProtected) {
+    // NUMA hint fault: the access re-maps the page and reports how long
+    // the page sat unmapped (AutoNUMA's "hint fault latency").
+    f &= static_cast<uint8_t>(~kProtected);
+    result.hint_fault = true;
+    result.fault_latency_ns =
+        now >= protect_time_[page] ? now - protect_time_[page] : 0;
+  }
+  return result;
+}
+
+Tier TieredMemory::TierOf(PageId page) const {
+  HT_ASSERT(page < flags_.size(), "page ", page, " outside address space");
+  HT_ASSERT(flags_[page] & kResident, "page ", page, " not resident");
+  return (flags_[page] & kTierSlow) ? Tier::kSlow : Tier::kFast;
+}
+
+bool TieredMemory::IsResident(PageId page) const {
+  HT_ASSERT(page < flags_.size(), "page ", page, " outside address space");
+  return flags_[page] & kResident;
+}
+
+bool TieredMemory::IsProtected(PageId page) const {
+  HT_ASSERT(page < flags_.size(), "page ", page, " outside address space");
+  return flags_[page] & kProtected;
+}
+
+uint64_t TieredMemory::Protect(PageRange range, TimeNs now) {
+  HT_ASSERT(range.end <= flags_.size(), "range end outside address space");
+  uint64_t protected_count = 0;
+  for (PageId page = range.begin; page < range.end; ++page) {
+    uint8_t& f = flags_[page];
+    if ((f & kResident) && !(f & kProtected)) {
+      f |= kProtected;
+      protect_time_[page] = now;
+      ++protected_count;
+    }
+  }
+  return protected_count;
+}
+
+bool TieredMemory::Migrate(PageId page, Tier dst) {
+  HT_ASSERT(page < flags_.size(), "page ", page, " outside address space");
+  uint8_t& f = flags_[page];
+  if (!(f & kResident)) return false;
+  const Tier src = (f & kTierSlow) ? Tier::kSlow : Tier::kFast;
+  if (src == dst) return false;
+  if (FreePages(dst) == 0) return false;
+  if (dst == Tier::kSlow) {
+    f |= kTierSlow;
+  } else {
+    f &= static_cast<uint8_t>(~kTierSlow);
+  }
+  --used_[static_cast<size_t>(src)];
+  ++used_[static_cast<size_t>(dst)];
+  return true;
+}
+
+uint64_t TieredMemory::ScanResident(
+    PageId start, uint64_t count, Tier tier,
+    const std::function<void(PageId)>& fn) const {
+  const PageId end = std::min<PageId>(start + count, flags_.size());
+  uint64_t visited = 0;
+  for (PageId page = start; page < end; ++page) {
+    ++visited;
+    const uint8_t f = flags_[page];
+    if (!(f & kResident)) continue;
+    const Tier t = (f & kTierSlow) ? Tier::kSlow : Tier::kFast;
+    if (t == tier) fn(page);
+  }
+  return visited;
+}
+
+}  // namespace hybridtier

@@ -1,0 +1,131 @@
+#ifndef HYBRIDTIER_MEM_TIERED_MEMORY_H_
+#define HYBRIDTIER_MEM_TIERED_MEMORY_H_
+
+/**
+ * @file
+ * The tiered physical memory substrate.
+ *
+ * Tracks, for every page of the simulated application address space,
+ * whether it is resident, which tier it lives in, and whether it is
+ * "protected" (unmapped for NUMA-hint-fault sampling, as AutoNUMA and TPP
+ * do). Pages here are *tracking units*: 4 KiB in regular mode, 2 MiB in
+ * huge-page mode — the granularity at which placement and migration
+ * happen.
+ *
+ * Placement policy on first touch follows Linux: allocate in the fast
+ * tier while it has free capacity, then overflow to the slow tier.
+ * ARC/TwoQ baselines instead allocate new pages directly in the slow tier
+ * (paper §5.2), selectable via AllocationPolicy.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.h"
+#include "mem/page.h"
+#include "mem/tier.h"
+
+namespace hybridtier {
+
+/** Where newly touched pages are allocated. */
+enum class AllocationPolicy : uint8_t {
+  kFastFirst = 0,  //!< Linux default: fast tier until full, then slow.
+  kSlowOnly = 1,   //!< Always slow tier (ARC/TwoQ baselines).
+};
+
+/** Outcome of touching (accessing) a page. */
+struct TouchResult {
+  Tier tier = Tier::kSlow;     //!< Tier that served the access.
+  bool first_touch = false;    //!< Page was allocated by this access.
+  bool hint_fault = false;     //!< Access hit a protected page (NUMA hint).
+  TimeNs fault_latency_ns = 0; //!< now - protect time, when hint_fault.
+};
+
+/** Placement, residency, and protection state for a tiered address space. */
+class TieredMemory {
+ public:
+  /**
+   * @param total_pages       tracking units in the application footprint.
+   * @param fast_capacity     fast-tier capacity in tracking units.
+   * @param slow_capacity     slow-tier capacity in tracking units.
+   * @param allocation_policy first-touch placement rule.
+   */
+  TieredMemory(uint64_t total_pages, uint64_t fast_capacity,
+               uint64_t slow_capacity,
+               AllocationPolicy allocation_policy =
+                   AllocationPolicy::kFastFirst);
+
+  /**
+   * Records a demand access to `page` at time `now`. Allocates the page
+   * on first touch and clears + reports protection faults.
+   */
+  TouchResult Touch(PageId page, TimeNs now);
+
+  /** Tier of a resident page (asserts residency). */
+  Tier TierOf(PageId page) const;
+
+  /** True if the page has been touched at least once. */
+  bool IsResident(PageId page) const;
+
+  /** True if the page is currently protected (hint-fault armed). */
+  bool IsProtected(PageId page) const;
+
+  /**
+   * Arms hint faults on all resident pages in [range.begin, range.end):
+   * the AutoNUMA "unmap 256MB of pages" scan step. Returns the number of
+   * pages protected.
+   */
+  uint64_t Protect(PageRange range, TimeNs now);
+
+  /**
+   * Moves a resident page to `dst`. Returns false (and does nothing) if
+   * the page is already there or `dst` is full.
+   */
+  bool Migrate(PageId page, Tier dst);
+
+  /** Pages currently resident in `tier`. */
+  uint64_t UsedPages(Tier tier) const {
+    return used_[static_cast<size_t>(tier)];
+  }
+
+  /** Capacity of `tier` in tracking units. */
+  uint64_t Capacity(Tier tier) const {
+    return capacity_[static_cast<size_t>(tier)];
+  }
+
+  /** Free tracking units in `tier`. */
+  uint64_t FreePages(Tier tier) const {
+    return Capacity(tier) - UsedPages(tier);
+  }
+
+  /** Total tracking units in the address space. */
+  uint64_t total_pages() const { return flags_.size(); }
+
+  /**
+   * Linear address-space scan (the /proc/PID/pagemap walk used for
+   * demotion candidate discovery): invokes `fn(page)` for every resident
+   * page in `tier` within [start, start+count), returns pages visited.
+   */
+  uint64_t ScanResident(PageId start, uint64_t count, Tier tier,
+                        const std::function<void(PageId)>& fn) const;
+
+  /** First-touch allocation policy in use. */
+  AllocationPolicy allocation_policy() const { return allocation_policy_; }
+
+ private:
+  // Per-page state flags.
+  static constexpr uint8_t kResident = 1u << 0;
+  static constexpr uint8_t kTierSlow = 1u << 1;  // Set => slow tier.
+  static constexpr uint8_t kProtected = 1u << 2;
+
+  std::vector<uint8_t> flags_;
+  std::vector<TimeNs> protect_time_;  //!< Valid while kProtected is set.
+  uint64_t capacity_[kNumTiers];
+  uint64_t used_[kNumTiers] = {0, 0};
+  AllocationPolicy allocation_policy_;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_MEM_TIERED_MEMORY_H_

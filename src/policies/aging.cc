@@ -1,0 +1,21 @@
+#include "policies/aging.h"
+
+#include <algorithm>
+
+namespace hybridtier {
+
+uint64_t ClockAger::Scan(PageId start, uint64_t count) {
+  const PageId end =
+      std::min<PageId>(start + count, static_cast<PageId>(age_.size()));
+  for (PageId unit = start; unit < end; ++unit) {
+    if (accessed_[unit]) {
+      accessed_[unit] = 0;
+      age_[unit] = 0;
+    } else if (age_[unit] < 255) {
+      ++age_[unit];
+    }
+  }
+  return end > start ? end - start : 0;
+}
+
+}  // namespace hybridtier

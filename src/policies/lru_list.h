@@ -1,0 +1,87 @@
+#ifndef HYBRIDTIER_POLICIES_LRU_LIST_H_
+#define HYBRIDTIER_POLICIES_LRU_LIST_H_
+
+/**
+ * @file
+ * Doubly linked LRU list with O(1) membership, as used by the ARC and
+ * TwoQ baselines. Classic pointer-chasing list + hash-map structure —
+ * deliberately so: the paper's Observation 3 is that such structures
+ * have poor locality, and our cache-traffic model reports exactly the
+ * scattered lines an implementation like this would touch.
+ */
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "mem/page.h"
+
+namespace hybridtier {
+
+/** LRU-ordered list of page units with O(1) lookup/removal. */
+class LruList {
+ public:
+  /** Inserts `unit` at the MRU end; must not already be present. */
+  void PushMru(PageId unit) {
+    HT_ASSERT(!Contains(unit), "unit ", unit, " already in list");
+    order_.push_front(unit);
+    index_[unit] = order_.begin();
+  }
+
+  /** Removes and returns the LRU unit; list must not be empty. */
+  PageId PopLru() {
+    HT_ASSERT(!order_.empty(), "PopLru on empty list");
+    const PageId unit = order_.back();
+    order_.pop_back();
+    index_.erase(unit);
+    return unit;
+  }
+
+  /** The LRU unit without removing it; list must not be empty. */
+  PageId PeekLru() const {
+    HT_ASSERT(!order_.empty(), "PeekLru on empty list");
+    return order_.back();
+  }
+
+  /** Removes `unit` if present; returns whether it was present. */
+  bool Remove(PageId unit) {
+    auto it = index_.find(unit);
+    if (it == index_.end()) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  /** Moves `unit` to the MRU end; returns whether it was present. */
+  bool MoveToMru(PageId unit) {
+    auto it = index_.find(unit);
+    if (it == index_.end()) return false;
+    order_.splice(order_.begin(), order_, it->second);
+    it->second = order_.begin();
+    return true;
+  }
+
+  /** True if `unit` is in the list. */
+  bool Contains(PageId unit) const { return index_.count(unit) != 0; }
+
+  /** Number of units in the list. */
+  size_t size() const { return order_.size(); }
+
+  /** True when the list is empty. */
+  bool empty() const { return order_.empty(); }
+
+  /**
+   * Approximate bytes consumed: a list node (3 words) plus a hash-map
+   * slot (~2 words) per entry.
+   */
+  size_t memory_bytes() const { return size() * (3 + 2) * 8; }
+
+ private:
+  std::list<PageId> order_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> index_;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_POLICIES_LRU_LIST_H_

@@ -1,0 +1,101 @@
+#ifndef HYBRIDTIER_POLICIES_POLICY_H_
+#define HYBRIDTIER_POLICIES_POLICY_H_
+
+/**
+ * @file
+ * Tiering-policy plug-in interface.
+ *
+ * The simulator owns the workload, the cache hierarchy, the tiered
+ * memory, and migration cost accounting; a policy only *decides*. All
+ * policies receive the same three signals the real systems get:
+ *  - OnAccess: the demand-access stream, carrying only the information a
+ *    kernel would have (tier served, hint-fault outcome). Policies must
+ *    not inspect access contents beyond this — recency baselines use the
+ *    fault/accessed-bit information, sample baselines ignore it.
+ *  - OnSample: the PEBS/IBS sample stream (page + tier + time).
+ *  - Tick: periodic maintenance (cooling, scans, watermark demotion).
+ * Policies execute decisions through the MigrationEngine in the bound
+ * context and report every metadata cache line they touch through the
+ * MetadataTrafficSink so tiering cache overhead is measured, not
+ * asserted.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "mem/migration.h"
+#include "mem/page.h"
+#include "mem/tiered_memory.h"
+#include "sampling/sample.h"
+
+namespace hybridtier {
+
+/** Receives the cache-line addresses of tiering metadata accesses. */
+class MetadataTrafficSink {
+ public:
+  virtual ~MetadataTrafficSink() = default;
+
+  /** Records one tiering-owned access to the 64 B line at `line_addr`. */
+  virtual void Touch(uint64_t line_addr) = 0;
+};
+
+/** A sink that drops all traffic (for tests and overhead-free runs). */
+class NullTrafficSink : public MetadataTrafficSink {
+ public:
+  void Touch(uint64_t line_addr) override { (void)line_addr; }
+};
+
+/** Everything a policy may interact with, bound once before the run. */
+struct PolicyContext {
+  TieredMemory* memory = nullptr;
+  MigrationEngine* migration = nullptr;
+  MetadataTrafficSink* metadata_sink = nullptr;
+  PageMode mode = PageMode::kRegular;
+  uint64_t footprint_units = 0;      //!< Address-space size in units.
+  uint64_t fast_capacity_units = 0;  //!< Fast-tier size in units.
+};
+
+/** Abstract tiering policy. */
+class TieringPolicy {
+ public:
+  virtual ~TieringPolicy() = default;
+
+  /** Binds the runtime context; called once before the first event. */
+  virtual void Bind(const PolicyContext& context) { context_ = context; }
+
+  /**
+   * Observes one demand access to `unit` at `now`. `touch` carries the
+   * signals an OS would see (tier, first touch, hint fault + latency).
+   */
+  virtual void OnAccess(PageId unit, const TouchResult& touch, TimeNs now) {
+    (void)unit;
+    (void)touch;
+    (void)now;
+  }
+
+  /** Consumes one hardware access sample. */
+  virtual void OnSample(const SampleRecord& sample) { (void)sample; }
+
+  /** Periodic maintenance; called every simulator tick interval. */
+  virtual void Tick(TimeNs now) { (void)now; }
+
+  /** Current metadata footprint in bytes (paper Table 4 metric). */
+  virtual size_t MetadataBytes() const = 0;
+
+  /** Policy name as reported in tables (e.g. "Memtis"). */
+  virtual const char* name() const = 0;
+
+ protected:
+  /** Bound context accessors for subclasses. */
+  const PolicyContext& context() const { return context_; }
+  TieredMemory& memory() const { return *context_.memory; }
+  MigrationEngine& migration() const { return *context_.migration; }
+  MetadataTrafficSink& sink() const { return *context_.metadata_sink; }
+
+  PolicyContext context_;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_POLICIES_POLICY_H_

@@ -1,0 +1,46 @@
+#ifndef HYBRIDTIER_POLICIES_STATIC_POLICY_H_
+#define HYBRIDTIER_POLICIES_STATIC_POLICY_H_
+
+/**
+ * @file
+ * Non-migrating reference policies.
+ *
+ * - kAllFast: the performance upper bound of any tiering system
+ *   (paper Fig 11) — the simulator gives the fast tier capacity for the
+ *   whole footprint, so everything is fast and no migrations happen.
+ * - kFirstTouch: static placement — pages stay wherever first-touch
+ *   allocation put them (fast until full, then slow). The no-tiering
+ *   lower bound.
+ */
+
+#include "policies/policy.h"
+
+namespace hybridtier {
+
+/** Which static placement to model. */
+enum class StaticKind : uint8_t {
+  kAllFast = 0,     //!< Everything in fast tier (upper bound).
+  kFirstTouch = 1,  //!< No migration after first touch.
+};
+
+/** Migration-free reference policy. */
+class StaticPolicy : public TieringPolicy {
+ public:
+  explicit StaticPolicy(StaticKind kind) : kind_(kind) {}
+
+  size_t MetadataBytes() const override { return 0; }
+
+  const char* name() const override {
+    return kind_ == StaticKind::kAllFast ? "AllFast" : "FirstTouch";
+  }
+
+  /** Placement flavour. */
+  StaticKind kind() const { return kind_; }
+
+ private:
+  StaticKind kind_;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_POLICIES_STATIC_POLICY_H_

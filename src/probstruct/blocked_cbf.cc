@@ -1,0 +1,94 @@
+#include "probstruct/blocked_cbf.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace hybridtier {
+
+namespace {
+constexpr uint32_t kMaxHashes = 16;
+}  // namespace
+
+BlockedCountingBloomFilter::BlockedCountingBloomFilter(
+    const CbfSizing& sizing, uint64_t seed)
+    : counters_(
+          // Round the counter budget up to whole 64-byte blocks.
+          [&] {
+            const uint32_t slots =
+                static_cast<uint32_t>(kCacheLineSize * 8 /
+                                      sizing.counter_bits);
+            const size_t blocks =
+                (sizing.num_counters + slots - 1) / slots;
+            return std::max<size_t>(blocks, 1) * slots;
+          }(),
+          sizing.counter_bits),
+      num_hashes_(sizing.num_hashes),
+      seed_(seed) {
+  slots_per_block_ =
+      static_cast<uint32_t>(kCacheLineSize * 8 / sizing.counter_bits);
+  num_blocks_ = counters_.size() / slots_per_block_;
+  HT_ASSERT(num_hashes_ >= 1 && num_hashes_ <= kMaxHashes,
+            "hash count must be in [1,16], got ", num_hashes_);
+  HT_ASSERT(num_hashes_ <= slots_per_block_,
+            "more hashes than slots per block");
+}
+
+void BlockedCountingBloomFilter::Locate(uint64_t key, uint64_t* block_out,
+                                        uint32_t* slots_out) const {
+  const HashPair hp = HashKey(key, seed_);
+  // The block comes from h1; in-block slots come from the derived stream.
+  *block_out = ReduceRange(hp.h1, num_blocks_);
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    // Slot collisions within a block are permitted by design (paper §4.2:
+    // "the k counters can be mapped to any counters within the line").
+    slots_out[i] = static_cast<uint32_t>(
+        ReduceRange(DerivedHash(hp, i + 1), slots_per_block_));
+  }
+}
+
+uint32_t BlockedCountingBloomFilter::Get(uint64_t key) const {
+  uint64_t block;
+  uint32_t slots[kMaxHashes];
+  Locate(key, &block, slots);
+  const size_t base = block * slots_per_block_;
+  uint32_t min_count = counters_.max_value();
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    min_count = std::min(min_count, counters_.Get(base + slots[i]));
+  }
+  return min_count;
+}
+
+uint32_t BlockedCountingBloomFilter::Increment(uint64_t key) {
+  uint64_t block;
+  uint32_t slots[kMaxHashes];
+  Locate(key, &block, slots);
+  const size_t base = block * slots_per_block_;
+  uint32_t min_count = counters_.max_value();
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    min_count = std::min(min_count, counters_.Get(base + slots[i]));
+  }
+  if (min_count >= counters_.max_value()) return min_count;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    if (counters_.Get(base + slots[i]) == min_count) {
+      counters_.Set(base + slots[i], min_count + 1);
+    }
+  }
+  return min_count + 1;
+}
+
+void BlockedCountingBloomFilter::CoolByHalving() { counters_.HalveAll(); }
+
+void BlockedCountingBloomFilter::Reset() { counters_.Reset(); }
+
+void BlockedCountingBloomFilter::AppendTouchedLines(
+    uint64_t key, std::vector<uint64_t>* lines) const {
+  uint64_t block;
+  uint32_t slots[kMaxHashes];
+  Locate(key, &block, slots);
+  // The defining property of the blocked CBF: exactly one line per update.
+  lines->push_back(block);
+}
+
+}  // namespace hybridtier

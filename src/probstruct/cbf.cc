@@ -1,0 +1,77 @@
+#include "probstruct/cbf.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hybridtier {
+
+namespace {
+/** Upper bound on k so index buffers can live on the stack. */
+constexpr uint32_t kMaxHashes = 16;
+}  // namespace
+
+CountingBloomFilter::CountingBloomFilter(const CbfSizing& sizing,
+                                         uint64_t seed)
+    : counters_(sizing.num_counters, sizing.counter_bits),
+      num_hashes_(sizing.num_hashes),
+      seed_(seed) {
+  HT_ASSERT(num_hashes_ >= 1 && num_hashes_ <= kMaxHashes,
+            "hash count must be in [1,16], got ", num_hashes_);
+}
+
+void CountingBloomFilter::IndicesFor(uint64_t key,
+                                     uint64_t* indices_out) const {
+  const HashPair hp = HashKey(key, seed_);
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    indices_out[i] = ReduceRange(DerivedHash(hp, i), counters_.size());
+  }
+}
+
+uint32_t CountingBloomFilter::Get(uint64_t key) const {
+  uint64_t indices[kMaxHashes];
+  IndicesFor(key, indices);
+  uint32_t min_count = counters_.max_value();
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    min_count = std::min(min_count, counters_.Get(indices[i]));
+  }
+  return min_count;
+}
+
+uint32_t CountingBloomFilter::Increment(uint64_t key) {
+  uint64_t indices[kMaxHashes];
+  IndicesFor(key, indices);
+  uint32_t min_count = counters_.max_value();
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    min_count = std::min(min_count, counters_.Get(indices[i]));
+  }
+  if (min_count >= counters_.max_value()) return min_count;
+  // Conservative update: only counters at the minimum move, which keeps
+  // the estimate at min() tight in the presence of collisions.
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    if (counters_.Get(indices[i]) == min_count) {
+      counters_.Set(indices[i], min_count + 1);
+    }
+  }
+  return min_count + 1;
+}
+
+void CountingBloomFilter::CoolByHalving() { counters_.HalveAll(); }
+
+void CountingBloomFilter::Reset() { counters_.Reset(); }
+
+void CountingBloomFilter::AppendTouchedLines(
+    uint64_t key, std::vector<uint64_t>* lines) const {
+  uint64_t indices[kMaxHashes];
+  IndicesFor(key, indices);
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    const uint64_t line = counters_.CacheLineOf(indices[i]);
+    // Dedup adjacent duplicates cheaply; exact dedup is not required for
+    // the cache model (re-touching a line is a hit anyway).
+    if (std::find(lines->begin(), lines->end(), line) == lines->end()) {
+      lines->push_back(line);
+    }
+  }
+}
+
+}  // namespace hybridtier

@@ -1,0 +1,64 @@
+#ifndef HYBRIDTIER_PROBSTRUCT_CBF_H_
+#define HYBRIDTIER_PROBSTRUCT_CBF_H_
+
+/**
+ * @file
+ * Standard counting bloom filter (paper §4.2, Fig 7).
+ *
+ * GET returns the minimum of the k counters a key maps to; INCREMENT uses
+ * the *conservative update* rule, incrementing only the counters currently
+ * equal to that minimum. Counters saturate at the width maximum and are
+ * cooled by a global halving pass.
+ *
+ * The k counters of a key land at k independent positions in the array,
+ * so a lookup can touch up to k distinct cache lines — the locality
+ * weakness that the blocked variant (blocked_cbf.h) fixes.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "probstruct/estimator.h"
+#include "probstruct/hash.h"
+#include "probstruct/packed_counters.h"
+#include "probstruct/sizing.h"
+
+namespace hybridtier {
+
+/** Counting bloom filter with conservative-update increments. */
+class CountingBloomFilter : public FrequencyEstimator {
+ public:
+  /**
+   * @param sizing counter count / hash count / counter width bundle.
+   * @param seed   hash seed (vary to get independent filters).
+   */
+  explicit CountingBloomFilter(const CbfSizing& sizing, uint64_t seed = 1);
+
+  uint32_t Get(uint64_t key) const override;
+  uint32_t Increment(uint64_t key) override;
+  void CoolByHalving() override;
+  void Reset() override;
+  size_t memory_bytes() const override { return counters_.memory_bytes(); }
+  uint32_t max_count() const override { return counters_.max_value(); }
+  void AppendTouchedLines(uint64_t key,
+                          std::vector<uint64_t>* lines) const override;
+  const char* name() const override { return "cbf"; }
+
+  /** Number of counters in the filter (m). */
+  size_t num_counters() const { return counters_.size(); }
+
+  /** Number of hash functions (k). */
+  uint32_t num_hashes() const { return num_hashes_; }
+
+ private:
+  /** Computes the k counter indices for `key` into `indices_out`. */
+  void IndicesFor(uint64_t key, uint64_t* indices_out) const;
+
+  PackedCounterArray counters_;
+  uint32_t num_hashes_;
+  uint64_t seed_;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_PROBSTRUCT_CBF_H_

@@ -1,0 +1,58 @@
+#ifndef HYBRIDTIER_PROBSTRUCT_ESTIMATOR_H_
+#define HYBRIDTIER_PROBSTRUCT_ESTIMATOR_H_
+
+/**
+ * @file
+ * Abstract interface for access-frequency estimators.
+ *
+ * HybridTier's trackers are written against this interface so that the
+ * paper's ablations can swap implementations: blocked CBF (the shipped
+ * design), standard CBF (Fig 14 middle bar), and an exact per-page table
+ * (Table 5 ground truth / Memtis metadata model).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hybridtier {
+
+/** Saturating per-key access-count estimator with EMA cooling. */
+class FrequencyEstimator {
+ public:
+  virtual ~FrequencyEstimator() = default;
+
+  /** Returns the estimated access count of `key`. */
+  virtual uint32_t Get(uint64_t key) const = 0;
+
+  /** Records one access to `key`; returns the new estimated count. */
+  virtual uint32_t Increment(uint64_t key) = 0;
+
+  /** Halves every stored count (EMA cooling with decay factor 2). */
+  virtual void CoolByHalving() = 0;
+
+  /** Clears all state. */
+  virtual void Reset() = 0;
+
+  /** Bytes of metadata storage used by this estimator. */
+  virtual size_t memory_bytes() const = 0;
+
+  /** Largest count this estimator can represent. */
+  virtual uint32_t max_count() const = 0;
+
+  /**
+   * Appends the indices of the 64-byte cache lines (relative to this
+   * estimator's storage base) that an update for `key` touches. The
+   * simulator replays these through the cache model to attribute
+   * tiering-metadata cache traffic (paper §3.3).
+   */
+  virtual void AppendTouchedLines(uint64_t key,
+                                  std::vector<uint64_t>* lines) const = 0;
+
+  /** Short implementation name for reports. */
+  virtual const char* name() const = 0;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_PROBSTRUCT_ESTIMATOR_H_

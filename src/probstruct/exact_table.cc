@@ -1,0 +1,55 @@
+#include "probstruct/exact_table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace hybridtier {
+
+ExactCounterTable::ExactCounterTable(size_t total_pages, uint32_t max_count)
+    : entries_(total_pages), max_count_(max_count) {
+  HT_ASSERT(total_pages > 0, "exact table must cover at least one page");
+}
+
+uint32_t ExactCounterTable::Get(uint64_t key) const {
+  HT_ASSERT(key < entries_.size(), "page ", key, " outside metadata range ",
+            entries_.size());
+  return std::min(entries_[key].access_count, max_count_);
+}
+
+uint32_t ExactCounterTable::Increment(uint64_t key) {
+  HT_ASSERT(key < entries_.size(), "page ", key, " outside metadata range ",
+            entries_.size());
+  PageMeta& meta = entries_[key];
+  if (meta.access_count < UINT32_MAX) ++meta.access_count;
+  return std::min(meta.access_count, max_count_);
+}
+
+void ExactCounterTable::CoolByHalving() {
+  for (auto& meta : entries_) meta.access_count >>= 1;
+}
+
+void ExactCounterTable::Reset() {
+  std::fill(entries_.begin(), entries_.end(), PageMeta{});
+}
+
+void ExactCounterTable::AppendTouchedLines(
+    uint64_t key, std::vector<uint64_t>* lines) const {
+  // The entry itself: 4 entries share a 64 B line.
+  lines->push_back(key * sizeof(PageMeta) / kCacheLineSize);
+}
+
+uint64_t ExactCounterTable::RawCount(uint64_t key) const {
+  HT_ASSERT(key < entries_.size(), "page ", key, " outside metadata range ",
+            entries_.size());
+  return entries_[key].access_count;
+}
+
+PageMeta& ExactCounterTable::MetaFor(uint64_t key) {
+  HT_ASSERT(key < entries_.size(), "page ", key, " outside metadata range ",
+            entries_.size());
+  return entries_[key];
+}
+
+}  // namespace hybridtier

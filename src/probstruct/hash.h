@@ -1,0 +1,59 @@
+#ifndef HYBRIDTIER_PROBSTRUCT_HASH_H_
+#define HYBRIDTIER_PROBSTRUCT_HASH_H_
+
+/**
+ * @file
+ * 64-bit mixing hashes used by the counting bloom filters.
+ *
+ * k hash values are derived from two independent base hashes using the
+ * Kirsch-Mitzenmacher construction g_i(x) = h1(x) + i * h2(x), which
+ * preserves bloom-filter false-positive guarantees while needing only two
+ * full hash computations per key.
+ */
+
+#include <cstdint>
+
+namespace hybridtier {
+
+/** SplitMix64 finalizer: a strong 64-bit bit mixer. */
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/** Two independent base hashes of a key under a seed. */
+struct HashPair {
+  uint64_t h1;
+  uint64_t h2;
+};
+
+/** Computes the base hash pair for `key` under `seed`. */
+inline HashPair HashKey(uint64_t key, uint64_t seed = 0) {
+  const uint64_t a = Mix64(key ^ (seed * 0x9e3779b97f4a7c15ULL));
+  uint64_t b = Mix64(a ^ key ^ 0xd1b54a32d192ed03ULL);
+  // h2 must be odd so successive g_i values cycle through all residues.
+  b |= 1;
+  return {a, b};
+}
+
+/** Returns the i-th derived hash g_i = h1 + i * h2. */
+inline uint64_t DerivedHash(const HashPair& hp, uint32_t i) {
+  return hp.h1 + static_cast<uint64_t>(i) * hp.h2;
+}
+
+/**
+ * Maps a 64-bit hash onto [0, bound) without modulo bias using the
+ * multiply-shift range reduction.
+ */
+inline uint64_t ReduceRange(uint64_t hash, uint64_t bound) {
+  return static_cast<uint64_t>(
+      (static_cast<__uint128_t>(hash) * bound) >> 64);
+}
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_PROBSTRUCT_HASH_H_

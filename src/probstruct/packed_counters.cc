@@ -1,0 +1,75 @@
+#include "probstruct/packed_counters.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace hybridtier {
+
+namespace {
+
+/** Per-word mask that clears the bit shifted into each lane by >> 1. */
+uint64_t HalvingMask(uint32_t bits) {
+  switch (bits) {
+    case 4:
+      return 0x7777777777777777ULL;
+    case 8:
+      return 0x7f7f7f7f7f7f7f7fULL;
+    case 16:
+      return 0x7fff7fff7fff7fffULL;
+    default:
+      HT_PANIC("unsupported counter width ", bits);
+  }
+}
+
+}  // namespace
+
+PackedCounterArray::PackedCounterArray(size_t count, uint32_t bits)
+    : count_(count), bits_(bits) {
+  HT_ASSERT(bits == 4 || bits == 8 || bits == 16,
+            "counter width must be 4, 8, or 16, got ", bits);
+  HT_ASSERT(count > 0, "counter array must not be empty");
+  max_value_ = (1u << bits_) - 1;
+  per_word_ = 64 / bits_;
+  words_.assign((count + per_word_ - 1) / per_word_, 0);
+}
+
+uint32_t PackedCounterArray::Get(size_t i) const {
+  HT_ASSERT(i < count_, "counter index ", i, " out of range ", count_);
+  const uint64_t word = words_[i / per_word_];
+  const uint32_t shift = (i % per_word_) * bits_;
+  return static_cast<uint32_t>((word >> shift) & max_value_);
+}
+
+void PackedCounterArray::Set(size_t i, uint32_t value) {
+  HT_ASSERT(i < count_, "counter index ", i, " out of range ", count_);
+  if (value > max_value_) value = max_value_;
+  uint64_t& word = words_[i / per_word_];
+  const uint32_t shift = (i % per_word_) * bits_;
+  word &= ~(static_cast<uint64_t>(max_value_) << shift);
+  word |= static_cast<uint64_t>(value) << shift;
+}
+
+uint32_t PackedCounterArray::SaturatingIncrement(size_t i) {
+  const uint32_t current = Get(i);
+  if (current >= max_value_) return current;
+  Set(i, current + 1);
+  return current + 1;
+}
+
+void PackedCounterArray::HalveAll() {
+  const uint64_t mask = HalvingMask(bits_);
+  for (auto& word : words_) word = (word >> 1) & mask;
+}
+
+void PackedCounterArray::Reset() {
+  std::fill(words_.begin(), words_.end(), 0);
+}
+
+size_t PackedCounterArray::CountNonZero() const {
+  size_t nonzero = 0;
+  for (size_t i = 0; i < count_; ++i) nonzero += Get(i) != 0;
+  return nonzero;
+}
+
+}  // namespace hybridtier

@@ -1,0 +1,79 @@
+#ifndef HYBRIDTIER_PROBSTRUCT_PACKED_COUNTERS_H_
+#define HYBRIDTIER_PROBSTRUCT_PACKED_COUNTERS_H_
+
+/**
+ * @file
+ * Bit-packed saturating counter array.
+ *
+ * HybridTier caps access counters at 4 bits for regular pages (max count
+ * 15 — pages at the cap all belong in the fast tier, paper §3.2) and at
+ * 16 bits for huge pages (§4.4). Counters are packed into 64-bit words;
+ * the periodic "cooling" halving is a masked parallel shift over whole
+ * words rather than a per-counter loop.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hybridtier {
+
+/** Dense array of `count` saturating counters of 4, 8, or 16 bits each. */
+class PackedCounterArray {
+ public:
+  /**
+   * @param count number of counters.
+   * @param bits  counter width; must be 4, 8, or 16.
+   */
+  PackedCounterArray(size_t count, uint32_t bits);
+
+  /** Returns counter `i`. */
+  uint32_t Get(size_t i) const;
+
+  /** Sets counter `i` to `value` (clamped to the counter maximum). */
+  void Set(size_t i, uint32_t value);
+
+  /** Increments counter `i`, saturating at max_value(); returns new value. */
+  uint32_t SaturatingIncrement(size_t i);
+
+  /** Halves every counter in the array (EMA cooling, decay factor 2). */
+  void HalveAll();
+
+  /** Sets every counter to zero. */
+  void Reset();
+
+  /** Number of counters. */
+  size_t size() const { return count_; }
+
+  /** Counter width in bits. */
+  uint32_t bits() const { return bits_; }
+
+  /** Largest representable counter value. */
+  uint32_t max_value() const { return max_value_; }
+
+  /** Bytes of backing storage. */
+  size_t memory_bytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /** Number of counters with a nonzero value (O(n), for diagnostics). */
+  size_t CountNonZero() const;
+
+  /**
+   * Index of the 64-byte cache line that counter `i` lives in, relative
+   * to the start of the array. Used for metadata cache-traffic modeling.
+   */
+  uint64_t CacheLineOf(size_t i) const {
+    return (static_cast<uint64_t>(i) * bits_) / (kCacheLineSize * 8);
+  }
+
+ private:
+  size_t count_;
+  uint32_t bits_;
+  uint32_t max_value_;
+  uint32_t per_word_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_PROBSTRUCT_PACKED_COUNTERS_H_

@@ -1,0 +1,59 @@
+#include "probstruct/sizing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hybridtier {
+
+double BloomCountersPerElement(uint32_t num_hashes, double error_rate) {
+  HT_ASSERT(num_hashes > 0, "need at least one hash function");
+  HT_ASSERT(error_rate > 0.0 && error_rate < 1.0,
+            "error rate must be in (0,1), got ", error_rate);
+  const double k = static_cast<double>(num_hashes);
+  return -k / std::log(1.0 - std::exp(std::log(error_rate) / k));
+}
+
+size_t BloomCounterCount(size_t num_elements, uint32_t num_hashes,
+                         double error_rate) {
+  const double r = BloomCountersPerElement(num_hashes, error_rate);
+  const double m = std::ceil(static_cast<double>(num_elements) * r);
+  return std::max<size_t>(static_cast<size_t>(m), 64);
+}
+
+double BloomFalsePositiveRate(size_t num_counters, size_t num_elements,
+                              uint32_t num_hashes) {
+  if (num_counters == 0) return 1.0;
+  const double k = static_cast<double>(num_hashes);
+  const double fill = static_cast<double>(num_elements) * k /
+                      static_cast<double>(num_counters);
+  return std::pow(1.0 - std::exp(-fill), k);
+}
+
+CbfSizing FrequencyCbfSizing(size_t fast_tier_pages, uint32_t counter_bits,
+                             uint32_t num_hashes, double error_rate) {
+  return CbfSizing{
+      .num_counters =
+          BloomCounterCount(fast_tier_pages, num_hashes, error_rate),
+      .num_hashes = num_hashes,
+      .counter_bits = counter_bits,
+  };
+}
+
+CbfSizing MomentumCbfSizing(size_t fast_tier_pages, uint32_t counter_bits,
+                            uint32_t num_hashes, double error_rate) {
+  // The 1024-element floor only matters for scaled-down simulations: a
+  // momentum filter below a few blocks saturates and classifies every
+  // page as momentum-hot. At the paper's fast-tier sizes (millions of
+  // pages) fast/128 is far above the floor.
+  const size_t elements =
+      std::max<size_t>(fast_tier_pages / kMomentumSizeDivisor, 1024);
+  return CbfSizing{
+      .num_counters = BloomCounterCount(elements, num_hashes, error_rate),
+      .num_hashes = num_hashes,
+      .counter_bits = counter_bits,
+  };
+}
+
+}  // namespace hybridtier

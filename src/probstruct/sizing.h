@@ -1,0 +1,68 @@
+#ifndef HYBRIDTIER_PROBSTRUCT_SIZING_H_
+#define HYBRIDTIER_PROBSTRUCT_SIZING_H_
+
+/**
+ * @file
+ * Bloom-filter sizing formulas (paper §4.2).
+ *
+ * HybridTier sizes its CBFs with the well-established formulas
+ *   r = -k / ln(1 - exp(ln(p) / k))      counters per element
+ *   m = ceil(n * r)                      total counters
+ * with k = 4 hash functions, p = 0.001 tracking-error probability, and
+ * n = the number of fast-tier pages. The momentum CBF is provisioned for
+ * n / 128 elements (its aggressive cooling keeps its live set small).
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hybridtier {
+
+/** HybridTier's default number of hash functions (paper: k = 4). */
+inline constexpr uint32_t kDefaultNumHashes = 4;
+
+/** HybridTier's default tracking-error probability (paper: p = 0.001). */
+inline constexpr double kDefaultErrorRate = 0.001;
+
+/** Factor by which the momentum CBF is smaller than the frequency CBF. */
+inline constexpr uint64_t kMomentumSizeDivisor = 128;
+
+/** Returns r, the number of counters per inserted element. */
+double BloomCountersPerElement(uint32_t num_hashes, double error_rate);
+
+/** Returns m = ceil(n * r), the total counter count for n elements. */
+size_t BloomCounterCount(size_t num_elements, uint32_t num_hashes,
+                         double error_rate);
+
+/**
+ * Returns the theoretical false-positive rate of a bloom filter with m
+ * counters, n inserted elements, and k hashes: (1 - e^{-kn/m})^k.
+ */
+double BloomFalsePositiveRate(size_t num_counters, size_t num_elements,
+                              uint32_t num_hashes);
+
+/** Sizing bundle for one CBF instance. */
+struct CbfSizing {
+  size_t num_counters;   //!< m.
+  uint32_t num_hashes;   //!< k.
+  uint32_t counter_bits; //!< 4 for regular pages, 16 for huge pages.
+};
+
+/**
+ * Computes HybridTier's frequency-tracker CBF sizing for a fast tier of
+ * `fast_tier_pages` pages (paper defaults: k=4, p=0.001, 4-bit counters).
+ */
+CbfSizing FrequencyCbfSizing(size_t fast_tier_pages,
+                             uint32_t counter_bits = 4,
+                             uint32_t num_hashes = kDefaultNumHashes,
+                             double error_rate = kDefaultErrorRate);
+
+/** Computes the momentum-tracker sizing (128x fewer elements). */
+CbfSizing MomentumCbfSizing(size_t fast_tier_pages,
+                            uint32_t counter_bits = 4,
+                            uint32_t num_hashes = kDefaultNumHashes,
+                            double error_rate = kDefaultErrorRate);
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_PROBSTRUCT_SIZING_H_

@@ -1,0 +1,82 @@
+#ifndef HYBRIDTIER_SAMPLING_RING_BUFFER_H_
+#define HYBRIDTIER_SAMPLING_RING_BUFFER_H_
+
+/**
+ * @file
+ * Fixed-capacity ring buffer with drop-on-full semantics.
+ *
+ * Models the hardware PEBS buffer: if the tiering runtime does not drain
+ * samples fast enough, new samples are dropped (and counted), never
+ * blocking the producer — exactly the failure mode a real sampling
+ * pipeline has.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace hybridtier {
+
+/** Bounded FIFO ring buffer of trivially copyable records. */
+template <typename T>
+class RingBuffer {
+ public:
+  /** Creates a buffer holding at most `capacity` records. */
+  explicit RingBuffer(size_t capacity) : buffer_(capacity) {
+    HT_ASSERT(capacity > 0, "ring buffer capacity must be positive");
+  }
+
+  /** Enqueues `record`; returns false (and counts a drop) when full. */
+  bool Push(const T& record) {
+    if (size_ == buffer_.size()) {
+      ++dropped_;
+      return false;
+    }
+    buffer_[(head_ + size_) % buffer_.size()] = record;
+    ++size_;
+    return true;
+  }
+
+  /** Dequeues into `record`; returns false when empty. */
+  bool Pop(T* record) {
+    if (size_ == 0) return false;
+    *record = buffer_[head_];
+    head_ = (head_ + 1) % buffer_.size();
+    --size_;
+    return true;
+  }
+
+  /**
+   * Dequeues up to `max_records` into `out` (appending); returns the
+   * number dequeued. This is the batch drain used by the runtime.
+   */
+  size_t Drain(std::vector<T>* out, size_t max_records) {
+    size_t drained = 0;
+    T record;
+    while (drained < max_records && Pop(&record)) {
+      out->push_back(record);
+      ++drained;
+    }
+    return drained;
+  }
+
+  /** Records currently queued. */
+  size_t size() const { return size_; }
+  /** Maximum queue depth. */
+  size_t capacity() const { return buffer_.size(); }
+  /** True when no records are queued. */
+  bool empty() const { return size_ == 0; }
+  /** Records dropped because the buffer was full. */
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::vector<T> buffer_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_SAMPLING_RING_BUFFER_H_

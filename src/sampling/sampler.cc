@@ -1,0 +1,36 @@
+#include "sampling/sampler.h"
+
+#include "common/logging.h"
+
+namespace hybridtier {
+
+AccessSampler::AccessSampler(uint64_t period, size_t buffer_capacity,
+                             uint64_t seed)
+    : period_(period), buffer_(buffer_capacity), rng_(seed) {
+  HT_ASSERT(period >= 1, "sampling period must be >= 1");
+  countdown_ = NextCountdown();
+}
+
+uint64_t AccessSampler::NextCountdown() {
+  if (period_ == 1) return 1;
+  // Jitter the period by +/-25% to break aliasing with strided loops.
+  const uint64_t spread = period_ / 2;
+  if (spread == 0) return period_;
+  return period_ - spread / 2 + rng_.NextBounded(spread + 1);
+}
+
+bool AccessSampler::OnAccess(PageId page, Tier tier, TimeNs now) {
+  ++accesses_seen_;
+  if (--countdown_ > 0) return false;
+  countdown_ = NextCountdown();
+  ++samples_taken_;
+  buffer_.Push(SampleRecord{.page = page, .tier = tier, .time_ns = now});
+  return true;
+}
+
+size_t AccessSampler::Drain(std::vector<SampleRecord>* out,
+                            size_t max_records) {
+  return buffer_.Drain(out, max_records);
+}
+
+}  // namespace hybridtier

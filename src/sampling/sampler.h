@@ -1,0 +1,74 @@
+#ifndef HYBRIDTIER_SAMPLING_SAMPLER_H_
+#define HYBRIDTIER_SAMPLING_SAMPLER_H_
+
+/**
+ * @file
+ * Hardware-event-sampling analogue (Intel PEBS / AMD IBS).
+ *
+ * Emits every Nth memory access into a bounded sample buffer. The period
+ * is jittered deterministically (a small pseudo-random offset re-drawn
+ * after every sample) to avoid aliasing with strided access patterns, as
+ * real sampling drivers do.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "mem/page.h"
+#include "mem/tier.h"
+#include "sampling/ring_buffer.h"
+#include "sampling/sample.h"
+
+namespace hybridtier {
+
+/** Samples one in `period` accesses into a drop-on-full ring buffer. */
+class AccessSampler {
+ public:
+  /**
+   * @param period          mean number of accesses between samples (>=1).
+   * @param buffer_capacity sample buffer depth.
+   * @param seed            jitter RNG seed.
+   */
+  AccessSampler(uint64_t period, size_t buffer_capacity, uint64_t seed = 7);
+
+  /**
+   * Observes one access; if the countdown expires, enqueues a sample.
+   * Returns true if this access was sampled (regardless of buffer drops).
+   */
+  bool OnAccess(PageId page, Tier tier, TimeNs now);
+
+  /** Drains up to `max_records` pending samples into `out` (appending). */
+  size_t Drain(std::vector<SampleRecord>* out, size_t max_records);
+
+  /** Number of samples taken so far (including dropped ones). */
+  uint64_t samples_taken() const { return samples_taken_; }
+
+  /** Samples dropped due to a full buffer. */
+  uint64_t samples_dropped() const { return buffer_.dropped(); }
+
+  /** Accesses observed so far. */
+  uint64_t accesses_seen() const { return accesses_seen_; }
+
+  /** Pending samples in the buffer. */
+  size_t pending() const { return buffer_.size(); }
+
+  /** Mean sampling period. */
+  uint64_t period() const { return period_; }
+
+ private:
+  /** Draws the next jittered countdown (period +/- 25%). */
+  uint64_t NextCountdown();
+
+  uint64_t period_;
+  RingBuffer<SampleRecord> buffer_;
+  Rng rng_;
+  uint64_t countdown_;
+  uint64_t samples_taken_ = 0;
+  uint64_t accesses_seen_ = 0;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_SAMPLING_SAMPLER_H_

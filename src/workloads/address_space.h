@@ -1,0 +1,97 @@
+#ifndef HYBRIDTIER_WORKLOADS_ADDRESS_SPACE_H_
+#define HYBRIDTIER_WORKLOADS_ADDRESS_SPACE_H_
+
+/**
+ * @file
+ * Flat virtual address-space layout helper for workloads.
+ *
+ * Workloads are real algorithms operating on arrays; to turn their loads
+ * and stores into page-level traces, each array is registered in a flat
+ * simulated address space and element accesses are converted to byte
+ * addresses. This mirrors how the real applications' heap allocations
+ * map onto the pages the tiering systems manage.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace hybridtier {
+
+/** A contiguous array of fixed-size elements in the simulated VA space. */
+class VirtualArray {
+ public:
+  VirtualArray() = default;
+
+  /**
+   * @param base_addr    first byte address of the array.
+   * @param element_size bytes per element.
+   * @param count        number of elements.
+   */
+  VirtualArray(uint64_t base_addr, uint64_t element_size, uint64_t count)
+      : base_(base_addr), element_size_(element_size), count_(count) {}
+
+  /** Byte address of element `index`. */
+  uint64_t AddrOf(uint64_t index) const {
+    HT_ASSERT(index < count_, "array index ", index, " out of range ",
+              count_);
+    return base_ + index * element_size_;
+  }
+
+  /** First byte address. */
+  uint64_t base() const { return base_; }
+  /** Bytes per element. */
+  uint64_t element_size() const { return element_size_; }
+  /** Number of elements. */
+  uint64_t count() const { return count_; }
+  /** Total bytes spanned. */
+  uint64_t bytes() const { return element_size_ * count_; }
+
+ private:
+  uint64_t base_ = 0;
+  uint64_t element_size_ = 0;
+  uint64_t count_ = 0;
+};
+
+/** Sequential page-aligned region allocator for a workload. */
+class AddressSpace {
+ public:
+  /** Reserves a page-aligned array of `count` elements. */
+  VirtualArray Allocate(uint64_t element_size, uint64_t count,
+                        const std::string& label) {
+    const uint64_t bytes = element_size * count;
+    const VirtualArray array(next_, element_size, count);
+    regions_.push_back({label, next_, bytes});
+    // Round the next base up to a page boundary so arrays never share
+    // pages (matching distinct heap allocations).
+    next_ += (bytes + kPageSize - 1) / kPageSize * kPageSize;
+    return array;
+  }
+
+  /** Total reserved bytes (page aligned). */
+  uint64_t total_bytes() const { return next_; }
+
+  /** Total reserved pages. */
+  uint64_t total_pages() const { return next_ / kPageSize; }
+
+  /** One labeled reservation, for diagnostics. */
+  struct Region {
+    std::string label;
+    uint64_t base;
+    uint64_t bytes;
+  };
+
+  /** All reservations in allocation order. */
+  const std::vector<Region>& regions() const { return regions_; }
+
+ private:
+  uint64_t next_ = 0;
+  std::vector<Region> regions_;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_WORKLOADS_ADDRESS_SPACE_H_

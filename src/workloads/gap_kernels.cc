@@ -1,0 +1,296 @@
+#include "workloads/gap_kernels.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "mem/page.h"
+
+namespace hybridtier {
+
+namespace {
+constexpr uint32_t kNoParent = UINT32_MAX;
+}  // namespace
+
+const char* GapKernelName(GapKernel kernel) {
+  switch (kernel) {
+    case GapKernel::kBfs:
+      return "bfs";
+    case GapKernel::kCc:
+      return "cc";
+    case GapKernel::kPr:
+      return "pr";
+  }
+  return "unknown";
+}
+
+GapWorkload::GapWorkload(std::shared_ptr<const Graph> graph,
+                         const GapConfig& config, const char* name)
+    : graph_(std::move(graph)),
+      config_(config),
+      name_(name),
+      rng_(config.seed) {
+  HT_ASSERT(graph_ != nullptr, "GapWorkload needs a graph");
+  const uint64_t n = graph_->num_nodes;
+
+  offsets_array_ = space_.Allocate(8, n + 1, "row_offsets");
+  cols_array_ = space_.Allocate(4, std::max<uint64_t>(graph_->num_edges(), 1),
+                                "cols");
+  state_array_ = space_.Allocate(4, n, "vertex_state");
+  if (config_.kernel == GapKernel::kPr) {
+    scores_array_ = space_.Allocate(8, n, "pr_scores");
+    scores2_array_ = space_.Allocate(8, n, "pr_scores_next");
+    scores_.assign(n, 1.0 / static_cast<double>(n));
+    scores_next_.assign(n, 0.0);
+  }
+  state_.assign(n, kNoParent);
+  StartTrial();
+}
+
+void GapWorkload::StartTrial() {
+  initializing_ = true;
+  init_pos_ = 0;
+  node_cursor_ = 0;
+  edge_cursor_ = 0;
+  pr_iteration_ = 0;
+  cc_changed_ = false;
+
+  switch (config_.kernel) {
+    case GapKernel::kBfs: {
+      // Pick a random source with outgoing edges (GAP does the same).
+      uint32_t source = 0;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        source =
+            static_cast<uint32_t>(rng_.NextBounded(graph_->num_nodes));
+        if (graph_->Degree(source) > 0) break;
+      }
+      std::fill(state_.begin(), state_.end(), kNoParent);
+      state_[source] = source;
+      frontier_.assign(1, source);
+      next_frontier_.clear();
+      frontier_pos_ = 0;
+      break;
+    }
+    case GapKernel::kCc: {
+      for (uint64_t v = 0; v < graph_->num_nodes; ++v) {
+        state_[v] = static_cast<uint32_t>(v);
+      }
+      break;
+    }
+    case GapKernel::kPr: {
+      std::fill(scores_.begin(), scores_.end(),
+                1.0 / static_cast<double>(graph_->num_nodes));
+      std::fill(scores_next_.begin(), scores_next_.end(), 0.0);
+      break;
+    }
+  }
+}
+
+bool GapWorkload::EmitInitChunk(OpTrace* op) {
+  // The per-trial (re)initialization sweep: a sequential memset-style
+  // write pass over the vertex-state array, chunked into operations.
+  const uint64_t n = graph_->num_nodes;
+  if (init_pos_ >= n) {
+    initializing_ = false;
+    return false;
+  }
+  const uint64_t end = std::min(n, init_pos_ + config_.init_chunk);
+  const VirtualArray& target = config_.kernel == GapKernel::kPr
+                                   ? scores_array_
+                                   : state_array_;
+  // One write per cache line covered by the chunk.
+  uint64_t last_line = UINT64_MAX;
+  for (uint64_t i = init_pos_; i < end; ++i) {
+    const uint64_t line = target.AddrOf(i) / kCacheLineSize;
+    if (line != last_line) {
+      op->Write(target.AddrOf(i));
+      last_line = line;
+    }
+  }
+  init_pos_ = end;
+  if (init_pos_ >= n) initializing_ = false;
+  return true;
+}
+
+void GapWorkload::EmitColsReads(uint64_t begin, uint64_t end, OpTrace* op) {
+  // Sequential read of the adjacency list: one access per cache line.
+  uint64_t last_line = UINT64_MAX;
+  for (uint64_t e = begin; e < end; ++e) {
+    const uint64_t addr = cols_array_.AddrOf(e);
+    const uint64_t line = addr / kCacheLineSize;
+    if (line != last_line) {
+      op->Read(addr);
+      last_line = line;
+    }
+  }
+}
+
+void GapWorkload::StepBfs(OpTrace* op) {
+  // Advance past exhausted frontiers.
+  while (frontier_pos_ >= frontier_.size()) {
+    if (next_frontier_.empty()) {
+      // Trial complete.
+      ++trials_;
+      StartTrial();
+      return;
+    }
+    frontier_.swap(next_frontier_);
+    next_frontier_.clear();
+    frontier_pos_ = 0;
+  }
+
+  const uint32_t u = frontier_[frontier_pos_];
+  const uint64_t row_begin = graph_->row_offsets[u];
+  const uint64_t row_end = graph_->row_offsets[u + 1];
+  const uint64_t chunk_begin = row_begin + edge_cursor_;
+  const uint64_t chunk_end =
+      std::min(row_end, chunk_begin + config_.max_edges_per_op);
+
+  // Read the offsets entry (only on the first chunk of this node).
+  if (edge_cursor_ == 0) op->Read(offsets_array_.AddrOf(u));
+  EmitColsReads(chunk_begin, chunk_end, op);
+
+  for (uint64_t e = chunk_begin; e < chunk_end; ++e) {
+    const uint32_t v = graph_->cols[e];
+    op->Read(state_array_.AddrOf(v));
+    if (state_[v] == kNoParent) {
+      state_[v] = u;
+      op->Write(state_array_.AddrOf(v));
+      next_frontier_.push_back(v);
+    }
+  }
+
+  if (chunk_end >= row_end) {
+    ++frontier_pos_;
+    edge_cursor_ = 0;
+  } else {
+    edge_cursor_ = chunk_end - row_begin;
+  }
+}
+
+void GapWorkload::StepCc(OpTrace* op) {
+  const uint64_t n = graph_->num_nodes;
+  if (node_cursor_ >= n) {
+    // Pass finished.
+    if (cc_changed_) {
+      node_cursor_ = 0;
+      edge_cursor_ = 0;
+      cc_changed_ = false;
+    } else {
+      ++trials_;
+      StartTrial();
+    }
+    return;
+  }
+
+  const uint32_t u = static_cast<uint32_t>(node_cursor_);
+  const uint64_t row_begin = graph_->row_offsets[u];
+  const uint64_t row_end = graph_->row_offsets[u + 1];
+  const uint64_t chunk_begin = row_begin + edge_cursor_;
+  const uint64_t chunk_end =
+      std::min(row_end, chunk_begin + config_.max_edges_per_op);
+
+  if (edge_cursor_ == 0) {
+    op->Read(offsets_array_.AddrOf(u));
+    op->Read(state_array_.AddrOf(u));
+  }
+  EmitColsReads(chunk_begin, chunk_end, op);
+
+  uint32_t label = state_[u];
+  for (uint64_t e = chunk_begin; e < chunk_end; ++e) {
+    const uint32_t v = graph_->cols[e];
+    op->Read(state_array_.AddrOf(v));
+    if (state_[v] < label) label = state_[v];
+  }
+  if (label != state_[u]) {
+    state_[u] = label;
+    op->Write(state_array_.AddrOf(u));
+    cc_changed_ = true;
+  }
+
+  if (chunk_end >= row_end) {
+    ++node_cursor_;
+    edge_cursor_ = 0;
+  } else {
+    edge_cursor_ = chunk_end - row_begin;
+  }
+}
+
+void GapWorkload::StepPr(OpTrace* op) {
+  const uint64_t n = graph_->num_nodes;
+  constexpr double kDamping = 0.85;
+
+  if (node_cursor_ >= n) {
+    // Iteration finished: swap score arrays.
+    scores_.swap(scores_next_);
+    std::fill(scores_next_.begin(), scores_next_.end(), 0.0);
+    node_cursor_ = 0;
+    edge_cursor_ = 0;
+    ++pr_iteration_;
+    if (pr_iteration_ >= config_.pr_iterations) {
+      ++trials_;
+      StartTrial();
+    }
+    return;
+  }
+
+  const uint32_t u = static_cast<uint32_t>(node_cursor_);
+  const uint64_t row_begin = graph_->row_offsets[u];
+  const uint64_t row_end = graph_->row_offsets[u + 1];
+  const uint64_t chunk_begin = row_begin + edge_cursor_;
+  const uint64_t chunk_end =
+      std::min(row_end, chunk_begin + config_.max_edges_per_op);
+
+  if (edge_cursor_ == 0) {
+    op->Read(offsets_array_.AddrOf(u));
+    scores_next_[u] = (1.0 - kDamping) / static_cast<double>(n);
+  }
+  EmitColsReads(chunk_begin, chunk_end, op);
+
+  double sum = 0.0;
+  for (uint64_t e = chunk_begin; e < chunk_end; ++e) {
+    const uint32_t v = graph_->cols[e];
+    // Pull: read the neighbor's current score — the random-access
+    // traffic that makes PR memory bound.
+    op->Read(scores_array_.AddrOf(v));
+    const uint64_t deg = graph_->Degree(v);
+    sum += scores_[v] / static_cast<double>(deg == 0 ? 1 : deg);
+  }
+  // Accumulate (partial sums when a hub's adjacency spans several ops).
+  scores_next_[u] += kDamping * sum;
+
+  if (chunk_end >= row_end) {
+    op->Write(scores2_array_.AddrOf(u));
+    ++node_cursor_;
+    edge_cursor_ = 0;
+  } else {
+    edge_cursor_ = chunk_end - row_begin;
+  }
+}
+
+bool GapWorkload::NextOp(TimeNs now, OpTrace* op) {
+  (void)now;
+  op->Clear();
+  // Loop until we actually emitted accesses: trial/pass boundaries may
+  // consume a step without producing work.
+  for (int guard = 0; guard < 8 && op->accesses.empty(); ++guard) {
+    if (initializing_) {
+      EmitInitChunk(op);
+      continue;
+    }
+    switch (config_.kernel) {
+      case GapKernel::kBfs:
+        StepBfs(op);
+        break;
+      case GapKernel::kCc:
+        StepCc(op);
+        break;
+      case GapKernel::kPr:
+        StepPr(op);
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace hybridtier

@@ -1,0 +1,117 @@
+#ifndef HYBRIDTIER_WORKLOADS_GAP_KERNELS_H_
+#define HYBRIDTIER_WORKLOADS_GAP_KERNELS_H_
+
+/**
+ * @file
+ * GAP graph-kernel workloads: BFS, Connected Components, PageRank.
+ *
+ * These are real kernel implementations over a CSR graph whose loads and
+ * stores are emitted as page-trace operations. The three kernels exhibit
+ * the behaviours the paper leans on (§6.1):
+ *  - BFS is "single-source": each trial starts from a fresh random
+ *    source, so the set of hot vertex-state pages shifts between trials —
+ *    the adaptability stress case where HybridTier wins the most.
+ *  - CC and PR are "whole-graph": every trial touches the graph the same
+ *    way, so the hot set is stable.
+ * Each operation processes a bounded chunk of work (node adjacency or
+ * array sweep), emitting accesses to the CSR offsets/columns arrays and
+ * the per-vertex state arrays.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "workloads/address_space.h"
+#include "workloads/graph.h"
+#include "workloads/workload.h"
+
+namespace hybridtier {
+
+/** Which GAP kernel to run. */
+enum class GapKernel : uint8_t {
+  kBfs = 0,  //!< Breadth-first search, new random source per trial.
+  kCc = 1,   //!< Connected components via label propagation.
+  kPr = 2,   //!< PageRank, pull direction, fixed iteration count.
+};
+
+/** Display name of a kernel. */
+const char* GapKernelName(GapKernel kernel);
+
+/** Configuration for a GAP workload. */
+struct GapConfig {
+  GapKernel kernel = GapKernel::kPr;
+  uint32_t pr_iterations = 10;     //!< PR iterations per trial.
+  uint32_t max_edges_per_op = 256; //!< Chunk bound for huge-degree hubs.
+  uint32_t init_chunk = 512;       //!< Elements per initialization op.
+  uint64_t seed = 7;
+};
+
+/** GAP kernel workload over a prebuilt graph. */
+class GapWorkload : public Workload {
+ public:
+  /**
+   * @param graph  CSR graph (shared; generation is expensive, so multiple
+   *               simulation runs can reuse one graph).
+   * @param config kernel selection and chunking parameters.
+   * @param name   reported workload name (e.g. "bfs-kron").
+   */
+  GapWorkload(std::shared_ptr<const Graph> graph, const GapConfig& config,
+              const char* name);
+
+  bool NextOp(TimeNs now, OpTrace* op) override;
+  uint64_t footprint_pages() const override {
+    return space_.total_pages();
+  }
+  const char* name() const override { return name_; }
+
+  /** Completed kernel trials (BFS runs / CC convergences / PR trials). */
+  uint64_t trials_completed() const { return trials_; }
+
+ private:
+  // -- Trial lifecycle -----------------------------------------------
+  void StartTrial();
+  bool EmitInitChunk(OpTrace* op);
+
+  // -- Kernel steppers: emit one op of work, advance state -----------
+  void StepBfs(OpTrace* op);
+  void StepCc(OpTrace* op);
+  void StepPr(OpTrace* op);
+
+  /** Emits reads of the cols[] lines covering [begin, end). */
+  void EmitColsReads(uint64_t begin, uint64_t end, OpTrace* op);
+
+  std::shared_ptr<const Graph> graph_;
+  GapConfig config_;
+  const char* name_;
+  Rng rng_;
+
+  AddressSpace space_;
+  VirtualArray offsets_array_;  //!< 8 B per node + 1.
+  VirtualArray cols_array_;     //!< 4 B per edge.
+  VirtualArray state_array_;    //!< 4 B per node (BFS parent / CC label).
+  VirtualArray scores_array_;   //!< 8 B per node (PR old scores).
+  VirtualArray scores2_array_;  //!< 8 B per node (PR new scores).
+
+  // Kernel state (actual algorithm data).
+  std::vector<uint32_t> state_;      //!< BFS parent / CC label.
+  std::vector<double> scores_;       //!< PR scores (current).
+  std::vector<double> scores_next_;  //!< PR scores (next).
+  std::vector<uint32_t> frontier_;
+  std::vector<uint32_t> next_frontier_;
+
+  // Cursors.
+  bool initializing_ = true;
+  uint64_t init_pos_ = 0;
+  uint64_t node_cursor_ = 0;      //!< CC/PR: current node in the pass.
+  uint64_t edge_cursor_ = 0;      //!< Edge index within current node.
+  size_t frontier_pos_ = 0;       //!< BFS: index into frontier_.
+  uint32_t pr_iteration_ = 0;
+  bool cc_changed_ = false;
+  uint64_t trials_ = 0;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_WORKLOADS_GAP_KERNELS_H_

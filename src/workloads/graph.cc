@@ -1,0 +1,111 @@
+#include "workloads/graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace hybridtier {
+
+void Graph::Validate() const {
+  HT_ASSERT(row_offsets.size() == num_nodes + 1,
+            "row_offsets size mismatch");
+  HT_ASSERT(row_offsets.front() == 0, "row_offsets must start at 0");
+  HT_ASSERT(row_offsets.back() == cols.size(),
+            "row_offsets must end at num_edges");
+  for (uint64_t u = 0; u < num_nodes; ++u) {
+    HT_ASSERT(row_offsets[u] <= row_offsets[u + 1],
+              "row_offsets must be non-decreasing at node ", u);
+  }
+  for (const uint32_t v : cols) {
+    HT_ASSERT(v < num_nodes, "edge endpoint ", v, " out of range");
+  }
+}
+
+namespace {
+
+/** Builds a CSR graph from an edge list via counting sort. */
+Graph BuildCsr(uint64_t num_nodes,
+               const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+  Graph graph;
+  graph.num_nodes = num_nodes;
+  graph.row_offsets.assign(num_nodes + 1, 0);
+  for (const auto& [src, dst] : edges) {
+    (void)dst;
+    ++graph.row_offsets[src + 1];
+  }
+  std::partial_sum(graph.row_offsets.begin(), graph.row_offsets.end(),
+                   graph.row_offsets.begin());
+  graph.cols.resize(edges.size());
+  std::vector<uint64_t> cursor(graph.row_offsets.begin(),
+                               graph.row_offsets.end() - 1);
+  for (const auto& [src, dst] : edges) {
+    graph.cols[cursor[src]++] = dst;
+  }
+  return graph;
+}
+
+}  // namespace
+
+Graph GenerateKronecker(uint32_t scale, uint32_t edge_factor,
+                        uint64_t seed) {
+  HT_ASSERT(scale >= 4 && scale <= 30, "kronecker scale out of range");
+  const uint64_t num_nodes = 1ULL << scale;
+  const uint64_t num_edges = static_cast<uint64_t>(edge_factor) * num_nodes;
+  Rng rng(seed);
+
+  // Graph500 R-MAT partition probabilities.
+  constexpr double kA = 0.57;
+  constexpr double kB = 0.19;
+  constexpr double kC = 0.19;
+
+  // Random vertex relabeling, as in the GAP generator.
+  std::vector<uint32_t> relabel(num_nodes);
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    relabel[i] = static_cast<uint32_t>(i);
+  }
+  rng.Shuffle(relabel.data(), relabel.size());
+
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(num_edges);
+  for (uint64_t e = 0; e < num_edges; ++e) {
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.NextDouble();
+      src <<= 1;
+      dst <<= 1;
+      if (r < kA) {
+        // Top-left quadrant: neither bit set.
+      } else if (r < kA + kB) {
+        dst |= 1;
+      } else if (r < kA + kB + kC) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    edges.emplace_back(relabel[src], relabel[dst]);
+  }
+  return BuildCsr(num_nodes, edges);
+}
+
+Graph GenerateUniformRandom(uint32_t scale, uint32_t edge_factor,
+                            uint64_t seed) {
+  HT_ASSERT(scale >= 4 && scale <= 30, "uniform scale out of range");
+  const uint64_t num_nodes = 1ULL << scale;
+  const uint64_t num_edges = static_cast<uint64_t>(edge_factor) * num_nodes;
+  Rng rng(seed);
+
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(num_edges);
+  for (uint64_t e = 0; e < num_edges; ++e) {
+    edges.emplace_back(static_cast<uint32_t>(rng.NextBounded(num_nodes)),
+                       static_cast<uint32_t>(rng.NextBounded(num_nodes)));
+  }
+  return BuildCsr(num_nodes, edges);
+}
+
+}  // namespace hybridtier

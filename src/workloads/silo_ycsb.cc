@@ -1,0 +1,71 @@
+#include "workloads/silo_ycsb.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace hybridtier {
+
+SiloWorkload::SiloWorkload(const SiloConfig& config, const char* name)
+    : config_(config),
+      name_(name),
+      rng_(config.seed),
+      zipf_(config.num_records, config.zipf_theta) {
+  HT_ASSERT(config.index_fanout >= 2, "index fanout must be >= 2");
+
+  // Build index levels bottom-up: leaves hold `fanout` keys each, and
+  // each inner level shrinks by the fanout until one root node remains.
+  std::vector<uint64_t> level_nodes;
+  uint64_t nodes =
+      (config.num_records + config.index_fanout - 1) / config.index_fanout;
+  while (nodes > 1) {
+    level_nodes.push_back(nodes);
+    nodes = (nodes + config.index_fanout - 1) / config.index_fanout;
+  }
+  level_nodes.push_back(1);  // Root.
+  std::reverse(level_nodes.begin(), level_nodes.end());
+
+  for (size_t level = 0; level < level_nodes.size(); ++level) {
+    index_levels_.push_back(space_.Allocate(
+        config.index_node_bytes, level_nodes[level], "index"));
+  }
+  records_ =
+      space_.Allocate(config.record_bytes, config.num_records, "records");
+
+  key_to_record_.resize(config.num_records);
+  for (uint64_t i = 0; i < config.num_records; ++i) key_to_record_[i] = i;
+  rng_.Shuffle(key_to_record_.data(), key_to_record_.size());
+}
+
+bool SiloWorkload::NextOp(TimeNs now, OpTrace* op) {
+  (void)now;
+  op->Clear();
+  const uint64_t rank = zipf_.Next(rng_);
+  const uint64_t record = key_to_record_[rank];
+  const bool is_write = !rng_.Bernoulli(config_.read_ratio);
+
+  // Index walk from the root: the node visited at each level is the
+  // ancestor of the leaf that owns this record.
+  uint64_t leaf_index = record / config_.index_fanout;
+  for (size_t level = 0; level < index_levels_.size(); ++level) {
+    const size_t depth_below = index_levels_.size() - 1 - level;
+    uint64_t node = leaf_index;
+    for (size_t d = 0; d < depth_below; ++d) node /= config_.index_fanout;
+    node = std::min(node, index_levels_[level].count() - 1);
+    op->Read(index_levels_[level].AddrOf(node));
+  }
+
+  // Record access: read (or update) the first two cache lines.
+  const uint64_t record_addr = records_.AddrOf(record);
+  if (is_write) {
+    op->Write(record_addr);
+    op->Write(record_addr + kCacheLineSize);
+  } else {
+    op->Read(record_addr);
+    op->Read(record_addr + kCacheLineSize);
+  }
+  return true;
+}
+
+}  // namespace hybridtier

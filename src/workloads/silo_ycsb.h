@@ -1,0 +1,68 @@
+#ifndef HYBRIDTIER_WORKLOADS_SILO_YCSB_H_
+#define HYBRIDTIER_WORKLOADS_SILO_YCSB_H_
+
+/**
+ * @file
+ * Silo in-memory database driven by YCSB-C (paper Table 2, §5.3, §6.1).
+ *
+ * YCSB-C is 100% point lookups with a *static* Zipf key distribution:
+ * every key keeps the same popularity for the whole run. The paper notes
+ * this is the friendliest case for a pure frequency histogram (Memtis
+ * places second on Silo) — reproducing that ordering is part of the
+ * evaluation.
+ *
+ * The model executes a B+-tree-style index walk (root, inner levels,
+ * leaf) followed by a record read. Index levels shrink geometrically, so
+ * upper levels are intensely hot while record pages follow the key
+ * popularity distribution.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "workloads/address_space.h"
+#include "workloads/workload.h"
+#include "workloads/zipf.h"
+
+namespace hybridtier {
+
+/** Configuration for the Silo/YCSB workload. */
+struct SiloConfig {
+  uint64_t num_records = 1u << 20;  //!< Table size.
+  uint32_t record_bytes = 1024;     //!< YCSB default record size.
+  uint32_t index_fanout = 16;       //!< B+-tree fanout.
+  uint32_t index_node_bytes = 256;  //!< Index node size.
+  double zipf_theta = 0.99;         //!< YCSB default skew.
+  double read_ratio = 1.0;          //!< YCSB-C: 100% reads.
+  uint64_t seed = 11;
+};
+
+/** Silo/YCSB-C workload. */
+class SiloWorkload : public Workload {
+ public:
+  explicit SiloWorkload(const SiloConfig& config, const char* name = "silo");
+
+  bool NextOp(TimeNs now, OpTrace* op) override;
+  uint64_t footprint_pages() const override {
+    return space_.total_pages();
+  }
+  const char* name() const override { return name_; }
+
+  /** Number of index levels in the modeled tree (including the root). */
+  size_t index_levels() const { return index_levels_.size(); }
+
+ private:
+  SiloConfig config_;
+  const char* name_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+  AddressSpace space_;
+  std::vector<VirtualArray> index_levels_;  //!< Root first.
+  VirtualArray records_;
+  std::vector<uint64_t> key_to_record_;     //!< Popularity permutation.
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_WORKLOADS_SILO_YCSB_H_

@@ -1,0 +1,92 @@
+#include "workloads/spec_stream.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace hybridtier {
+
+StreamConfig StreamWorkload::BwavesConfig(uint64_t elements_per_array) {
+  StreamConfig config;
+  config.kind = StreamKind::kSequential;
+  config.elements_per_array = elements_per_array;
+  config.num_arrays = 5;
+  return config;
+}
+
+StreamConfig StreamWorkload::RomsConfig(uint64_t elements_per_array) {
+  StreamConfig config;
+  config.kind = StreamKind::kStencil;
+  config.elements_per_array = elements_per_array;
+  config.num_arrays = 3;
+  config.stencil_stride = 512;
+  return config;
+}
+
+StreamWorkload::StreamWorkload(const StreamConfig& config, const char* name)
+    : config_(config), name_(name) {
+  HT_ASSERT(config.num_arrays >= 1, "need at least one array");
+  HT_ASSERT(config.elements_per_array > config.stencil_stride,
+            "array too small for the stencil stride");
+  for (uint32_t a = 0; a < config.num_arrays; ++a) {
+    arrays_.push_back(
+        space_.Allocate(8, config.elements_per_array, "field"));
+  }
+}
+
+bool StreamWorkload::NextOp(TimeNs now, OpTrace* op) {
+  (void)now;
+  op->Clear();
+  const uint64_t n = config_.elements_per_array;
+  const uint64_t end = std::min(n, position_ + config_.elements_per_op);
+
+  uint64_t last_line = UINT64_MAX;
+  auto emit = [&](const VirtualArray& array, uint64_t index, bool write) {
+    const uint64_t addr = array.AddrOf(index);
+    const uint64_t line = addr / kCacheLineSize;
+    if (line == last_line) return;
+    last_line = line;
+    if (write) {
+      op->Write(addr);
+    } else {
+      op->Read(addr);
+    }
+  };
+
+  for (uint64_t i = position_; i < end; ++i) {
+    if (config_.kind == StreamKind::kSequential) {
+      // bwaves: read all input arrays, write the last one.
+      for (uint32_t a = 0; a + 1 < config_.num_arrays; ++a) {
+        emit(arrays_[a], i, /*write=*/false);
+        last_line = UINT64_MAX;  // Arrays are distinct regions.
+      }
+      emit(arrays_.back(), i, /*write=*/true);
+      last_line = UINT64_MAX;
+    } else {
+      // roms: 1-D stencil over rows of width stencil_stride.
+      const uint64_t stride = config_.stencil_stride;
+      const uint64_t up = i >= stride ? i - stride : i;
+      const uint64_t down = i + stride < n ? i + stride : i;
+      emit(arrays_[0], up, false);
+      last_line = UINT64_MAX;
+      emit(arrays_[0], i, false);
+      last_line = UINT64_MAX;
+      emit(arrays_[0], down, false);
+      last_line = UINT64_MAX;
+      emit(arrays_[1], i, false);
+      last_line = UINT64_MAX;
+      emit(arrays_[2], i, true);
+      last_line = UINT64_MAX;
+    }
+  }
+
+  position_ = end;
+  if (position_ >= n) {
+    position_ = 0;
+    ++sweeps_;
+  }
+  return true;
+}
+
+}  // namespace hybridtier

@@ -1,0 +1,70 @@
+#ifndef HYBRIDTIER_WORKLOADS_WORKLOAD_H_
+#define HYBRIDTIER_WORKLOADS_WORKLOAD_H_
+
+/**
+ * @file
+ * Workload interface: applications as memory-access generators.
+ *
+ * A workload models one of the paper's applications (Table 2) as a
+ * generator of *operations*, each of which is a short, ordered burst of
+ * byte-addressed memory accesses inside the workload's flat virtual
+ * address space. The simulator executes each access through the cache
+ * and tiered-memory models; the time an operation takes is the sum of
+ * its access latencies, which is exactly the metric the paper reports
+ * (op latency for CacheLib/Silo, total runtime for the rest).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "mem/page.h"
+
+namespace hybridtier {
+
+/** One memory access within an operation. */
+struct MemoryAccess {
+  uint64_t addr = 0;      //!< Byte address in the workload address space.
+  bool is_write = false;  //!< Write access (affects nothing today beyond
+                          //!< stats; kept for extension and realism).
+};
+
+/** One application operation: an ordered burst of accesses. */
+struct OpTrace {
+  std::vector<MemoryAccess> accesses;
+
+  /** Clears the trace for reuse. */
+  void Clear() { accesses.clear(); }
+
+  /** Appends a read access. */
+  void Read(uint64_t addr) { accesses.push_back({addr, false}); }
+
+  /** Appends a write access. */
+  void Write(uint64_t addr) { accesses.push_back({addr, true}); }
+
+  /** Number of accesses in this operation. */
+  size_t size() const { return accesses.size(); }
+};
+
+/** Abstract application workload. */
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /**
+   * Produces the next operation at virtual time `now`. Returns false if
+   * the workload has run to natural completion (endless workloads always
+   * return true). `op` is cleared and refilled.
+   */
+  virtual bool NextOp(TimeNs now, OpTrace* op) = 0;
+
+  /** Total footprint of the workload's address space, in 4 KiB pages. */
+  virtual uint64_t footprint_pages() const = 0;
+
+  /** Short workload name (e.g. "cachelib-cdn"). */
+  virtual const char* name() const = 0;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,84 @@
+#include "workloads/xgboost.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace hybridtier {
+
+XgboostWorkload::XgboostWorkload(const XgboostConfig& config,
+                                 const char* name)
+    : config_(config), name_(name), rng_(config.seed) {
+  HT_ASSERT(config.num_features >= 4, "need at least 4 features");
+  HT_ASSERT(config.colsample > 0.0 && config.colsample <= 1.0,
+            "colsample must be in (0,1]");
+  // Column-major layout: column f occupies rows [f*num_rows, ...).
+  features_ = space_.Allocate(
+      4, static_cast<uint64_t>(config.num_features) * config.num_rows,
+      "feature_matrix");
+  gradients_ = space_.Allocate(8, config.num_rows, "gradients");
+  StartRound();
+}
+
+void XgboostWorkload::StartRound() {
+  const uint32_t selected = std::max<uint32_t>(
+      1, static_cast<uint32_t>(config_.colsample *
+                               static_cast<double>(config_.num_features)));
+  // Draw a fresh random column subset: the new hot set for this round.
+  std::vector<uint32_t> all(config_.num_features);
+  for (uint32_t f = 0; f < config_.num_features; ++f) all[f] = f;
+  rng_.Shuffle(all.data(), all.size());
+  round_columns_.assign(all.begin(), all.begin() + selected);
+  column_cursor_ = 0;
+  row_cursor_ = 0;
+  // Row subsampling as a strided scan with a random phase.
+  row_stride_ = std::max<uint64_t>(
+      1, static_cast<uint64_t>(1.0 / config_.rowsample));
+  row_cursor_ = rng_.NextBounded(row_stride_);
+}
+
+bool XgboostWorkload::NextOp(TimeNs now, OpTrace* op) {
+  (void)now;
+  op->Clear();
+
+  if (column_cursor_ >= round_columns_.size()) {
+    ++rounds_;
+    StartRound();
+  }
+
+  const uint32_t column = round_columns_[column_cursor_];
+  const uint64_t column_base =
+      static_cast<uint64_t>(column) * config_.num_rows;
+  uint64_t emitted = 0;
+  uint64_t last_feature_line = UINT64_MAX;
+  uint64_t last_gradient_line = UINT64_MAX;
+
+  while (emitted < config_.rows_per_op &&
+         row_cursor_ < config_.num_rows) {
+    const uint64_t feature_addr =
+        features_.AddrOf(column_base + row_cursor_);
+    const uint64_t feature_line = feature_addr / kCacheLineSize;
+    if (feature_line != last_feature_line) {
+      op->Read(feature_addr);
+      last_feature_line = feature_line;
+    }
+    const uint64_t gradient_addr = gradients_.AddrOf(row_cursor_);
+    const uint64_t gradient_line = gradient_addr / kCacheLineSize;
+    if (gradient_line != last_gradient_line) {
+      op->Read(gradient_addr);
+      last_gradient_line = gradient_line;
+    }
+    row_cursor_ += row_stride_;
+    ++emitted;
+  }
+
+  if (row_cursor_ >= config_.num_rows) {
+    // Column finished: move to the next selected column.
+    ++column_cursor_;
+    row_cursor_ = rng_.NextBounded(row_stride_);
+  }
+  return true;
+}
+
+}  // namespace hybridtier

@@ -1,0 +1,75 @@
+#ifndef HYBRIDTIER_WORKLOADS_XGBOOST_H_
+#define HYBRIDTIER_WORKLOADS_XGBOOST_H_
+
+/**
+ * @file
+ * XGBoost gradient-boosting training analogue (paper Table 2, §5.3).
+ *
+ * Models CPU training over a column-major feature matrix (Criteo-style):
+ * each boosting round samples a subset of feature columns (colsample)
+ * and a subset of rows, then scans the selected columns to build split
+ * histograms while reading the per-row gradient array. The selected
+ * columns are the round's hot set, and they *change every round* — the
+ * behaviour behind the paper's Fig 2b hotness-decay measurement and the
+ * Fig 15 momentum-ablation gains on XGBoost.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "workloads/address_space.h"
+#include "workloads/workload.h"
+
+namespace hybridtier {
+
+/** Configuration for the XGBoost workload. */
+struct XgboostConfig {
+  uint32_t num_features = 256;   //!< Feature columns.
+  uint64_t num_rows = 200000;    //!< Training rows.
+  double colsample = 0.25;       //!< Fraction of columns used per round.
+  double rowsample = 0.5;        //!< Fraction of rows scanned per column.
+  uint32_t rows_per_op = 256;    //!< Chunk size per operation.
+  uint64_t seed = 17;
+};
+
+/** XGBoost training workload. */
+class XgboostWorkload : public Workload {
+ public:
+  explicit XgboostWorkload(const XgboostConfig& config,
+                           const char* name = "xgboost");
+
+  bool NextOp(TimeNs now, OpTrace* op) override;
+  uint64_t footprint_pages() const override {
+    return space_.total_pages();
+  }
+  const char* name() const override { return name_; }
+
+  /** Boosting rounds completed so far. */
+  uint64_t rounds_completed() const { return rounds_; }
+
+  /** Columns selected for the current round (for test inspection). */
+  const std::vector<uint32_t>& current_columns() const {
+    return round_columns_;
+  }
+
+ private:
+  /** Draws the column subset and row stride for a new round. */
+  void StartRound();
+
+  XgboostConfig config_;
+  const char* name_;
+  Rng rng_;
+  AddressSpace space_;
+  VirtualArray features_;   //!< 4 B * rows * features, column-major.
+  VirtualArray gradients_;  //!< 8 B per row, rewritten every round.
+  std::vector<uint32_t> round_columns_;
+  size_t column_cursor_ = 0;
+  uint64_t row_cursor_ = 0;
+  uint64_t row_stride_ = 2;
+  uint64_t rounds_ = 0;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_WORKLOADS_XGBOOST_H_

@@ -1,0 +1,62 @@
+#include "workloads/zipf.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hybridtier {
+
+namespace {
+
+/**
+ * H(x) = integral of x^-theta: ((1+ (x-1))^(1-theta) - 1)/(1-theta) in the
+ * shifted form used by Hörmann; computed stably including theta == 1
+ * (where it degenerates to log(x)).
+ */
+double HIntegralImpl(double x, double theta) {
+  const double log_x = std::log(x);
+  if (std::abs(1.0 - theta) < 1e-12) return log_x;
+  return std::expm1((1.0 - theta) * log_x) / (1.0 - theta);
+}
+
+/** h(x) = x^-theta. */
+double HImpl(double x, double theta) {
+  return std::exp(-theta * std::log(x));
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  HT_ASSERT(n >= 1, "zipf domain must be non-empty");
+  HT_ASSERT(theta > 0.0, "zipf exponent must be positive");
+  h_integral_x1_ = HIntegralImpl(1.5, theta_) - 1.0;
+  h_integral_n_ = HIntegralImpl(static_cast<double>(n_) + 0.5, theta_);
+  s_ = 2.0 - HInverse(HIntegralImpl(2.5, theta_) - HImpl(2.0, theta_));
+}
+
+double ZipfGenerator::H(double x) const { return HIntegralImpl(x, theta_); }
+
+double ZipfGenerator::HInverse(double x) const {
+  if (std::abs(1.0 - theta_) < 1e-12) return std::exp(x);
+  return std::exp(std::log1p(x * (1.0 - theta_)) / (1.0 - theta_));
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) {
+  if (n_ == 1) return 0;
+  // Hörmann's rejection-inversion: invert the integral of the hat
+  // function h(x) = x^-theta, then accept/reject against the true pmf.
+  while (true) {
+    const double u =
+        h_integral_n_ + rng.NextDouble() * (h_integral_x1_ - h_integral_n_);
+    const double x = HInverse(u);
+    double k = std::round(x);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+    if (k - x <= s_ || u >= H(k + 0.5) - HImpl(k, theta_)) {
+      return static_cast<uint64_t>(k) - 1;  // 0-based rank.
+    }
+  }
+}
+
+}  // namespace hybridtier

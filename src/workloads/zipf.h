@@ -1,0 +1,55 @@
+#ifndef HYBRIDTIER_WORKLOADS_ZIPF_H_
+#define HYBRIDTIER_WORKLOADS_ZIPF_H_
+
+/**
+ * @file
+ * Zipf-distributed integer sampling.
+ *
+ * In-memory caching workloads follow Zipfian popularity with high skew
+ * (paper §2.2: ~80% of accesses hit the top 10% of items at Meta). This
+ * sampler implements Hörmann's rejection-inversion method, which is O(1)
+ * per sample and exact for arbitrarily large domains — the same approach
+ * used by YCSB-style generators.
+ */
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace hybridtier {
+
+/**
+ * Samples ranks in [0, n) with P(rank = k) proportional to 1/(k+1)^theta.
+ * Rank 0 is the most popular item.
+ */
+class ZipfGenerator {
+ public:
+  /**
+   * @param n     domain size.
+   * @param theta skew exponent (0 = uniform-ish, 0.99 = YCSB default).
+   */
+  ZipfGenerator(uint64_t n, double theta);
+
+  /** Draws one rank using entropy from `rng`. */
+  uint64_t Next(Rng& rng);
+
+  /** Domain size. */
+  uint64_t n() const { return n_; }
+
+  /** Skew exponent. */
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_WORKLOADS_ZIPF_H_

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for src/cache: set-associative cache model and the
+ * two-level hierarchy with per-owner attribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_sim.h"
+#include "cache/hierarchy.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace hybridtier {
+namespace {
+
+CacheConfig SmallCache(uint64_t size_bytes = 4096, uint32_t ways = 4) {
+  return CacheConfig{.size_bytes = size_bytes,
+                     .ways = ways,
+                     .line_size = 64};
+}
+
+// -------------------------------------------------------------- Cache --
+
+TEST(Cache, GeometryComputed) {
+  Cache cache(SmallCache(4096, 4));
+  // 4096 B / 64 B lines = 64 lines / 4 ways = 16 sets.
+  EXPECT_EQ(cache.num_sets(), 16u);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache cache(SmallCache());
+  EXPECT_FALSE(cache.AccessLine(100, AccessOwner::kApp));
+  EXPECT_TRUE(cache.AccessLine(100, AccessOwner::kApp));
+  EXPECT_EQ(cache.stats().misses[0], 1u);
+  EXPECT_EQ(cache.stats().hits[0], 1u);
+}
+
+TEST(Cache, LruEviction) {
+  Cache cache(SmallCache(4096, 4));  // 16 sets, 4 ways.
+  // Five lines mapping to set 0: addresses differing by num_sets.
+  const uint64_t set0[] = {0, 16, 32, 48, 64};
+  for (const uint64_t line : set0) {
+    EXPECT_FALSE(cache.AccessLine(line, AccessOwner::kApp));
+  }
+  // Line 0 was LRU and must have been evicted by line 64.
+  EXPECT_FALSE(cache.AccessLine(0, AccessOwner::kApp));
+  // Line 64 is still resident (it was just inserted, then 0 evicted 16).
+  EXPECT_TRUE(cache.AccessLine(64, AccessOwner::kApp));
+}
+
+TEST(Cache, LruRefreshOnHit) {
+  Cache cache(SmallCache(4096, 4));
+  const uint64_t set0[] = {0, 16, 32, 48};
+  for (const uint64_t line : set0) cache.AccessLine(line, AccessOwner::kApp);
+  // Touch line 0 so it becomes MRU, then insert a new conflicting line.
+  cache.AccessLine(0, AccessOwner::kApp);
+  cache.AccessLine(64, AccessOwner::kApp);
+  // Line 16 (the LRU) was evicted; line 0 survived.
+  EXPECT_TRUE(cache.AccessLine(0, AccessOwner::kApp));
+  EXPECT_FALSE(cache.AccessLine(16, AccessOwner::kApp));
+}
+
+TEST(Cache, OwnerAttributionSeparated) {
+  Cache cache(SmallCache());
+  cache.AccessLine(1, AccessOwner::kApp);
+  cache.AccessLine(2, AccessOwner::kTiering);
+  cache.AccessLine(2, AccessOwner::kTiering);
+  EXPECT_EQ(cache.stats().misses[0], 1u);
+  EXPECT_EQ(cache.stats().misses[1], 1u);
+  EXPECT_EQ(cache.stats().hits[1], 1u);
+  EXPECT_NEAR(cache.stats().MissShare(AccessOwner::kTiering), 0.5, 1e-9);
+}
+
+TEST(Cache, FlushInvalidatesKeepsStats) {
+  Cache cache(SmallCache());
+  cache.AccessLine(5, AccessOwner::kApp);
+  cache.Flush();
+  EXPECT_FALSE(cache.AccessLine(5, AccessOwner::kApp));
+  EXPECT_EQ(cache.stats().misses[0], 2u);
+}
+
+TEST(Cache, ResetStatsKeepsContents) {
+  Cache cache(SmallCache());
+  cache.AccessLine(5, AccessOwner::kApp);
+  cache.ResetStats();
+  EXPECT_TRUE(cache.AccessLine(5, AccessOwner::kApp));
+  EXPECT_EQ(cache.stats().hits[0], 1u);
+  EXPECT_EQ(cache.stats().misses[0], 0u);
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes) {
+  Cache cache(SmallCache(4096, 4));  // 64 lines.
+  // Cycle through 256 lines twice: second pass still misses everywhere.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t line = 0; line < 256; ++line) {
+      cache.AccessLine(line, AccessOwner::kApp);
+    }
+  }
+  EXPECT_EQ(cache.stats().total_misses(), 512u);
+}
+
+TEST(Cache, WorkingSetFittingCacheAllHitsSecondPass) {
+  Cache cache(SmallCache(4096, 4));
+  for (uint64_t line = 0; line < 32; ++line) {
+    cache.AccessLine(line, AccessOwner::kApp);
+  }
+  for (uint64_t line = 0; line < 32; ++line) {
+    EXPECT_TRUE(cache.AccessLine(line, AccessOwner::kApp));
+  }
+}
+
+// ---------------------------------------------------------- Hierarchy --
+
+HierarchyConfig SmallHierarchy() {
+  HierarchyConfig config;
+  config.l1 = CacheConfig{.size_bytes = 1024, .ways = 4, .line_size = 64};
+  config.llc = CacheConfig{.size_bytes = 16384, .ways = 8, .line_size = 64};
+  return config;
+}
+
+TEST(Hierarchy, LevelsReportedInOrder) {
+  CacheHierarchy hierarchy(SmallHierarchy());
+  // Cold: miss everywhere.
+  EXPECT_EQ(hierarchy.Access(0, AccessOwner::kApp), HitLevel::kMemory);
+  // Hot in L1.
+  EXPECT_EQ(hierarchy.Access(0, AccessOwner::kApp), HitLevel::kL1);
+}
+
+TEST(Hierarchy, LlcCatchesL1Evictions) {
+  CacheHierarchy hierarchy(SmallHierarchy());
+  // Fill far beyond L1 (16 lines) but within LLC (256 lines).
+  for (uint64_t addr = 0; addr < 64 * kCacheLineSize;
+       addr += kCacheLineSize) {
+    hierarchy.Access(addr, AccessOwner::kApp);
+  }
+  // Address 0 fell out of L1 but not out of the LLC.
+  EXPECT_EQ(hierarchy.Access(0, AccessOwner::kApp), HitLevel::kLlc);
+}
+
+TEST(Hierarchy, SeparateL1sSharedLlc) {
+  CacheHierarchy hierarchy(SmallHierarchy());
+  hierarchy.Access(0, AccessOwner::kApp);
+  // Tiering core's L1 does not contain the line, but the LLC does.
+  EXPECT_EQ(hierarchy.Access(0, AccessOwner::kTiering), HitLevel::kLlc);
+  // Now it is in the tiering L1 too.
+  EXPECT_EQ(hierarchy.Access(0, AccessOwner::kTiering), HitLevel::kL1);
+}
+
+TEST(Hierarchy, TieringTrafficEvictsAppLines) {
+  // The interference mechanism behind paper Fig 5: metadata updates
+  // evict application lines from the shared LLC.
+  CacheHierarchy hierarchy(SmallHierarchy());
+  hierarchy.Access(0, AccessOwner::kApp);
+  // Tiering floods the LLC (16 KiB = 256 lines).
+  for (uint64_t i = 1; i <= 2048; ++i) {
+    hierarchy.Access(i * kCacheLineSize, AccessOwner::kTiering);
+  }
+  // Evict line 0 from the app's private L1 (4 sets x 4 ways) by touching
+  // four other lines of its set; the tiering flood cannot do that.
+  for (uint64_t conflict = 4; conflict <= 16; conflict += 4) {
+    hierarchy.Access(conflict * kCacheLineSize, AccessOwner::kApp);
+  }
+  // The app line is gone from both its L1 and the shared LLC.
+  EXPECT_EQ(hierarchy.Access(0, AccessOwner::kApp), HitLevel::kMemory);
+}
+
+TEST(Hierarchy, MissShareAttribution) {
+  CacheHierarchy hierarchy(SmallHierarchy());
+  for (uint64_t i = 0; i < 100; ++i) {
+    hierarchy.Access(i * kCacheLineSize, AccessOwner::kApp);
+  }
+  for (uint64_t i = 1000; i < 1100; ++i) {
+    hierarchy.Access(i * kCacheLineSize, AccessOwner::kTiering);
+  }
+  EXPECT_NEAR(hierarchy.TieringLlcMissShare(), 0.5, 0.05);
+  EXPECT_NEAR(hierarchy.TieringL1MissShare(), 0.5, 0.05);
+  EXPECT_EQ(hierarchy.L1Misses(AccessOwner::kApp), 100u);
+  EXPECT_EQ(hierarchy.LlcMisses(AccessOwner::kTiering), 100u);
+}
+
+TEST(Hierarchy, ResetStats) {
+  CacheHierarchy hierarchy(SmallHierarchy());
+  hierarchy.Access(0, AccessOwner::kApp);
+  hierarchy.ResetStats();
+  EXPECT_EQ(hierarchy.L1Misses(AccessOwner::kApp), 0u);
+  EXPECT_EQ(hierarchy.llc_stats().total_misses(), 0u);
+}
+
+TEST(Hierarchy, ByteAddressesMapToLines) {
+  CacheHierarchy hierarchy(SmallHierarchy());
+  hierarchy.Access(100, AccessOwner::kApp);  // Line 1 (64..127).
+  EXPECT_EQ(hierarchy.Access(127, AccessOwner::kApp), HitLevel::kL1);
+  EXPECT_EQ(hierarchy.Access(128, AccessOwner::kApp), HitLevel::kMemory);
+}
+
+}  // namespace
+}  // namespace hybridtier

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Unit tests for src/mem: page math, tiered memory placement/protection,
+ * the performance model, and the migration engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "mem/migration.h"
+#include "mem/page.h"
+#include "mem/perf_model.h"
+#include "mem/tier.h"
+#include "mem/tiered_memory.h"
+
+namespace hybridtier {
+namespace {
+
+// --------------------------------------------------------------- Page --
+
+TEST(Page, AddressMath) {
+  EXPECT_EQ(PageOfAddr(0), 0u);
+  EXPECT_EQ(PageOfAddr(kPageSize - 1), 0u);
+  EXPECT_EQ(PageOfAddr(kPageSize), 1u);
+  EXPECT_EQ(AddrOfPage(3), 3 * kPageSize);
+  EXPECT_EQ(HugePageOf(511), 0u);
+  EXPECT_EQ(HugePageOf(512), 1u);
+  EXPECT_EQ(FirstPageOfHuge(2), 1024u);
+}
+
+TEST(Page, TrackingUnits) {
+  EXPECT_EQ(TrackingUnitOfAddr(kPageSize + 5, PageMode::kRegular), 1u);
+  EXPECT_EQ(TrackingUnitOfAddr(kHugePageSize + 5, PageMode::kHuge), 1u);
+  EXPECT_EQ(PageBytes(PageMode::kRegular), kPageSize);
+  EXPECT_EQ(PageBytes(PageMode::kHuge), kHugePageSize);
+}
+
+TEST(Page, RangeContains) {
+  const PageRange range{10, 20};
+  EXPECT_EQ(range.size(), 10u);
+  EXPECT_TRUE(range.Contains(10));
+  EXPECT_TRUE(range.Contains(19));
+  EXPECT_FALSE(range.Contains(20));
+}
+
+// ------------------------------------------------------- TieredMemory --
+
+TEST(TieredMemory, FastFirstAllocation) {
+  TieredMemory mem(100, 10, 100);
+  for (PageId page = 0; page < 10; ++page) {
+    const TouchResult touch = mem.Touch(page, 0);
+    EXPECT_TRUE(touch.first_touch);
+    EXPECT_EQ(touch.tier, Tier::kFast);
+  }
+  // Fast is full: the next allocation overflows to slow.
+  EXPECT_EQ(mem.Touch(10, 0).tier, Tier::kSlow);
+  EXPECT_EQ(mem.UsedPages(Tier::kFast), 10u);
+  EXPECT_EQ(mem.UsedPages(Tier::kSlow), 1u);
+  EXPECT_EQ(mem.FreePages(Tier::kFast), 0u);
+}
+
+TEST(TieredMemory, SlowOnlyAllocation) {
+  TieredMemory mem(100, 10, 100, AllocationPolicy::kSlowOnly);
+  EXPECT_EQ(mem.Touch(0, 0).tier, Tier::kSlow);
+  EXPECT_EQ(mem.UsedPages(Tier::kFast), 0u);
+}
+
+TEST(TieredMemory, SecondTouchIsNotFirstTouch) {
+  TieredMemory mem(10, 5, 10);
+  mem.Touch(3, 0);
+  const TouchResult touch = mem.Touch(3, 10);
+  EXPECT_FALSE(touch.first_touch);
+  EXPECT_FALSE(touch.hint_fault);
+}
+
+TEST(TieredMemory, MigrateMovesBetweenTiers) {
+  TieredMemory mem(10, 5, 10);
+  mem.Touch(0, 0);
+  EXPECT_EQ(mem.TierOf(0), Tier::kFast);
+  EXPECT_TRUE(mem.Migrate(0, Tier::kSlow));
+  EXPECT_EQ(mem.TierOf(0), Tier::kSlow);
+  EXPECT_EQ(mem.UsedPages(Tier::kFast), 0u);
+  EXPECT_EQ(mem.UsedPages(Tier::kSlow), 1u);
+  EXPECT_TRUE(mem.Migrate(0, Tier::kFast));
+  EXPECT_EQ(mem.TierOf(0), Tier::kFast);
+}
+
+TEST(TieredMemory, MigrateRejectsNoopAndFull) {
+  TieredMemory mem(10, 2, 10);
+  mem.Touch(0, 0);
+  EXPECT_FALSE(mem.Migrate(0, Tier::kFast));  // Already there.
+  mem.Touch(1, 0);                            // Fast now full.
+  mem.Touch(2, 0);                            // Goes to slow.
+  EXPECT_FALSE(mem.Migrate(2, Tier::kFast));  // No free fast page.
+  EXPECT_FALSE(mem.Migrate(5, Tier::kFast));  // Not resident.
+}
+
+TEST(TieredMemory, ProtectionAndHintFaults) {
+  TieredMemory mem(10, 10, 10);
+  mem.Touch(4, 0);
+  EXPECT_EQ(mem.Protect(PageRange{0, 10}, 100), 1u);  // Only resident.
+  EXPECT_TRUE(mem.IsProtected(4));
+  const TouchResult touch = mem.Touch(4, 250);
+  EXPECT_TRUE(touch.hint_fault);
+  EXPECT_EQ(touch.fault_latency_ns, 150u);
+  // Fault cleared the protection: next touch is normal.
+  EXPECT_FALSE(mem.Touch(4, 300).hint_fault);
+}
+
+TEST(TieredMemory, ProtectNonResidentDoesNothing) {
+  TieredMemory mem(10, 10, 10);
+  EXPECT_EQ(mem.Protect(PageRange{0, 10}, 0), 0u);
+  const TouchResult touch = mem.Touch(0, 10);
+  EXPECT_TRUE(touch.first_touch);
+  EXPECT_FALSE(touch.hint_fault);
+}
+
+TEST(TieredMemory, ScanResidentFiltersTier) {
+  TieredMemory mem(20, 5, 20);
+  for (PageId page = 0; page < 10; ++page) mem.Touch(page, 0);
+  std::vector<PageId> fast_pages, slow_pages;
+  mem.ScanResident(0, 20, Tier::kFast,
+                   [&](PageId p) { fast_pages.push_back(p); });
+  mem.ScanResident(0, 20, Tier::kSlow,
+                   [&](PageId p) { slow_pages.push_back(p); });
+  EXPECT_EQ(fast_pages.size(), 5u);
+  EXPECT_EQ(slow_pages.size(), 5u);
+  EXPECT_EQ(fast_pages.front(), 0u);
+  EXPECT_EQ(slow_pages.front(), 5u);
+}
+
+TEST(TieredMemory, ScanChunkBounds) {
+  TieredMemory mem(20, 20, 20);
+  for (PageId page = 0; page < 20; ++page) mem.Touch(page, 0);
+  std::vector<PageId> seen;
+  const uint64_t visited =
+      mem.ScanResident(15, 100, Tier::kFast,
+                       [&](PageId p) { seen.push_back(p); });
+  EXPECT_EQ(visited, 5u);  // Clipped at the footprint end.
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+// ---------------------------------------------------------- PerfModel --
+
+PerfModel MakePerf(uint32_t threads = 1) {
+  PerfModelConfig config;
+  config.threads = threads;
+  return PerfModel(config, DefaultFastTier(1000), DefaultSlowTier(10000));
+}
+
+TEST(PerfModel, IdleLatenciesMatchPaper) {
+  PerfModel perf = MakePerf();
+  // Paper §5.1: emulated CXL idle latency 124 ns; local DRAM ~80 ns.
+  EXPECT_EQ(perf.IdleLatency(Tier::kSlow), 124u);
+  EXPECT_EQ(perf.IdleLatency(Tier::kFast), 80u);
+  EXPECT_EQ(perf.MemoryAccess(Tier::kSlow, 1000000), 124u);
+}
+
+TEST(PerfModel, SlowTierSlowerThanFast) {
+  PerfModel perf = MakePerf();
+  EXPECT_GT(perf.MemoryAccess(Tier::kSlow, 0),
+            perf.MemoryAccess(Tier::kFast, kSecond));
+}
+
+TEST(PerfModel, QueueingDelayUnderBurst) {
+  PerfModel perf = MakePerf(/*threads=*/16);
+  // Back-to-back accesses at the same instant queue behind each other.
+  const TimeNs first = perf.MemoryAccess(Tier::kSlow, 0);
+  const TimeNs second = perf.MemoryAccess(Tier::kSlow, 0);
+  EXPECT_GT(second, first);
+}
+
+TEST(PerfModel, QueueDelayCapped) {
+  PerfModelConfig config;
+  config.threads = 16;
+  config.max_queue_delay_ns = 500;
+  PerfModel perf(config, DefaultFastTier(1000), DefaultSlowTier(10000));
+  for (int i = 0; i < 1000; ++i) perf.MemoryAccess(Tier::kSlow, 0);
+  EXPECT_LE(perf.MemoryAccess(Tier::kSlow, 0), 124u + 500u);
+}
+
+TEST(PerfModel, MigrationCostScalesWithPages) {
+  PerfModel perf = MakePerf();
+  const TimeNs one = perf.MigrationCost(1, kPageSize, 0);
+  const TimeNs hundred = perf.MigrationCost(100, kPageSize, kSecond);
+  EXPECT_GT(hundred, one * 20);
+  EXPECT_EQ(perf.MigrationCost(0, kPageSize, 0), 0u);
+}
+
+TEST(PerfModel, HugePageMigrationCostlier) {
+  PerfModel perf = MakePerf();
+  const TimeNs regular = perf.MigrationCost(1, kPageSize, 0);
+  const TimeNs huge = perf.MigrationCost(1, kHugePageSize, kSecond);
+  EXPECT_GT(huge, regular);
+}
+
+TEST(PerfModel, MigrationOccupiesChannels) {
+  PerfModel perf = MakePerf();
+  perf.MigrationCost(10000, kPageSize, 0);  // ~39 MiB copy.
+  // A demand access right after the copy sees queueing delay.
+  EXPECT_GT(perf.MemoryAccess(Tier::kSlow, 1), 124u);
+  EXPECT_GE(perf.BytesTransferred(Tier::kFast), 10000u * kPageSize);
+}
+
+// ---------------------------------------------------- MigrationEngine --
+
+TEST(MigrationEngine, PromoteAndDemoteBatches) {
+  TieredMemory mem(100, 10, 100, AllocationPolicy::kSlowOnly);
+  PerfModel perf = MakePerf();
+  MigrationEngine engine(&mem, &perf);
+  for (PageId page = 0; page < 20; ++page) mem.Touch(page, 0);
+
+  const std::vector<PageId> batch = {0, 1, 2, 3, 4};
+  const TimeNs cost = engine.Promote(batch, 0);
+  EXPECT_GT(cost, 0u);
+  EXPECT_EQ(engine.stats().promoted_pages, 5u);
+  EXPECT_EQ(engine.stats().promotion_batches, 1u);
+  EXPECT_EQ(mem.UsedPages(Tier::kFast), 5u);
+
+  const std::vector<PageId> down = {0, 1};
+  engine.Demote(down, 100);
+  EXPECT_EQ(engine.stats().demoted_pages, 2u);
+  EXPECT_EQ(mem.UsedPages(Tier::kFast), 3u);
+}
+
+TEST(MigrationEngine, FailedPromotionsCounted) {
+  TieredMemory mem(100, 2, 100, AllocationPolicy::kSlowOnly);
+  PerfModel perf = MakePerf();
+  MigrationEngine engine(&mem, &perf);
+  for (PageId page = 0; page < 5; ++page) mem.Touch(page, 0);
+  const std::vector<PageId> batch = {0, 1, 2, 3};
+  engine.Promote(batch, 0);
+  EXPECT_EQ(engine.stats().promoted_pages, 2u);
+  EXPECT_EQ(engine.stats().failed_promotions, 2u);
+}
+
+TEST(MigrationEngine, NonResidentPagesSkipped) {
+  TieredMemory mem(100, 10, 100);
+  PerfModel perf = MakePerf();
+  MigrationEngine engine(&mem, &perf);
+  const std::vector<PageId> batch = {50};
+  EXPECT_EQ(engine.Promote(batch, 0), 0u);
+  EXPECT_EQ(engine.stats().promoted_pages, 0u);
+}
+
+TEST(MigrationEngine, EmptyBatchFree) {
+  TieredMemory mem(10, 5, 10);
+  PerfModel perf = MakePerf();
+  MigrationEngine engine(&mem, &perf);
+  EXPECT_EQ(engine.Promote({}, 0), 0u);
+  EXPECT_EQ(engine.stats().promotion_batches, 0u);
+}
+
+TEST(MigrationEngine, TracksMigrationTime) {
+  TieredMemory mem(100, 50, 100, AllocationPolicy::kSlowOnly);
+  PerfModel perf = MakePerf();
+  MigrationEngine engine(&mem, &perf);
+  for (PageId page = 0; page < 20; ++page) mem.Touch(page, 0);
+  std::vector<PageId> batch;
+  for (PageId page = 0; page < 20; ++page) batch.push_back(page);
+  engine.Promote(batch, 0);
+  EXPECT_EQ(engine.stats().migration_time_ns,
+            engine.stats().migration_time_ns);
+  EXPECT_GT(engine.stats().migration_time_ns, 20u * 1200u);
+}
+
+}  // namespace
+}  // namespace hybridtier

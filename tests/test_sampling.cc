@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for src/sampling: ring buffer and the PEBS-analogue
+ * access sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sampling/ring_buffer.h"
+#include "sampling/sampler.h"
+
+namespace hybridtier {
+namespace {
+
+// --------------------------------------------------------- RingBuffer --
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> ring(4);
+  EXPECT_TRUE(ring.Push(1));
+  EXPECT_TRUE(ring.Push(2));
+  EXPECT_TRUE(ring.Push(3));
+  int out = 0;
+  EXPECT_TRUE(ring.Pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(ring.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(RingBuffer, DropsWhenFull) {
+  RingBuffer<int> ring(2);
+  EXPECT_TRUE(ring.Push(1));
+  EXPECT_TRUE(ring.Push(2));
+  EXPECT_FALSE(ring.Push(3));
+  EXPECT_EQ(ring.dropped(), 1u);
+  int out;
+  ring.Pop(&out);
+  EXPECT_TRUE(ring.Push(4));
+  EXPECT_EQ(ring.size(), 2u);
+}
+
+TEST(RingBuffer, PopEmptyFails) {
+  RingBuffer<int> ring(2);
+  int out;
+  EXPECT_FALSE(ring.Pop(&out));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, WrapsAround) {
+  RingBuffer<int> ring(3);
+  int out;
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(ring.Push(round));
+    EXPECT_TRUE(ring.Pop(&out));
+    EXPECT_EQ(out, round);
+  }
+}
+
+TEST(RingBuffer, DrainBatch) {
+  RingBuffer<int> ring(8);
+  for (int i = 0; i < 6; ++i) ring.Push(i);
+  std::vector<int> out;
+  EXPECT_EQ(ring.Drain(&out, 4), 4u);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.front(), 0);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.Drain(&out, 100), 2u);
+  EXPECT_EQ(out.size(), 6u);
+}
+
+// ------------------------------------------------------ AccessSampler --
+
+TEST(Sampler, SamplingRateNearPeriod) {
+  AccessSampler sampler(61, 1u << 20, 5);
+  std::vector<SampleRecord> drained;
+  constexpr uint64_t kAccesses = 500000;
+  for (uint64_t i = 0; i < kAccesses; ++i) {
+    sampler.OnAccess(i % 1000, Tier::kFast, i);
+    if (sampler.pending() > 1000) sampler.Drain(&drained, 1u << 20);
+  }
+  sampler.Drain(&drained, 1u << 20);
+  const double rate =
+      static_cast<double>(sampler.samples_taken()) / kAccesses;
+  EXPECT_NEAR(rate, 1.0 / 61, 0.002);
+  EXPECT_EQ(sampler.samples_dropped(), 0u);
+  EXPECT_EQ(drained.size(), sampler.samples_taken());
+}
+
+TEST(Sampler, PeriodOneSamplesEverything) {
+  AccessSampler sampler(1, 1024, 5);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(sampler.OnAccess(i, Tier::kSlow, i));
+  }
+  EXPECT_EQ(sampler.samples_taken(), 100u);
+}
+
+TEST(Sampler, RecordsCarryPageTierTime) {
+  AccessSampler sampler(1, 16, 5);
+  sampler.OnAccess(42, Tier::kSlow, 777);
+  std::vector<SampleRecord> out;
+  sampler.Drain(&out, 10);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].page, 42u);
+  EXPECT_EQ(out[0].tier, Tier::kSlow);
+  EXPECT_EQ(out[0].time_ns, 777u);
+}
+
+TEST(Sampler, DropsWhenNotDrained) {
+  AccessSampler sampler(1, 8, 5);
+  for (uint64_t i = 0; i < 100; ++i) sampler.OnAccess(i, Tier::kFast, i);
+  EXPECT_EQ(sampler.pending(), 8u);
+  EXPECT_EQ(sampler.samples_dropped(), 92u);
+}
+
+TEST(Sampler, JitterBreaksStridedAliasing) {
+  // A strided loop with stride == period must not sample only one page.
+  AccessSampler sampler(64, 1u << 16, 5);
+  std::vector<SampleRecord> out;
+  for (uint64_t i = 0; i < 64000; ++i) {
+    sampler.OnAccess(i % 64, Tier::kFast, i);
+  }
+  sampler.Drain(&out, 1u << 16);
+  std::set<PageId> pages;
+  for (const auto& record : out) pages.insert(record.page);
+  EXPECT_GT(pages.size(), 16u);
+}
+
+TEST(Sampler, DeterministicForSeed) {
+  AccessSampler a(61, 1024, 9), b(61, 1024, 9);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_EQ(a.OnAccess(i, Tier::kFast, i),
+              b.OnAccess(i, Tier::kFast, i));
+    if (a.pending() > 512) {
+      std::vector<SampleRecord> da, db;
+      a.Drain(&da, 1024);
+      b.Drain(&db, 1024);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hybridtier
