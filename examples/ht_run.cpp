@@ -6,17 +6,27 @@
  *   ./build/examples/ht_run --workload cdn --policy HybridTier \
  *       --ratio 1:8 --accesses 5000000 [--huge] [--scale 0.1] [--seed 42]
  *
+ * Multi-tenant mode shares the fast tier among several workloads and
+ * reports per-tenant results (see src/multitenant/):
+ *
+ *   ./build/examples/ht_run --tenants cdn,bfs-k:2,silo --policy \
+ *       HybridTier [--fair]
+ *
  * Prints the headline metrics of the run. Lists valid workloads and
  * policies with --help.
  */
 
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "common/logging.h"
+#include "common/table.h"
 #include "core/policy_factory.h"
 #include "core/simulation.h"
+#include "multitenant/fair_share_policy.h"
+#include "multitenant/mux_workload.h"
 #include "workloads/factory.h"
 
 namespace {
@@ -37,7 +47,45 @@ void PrintUsage() {
          "  --accesses <n>    access budget (default 5000000)\n"
          "  --scale <f>       workload footprint scale (default: bench)\n"
          "  --seed <n>        RNG seed (default 42)\n"
-         "  --huge            2 MiB tracking/migration granularity\n";
+         "  --huge            2 MiB tracking/migration granularity\n"
+         "  --tenants <list>  multi-tenant mode: comma-separated\n"
+         "                    workload ids with optional :weight\n"
+         "                    (e.g. cdn,bfs-k:2,silo); also accepts the\n"
+         "                    synthetic \"zipf\" hot-set tenant\n"
+         "  --fair            wrap the policy in the per-tenant\n"
+         "                    fair-share quota enforcer\n"
+         "  --no-rebalance    fair-share: static weight quotas only\n";
+}
+
+/** Prints the per-tenant table and fairness index of a tenants run. */
+void PrintTenantResults(const SimulationResult& result,
+                        uint64_t fast_capacity_units,
+                        const FairSharePolicy* fair) {
+  TablePrinter table({"tenant", "ops", "Mop/s", "p50 ns", "p99 ns",
+                      "fast-fill %", "fast units", "tier share %",
+                      "quota"});
+  for (size_t t = 0; t < result.tenants.size(); ++t) {
+    const TenantResult& tenant = result.tenants[t];
+    table.AddRow(
+        {tenant.name, std::to_string(tenant.ops),
+         FormatDouble(tenant.throughput_mops, 3),
+         FormatDouble(tenant.median_latency_ns, 0),
+         FormatDouble(tenant.p99_latency_ns, 0),
+         FormatDouble(tenant.FastAccessFraction() * 100, 1),
+         std::to_string(tenant.fast_resident_units),
+         FormatDouble(static_cast<double>(tenant.fast_resident_units) *
+                          100.0 /
+                          static_cast<double>(fast_capacity_units),
+                      1),
+         fair == nullptr
+             ? std::string("-")
+             : std::to_string(fair->quota_units(
+                   static_cast<uint32_t>(t)))});
+  }
+  table.SetTitle("per-tenant results");
+  table.Print(std::cout);
+  std::cout << "Jain fairness (tier share): "
+            << FormatDouble(result.jain_fairness, 3) << "\n";
 }
 
 }  // namespace
@@ -45,11 +93,15 @@ void PrintUsage() {
 int main(int argc, char** argv) {
   std::string workload_id = "cdn";
   std::string policy_name = "HybridTier";
+  std::string tenants;
   double ratio = 1.0 / 8;
   double scale = -1.0;
   uint64_t accesses = 5000000;
   uint64_t seed = 42;
   bool huge = false;
+  bool fair = false;
+  bool rebalance = true;
+  bool workload_set = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -65,6 +117,7 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--workload") {
       workload_id = next();
+      workload_set = true;
     } else if (arg == "--policy") {
       policy_name = next();
     } else if (arg == "--ratio") {
@@ -84,6 +137,12 @@ int main(int argc, char** argv) {
       seed = std::stoull(next());
     } else if (arg == "--huge") {
       huge = true;
+    } else if (arg == "--tenants") {
+      tenants = next();
+    } else if (arg == "--fair") {
+      fair = true;
+    } else if (arg == "--no-rebalance") {
+      rebalance = false;
     } else {
       std::cerr << "unknown option " << arg << "\n";
       PrintUsage();
@@ -91,25 +150,75 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!IsWorkloadId(workload_id)) {
-    std::cerr << "unknown workload '" << workload_id << "'\n";
-    PrintUsage();
-    return 1;
-  }
   if (!IsPolicyName(policy_name)) {
     std::cerr << "unknown policy '" << policy_name << "'\n";
     PrintUsage();
     return 1;
   }
-  if (scale < 0) {
-    // Match the bench defaults per workload family.
-    scale = (workload_id == "cdn" || workload_id == "social") ? 0.1
-            : (workload_id == "bwaves" || workload_id == "roms" ||
-               workload_id == "silo")
-                ? 0.25
-            : workload_id == "xgboost" ? 0.5
-                                       : 2.0;
+
+  if (tenants.empty() && fair) {
+    std::cerr << "--fair requires --tenants\n";
+    return 1;
   }
+  if (!rebalance && !fair) {
+    std::cerr << "--no-rebalance requires --fair\n";
+    return 1;
+  }
+
+  if (!tenants.empty()) {
+    if (workload_set) {
+      std::cerr << "--workload conflicts with --tenants; list every "
+                   "tenant workload in --tenants instead\n";
+      return 1;
+    }
+    // Multi-tenant mode: share the fast tier among several workloads.
+    std::vector<TenantSpec> specs = ParseTenantList(tenants);
+    if (scale >= 0) {
+      for (TenantSpec& spec : specs) spec.scale = scale;
+    }
+    auto mux = MakeMuxWorkload(specs, seed);
+
+    std::unique_ptr<TieringPolicy> policy = MakePolicy(policy_name);
+    FairSharePolicy* fair_policy = nullptr;
+    if (fair) {
+      FairShareConfig fair_config;
+      fair_config.rebalance = rebalance;
+      auto wrapped = std::make_unique<FairSharePolicy>(
+          std::move(policy), mux->directory(), fair_config);
+      fair_policy = wrapped.get();
+      policy = std::move(wrapped);
+    }
+
+    SimulationConfig config;
+    config.fast_tier_fraction = FastFractionFor(policy_name, ratio);
+    config.allocation = AllocationPolicyFor(policy_name);
+    config.max_accesses = accesses;
+    config.mode = huge ? PageMode::kHuge : PageMode::kRegular;
+    config.seed = seed;
+
+    Simulation simulation(config, mux.get(), policy.get());
+    const SimulationResult result = simulation.Run();
+
+    std::cout << "workload:          " << mux->name() << " ("
+              << mux->footprint_pages() << " pages)\n"
+              << "policy:            " << policy->name() << "\n"
+              << "fast tier:         " << simulation.fast_capacity_units()
+              << " / " << simulation.footprint_units() << " units\n"
+              << "accesses:          " << result.accesses << " in "
+              << FormatTime(result.duration_ns) << " virtual\n"
+              << "throughput:        " << result.throughput_mops
+              << " Mop/s\n";
+    PrintTenantResults(result, simulation.fast_capacity_units(),
+                       fair_policy);
+    return 0;
+  }
+
+  if (!IsWorkloadId(workload_id)) {
+    std::cerr << "unknown workload '" << workload_id << "'\n";
+    PrintUsage();
+    return 1;
+  }
+  if (scale < 0) scale = DefaultWorkloadScale(workload_id);
 
   auto workload = MakeWorkload(workload_id, scale, seed);
   auto policy = MakePolicy(policy_name);

@@ -108,6 +108,18 @@ uint64_t FirstSustainedEntryNs(const TimeSeries& series, double target,
   return UINT64_MAX;
 }
 
+double JainFairnessIndex(const std::vector<double>& values) {
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  for (const double value : values) {
+    sum += value;
+    sum_squares += value * value;
+  }
+  if (values.empty() || sum_squares == 0.0) return 1.0;
+  return sum * sum /
+         (static_cast<double>(values.size()) * sum_squares);
+}
+
 uint64_t SettleTimeNs(const TimeSeries& series, double target,
                       double tolerance, uint64_t not_before_ns) {
   const double band = std::abs(target) * tolerance;

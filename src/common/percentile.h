@@ -114,6 +114,13 @@ uint64_t SettleTimeNs(const TimeSeries& series, double target,
                       double tolerance, uint64_t not_before_ns = 0);
 
 /**
+ * Jain's fairness index over `values`: (sum x)^2 / (n * sum x^2).
+ * 1.0 = perfectly even, 1/n = one value holds everything. Returns 1.0
+ * for empty or all-zero inputs (nothing to be unfair about).
+ */
+double JainFairnessIndex(const std::vector<double>& values);
+
+/**
  * Noise-tolerant settle detector: returns the time of the first point at
  * or after `not_before_ns` from which at least `sustain_points`
  * consecutive points all lie within `tolerance` (relative) of `target`.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace hybridtier {
 
@@ -71,6 +72,20 @@ Simulation::Simulation(const SimulationConfig& config, Workload* workload,
   context.footprint_units = footprint_units_;
   context.fast_capacity_units = fast_capacity_units_;
   policy_->Bind(context);
+
+  // Multi-tenant workloads carry per-op attribution; when present, the
+  // run also produces per-tenant results.
+  tenant_source_ = dynamic_cast<TenantTagSource*>(workload);
+  if (tenant_source_ != nullptr) {
+    const uint32_t tenants = tenant_source_->tenant_count();
+    tenant_states_.reserve(tenants);
+    for (uint32_t t = 0; t < tenants; ++t) {
+      // Distinct multiplier from MakeMuxWorkload's per-tenant workload
+      // seeds, so no reservoir ever replays a tenant's access RNG.
+      uint64_t state = config.seed ^ (0xc2b2ae3d27d4eb4fULL * (t + 1));
+      tenant_states_.emplace_back(SplitMix64Next(state));
+    }
+  }
 }
 
 Simulation::~Simulation() = default;
@@ -130,6 +145,11 @@ SimulationResult Simulation::Run() {
     if (config_.max_time_ns != 0 && now_ >= config_.max_time_ns) break;
     if (!workload_->NextOp(now_, &op)) break;
 
+    TenantState* tenant =
+        tenant_source_ == nullptr
+            ? nullptr
+            : &tenant_states_[tenant_source_->last_tenant()];
+
     TimeNs op_latency = config_.op_overhead_ns;
     now_ += config_.op_overhead_ns;
 
@@ -151,8 +171,10 @@ SimulationResult Simulation::Run() {
           latency = perf_->MemoryAccess(touch.tier, now_);
           if (touch.tier == Tier::kFast) {
             ++result_.fast_mem_accesses;
+            if (tenant != nullptr) ++tenant->fast_mem_accesses;
           } else {
             ++result_.slow_mem_accesses;
+            if (tenant != nullptr) ++tenant->slow_mem_accesses;
           }
           break;
       }
@@ -202,6 +224,11 @@ SimulationResult Simulation::Run() {
     ++ops_;
     window_.Add(static_cast<double>(op_latency));
     reservoir_.Add(static_cast<double>(op_latency));
+    if (tenant != nullptr) {
+      ++tenant->ops;
+      tenant->accesses += op.accesses.size();
+      tenant->reservoir.Add(static_cast<double>(op_latency));
+    }
 
     while (now_ >= next_stats) {
       RecordTimelinePoint();
@@ -216,6 +243,13 @@ SimulationResult Simulation::Run() {
       result_.fast_mem_accesses = 0;
       result_.slow_mem_accesses = 0;
       result_.hint_faults = 0;
+      // Mirror the global resets: volume counters (ops/accesses) keep
+      // counting the whole run, measurement stats start over.
+      for (TenantState& state : tenant_states_) {
+        state.fast_mem_accesses = 0;
+        state.slow_mem_accesses = 0;
+        state.reservoir.Reset();
+      }
       last_l1_app_misses_ = 0;
       last_l1_tiering_misses_ = 0;
       last_llc_app_misses_ = 0;
@@ -242,7 +276,40 @@ SimulationResult Simulation::Run() {
   result_.metadata_bytes = policy_->MetadataBytes();
   result_.samples_taken = sampler_->samples_taken();
   result_.samples_dropped = sampler_->samples_dropped();
+  FinalizeTenantResults();
   return result_;
+}
+
+void Simulation::FinalizeTenantResults() {
+  if (tenant_source_ == nullptr) return;
+  std::vector<double> occupancies;
+  for (uint32_t t = 0; t < tenant_source_->tenant_count(); ++t) {
+    const TenantState& state = tenant_states_[t];
+    TenantResult tenant;
+    tenant.name = tenant_source_->tenant_name(t);
+    tenant.ops = state.ops;
+    tenant.accesses = state.accesses;
+    tenant.fast_mem_accesses = state.fast_mem_accesses;
+    tenant.slow_mem_accesses = state.slow_mem_accesses;
+    tenant.throughput_mops =
+        now_ == 0 ? 0.0
+                  : static_cast<double>(state.ops) * 1000.0 /
+                        static_cast<double>(now_);
+    tenant.median_latency_ns = state.reservoir.Quantile(0.5);
+    tenant.p99_latency_ns = state.reservoir.Quantile(0.99);
+    tenant.mean_latency_ns = state.reservoir.Mean();
+
+    const PageRange range = tenant_source_->tenant_units(t, config_.mode);
+    tenant.footprint_units = range.size();
+    uint64_t fast_resident = 0;
+    memory_->ScanResident(range.begin, range.size(), Tier::kFast,
+                          [&fast_resident](PageId) { ++fast_resident; });
+    tenant.fast_resident_units = fast_resident;
+
+    occupancies.push_back(static_cast<double>(tenant.fast_resident_units));
+    result_.tenants.push_back(std::move(tenant));
+  }
+  result_.jain_fairness = JainFairnessIndex(occupancies);
 }
 
 SimulationResult RunSimulation(const SimulationConfig& config,

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/hierarchy.h"
@@ -29,6 +30,7 @@
 #include "mem/tiered_memory.h"
 #include "policies/policy.h"
 #include "sampling/sampler.h"
+#include "workloads/tenant_tag.h"
 #include "workloads/workload.h"
 
 namespace hybridtier {
@@ -62,6 +64,41 @@ struct SimulationConfig {
    */
   bool prefault_at_start = true;
   uint64_t seed = 1;                    //!< Sampler jitter seed.
+};
+
+/**
+ * Per-tenant slice of a multi-tenant run. Produced when the workload
+ * implements `TenantTagSource` (e.g. `MuxWorkload`); attribution is by
+ * the tenant that generated each operation.
+ */
+struct TenantResult {
+  std::string name;
+  uint64_t ops = 0;
+  uint64_t accesses = 0;
+  uint64_t fast_mem_accesses = 0;  //!< Demand fills served by fast tier.
+  uint64_t slow_mem_accesses = 0;
+  uint64_t fast_resident_units = 0;  //!< End-of-run fast-tier occupancy.
+  uint64_t footprint_units = 0;      //!< Tenant region size in units.
+  double throughput_mops = 0.0;      //!< Tenant ops per virtual us.
+  double median_latency_ns = 0.0;    //!< Post-warmup op latency median.
+  double p99_latency_ns = 0.0;
+  double mean_latency_ns = 0.0;
+
+  /** Fraction of this tenant's demand fills served by the fast tier. */
+  double FastAccessFraction() const {
+    const uint64_t total = fast_mem_accesses + slow_mem_accesses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(fast_mem_accesses) /
+                            static_cast<double>(total);
+  }
+
+  /** Fraction of this tenant's region resident in the fast tier. */
+  double FastResidentFraction() const {
+    return footprint_units == 0
+               ? 0.0
+               : static_cast<double>(fast_resident_units) /
+                     static_cast<double>(footprint_units);
+  }
 };
 
 /** Everything a run produces. */
@@ -103,6 +140,17 @@ struct SimulationResult {
   size_t metadata_bytes = 0;
   uint64_t samples_taken = 0;
   uint64_t samples_dropped = 0;
+
+  // Multi-tenant attribution (empty unless the workload is a
+  // TenantTagSource).
+  std::vector<TenantResult> tenants;
+  /**
+   * Jain fairness index over per-tenant fast-tier occupancy: how
+   * equitably the shared capacity is divided (fill rates are workload-
+   * intrinsic; occupancy is what a tiering policy actually allocates).
+   * 1.0 for single-tenant runs.
+   */
+  double jain_fairness = 1.0;
 
   /** Fraction of demand fills served by the fast tier. */
   double FastAccessFraction() const {
@@ -159,12 +207,28 @@ class Simulation {
  private:
   class HierarchySink;
 
+  /** Per-tenant accumulators while the run is in flight. */
+  struct TenantState {
+    uint64_t ops = 0;
+    uint64_t accesses = 0;
+    uint64_t fast_mem_accesses = 0;
+    uint64_t slow_mem_accesses = 0;
+    ReservoirSampler reservoir;
+
+    explicit TenantState(uint64_t seed) : reservoir(16384, seed) {}
+  };
+
   /** Captures per-interval timeline points. */
   void RecordTimelinePoint();
+
+  /** Fills result_.tenants / jain_fairness from the tenant states. */
+  void FinalizeTenantResults();
 
   SimulationConfig config_;
   Workload* workload_;
   TieringPolicy* policy_;
+  TenantTagSource* tenant_source_ = nullptr;  //!< Null = single tenant.
+  std::vector<TenantState> tenant_states_;
 
   uint64_t footprint_units_ = 0;
   uint64_t fast_capacity_units_ = 0;

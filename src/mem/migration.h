@@ -45,21 +45,32 @@ class MigrationEngine {
   MigrationEngine(TieredMemory* memory, PerfModel* perf_model,
                   PageMode mode = PageMode::kRegular);
 
+  virtual ~MigrationEngine() = default;
+
   /**
    * Promotes `pages` (slow -> fast) as one batch at time `now`. Pages
    * that are not in the slow tier or do not fit are skipped and counted
    * as failed. Returns the modeled batch duration.
+   *
+   * Virtual so decorators (e.g. the multi-tenant fair-share gate) can
+   * filter or veto a policy's decisions before they execute.
    */
-  TimeNs Promote(std::span<const PageId> pages, TimeNs now);
+  virtual TimeNs Promote(std::span<const PageId> pages, TimeNs now);
 
   /** Demotes `pages` (fast -> slow) as one batch at time `now`. */
-  TimeNs Demote(std::span<const PageId> pages, TimeNs now);
+  virtual TimeNs Demote(std::span<const PageId> pages, TimeNs now);
 
   /** Cumulative statistics. */
   const MigrationStats& stats() const { return stats_; }
 
   /** Tracking-unit granularity. */
   PageMode mode() const { return mode_; }
+
+  /** Placement substrate this engine operates on (not owned). */
+  TieredMemory* memory() const { return memory_; }
+
+  /** Timing model charged for copies (not owned). */
+  PerfModel* perf_model() const { return perf_model_; }
 
  private:
   TimeNs ExecuteBatch(std::span<const PageId> pages, Tier dst, TimeNs now);

@@ -1,0 +1,443 @@
+#include "multitenant/fair_share_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace hybridtier {
+
+namespace {
+
+// Synthetic metadata line addresses (one region per structure, same
+// convention as the baseline policies; 1<<50+ keeps clear of their maps).
+constexpr uint64_t kQuotaTableBase = 1ULL << 50;   // Per-tenant quota rows.
+constexpr uint64_t kSharePagemapBase = 1ULL << 51; // Enforcement scans.
+
+/**
+ * Divides `total` units among tenants in proportion to `weights`, never
+ * exceeding `caps`, with integer water-filling: capped tenants are
+ * pinned and the surplus re-divided among the rest. Flooring leftovers
+ * go to tenants in index order, so the split is deterministic and sums
+ * to min(total, sum(caps)).
+ */
+std::vector<uint64_t> DivideProportional(const std::vector<double>& weights,
+                                         const std::vector<uint64_t>& caps,
+                                         uint64_t total) {
+  const size_t n = weights.size();
+  std::vector<uint64_t> quotas(n, 0);
+  std::vector<bool> pinned(n, false);
+  uint64_t remaining = total;
+
+  for (;;) {
+    double sum_weight = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!pinned[i]) sum_weight += weights[i];
+    }
+    if (remaining == 0 || sum_weight <= 0.0) return quotas;
+
+    // Pin every tenant whose proportional share overflows its cap.
+    bool repinned = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (pinned[i]) continue;
+      const double ideal =
+          static_cast<double>(remaining) * weights[i] / sum_weight;
+      if (ideal >= static_cast<double>(caps[i])) {
+        quotas[i] = caps[i];
+        remaining -= std::min(remaining, caps[i]);
+        pinned[i] = true;
+        repinned = true;
+      }
+    }
+    if (repinned) continue;
+
+    // No overflow left: floor-allocate and hand the leftover units out
+    // one by one in index order.
+    uint64_t allocated = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (pinned[i]) continue;
+      quotas[i] = static_cast<uint64_t>(
+          std::floor(static_cast<double>(remaining) * weights[i] /
+                     sum_weight));
+      allocated += quotas[i];
+    }
+    uint64_t leftover = remaining - allocated;
+    for (size_t i = 0; i < n && leftover > 0; ++i) {
+      if (pinned[i] || quotas[i] >= caps[i]) continue;
+      ++quotas[i];
+      --leftover;
+    }
+    return quotas;
+  }
+}
+
+}  // namespace
+
+/**
+ * The migration gate handed to the base policy: promotions are filtered
+ * by per-tenant quota headroom, demotions pass through with occupancy
+ * tracking. All real work (and all stats) happens in the wrapped run's
+ * engine; this object's own counters stay empty.
+ */
+class FairSharePolicy::QuotaGate : public MigrationEngine {
+ public:
+  QuotaGate(MigrationEngine* inner, FairSharePolicy* owner)
+      : MigrationEngine(inner->memory(), inner->perf_model(), inner->mode()),
+        owner_(owner) {}
+
+  TimeNs Promote(std::span<const PageId> pages, TimeNs now) override {
+    return owner_->GatedPromote(pages, now);
+  }
+
+  TimeNs Demote(std::span<const PageId> pages, TimeNs now) override {
+    return owner_->TrackedDemote(pages, now);
+  }
+
+ private:
+  FairSharePolicy* owner_;
+};
+
+FairSharePolicy::FairSharePolicy(std::unique_ptr<TieringPolicy> base,
+                                 TenantDirectory directory,
+                                 FairShareConfig config)
+    : base_(std::move(base)),
+      directory_(std::move(directory)),
+      config_(config) {
+  HT_ASSERT(base_ != nullptr, "fair-share wrapper needs a base policy");
+  HT_ASSERT(!directory_.regions.empty(),
+            "fair-share wrapper needs at least one tenant");
+  name_ = std::string("FairShare(") + base_->name() + ")";
+}
+
+FairSharePolicy::~FairSharePolicy() = default;
+
+void FairSharePolicy::Bind(const PolicyContext& context) {
+  TieringPolicy::Bind(context);
+
+  // The directory must tile the whole run footprint — anything else
+  // means the policy was paired with the wrong workload.
+  const PageRange first =
+      directory_.regions.front().UnitRange(context.mode);
+  const PageRange last = directory_.regions.back().UnitRange(context.mode);
+  HT_ASSERT(first.begin == 0 && last.end == context.footprint_units,
+            "tenant directory covers units [", first.begin, ", ", last.end,
+            ") but the run footprint is ", context.footprint_units);
+
+  const uint32_t n = directory_.size();
+  quota_.assign(n, 0);
+  static_quota_.assign(n, 0);
+  fast_units_.assign(n, 0);
+  window_fast_samples_.assign(n, 0);
+  window_slow_samples_.assign(n, 0);
+  demand_ema_.assign(n, 0.0);
+  gated_promotions_.assign(n, 0);
+  enforced_demotions_.assign(n, 0);
+  fill_promotions_.assign(n, 0);
+  batch_admits_.assign(n, 0);
+  candidates_.assign(n, {});
+  occupancy_ready_ = false;
+  next_rebalance_ns_ = config_.rebalance_interval_ns;
+
+  ComputeStaticQuotas();
+  quota_ = static_quota_;
+
+  // The base policy sees the same context, with migrations rerouted
+  // through the quota gate.
+  gate_ = std::make_unique<QuotaGate>(context.migration, this);
+  PolicyContext gated = context;
+  gated.migration = gate_.get();
+  base_->Bind(gated);
+}
+
+bool FairSharePolicy::EnsureOccupancy() {
+  if (occupancy_ready_) return false;
+  for (uint32_t t = 0; t < directory_.size(); ++t) {
+    const PageRange range = directory_.regions[t].UnitRange(context().mode);
+    uint64_t count = 0;
+    memory().ScanResident(range.begin, range.size(), Tier::kFast,
+                          [&count](PageId) { ++count; });
+    fast_units_[t] = count;
+  }
+  occupancy_ready_ = true;
+  return true;
+}
+
+void FairSharePolicy::ComputeStaticQuotas() {
+  const uint32_t n = directory_.size();
+  std::vector<double> weights(n);
+  std::vector<uint64_t> caps(n);
+  for (uint32_t t = 0; t < n; ++t) {
+    weights[t] = directory_.regions[t].weight;
+    caps[t] = directory_.regions[t].UnitRange(context().mode).size();
+  }
+  static_quota_ =
+      DivideProportional(weights, caps, context().fast_capacity_units);
+}
+
+void FairSharePolicy::Rebalance(TimeNs now) {
+  const uint32_t n = directory_.size();
+  // Hit density: sampled fast-tier hits per resident unit, smoothed by
+  // a halving EMA over rebalance windows (the cooling idiom the paper's
+  // trackers use: responsive to shifts, stable against one noisy
+  // window). Density is value-per-unit of capacity, so capacity flows
+  // to tenants that actually reuse it — raw access volume would let a
+  // streaming tenant with no reuse out-bid every hot set.
+  double total_demand = 0.0;
+  std::vector<double> fast_fraction(n, 1.0);
+  for (uint32_t t = 0; t < n; ++t) {
+    const double density =
+        static_cast<double>(window_fast_samples_[t]) /
+        static_cast<double>(std::max<uint64_t>(1, fast_units_[t]));
+    const uint64_t window_total =
+        window_fast_samples_[t] + window_slow_samples_[t];
+    if (window_total > 0) {
+      fast_fraction[t] = static_cast<double>(window_fast_samples_[t]) /
+                         static_cast<double>(window_total);
+    }
+    window_fast_samples_[t] = 0;
+    window_slow_samples_[t] = 0;
+    demand_ema_[t] = demand_ema_[t] * 0.5 + density;
+    total_demand += demand_ema_[t];
+    sink().Touch(kQuotaTableBase + (t / 2) * kCacheLineSize);
+  }
+
+  if (total_demand > 0.0) {
+    // Guaranteed floor first, then the rest in proportion to
+    // weight-scaled hit density.
+    std::vector<double> demand(n);
+    std::vector<uint64_t> caps(n);
+    uint64_t floor_total = 0;
+    for (uint32_t t = 0; t < n; ++t) {
+      const uint64_t span =
+          directory_.regions[t].UnitRange(context().mode).size();
+      const uint64_t floor_units =
+          std::min(span, static_cast<uint64_t>(
+                             static_cast<double>(static_quota_[t]) *
+                             config_.min_share));
+      quota_[t] = floor_units;
+      floor_total += floor_units;
+      caps[t] = span - floor_units;
+      demand[t] = directory_.regions[t].weight * demand_ema_[t];
+    }
+    const uint64_t fast_cap = context().fast_capacity_units;
+    const std::vector<uint64_t> extra = DivideProportional(
+        demand, caps, fast_cap - std::min(fast_cap, floor_total));
+    for (uint32_t t = 0; t < n; ++t) quota_[t] += extra[t];
+  }
+
+  // Rotate tenants whose placement is visibly bad: most of their
+  // sampled accesses missed the fast tier even though they sit at (or
+  // above) their fill limit, so the resident mix — not the quota — is
+  // the problem. Demoting to the fill limit gives the filler room to
+  // swap the sampled-hot pages in; a tenant with a good mix is left
+  // alone (no churn).
+  for (uint32_t t = 0; t < n; ++t) {
+    if (fast_fraction[t] < config_.rotate_below) {
+      DemoteToTarget(t, FillLimit(t), now);
+    }
+  }
+}
+
+uint64_t FairSharePolicy::FillLimit(uint32_t tenant) const {
+  const uint64_t margin = static_cast<uint64_t>(
+      static_cast<double>(quota_[tenant]) * config_.fill_margin);
+  return quota_[tenant] - std::min(quota_[tenant], margin);
+}
+
+void FairSharePolicy::DemoteToTarget(uint32_t t, uint64_t target,
+                                     TimeNs now) {
+  if (fast_units_[t] <= target) return;
+  const uint64_t excess =
+      std::min(fast_units_[t] - target, config_.max_enforce_batch);
+
+  // Find the tenant's fast-resident units (the pagemap walk every
+  // watermark demoter performs) and demote from the top of the region;
+  // the filler and the base policy bring the hot subset back within
+  // quota.
+  const PageRange range = directory_.regions[t].UnitRange(context().mode);
+  victims_.clear();
+  memory().ScanResident(range.begin, range.size(), Tier::kFast,
+                        [this](PageId unit) {
+                          sink().Touch(kSharePagemapBase +
+                                       (unit / 8) * kCacheLineSize);
+                          victims_.push_back(unit);
+                        });
+  const uint64_t take = std::min<uint64_t>(excess, victims_.size());
+  if (take == 0) return;
+  const uint64_t before = fast_units_[t];
+  TrackedDemote(std::span<const PageId>(victims_).last(take), now);
+  enforced_demotions_[t] += before - fast_units_[t];
+}
+
+void FairSharePolicy::EnforceQuotas(TimeNs now) {
+  for (uint32_t t = 0; t < directory_.size(); ++t) {
+    DemoteToTarget(t, quota_[t], now);
+  }
+}
+
+TimeNs FairSharePolicy::GatedPromote(std::span<const PageId> pages,
+                                     TimeNs now) {
+  EnsureOccupancy();
+  admitted_.clear();
+  was_slow_.clear();
+  batch_seen_.clear();
+  std::fill(batch_admits_.begin(), batch_admits_.end(), 0);
+
+  for (const PageId page : pages) {
+    // Dedup within the batch: a repeated page would be a no-op for the
+    // engine but would double-count in the occupancy accounting below.
+    if (!batch_seen_.insert(page).second) continue;
+    const uint32_t t = directory_.TenantOfUnit(page, context().mode);
+    sink().Touch(kQuotaTableBase + (t / 2) * kCacheLineSize);
+    if (fast_units_[t] + batch_admits_[t] >= quota_[t]) {
+      ++gated_promotions_[t];
+      continue;
+    }
+    const bool slow =
+        memory().IsResident(page) && memory().TierOf(page) == Tier::kSlow;
+    admitted_.push_back(page);
+    was_slow_.push_back(slow ? 1 : 0);
+    if (slow) ++batch_admits_[t];
+  }
+  // An entirely gated batch issues no syscall at all.
+  if (admitted_.empty()) return 0;
+
+  const TimeNs cost = migration().Promote(admitted_, now);
+  for (size_t i = 0; i < admitted_.size(); ++i) {
+    if (!was_slow_[i]) continue;
+    const PageId page = admitted_[i];
+    if (memory().TierOf(page) == Tier::kFast) {
+      ++fast_units_[directory_.TenantOfUnit(page, context().mode)];
+    }
+  }
+  return cost;
+}
+
+TimeNs FairSharePolicy::TrackedDemote(std::span<const PageId> pages,
+                                      TimeNs now) {
+  EnsureOccupancy();
+  was_slow_.clear();  // Reused as "was fast" marks here.
+  batch_seen_.clear();
+  for (const PageId page : pages) {
+    // Only the first occurrence of a page can move it; later duplicates
+    // must not decrement the occupancy counter a second time.
+    const bool counted = memory().IsResident(page) &&
+                         memory().TierOf(page) == Tier::kFast &&
+                         batch_seen_.insert(page).second;
+    was_slow_.push_back(counted ? 1 : 0);
+  }
+  const TimeNs cost = migration().Demote(pages, now);
+  for (size_t i = 0; i < pages.size(); ++i) {
+    if (!was_slow_[i]) continue;
+    const PageId page = pages[i];
+    if (memory().TierOf(page) == Tier::kSlow) {
+      --fast_units_[directory_.TenantOfUnit(page, context().mode)];
+    }
+  }
+  return cost;
+}
+
+void FairSharePolicy::FillQuotas(TimeNs now) {
+  if (!config_.fill_to_quota) return;
+  uint64_t free_fast = memory().FreePages(Tier::kFast);
+  for (uint32_t t = 0; t < directory_.size(); ++t) {
+    std::vector<PageId>& candidates = candidates_[t];
+    if (candidates.empty()) continue;
+    // The filler stops short of the quota: the reserved margin belongs
+    // to the base policy, whose frequency threshold picks better pages
+    // than a one-window sample count.
+    const uint64_t fill_limit = FillLimit(t);
+    const uint64_t headroom =
+        fast_units_[t] < fill_limit ? fill_limit - fast_units_[t] : 0;
+    if (headroom == 0) {
+      // At or over the fill limit: candidates are unusable, drop them.
+      candidates.clear();
+      continue;
+    }
+    if (free_fast == 0) continue;  // Keep candidates for the next tick.
+
+    // Rank this window's candidates by how often they were sampled (the
+    // within-window frequency signal), hottest first; ties break on the
+    // lower page id so the order is deterministic.
+    std::sort(candidates.begin(), candidates.end());
+    std::vector<std::pair<uint64_t, PageId>> ranked;
+    for (size_t i = 0; i < candidates.size();) {
+      size_t j = i;
+      while (j < candidates.size() && candidates[j] == candidates[i]) ++j;
+      if (memory().IsResident(candidates[i]) &&
+          memory().TierOf(candidates[i]) == Tier::kSlow) {
+        ranked.emplace_back(j - i, candidates[i]);
+      }
+      i = j;
+    }
+    candidates.clear();
+    std::sort(ranked.begin(), ranked.end(),
+              [](const std::pair<uint64_t, PageId>& a,
+                 const std::pair<uint64_t, PageId>& b) {
+                return a.first != b.first ? a.first > b.first
+                                          : a.second < b.second;
+              });
+    const uint64_t take =
+        std::min<uint64_t>({headroom, free_fast, ranked.size()});
+    if (take == 0) continue;
+    victims_.clear();  // Reused as the promotion batch here.
+    for (uint64_t i = 0; i < take; ++i) victims_.push_back(ranked[i].second);
+
+    const uint64_t before = fast_units_[t];
+    GatedPromote(victims_, now);
+    fill_promotions_[t] += fast_units_[t] - before;
+    free_fast -= std::min(free_fast, fast_units_[t] - before);
+  }
+}
+
+void FairSharePolicy::OnAccess(PageId unit, const TouchResult& touch,
+                               TimeNs now) {
+  const bool fresh = EnsureOccupancy();
+  if (!fresh && touch.first_touch && touch.tier == Tier::kFast) {
+    ++fast_units_[directory_.TenantOfUnit(unit, context().mode)];
+  }
+  base_->OnAccess(unit, touch, now);
+}
+
+void FairSharePolicy::OnSample(const SampleRecord& sample) {
+  EnsureOccupancy();
+  const uint32_t t = directory_.TenantOfUnit(sample.page, context().mode);
+  if (sample.tier == Tier::kFast) {
+    ++window_fast_samples_[t];
+  } else {
+    ++window_slow_samples_[t];
+  }
+  sink().Touch(kQuotaTableBase + (t / 2) * kCacheLineSize);
+  if (sample.tier == Tier::kSlow &&
+      candidates_[t].size() < config_.candidate_buffer) {
+    candidates_[t].push_back(sample.page);
+    sink().Touch(kQuotaTableBase +
+                 (64 + t * config_.candidate_buffer / 8 +
+                  (candidates_[t].size() - 1) / 8) *
+                     kCacheLineSize);
+  }
+  base_->OnSample(sample);
+}
+
+void FairSharePolicy::Tick(TimeNs now) {
+  EnsureOccupancy();
+  if (config_.rebalance) {
+    while (now >= next_rebalance_ns_) {
+      Rebalance(next_rebalance_ns_);
+      next_rebalance_ns_ += config_.rebalance_interval_ns;
+    }
+  }
+  EnforceQuotas(now);
+  FillQuotas(now);
+  base_->Tick(now);
+}
+
+size_t FairSharePolicy::MetadataBytes() const {
+  // Quota table (five 8 B fields per tenant) plus the per-tenant fill
+  // candidate buffers.
+  return base_->MetadataBytes() +
+         directory_.regions.size() * (5 + config_.candidate_buffer) * 8;
+}
+
+}  // namespace hybridtier

@@ -1,0 +1,202 @@
+#ifndef HYBRIDTIER_MULTITENANT_FAIR_SHARE_POLICY_H_
+#define HYBRIDTIER_MULTITENANT_FAIR_SHARE_POLICY_H_
+
+/**
+ * @file
+ * Fair-share quota wrapper around any tiering policy.
+ *
+ * On a shared fast tier, an unmanaged policy promotes whichever pages
+ * look hottest globally — so one hot tenant crowds everyone else out.
+ * `FairSharePolicy` decorates a base policy with per-tenant fast-tier
+ * quotas:
+ *
+ *  - The base policy runs unmodified, but its migrations execute through
+ *    a gate (a `MigrationEngine` decorator) that drops promotions for
+ *    tenants already at quota. Batching, syscall costs, and stats of
+ *    surviving pages are unchanged.
+ *  - A maintenance tick demotes pages of tenants that sit over quota
+ *    (first-touch allocation and quota shrinks put them there), in
+ *    address order from the top of the tenant's region — the base policy
+ *    re-promotes the hot subset within quota.
+ *  - The same tick *fills* under-quota tenants: their recently sampled
+ *    slow pages are promoted into the guaranteed headroom, hottest
+ *    (most-sampled this window) first. This is what makes a quota a
+ *    guarantee rather than just a cap — a base policy tuned for one
+ *    global hot set would otherwise leave the freed capacity stranded
+ *    while the gated tenant's pages keep crowding the top of its
+ *    histogram.
+ *  - Rebalance also *rotates* tenants whose placement is visibly bad
+ *    (sampled fast fraction under `rotate_below`): they are demoted to
+ *    the fill limit so the filler and the base policy can swap better
+ *    pages in. Without rotation a tenant pinned at quota with junk
+ *    pages (e.g. leftover first-touch placement) could never improve
+ *    its mix, and its measured hit density would starve it for good.
+ *  - Quotas start weight-proportional ("static weights"). When rebalance
+ *    is on, a periodic tick re-divides the tier in proportion to each
+ *    tenant's recent fast-tier hit density — sampled fast-tier hits per
+ *    resident unit, EMA-smoothed and weight-scaled — with a guaranteed
+ *    floor so idle tenants are never starved to zero. Density (not raw
+ *    access volume) is the signal, so a streaming tenant with no reuse
+ *    cannot out-bid a small hot set for capacity it would waste.
+ *
+ * Everything is deterministic: quotas are integer units computed in a
+ * fixed tenant order, so same config + seed replays bit-identically.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "multitenant/tenant.h"
+#include "policies/policy.h"
+
+namespace hybridtier {
+
+/** Knobs of the fair-share wrapper. */
+struct FairShareConfig {
+  /** Re-divide quotas by recent hit rate; false = static weights only. */
+  bool rebalance = true;
+  /**
+   * Virtual-time period of the rebalance tick. Sized to the simulator's
+   * compressed timescales (policy tick 1 ms, stats 20 ms).
+   */
+  TimeNs rebalance_interval_ns = 25 * kMillisecond;
+  /**
+   * Fraction of a tenant's static (weight-proportional) quota that is
+   * always guaranteed, regardless of demand.
+   */
+  double min_share = 0.25;
+  /** Cap on one quota-enforcement demotion batch, in tracking units. */
+  uint64_t max_enforce_batch = 4096;
+  /** Promote under-quota tenants' sampled slow pages into their share. */
+  bool fill_to_quota = true;
+  /** Per-tenant cap on buffered fill candidates between ticks. */
+  size_t candidate_buffer = 1024;
+  /**
+   * Fraction of each quota the filler leaves empty for the base
+   * policy's own (frequency-thresholded) promotions, so filling never
+   * crowds out the wrapped policy's better-informed picks.
+   */
+  double fill_margin = 0.125;
+  /**
+   * Rotate (demote to the fill limit at rebalance) tenants whose
+   * sampled fast-access fraction is below this, so a bad resident mix
+   * gets swapped out instead of pinning the tenant's hit density — and
+   * therefore its quota — at the floor forever.
+   */
+  double rotate_below = 0.5;
+};
+
+/** Per-tenant quota enforcement as a `TieringPolicy` decorator. */
+class FairSharePolicy : public TieringPolicy {
+ public:
+  /**
+   * @param base      wrapped policy (owned); decides *which* pages move.
+   * @param directory tenant layout; must cover the run's address space.
+   * @param config    wrapper knobs.
+   */
+  FairSharePolicy(std::unique_ptr<TieringPolicy> base,
+                  TenantDirectory directory,
+                  FairShareConfig config = FairShareConfig{});
+  ~FairSharePolicy() override;
+
+  void Bind(const PolicyContext& context) override;
+  void OnAccess(PageId unit, const TouchResult& touch, TimeNs now) override;
+  void OnSample(const SampleRecord& sample) override;
+  void Tick(TimeNs now) override;
+  size_t MetadataBytes() const override;
+  const char* name() const override { return name_.c_str(); }
+
+  /** Current fast-tier quota of `tenant`, in tracking units. */
+  uint64_t quota_units(uint32_t tenant) const { return quota_[tenant]; }
+
+  /** Tracked fast-tier occupancy of `tenant`, in tracking units. */
+  uint64_t fast_units(uint32_t tenant) const { return fast_units_[tenant]; }
+
+  /** Promotions dropped at the gate because `tenant` was at quota. */
+  uint64_t gated_promotions(uint32_t tenant) const {
+    return gated_promotions_[tenant];
+  }
+
+  /** Demotions issued by quota enforcement for `tenant`. */
+  uint64_t enforced_demotions(uint32_t tenant) const {
+    return enforced_demotions_[tenant];
+  }
+
+  /** Fill-to-quota promotions issued for `tenant`. */
+  uint64_t fill_promotions(uint32_t tenant) const {
+    return fill_promotions_[tenant];
+  }
+
+  /** The wrapped policy. */
+  const TieringPolicy& base() const { return *base_; }
+
+ private:
+  class QuotaGate;
+
+  /**
+   * Counts fast-resident units per tenant once, lazily, at the first
+   * event after the run's prefault. Returns true when this call did the
+   * initialization (callers then skip incremental updates that the scan
+   * already covered).
+   */
+  bool EnsureOccupancy();
+
+  /** Weight-proportional quotas summing exactly to the fast capacity. */
+  void ComputeStaticQuotas();
+
+  /** Demand-proportional re-division (EMA-smoothed, floored). */
+  void Rebalance(TimeNs now);
+
+  /** Fill-limit for `tenant`: its quota minus the reserved margin. */
+  uint64_t FillLimit(uint32_t tenant) const;
+
+  /** Demotes tenant `t` down to `target` fast units (one batch). */
+  void DemoteToTarget(uint32_t t, uint64_t target, TimeNs now);
+
+  /** Demotes over-quota tenants' pages down to their quotas. */
+  void EnforceQuotas(TimeNs now);
+
+  /** Promotes under-quota tenants' sampled slow pages into headroom. */
+  void FillQuotas(TimeNs now);
+
+  /** Gate path: promotion batch filtered by per-tenant headroom. */
+  TimeNs GatedPromote(std::span<const PageId> pages, TimeNs now);
+
+  /** Gate path: demotion batch with occupancy tracking. */
+  TimeNs TrackedDemote(std::span<const PageId> pages, TimeNs now);
+
+  std::unique_ptr<TieringPolicy> base_;
+  TenantDirectory directory_;
+  FairShareConfig config_;
+  std::string name_;
+
+  std::unique_ptr<QuotaGate> gate_;
+  bool occupancy_ready_ = false;
+  TimeNs next_rebalance_ns_ = 0;
+
+  // Per-tenant state, all indexed by tenant id.
+  std::vector<uint64_t> quota_;         //!< Fast-tier quota, units.
+  std::vector<uint64_t> static_quota_;  //!< Weight-proportional quota.
+  std::vector<uint64_t> fast_units_;    //!< Tracked fast occupancy.
+  std::vector<uint64_t> window_fast_samples_;  //!< Fast-tier samples.
+  std::vector<uint64_t> window_slow_samples_;  //!< Slow-tier samples.
+  std::vector<double> demand_ema_;  //!< Halving-EMA of hit density.
+  std::vector<uint64_t> gated_promotions_;
+  std::vector<uint64_t> enforced_demotions_;
+  std::vector<uint64_t> fill_promotions_;
+  std::vector<std::vector<PageId>> candidates_;  //!< Sampled slow pages.
+
+  // Scratch (avoids per-batch allocation).
+  std::vector<PageId> admitted_;
+  std::vector<uint8_t> was_slow_;
+  std::vector<uint64_t> batch_admits_;
+  std::vector<PageId> victims_;
+  std::unordered_set<PageId> batch_seen_;  //!< In-batch dedup.
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_MULTITENANT_FAIR_SHARE_POLICY_H_

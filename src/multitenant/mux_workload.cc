@@ -1,0 +1,97 @@
+#include "multitenant/mux_workload.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "workloads/factory.h"
+
+namespace hybridtier {
+
+MuxWorkload::MuxWorkload(std::vector<Tenant> tenants)
+    : tenants_(std::move(tenants)) {
+  HT_ASSERT(!tenants_.empty(), "mux workload needs at least one tenant");
+
+  // Lay tenants out back to back, each span rounded up to a 2 MiB
+  // boundary so huge-page tracking units never straddle two tenants.
+  std::map<std::string, uint32_t> name_uses;
+  uint64_t base = 0;
+  name_ = "mux(";
+  for (uint32_t i = 0; i < tenants_.size(); ++i) {
+    const Workload& workload = *tenants_[i].workload;
+    TenantRegion region;
+    region.name = workload.name();
+    const uint32_t use = name_uses[region.name]++;
+    if (use > 0) region.name += "#" + std::to_string(use);
+    region.weight = tenants_[i].weight;
+    region.base_page = base;
+    region.footprint_pages = workload.footprint_pages();
+    region.span_pages = (region.footprint_pages + kPagesPerHugePage - 1) /
+                        kPagesPerHugePage * kPagesPerHugePage;
+    base += region.span_pages;
+    if (i > 0) name_ += "+";
+    name_ += region.name;
+    directory_.regions.push_back(std::move(region));
+    active_.push_back(i);
+  }
+  name_ += ")";
+  total_span_pages_ = base;
+}
+
+bool MuxWorkload::NextOp(TimeNs now, OpTrace* op) {
+  while (!active_.empty()) {
+    if (rr_next_ >= active_.size()) rr_next_ = 0;
+    const uint32_t tenant = active_[rr_next_];
+    if (!tenants_[tenant].workload->NextOp(now, op)) {
+      // Tenant ran to completion; drop it from the rotation (its pages
+      // stay resident, as a terminated process's would until reclaim).
+      active_.erase(active_.begin() + rr_next_);
+      continue;
+    }
+    const TenantRegion& region = directory_.regions[tenant];
+    const uint64_t base_addr = region.base_page * kPageSize;
+    const uint64_t span_bytes = region.span_pages * kPageSize;
+    for (MemoryAccess& access : op->accesses) {
+      HT_ASSERT(access.addr < span_bytes, "tenant ", region.name,
+                " emitted address ", access.addr,
+                " outside its footprint");
+      access.addr += base_addr;
+    }
+    last_tenant_ = tenant;
+    ++rr_next_;
+    return true;
+  }
+  return false;
+}
+
+double DefaultTenantScale(const std::string& id) {
+  // Single-run defaults, capped at 1.0 so a handful of co-located
+  // tenants still fits a quick run (only the graph kernels exceed it).
+  return std::min(1.0, DefaultWorkloadScale(id));
+}
+
+std::unique_ptr<MuxWorkload> MakeMuxWorkload(
+    const std::vector<TenantSpec>& specs, uint64_t seed) {
+  HT_ASSERT(!specs.empty(), "tenant list is empty");
+  std::vector<MuxWorkload::Tenant> tenants;
+  tenants.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const TenantSpec& spec = specs[i];
+    uint64_t tenant_seed = spec.seed;
+    if (tenant_seed == 0) {
+      uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+      tenant_seed = SplitMix64Next(state);
+    }
+    const double scale =
+        spec.scale >= 0 ? spec.scale : DefaultTenantScale(spec.workload_id);
+    MuxWorkload::Tenant tenant;
+    tenant.workload = MakeWorkload(spec.workload_id, scale, tenant_seed);
+    tenant.weight = spec.weight;
+    tenants.push_back(std::move(tenant));
+  }
+  return std::make_unique<MuxWorkload>(std::move(tenants));
+}
+
+}  // namespace hybridtier

@@ -1,0 +1,86 @@
+#ifndef HYBRIDTIER_MULTITENANT_MUX_WORKLOAD_H_
+#define HYBRIDTIER_MULTITENANT_MUX_WORKLOAD_H_
+
+/**
+ * @file
+ * Multi-tenant workload multiplexer.
+ *
+ * `MuxWorkload` composes N tenant workloads into one interleaved access
+ * stream, the shared-tier analogue of N applications running on one
+ * host. Each tenant is remapped into a disjoint, 2 MiB-aligned region of
+ * the shared address space (so tracking units never straddle tenants in
+ * either page mode), and every operation is tagged with the tenant that
+ * generated it via `TenantTagSource`. Interleaving is deterministic
+ * round-robin in op space — the multi-programmed schedule an OS would
+ * produce with one runnable thread per tenant — so same specs + seed
+ * replay bit-identically.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "multitenant/tenant.h"
+#include "workloads/tenant_tag.h"
+#include "workloads/workload.h"
+
+namespace hybridtier {
+
+/** N tenant workloads multiplexed into one tagged access stream. */
+class MuxWorkload : public Workload, public TenantTagSource {
+ public:
+  /** One admitted tenant: its generator and fair-share weight. */
+  struct Tenant {
+    std::unique_ptr<Workload> workload;
+    double weight = 1.0;
+  };
+
+  /** Lays out `tenants` in admission order; needs at least one. */
+  explicit MuxWorkload(std::vector<Tenant> tenants);
+
+  // Workload:
+  bool NextOp(TimeNs now, OpTrace* op) override;
+  uint64_t footprint_pages() const override { return total_span_pages_; }
+  const char* name() const override { return name_.c_str(); }
+
+  // TenantTagSource:
+  uint32_t tenant_count() const override { return directory_.size(); }
+  uint32_t last_tenant() const override { return last_tenant_; }
+  const std::string& tenant_name(uint32_t tenant) const override {
+    return directory_.regions[tenant].name;
+  }
+  PageRange tenant_units(uint32_t tenant, PageMode mode) const override {
+    return directory_.regions[tenant].UnitRange(mode);
+  }
+
+  /** The shared-tier layout (regions in admission order). */
+  const TenantDirectory& directory() const { return directory_; }
+
+ private:
+  std::vector<Tenant> tenants_;
+  TenantDirectory directory_;
+  std::vector<uint32_t> active_;  //!< Unfinished tenants, rotation order.
+  size_t rr_next_ = 0;            //!< Next rotation slot to serve.
+  uint32_t last_tenant_ = 0;
+  uint64_t total_span_pages_ = 0;
+  std::string name_;
+};
+
+/**
+ * Default footprint scale for workload `id` when admitted as a tenant.
+ * Smaller than the single-run bench defaults since N tenants share one
+ * simulated machine.
+ */
+double DefaultTenantScale(const std::string& id);
+
+/**
+ * Builds a MuxWorkload from parsed specs. Per-tenant seeds derive from
+ * `seed` + the tenant index (unless the spec pins one), so co-located
+ * instances of the same workload id still generate distinct streams.
+ */
+std::unique_ptr<MuxWorkload> MakeMuxWorkload(
+    const std::vector<TenantSpec>& specs, uint64_t seed);
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_MULTITENANT_MUX_WORKLOAD_H_

@@ -1,0 +1,70 @@
+#include "multitenant/tenant.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "workloads/factory.h"
+
+namespace hybridtier {
+
+std::vector<TenantSpec> ParseTenantList(const std::string& list) {
+  std::vector<TenantSpec> specs;
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string entry = list.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) {
+      HT_FATAL("empty tenant entry in list '", list, "'");
+    }
+
+    TenantSpec spec;
+    const size_t colon = entry.find(':');
+    spec.workload_id = entry.substr(0, colon);
+    if (colon != std::string::npos) {
+      const std::string weight = entry.substr(colon + 1);
+      size_t parsed = 0;
+      try {
+        spec.weight = std::stod(weight, &parsed);
+      } catch (const std::exception&) {
+        parsed = 0;
+      }
+      if (parsed != weight.size() || spec.weight <= 0.0) {
+        HT_FATAL("bad tenant weight '", weight, "' in entry '", entry,
+                 "' (must be a positive number)");
+      }
+    }
+    if (!IsWorkloadId(spec.workload_id)) {
+      HT_FATAL("unknown workload id '", spec.workload_id,
+               "' in tenant list '", list, "'");
+    }
+    specs.push_back(std::move(spec));
+    if (comma == list.size()) break;
+  }
+  return specs;
+}
+
+double TenantDirectory::TotalWeight() const {
+  double total = 0.0;
+  for (const TenantRegion& region : regions) total += region.weight;
+  return total;
+}
+
+uint32_t TenantDirectory::TenantOfUnit(PageId unit, PageMode mode) const {
+  // Regions are laid out contiguously in allocation order, so the owner
+  // is the last region whose range begins at or before `unit`.
+  const auto it = std::upper_bound(
+      regions.begin(), regions.end(), unit,
+      [mode](PageId u, const TenantRegion& region) {
+        return u < region.UnitRange(mode).begin;
+      });
+  HT_ASSERT(it != regions.begin(), "unit ", unit, " precedes all tenants");
+  const uint32_t tenant =
+      static_cast<uint32_t>(std::distance(regions.begin(), it)) - 1;
+  HT_ASSERT(regions[tenant].UnitRange(mode).Contains(unit), "unit ", unit,
+            " beyond the last tenant region");
+  return tenant;
+}
+
+}  // namespace hybridtier

@@ -1,0 +1,78 @@
+#ifndef HYBRIDTIER_MULTITENANT_TENANT_H_
+#define HYBRIDTIER_MULTITENANT_TENANT_H_
+
+/**
+ * @file
+ * Tenant descriptions for the multi-tenant tiering subsystem.
+ *
+ * Real CXL deployments co-locate many applications on one fast tier; an
+ * unmanaged policy lets one hot tenant starve the rest. The types here
+ * describe who shares the tier: a `TenantSpec` names a workload and its
+ * fair-share weight, and a `TenantDirectory` records where each admitted
+ * tenant landed in the shared simulated address space. The directory is
+ * the contract between the `MuxWorkload` that lays tenants out, the
+ * `FairSharePolicy` that enforces quotas, and the simulation harness
+ * that attributes results.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/page.h"
+
+namespace hybridtier {
+
+/** One tenant to admit: which workload it runs and its share weight. */
+struct TenantSpec {
+  std::string workload_id;  //!< Workload-factory id (e.g. "cdn", "zipf").
+  double weight = 1.0;      //!< Fair-share weight (fast-tier quota).
+  double scale = -1.0;      //!< Footprint scale; < 0 = per-family default.
+  uint64_t seed = 0;        //!< 0 = derive from the run seed + index.
+};
+
+/**
+ * Parses a tenant list of the form "cdn,bfs-k:2,silo:0.5". Each entry is
+ * a workload id with an optional ":weight" suffix (weight > 0, default
+ * 1). Fatal on malformed entries or unknown workload ids.
+ */
+std::vector<TenantSpec> ParseTenantList(const std::string& list);
+
+/** Where one admitted tenant lives in the shared address space. */
+struct TenantRegion {
+  std::string name;           //!< Display name (unique within the run).
+  double weight = 1.0;        //!< Fair-share weight from the spec.
+  uint64_t base_page = 0;     //!< First 4 KiB page of the region.
+  uint64_t footprint_pages = 0;  //!< Pages the tenant actually uses.
+  uint64_t span_pages = 0;    //!< Reserved span (2 MiB-aligned).
+
+  /** Tracking units [begin, end) under `mode`; exact in both modes. */
+  PageRange UnitRange(PageMode mode) const {
+    const uint64_t per_unit =
+        mode == PageMode::kHuge ? kPagesPerHugePage : 1;
+    return PageRange{base_page / per_unit,
+                     (base_page + span_pages) / per_unit};
+  }
+};
+
+/** The shared-tier layout: one region per admitted tenant. */
+struct TenantDirectory {
+  std::vector<TenantRegion> regions;
+
+  /** Number of tenants. */
+  uint32_t size() const { return static_cast<uint32_t>(regions.size()); }
+
+  /** Sum of all tenant weights. */
+  double TotalWeight() const;
+
+  /**
+   * Tenant owning tracking unit `unit` under `mode`; fatal if the unit
+   * belongs to no region (the layout covers the whole footprint, so this
+   * only fires on out-of-range units).
+   */
+  uint32_t TenantOfUnit(PageId unit, PageMode mode) const;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_MULTITENANT_TENANT_H_

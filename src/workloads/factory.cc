@@ -9,6 +9,7 @@
 #include "workloads/graph.h"
 #include "workloads/silo_ycsb.h"
 #include "workloads/spec_stream.h"
+#include "workloads/synthetic.h"
 #include "workloads/xgboost.h"
 
 namespace hybridtier {
@@ -70,8 +71,17 @@ const std::vector<std::string>& AllWorkloadIds() {
 }
 
 bool IsWorkloadId(const std::string& id) {
+  if (id == "zipf") return true;  // Synthetic extra, not in paper order.
   const auto& ids = AllWorkloadIds();
   return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+double DefaultWorkloadScale(const std::string& id) {
+  if (id == "cdn" || id == "social") return 0.1;
+  if (id == "bwaves" || id == "roms" || id == "silo") return 0.25;
+  if (id == "xgboost") return 0.5;
+  if (id == "zipf") return 1.0;
+  return 2.0;  // GAP graph kernels.
 }
 
 std::unique_ptr<Workload> MakeWorkload(const std::string& id, double scale,
@@ -128,6 +138,12 @@ std::unique_ptr<Workload> MakeWorkload(const std::string& id, double scale,
     config.num_rows = Scaled(200000, scale, 4000);
     config.seed = seed;
     return std::make_unique<XgboostWorkload>(config, "xgboost");
+  }
+  if (id == "zipf") {
+    SyntheticZipfConfig config;
+    config.num_pages = Scaled(49152, scale, 1024);
+    config.seed = seed;
+    return std::make_unique<SyntheticZipfWorkload>(config);
   }
   HT_FATAL("unknown workload id '", id, "'");
 }

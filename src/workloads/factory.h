@@ -7,7 +7,9 @@
  * id. Benches and examples use this to sweep the full evaluation matrix.
  *
  * Ids: "cdn", "social", "bfs-k", "bfs-u", "cc-k", "cc-u", "pr-k",
- * "pr-u", "bwaves", "roms", "silo", "xgboost".
+ * "pr-u", "bwaves", "roms", "silo", "xgboost", plus the synthetic
+ * "zipf" hot-set generator (valid everywhere but excluded from
+ * `AllWorkloadIds`, which stays in paper sweep order).
  *
  * The `scale` parameter shrinks or grows footprints relative to the
  * bench defaults (tests use ~0.1, benches 0.5-1.0). Generated GAP graphs
@@ -30,6 +32,13 @@ const std::vector<std::string>& AllWorkloadIds();
 
 /** True if `id` names a known workload. */
 bool IsWorkloadId(const std::string& id);
+
+/**
+ * Default single-run footprint scale for `id` (the per-family defaults
+ * `ht_run` uses): CacheLib 0.1, SPEC/Silo 0.25, XGBoost 0.5, graphs
+ * 2.0, zipf 1.0.
+ */
+double DefaultWorkloadScale(const std::string& id);
 
 /**
  * Builds the workload `id` at the given footprint scale. For CacheLib

@@ -1,0 +1,44 @@
+#include "workloads/synthetic.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace hybridtier {
+
+SyntheticZipfWorkload::SyntheticZipfWorkload(
+    const SyntheticZipfConfig& config)
+    : config_(config),
+      heap_(space_.Allocate(kPageSize, config.num_pages, "heap")),
+      zipf_(config.num_pages, config.theta),
+      rng_(config.seed),
+      page_of_rank_(config.num_pages) {
+  HT_ASSERT(config.num_pages > 0, "zipf workload needs a footprint");
+  HT_ASSERT(config.accesses_per_op > 0,
+            "zipf workload needs accesses per op");
+  HT_ASSERT(config.num_pages <= UINT32_MAX, "zipf footprint too large");
+  std::iota(page_of_rank_.begin(), page_of_rank_.end(), 0u);
+  rng_.Shuffle(page_of_rank_.data(), page_of_rank_.size());
+}
+
+bool SyntheticZipfWorkload::NextOp(TimeNs now, OpTrace* op) {
+  (void)now;
+  op->Clear();
+  for (uint32_t i = 0; i < config_.accesses_per_op; ++i) {
+    const uint64_t rank = zipf_.Next(rng_);
+    const uint64_t page = page_of_rank_[rank];
+    // A line-aligned offset inside the page: accesses within one page
+    // still vary which cache lines they touch.
+    const uint64_t offset =
+        rng_.NextBounded(kPageSize / kCacheLineSize) * kCacheLineSize;
+    const uint64_t addr = heap_.AddrOf(page) + offset;
+    if (rng_.Bernoulli(config_.write_fraction)) {
+      op->Write(addr);
+    } else {
+      op->Read(addr);
+    }
+  }
+  return true;
+}
+
+}  // namespace hybridtier

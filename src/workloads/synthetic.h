@@ -1,0 +1,56 @@
+#ifndef HYBRIDTIER_WORKLOADS_SYNTHETIC_H_
+#define HYBRIDTIER_WORKLOADS_SYNTHETIC_H_
+
+/**
+ * @file
+ * Synthetic Zipf workload: a tunable hot-set generator.
+ *
+ * Not one of the paper's twelve applications — a controllable tenant for
+ * multi-tenant experiments. Pages are accessed with Zipfian popularity
+ * (rank 0 hottest), and a fixed random permutation scatters ranks across
+ * the address space so hot pages are not address-clustered (first-touch
+ * allocation would otherwise trivially place them in the fast tier).
+ * Skew, footprint, and op shape are all knobs, which makes it the
+ * archetypal "hot tenant" when co-located with real workloads.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "workloads/address_space.h"
+#include "workloads/workload.h"
+#include "workloads/zipf.h"
+
+namespace hybridtier {
+
+/** Knobs of the synthetic Zipf workload. */
+struct SyntheticZipfConfig {
+  uint64_t num_pages = 49152;    //!< Footprint in 4 KiB pages (~192 MiB).
+  double theta = 0.99;           //!< Zipf skew (YCSB default).
+  uint32_t accesses_per_op = 4;  //!< Accesses per operation.
+  double write_fraction = 0.1;   //!< Fraction of accesses that are writes.
+  uint64_t seed = 42;
+};
+
+/** Endless Zipf-over-pages access generator. */
+class SyntheticZipfWorkload : public Workload {
+ public:
+  explicit SyntheticZipfWorkload(const SyntheticZipfConfig& config);
+
+  bool NextOp(TimeNs now, OpTrace* op) override;
+  uint64_t footprint_pages() const override { return space_.total_pages(); }
+  const char* name() const override { return "zipf"; }
+
+ private:
+  SyntheticZipfConfig config_;
+  AddressSpace space_;
+  VirtualArray heap_;
+  ZipfGenerator zipf_;
+  Rng rng_;
+  std::vector<uint32_t> page_of_rank_;  //!< Popularity-rank scatter.
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_WORKLOADS_SYNTHETIC_H_

@@ -1,0 +1,48 @@
+#ifndef HYBRIDTIER_WORKLOADS_TENANT_TAG_H_
+#define HYBRIDTIER_WORKLOADS_TENANT_TAG_H_
+
+/**
+ * @file
+ * Tenant attribution interface for composite (multi-tenant) workloads.
+ *
+ * A workload that multiplexes several tenants into one access stream
+ * implements this alongside `Workload`; the simulation harness detects it
+ * with a `dynamic_cast` and, when present, attributes every operation to
+ * the tenant that generated it (per-tenant ops, latency percentiles,
+ * fast-tier occupancy, Jain fairness index). Single-tenant workloads need
+ * no changes — the harness simply finds no tag source and skips the
+ * per-tenant bookkeeping.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "mem/page.h"
+
+namespace hybridtier {
+
+/** Per-op tenant attribution provided by multiplexing workloads. */
+class TenantTagSource {
+ public:
+  virtual ~TenantTagSource() = default;
+
+  /** Number of tenants multiplexed into the stream. */
+  virtual uint32_t tenant_count() const = 0;
+
+  /** Tenant that generated the most recent successful NextOp. */
+  virtual uint32_t last_tenant() const = 0;
+
+  /** Display name of tenant `tenant` (e.g. "cdn", "bfs-k#1"). */
+  virtual const std::string& tenant_name(uint32_t tenant) const = 0;
+
+  /**
+   * Tracking-unit range [begin, end) owned by tenant `tenant` under
+   * `mode`. Ranges are pairwise disjoint and exact in both page modes
+   * (regions are 2 MiB aligned).
+   */
+  virtual PageRange tenant_units(uint32_t tenant, PageMode mode) const = 0;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_WORKLOADS_TENANT_TAG_H_
