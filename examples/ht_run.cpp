@@ -49,9 +49,11 @@ void PrintUsage() {
          "  --seed <n>        RNG seed (default 42)\n"
          "  --huge            2 MiB tracking/migration granularity\n"
          "  --tenants <list>  multi-tenant mode: comma-separated\n"
-         "                    workload ids with optional :weight\n"
-         "                    (e.g. cdn,bfs-k:2,silo); also accepts the\n"
-         "                    synthetic \"zipf\" hot-set tenant\n"
+         "                    workload ids with optional :weight and\n"
+         "                    optional @arrival[-departure] residency\n"
+         "                    window in virtual ns (e.g.\n"
+         "                    cdn@0-3e8,bfs-k:2@1e8,silo); also accepts\n"
+         "                    the synthetic \"zipf\" hot-set tenant\n"
          "  --fair            wrap the policy in the per-tenant\n"
          "                    fair-share quota enforcer\n"
          "  --no-rebalance    fair-share: static weight quotas only\n";
@@ -61,13 +63,14 @@ void PrintUsage() {
 void PrintTenantResults(const SimulationResult& result,
                         uint64_t fast_capacity_units,
                         const FairSharePolicy* fair) {
-  TablePrinter table({"tenant", "ops", "Mop/s", "p50 ns", "p99 ns",
-                      "fast-fill %", "fast units", "tier share %",
-                      "quota"});
+  TablePrinter table({"tenant", "weight", "ops", "Mop/s", "p50 ns",
+                      "p99 ns", "fast-fill %", "fast units",
+                      "tier share %", "quota"});
   for (size_t t = 0; t < result.tenants.size(); ++t) {
     const TenantResult& tenant = result.tenants[t];
     table.AddRow(
-        {tenant.name, std::to_string(tenant.ops),
+        {tenant.name, FormatDouble(tenant.weight, 1),
+         std::to_string(tenant.ops),
          FormatDouble(tenant.throughput_mops, 3),
          FormatDouble(tenant.median_latency_ns, 0),
          FormatDouble(tenant.p99_latency_ns, 0),
@@ -84,8 +87,10 @@ void PrintTenantResults(const SimulationResult& result,
   }
   table.SetTitle("per-tenant results");
   table.Print(std::cout);
-  std::cout << "Jain fairness (tier share): "
-            << FormatDouble(result.jain_fairness, 3) << "\n";
+  std::cout << "Jain fairness (tier share):     "
+            << FormatDouble(result.jain_fairness, 3) << "\n"
+            << "weighted Jain (share / weight): "
+            << FormatDouble(result.weighted_jain_fairness, 3) << "\n";
 }
 
 }  // namespace
@@ -210,6 +215,14 @@ int main(int argc, char** argv) {
               << " Mop/s\n";
     PrintTenantResults(result, simulation.fast_capacity_units(),
                        fair_policy);
+    if (!mux->churn_events().empty()) {
+      std::cout << "churn events:\n";
+      for (const TenantChurnEvent& event : mux->churn_events()) {
+        std::cout << "  " << FormatTime(event.time_ns) << "  "
+                  << (event.arrival ? "arrival   " : "departure ")
+                  << mux->tenant_name(event.tenant) << "\n";
+      }
+    }
     return 0;
   }
 

@@ -120,6 +120,21 @@ double JainFairnessIndex(const std::vector<double>& values) {
          (static_cast<double>(values.size()) * sum_squares);
 }
 
+double WeightedJainFairnessIndex(const std::vector<double>& values,
+                                 const std::vector<double>& weights) {
+  HT_ASSERT(values.size() == weights.size(),
+            "weighted fairness needs one weight per value: ",
+            values.size(), " vs ", weights.size());
+  std::vector<double> normalized;
+  normalized.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    HT_ASSERT(weights[i] > 0.0, "fairness weight must be positive, got ",
+              weights[i]);
+    normalized.push_back(values[i] / weights[i]);
+  }
+  return JainFairnessIndex(normalized);
+}
+
 uint64_t SettleTimeNs(const TimeSeries& series, double target,
                       double tolerance, uint64_t not_before_ns) {
   const double band = std::abs(target) * tolerance;

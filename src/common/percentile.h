@@ -121,6 +121,16 @@ uint64_t SettleTimeNs(const TimeSeries& series, double target,
 double JainFairnessIndex(const std::vector<double>& values);
 
 /**
+ * Weight-normalized Jain fairness: the plain index over values[i] /
+ * weights[i], so a split that tracks the weights ("a:4,b:1" holding a
+ * 4:1 occupancy ratio) scores 1.0. `weights` must be positive and the
+ * same length as `values`; with all weights equal this reduces to
+ * JainFairnessIndex.
+ */
+double WeightedJainFairnessIndex(const std::vector<double>& values,
+                                 const std::vector<double>& weights);
+
+/**
  * Noise-tolerant settle detector: returns the time of the first point at
  * or after `not_before_ns` from which at least `sustain_points`
  * consecutive points all lie within `tolerance` (relative) of `target`.

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/units.h"
+#include "policies/scan_util.h"
 
 namespace hybridtier {
 
@@ -114,6 +115,16 @@ void HybridTierPolicy::OnSample(const SampleRecord& sample) {
   const uint32_t new_freq = freq_->RecordAccess(unit, sink());
   if (freq_->cooled_on_last_record()) {
     histogram_->CoolByHalving();
+    // The halved histogram carries this unit at old_freq/2 — the
+    // increment that triggered the cooling never reached it. Re-seat the
+    // unit at its post-cooling estimate so the increment is not lost.
+    // (A unit that was tracked at all stays tracked through halving,
+    // even in bucket 0, so the Remove guard is on old_freq itself.)
+    if (new_freq > old_freq / 2) {
+      if (old_freq > 0) histogram_->Remove(old_freq / 2);
+      histogram_->Add(new_freq);
+      sink().Touch(kHistBase + (new_freq / 8) * kCacheLineSize);
+    }
   } else if (new_freq > old_freq) {
     if (old_freq > 0) histogram_->Remove(old_freq);
     histogram_->Add(new_freq);
@@ -136,7 +147,11 @@ void HybridTierPolicy::OnSample(const SampleRecord& sample) {
   }
 
   // A promoted-and-rehot page should not be demoted by a stale mark.
-  if (!second_chance_.empty() && new_freq > old_freq) {
+  // The sample that triggers cooling also counts: the unit was
+  // incremented before the halving, even though the returned estimate
+  // is now below old_freq.
+  if (!second_chance_.empty() &&
+      (new_freq > old_freq || freq_->cooled_on_last_record())) {
     second_chance_.erase(unit);
   }
 
@@ -231,17 +246,10 @@ uint64_t HybridTierPolicy::DemoteColdPages(uint64_t needed, TimeNs now) {
   };
 
   for (const bool relaxed : {false, true}) {
-    uint64_t scanned = 0;
-    while (scanned < config_.scan_units_per_tick &&
-           victims.size() < needed) {
-      const uint64_t chunk =
-          std::min<uint64_t>(1024, config_.scan_units_per_tick - scanned);
-      mem.ScanResident(scan_cursor_, chunk, Tier::kFast,
-                       [&](PageId unit) { classify(unit, relaxed); });
-      scanned += chunk;
-      scan_cursor_ += chunk;
-      if (scan_cursor_ >= footprint) scan_cursor_ = 0;
-    }
+    BudgetedResidentScan(mem, &scan_cursor_, footprint,
+                         config_.scan_units_per_tick, Tier::kFast,
+                         [&] { return victims.size() >= needed; },
+                         [&](PageId unit) { classify(unit, relaxed); });
     if (victims.size() >= needed) break;
   }
 

@@ -109,6 +109,9 @@ class HybridTierPolicy : public TieringPolicy {
     return second_chance_demotions_;
   }
 
+  /** Demotion VA-scan cursor, in tracking units (observability/tests). */
+  PageId scan_cursor() const { return scan_cursor_; }
+
  private:
   struct SecondChanceMark {
     uint32_t freq_at_mark = 0;

@@ -83,15 +83,19 @@ Simulation::Simulation(const SimulationConfig& config, Workload* workload,
       // Distinct multiplier from MakeMuxWorkload's per-tenant workload
       // seeds, so no reservoir ever replays a tenant's access RNG.
       uint64_t state = config.seed ^ (0xc2b2ae3d27d4eb4fULL * (t + 1));
-      tenant_states_.emplace_back(SplitMix64Next(state));
+      tenant_states_.emplace_back(SplitMix64Next(state),
+                                  config.latency_window);
     }
   }
 }
 
 Simulation::~Simulation() = default;
 
-void Simulation::RecordTimelinePoint() {
-  result_.latency_timeline.Add(now_, window_.Median());
+void Simulation::RecordTimelinePoint(TimeNs at, bool idle) {
+  // A point inside an all-idle churn gap has no op latency; carrying
+  // the last window median forward would plot an idle machine as still
+  // running.
+  result_.latency_timeline.Add(at, idle ? 0.0 : window_.Median());
 
   const uint64_t l1_app = hierarchy_->L1Misses(AccessOwner::kApp);
   const uint64_t l1_tier = hierarchy_->L1Misses(AccessOwner::kTiering);
@@ -110,17 +114,48 @@ void Simulation::RecordTimelinePoint() {
   const uint64_t l1_total = d_l1_app + d_l1_tier;
   const uint64_t llc_total = d_llc_app + d_llc_tier;
   result_.tiering_l1_share_timeline.Add(
-      now_, l1_total ? static_cast<double>(d_l1_tier) /
-                           static_cast<double>(l1_total)
-                     : 0.0);
+      at, l1_total ? static_cast<double>(d_l1_tier) /
+                         static_cast<double>(l1_total)
+                   : 0.0);
   result_.tiering_llc_share_timeline.Add(
-      now_, llc_total ? static_cast<double>(d_llc_tier) /
-                            static_cast<double>(llc_total)
-                      : 0.0);
+      at, llc_total ? static_cast<double>(d_llc_tier) /
+                          static_cast<double>(llc_total)
+                    : 0.0);
   result_.fast_used_timeline.Add(
-      now_, static_cast<double>(memory_->UsedPages(Tier::kFast)) /
-                static_cast<double>(
-                    std::max<uint64_t>(1, fast_capacity_units_)));
+      at, static_cast<double>(memory_->UsedPages(Tier::kFast)) /
+              static_cast<double>(
+                  std::max<uint64_t>(1, fast_capacity_units_)));
+
+  if (tenant_source_ != nullptr) {
+    // Per-tenant adaptation series: fast-tier occupancy share and the
+    // recent-window latency median, plus the weighted fairness index
+    // over the tenants present right now (absent tenants hold nothing
+    // and would misread as unfairness).
+    std::vector<double> shares;
+    std::vector<double> weights;
+    for (uint32_t t = 0; t < tenant_source_->tenant_count(); ++t) {
+      TenantState& state = tenant_states_[t];
+      const PageRange range = tenant_source_->tenant_units(t, config_.mode);
+      uint64_t fast_resident = 0;
+      memory_->ScanResident(range.begin, range.size(), Tier::kFast,
+                            [&fast_resident](PageId) { ++fast_resident; });
+      const double share =
+          static_cast<double>(fast_resident) /
+          static_cast<double>(std::max<uint64_t>(1, fast_capacity_units_));
+      const bool present = tenant_source_->tenant_active_at(t, at);
+      state.occupancy_timeline.Add(at, share);
+      // A departed or idle tenant serves no ops; carrying its last
+      // window median forward would plot it as still running.
+      state.latency_timeline.Add(
+          at, present && !idle ? state.window.Median() : 0.0);
+      if (present) {
+        shares.push_back(share);
+        weights.push_back(tenant_source_->tenant_weight(t));
+      }
+    }
+    result_.weighted_fairness_timeline.Add(
+        at, WeightedJainFairnessIndex(shares, weights));
+  }
 }
 
 SimulationResult Simulation::Run() {
@@ -134,9 +169,21 @@ SimulationResult Simulation::Run() {
 
   if (config_.prefault_at_start) {
     // Application initialization: allocate the whole footprint in
-    // address order (see SimulationConfig::prefault_at_start).
-    for (PageId unit = 0; unit < footprint_units_; ++unit) {
-      memory_->Touch(unit, now_);
+    // address order (see SimulationConfig::prefault_at_start). Tenants
+    // that have not arrived yet do not exist yet — their regions stay
+    // unallocated until their own first touches.
+    if (tenant_source_ != nullptr) {
+      for (uint32_t t = 0; t < tenant_source_->tenant_count(); ++t) {
+        if (!tenant_source_->tenant_active_at(t, 0)) continue;
+        const PageRange range = tenant_source_->tenant_units(t, config_.mode);
+        for (PageId unit = range.begin; unit < range.end; ++unit) {
+          memory_->Touch(unit, now_);
+        }
+      }
+    } else {
+      for (PageId unit = 0; unit < footprint_units_; ++unit) {
+        memory_->Touch(unit, now_);
+      }
     }
   }
 
@@ -145,11 +192,63 @@ SimulationResult Simulation::Run() {
     if (config_.max_time_ns != 0 && now_ >= config_.max_time_ns) break;
     if (!workload_->NextOp(now_, &op)) break;
 
+    if (op.accesses.empty()) {
+      // Pure idle gap (no tenant runnable before the next arrival):
+      // virtual time passes and the policy keeps ticking, but no
+      // operation is recorded — an idle machine is not a slow one. The
+      // jump is clamped at the run budget so a distant arrival cannot
+      // drag the tick loop past the configured end of the run.
+      TimeNs target =
+          now_ + std::max<TimeNs>(op.think_time_ns, config_.op_overhead_ns);
+      if (config_.max_time_ns != 0) {
+        target = std::min(target, config_.max_time_ns);
+      }
+      now_ = std::max(now_ + 1, target);
+      // Interleave ticks and stats in schedule order so each timeline
+      // point samples the policy state as of its own timestamp, not the
+      // state at the end of the gap. A gap spanning thousands of
+      // intervals (a distant arrival) replays only its leading and
+      // trailing edges: the policy still sees the departure promptly
+      // and fresh state before the arrival, without a tick per empty
+      // millisecond in between.
+      constexpr uint64_t kGapEdgeEvents = 64;
+      uint64_t gap_events = 0;
+      while (next_tick <= now_ || next_stats <= now_) {
+        if (++gap_events == kGapEdgeEvents) {
+          const auto skip_forward = [this](TimeNs next, TimeNs interval) {
+            if (next > now_) return next;
+            const uint64_t remaining = (now_ - next) / interval;
+            if (remaining <= kGapEdgeEvents) return next;
+            return next + (remaining - kGapEdgeEvents) * interval;
+          };
+          next_tick = skip_forward(next_tick, config_.tick_interval_ns);
+          next_stats = skip_forward(next_stats, config_.stats_interval_ns);
+        }
+        if (next_tick <= next_stats) {
+          policy_->Tick(next_tick);
+          next_tick += config_.tick_interval_ns;
+        } else {
+          RecordTimelinePoint(next_stats, /*idle=*/true);
+          next_stats += config_.stats_interval_ns;
+        }
+      }
+      // Migrations issued by ticks inside the gap (e.g. a departure
+      // releasing its region) stall no application — nothing is
+      // running. Absorb them so the first op after the gap is not
+      // charged for them.
+      last_migration_batches_ = migration_->stats().promotion_batches +
+                                migration_->stats().demotion_batches;
+      last_migration_pages_ = migration_->stats().promoted_pages +
+                              migration_->stats().demoted_pages;
+      continue;
+    }
+
     TenantState* tenant =
         tenant_source_ == nullptr
             ? nullptr
             : &tenant_states_[tenant_source_->last_tenant()];
 
+    now_ += op.think_time_ns;  // Idle stall preceding the accesses.
     TimeNs op_latency = config_.op_overhead_ns;
     now_ += config_.op_overhead_ns;
 
@@ -228,10 +327,11 @@ SimulationResult Simulation::Run() {
       ++tenant->ops;
       tenant->accesses += op.accesses.size();
       tenant->reservoir.Add(static_cast<double>(op_latency));
+      tenant->window.Add(static_cast<double>(op_latency));
     }
 
     while (now_ >= next_stats) {
-      RecordTimelinePoint();
+      RecordTimelinePoint(next_stats);
       next_stats += config_.stats_interval_ns;
     }
 
@@ -283,10 +383,13 @@ SimulationResult Simulation::Run() {
 void Simulation::FinalizeTenantResults() {
   if (tenant_source_ == nullptr) return;
   std::vector<double> occupancies;
+  std::vector<double> present_occupancies;
+  std::vector<double> present_weights;
   for (uint32_t t = 0; t < tenant_source_->tenant_count(); ++t) {
-    const TenantState& state = tenant_states_[t];
+    TenantState& state = tenant_states_[t];
     TenantResult tenant;
     tenant.name = tenant_source_->tenant_name(t);
+    tenant.weight = tenant_source_->tenant_weight(t);
     tenant.ops = state.ops;
     tenant.accesses = state.accesses;
     tenant.fast_mem_accesses = state.fast_mem_accesses;
@@ -305,11 +408,20 @@ void Simulation::FinalizeTenantResults() {
     memory_->ScanResident(range.begin, range.size(), Tier::kFast,
                           [&fast_resident](PageId) { ++fast_resident; });
     tenant.fast_resident_units = fast_resident;
+    tenant.occupancy_timeline = std::move(state.occupancy_timeline);
+    tenant.latency_timeline = std::move(state.latency_timeline);
 
     occupancies.push_back(static_cast<double>(tenant.fast_resident_units));
+    if (tenant_source_->tenant_active_at(t, now_)) {
+      present_occupancies.push_back(
+          static_cast<double>(tenant.fast_resident_units));
+      present_weights.push_back(tenant.weight);
+    }
     result_.tenants.push_back(std::move(tenant));
   }
   result_.jain_fairness = JainFairnessIndex(occupancies);
+  result_.weighted_jain_fairness =
+      WeightedJainFairnessIndex(present_occupancies, present_weights);
 }
 
 SimulationResult RunSimulation(const SimulationConfig& config,

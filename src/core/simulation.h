@@ -73,6 +73,7 @@ struct SimulationConfig {
  */
 struct TenantResult {
   std::string name;
+  double weight = 1.0;               //!< Fair-share weight.
   uint64_t ops = 0;
   uint64_t accesses = 0;
   uint64_t fast_mem_accesses = 0;  //!< Demand fills served by fast tier.
@@ -83,6 +84,10 @@ struct TenantResult {
   double median_latency_ns = 0.0;    //!< Post-warmup op latency median.
   double p99_latency_ns = 0.0;
   double mean_latency_ns = 0.0;
+
+  // Per-tenant adaptation timelines, sampled every stats_interval_ns.
+  TimeSeries occupancy_timeline;  //!< Fast units / fast capacity.
+  TimeSeries latency_timeline;    //!< Windowed median op latency.
 
   /** Fraction of this tenant's demand fills served by the fast tier. */
   double FastAccessFraction() const {
@@ -151,6 +156,19 @@ struct SimulationResult {
    * 1.0 for single-tenant runs.
    */
   double jain_fairness = 1.0;
+  /**
+   * Weight-normalized Jain fairness over occupancy / weight, scoring a
+   * weighted split ("a:4,b:1") as fair when occupancies track weights.
+   * Computed over the tenants present at end of run (departed tenants
+   * hold nothing and would otherwise pin the index low forever).
+   */
+  double weighted_jain_fairness = 1.0;
+  /**
+   * The weighted index sampled every stats_interval_ns over the tenants
+   * present at each instant — the churn-adaptation series a bench plots
+   * to measure quota reconvergence after an arrival or departure.
+   */
+  TimeSeries weighted_fairness_timeline;
 
   /** Fraction of demand fills served by the fast tier. */
   double FastAccessFraction() const {
@@ -214,12 +232,19 @@ class Simulation {
     uint64_t fast_mem_accesses = 0;
     uint64_t slow_mem_accesses = 0;
     ReservoirSampler reservoir;
+    WindowedPercentile window;      //!< Recent op latencies (timeline).
+    TimeSeries occupancy_timeline;  //!< Fast units / fast capacity.
+    TimeSeries latency_timeline;    //!< Windowed median op latency.
 
-    explicit TenantState(uint64_t seed) : reservoir(16384, seed) {}
+    TenantState(uint64_t seed, size_t latency_window)
+        : reservoir(16384, seed), window(latency_window) {}
   };
 
-  /** Captures per-interval timeline points. */
-  void RecordTimelinePoint();
+  /**
+   * Captures one timeline point stamped at scheduled sample time `at`.
+   * `idle` marks points inside an all-idle churn gap (no op latency).
+   */
+  void RecordTimelinePoint(TimeNs at, bool idle = false);
 
   /** Fills result_.tenants / jain_fairness from the tenant states. */
   void FinalizeTenantResults();

@@ -52,7 +52,7 @@ uint32_t AccessTracker::RecordAccess(PageId unit,
                                      MetadataTrafficSink& sink) {
   ++samples_;
   cooled_on_last_record_ = false;
-  const uint32_t count = estimator_->Increment(unit);
+  uint32_t count = estimator_->Increment(unit);
   TouchLines(unit, sink);
 
   if (config_.cooling_period_samples != 0 &&
@@ -67,6 +67,9 @@ uint32_t AccessTracker::RecordAccess(PageId unit,
     for (uint64_t line = 0; line < lines; ++line) {
       sink.Touch(config_.metadata_base + line * kCacheLineSize);
     }
+    // The halving just rewrote this unit's counters too: re-read so the
+    // caller thresholds on the post-cooling estimate, not a ~2x-stale one.
+    count = estimator_->Get(unit);
   }
   return count;
 }

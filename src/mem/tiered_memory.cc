@@ -103,6 +103,20 @@ bool TieredMemory::Migrate(PageId page, Tier dst) {
   return true;
 }
 
+uint64_t TieredMemory::Release(PageRange range) {
+  HT_ASSERT(range.end <= flags_.size(), "range end outside address space");
+  uint64_t released = 0;
+  for (PageId page = range.begin; page < range.end; ++page) {
+    uint8_t& f = flags_[page];
+    if (!(f & kResident)) continue;
+    const Tier tier = (f & kTierSlow) ? Tier::kSlow : Tier::kFast;
+    --used_[static_cast<size_t>(tier)];
+    f = 0;
+    ++released;
+  }
+  return released;
+}
+
 uint64_t TieredMemory::ScanResident(
     PageId start, uint64_t count, Tier tier,
     const std::function<void(PageId)>& fn) const {

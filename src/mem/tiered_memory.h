@@ -84,6 +84,14 @@ class TieredMemory {
    */
   bool Migrate(PageId page, Tier dst);
 
+  /**
+   * Frees every resident page in [range.begin, range.end) — the reclaim
+   * a process exit performs: residency, tier, and protection state are
+   * cleared and the capacity returns to the free pools. A later touch
+   * re-allocates per the first-touch policy. Returns pages released.
+   */
+  uint64_t Release(PageRange range);
+
   /** Pages currently resident in `tier`. */
   uint64_t UsedPages(Tier tier) const {
     return used_[static_cast<size_t>(tier)];

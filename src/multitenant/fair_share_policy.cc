@@ -134,10 +134,18 @@ void FairSharePolicy::Bind(const PolicyContext& context) {
   gated_promotions_.assign(n, 0);
   enforced_demotions_.assign(n, 0);
   fill_promotions_.assign(n, 0);
+  released_units_.assign(n, 0);
   batch_admits_.assign(n, 0);
   candidates_.assign(n, {});
   occupancy_ready_ = false;
   next_rebalance_ns_ = config_.rebalance_interval_ns;
+
+  // Residency-window state at t=0; later edges apply at the tick that
+  // crosses them (ApplyChurn).
+  churn_state_.assign(n, kChurnPending);
+  for (uint32_t t = 0; t < n; ++t) {
+    if (directory_.regions[t].ActiveAt(0)) churn_state_[t] = kChurnActive;
+  }
 
   ComputeStaticQuotas();
   quota_ = static_quota_;
@@ -168,11 +176,68 @@ void FairSharePolicy::ComputeStaticQuotas() {
   std::vector<double> weights(n);
   std::vector<uint64_t> caps(n);
   for (uint32_t t = 0; t < n; ++t) {
-    weights[t] = directory_.regions[t].weight;
-    caps[t] = directory_.regions[t].UnitRange(context().mode).size();
+    // Pending and departed tenants hold no capacity: their weight drops
+    // out of the division, so the active tenants absorb the whole tier.
+    weights[t] = churn_state_[t] == kChurnActive
+                     ? directory_.regions[t].weight
+                     : 0.0;
+    caps[t] = churn_state_[t] == kChurnActive
+                  ? directory_.regions[t].UnitRange(context().mode).size()
+                  : 0;
   }
   static_quota_ =
       DivideProportional(weights, caps, context().fast_capacity_units);
+}
+
+void FairSharePolicy::ApplyChurn(TimeNs now) {
+  bool changed = false;
+  for (uint32_t t = 0; t < directory_.size(); ++t) {
+    const TenantRegion& region = directory_.regions[t];
+    if (churn_state_[t] == kChurnPending && now >= region.arrival_ns) {
+      churn_state_[t] = kChurnActive;
+      changed = true;
+    }
+    if (churn_state_[t] == kChurnActive && region.departure_ns != 0 &&
+        now >= region.departure_ns) {
+      churn_state_[t] = kChurnDeparted;
+      ReleaseTenant(t, now);
+      changed = true;
+    }
+  }
+  if (changed) {
+    // Re-divide the tier over the tenants now present. Jumping straight
+    // to the new static split hands a departure's capacity to the
+    // survivors this tick; the scheduled rebalance then re-applies the
+    // surviving tenants' demand EMAs on top.
+    ComputeStaticQuotas();
+    quota_ = static_quota_;
+  }
+}
+
+void FairSharePolicy::ReleaseTenant(uint32_t tenant, TimeNs now) {
+  const PageRange range =
+      directory_.regions[tenant].UnitRange(context().mode);
+  // Reclaim writeback: every fast-resident page is demoted in one batch
+  // (the dirty-page flush a teardown performs), uncapped — a departure
+  // must fully drain the tenant's fast share, not trickle it out in
+  // enforcement-sized bites.
+  victims_.clear();
+  memory().ScanResident(range.begin, range.size(), Tier::kFast,
+                        [this](PageId unit) {
+                          sink().Touch(kSharePagemapBase +
+                                       (unit / 8) * kCacheLineSize);
+                          victims_.push_back(unit);
+                        });
+  if (!victims_.empty()) TrackedDemote(victims_, now);
+  HT_ASSERT(fast_units_[tenant] == 0, "tenant ", tenant, " still holds ",
+            fast_units_[tenant], " fast units after departure demotion");
+  // Then the region itself returns to the free pools, as exit reclaim
+  // would free a dead process's memory.
+  released_units_[tenant] += memory().Release(range);
+  window_fast_samples_[tenant] = 0;
+  window_slow_samples_[tenant] = 0;
+  demand_ema_[tenant] = 0.0;
+  candidates_[tenant].clear();
 }
 
 void FairSharePolicy::Rebalance(TimeNs now) {
@@ -186,6 +251,13 @@ void FairSharePolicy::Rebalance(TimeNs now) {
   double total_demand = 0.0;
   std::vector<double> fast_fraction(n, 1.0);
   for (uint32_t t = 0; t < n; ++t) {
+    if (churn_state_[t] != kChurnActive) {
+      // Absent tenants produce no samples and hold no quota; keep their
+      // windows clean so a t=0-departed slot never skews the division.
+      window_fast_samples_[t] = 0;
+      window_slow_samples_[t] = 0;
+      continue;
+    }
     const double density =
         static_cast<double>(window_fast_samples_[t]) /
         static_cast<double>(std::max<uint64_t>(1, fast_units_[t]));
@@ -209,6 +281,12 @@ void FairSharePolicy::Rebalance(TimeNs now) {
     std::vector<uint64_t> caps(n);
     uint64_t floor_total = 0;
     for (uint32_t t = 0; t < n; ++t) {
+      if (churn_state_[t] != kChurnActive) {
+        quota_[t] = 0;
+        caps[t] = 0;
+        demand[t] = 0.0;
+        continue;
+      }
       const uint64_t span =
           directory_.regions[t].UnitRange(context().mode).size();
       const uint64_t floor_units =
@@ -233,6 +311,7 @@ void FairSharePolicy::Rebalance(TimeNs now) {
   // swap the sampled-hot pages in; a tenant with a good mix is left
   // alone (no churn).
   for (uint32_t t = 0; t < n; ++t) {
+    if (churn_state_[t] != kChurnActive) continue;
     if (fast_fraction[t] < config_.rotate_below) {
       DemoteToTarget(t, FillLimit(t), now);
     }
@@ -280,7 +359,7 @@ TimeNs FairSharePolicy::GatedPromote(std::span<const PageId> pages,
                                      TimeNs now) {
   EnsureOccupancy();
   admitted_.clear();
-  was_slow_.clear();
+  batch_marks_.clear();
   batch_seen_.clear();
   std::fill(batch_admits_.begin(), batch_admits_.end(), 0);
 
@@ -294,20 +373,28 @@ TimeNs FairSharePolicy::GatedPromote(std::span<const PageId> pages,
       ++gated_promotions_[t];
       continue;
     }
-    const bool slow =
-        memory().IsResident(page) && memory().TierOf(page) == Tier::kSlow;
+    // Charge every page that could end up fast-resident — slow-resident
+    // pages the engine will move, and non-resident pages whose first
+    // touch lands in the fast tier right after admission (tenant
+    // arrivals). Charging only the slow ones would let a mixed batch
+    // reserve no headroom for the rest and push the tenant past quota.
+    // The charge is per-batch: first touches that land after a later
+    // batch are bounded by quota enforcement at the next tick.
+    const bool was_fast =
+        memory().IsResident(page) && memory().TierOf(page) == Tier::kFast;
     admitted_.push_back(page);
-    was_slow_.push_back(slow ? 1 : 0);
-    if (slow) ++batch_admits_[t];
+    batch_marks_.push_back(was_fast ? 0 : 1);
+    if (!was_fast) ++batch_admits_[t];
   }
   // An entirely gated batch issues no syscall at all.
   if (admitted_.empty()) return 0;
 
   const TimeNs cost = migration().Promote(admitted_, now);
   for (size_t i = 0; i < admitted_.size(); ++i) {
-    if (!was_slow_[i]) continue;
+    if (!batch_marks_[i]) continue;  // Already fast before the batch.
     const PageId page = admitted_[i];
-    if (memory().TierOf(page) == Tier::kFast) {
+    if (memory().IsResident(page) &&
+        memory().TierOf(page) == Tier::kFast) {
       ++fast_units_[directory_.TenantOfUnit(page, context().mode)];
     }
   }
@@ -317,7 +404,7 @@ TimeNs FairSharePolicy::GatedPromote(std::span<const PageId> pages,
 TimeNs FairSharePolicy::TrackedDemote(std::span<const PageId> pages,
                                       TimeNs now) {
   EnsureOccupancy();
-  was_slow_.clear();  // Reused as "was fast" marks here.
+  batch_marks_.clear();  // Reused as "was fast" marks here.
   batch_seen_.clear();
   for (const PageId page : pages) {
     // Only the first occurrence of a page can move it; later duplicates
@@ -325,11 +412,11 @@ TimeNs FairSharePolicy::TrackedDemote(std::span<const PageId> pages,
     const bool counted = memory().IsResident(page) &&
                          memory().TierOf(page) == Tier::kFast &&
                          batch_seen_.insert(page).second;
-    was_slow_.push_back(counted ? 1 : 0);
+    batch_marks_.push_back(counted ? 1 : 0);
   }
   const TimeNs cost = migration().Demote(pages, now);
   for (size_t i = 0; i < pages.size(); ++i) {
-    if (!was_slow_[i]) continue;
+    if (!batch_marks_[i]) continue;
     const PageId page = pages[i];
     if (memory().TierOf(page) == Tier::kSlow) {
       --fast_units_[directory_.TenantOfUnit(page, context().mode)];
@@ -422,10 +509,20 @@ void FairSharePolicy::OnSample(const SampleRecord& sample) {
 
 void FairSharePolicy::Tick(TimeNs now) {
   EnsureOccupancy();
+  ApplyChurn(now);
   if (config_.rebalance) {
     while (now >= next_rebalance_ns_) {
       Rebalance(next_rebalance_ns_);
       next_rebalance_ns_ += config_.rebalance_interval_ns;
+      // Ticks normally arrive well inside one rebalance interval; a
+      // clock jump across many intervals (an idle churn gap) resyncs
+      // the grid instead of replaying one rebalance per missed window
+      // (every window in the jump was empty anyway).
+      if (now >= next_rebalance_ns_ + config_.rebalance_interval_ns) {
+        const TimeNs missed =
+            (now - next_rebalance_ns_) / config_.rebalance_interval_ns;
+        next_rebalance_ns_ += missed * config_.rebalance_interval_ns;
+      }
     }
   }
   EnforceQuotas(now);
@@ -434,10 +531,10 @@ void FairSharePolicy::Tick(TimeNs now) {
 }
 
 size_t FairSharePolicy::MetadataBytes() const {
-  // Quota table (five 8 B fields per tenant) plus the per-tenant fill
-  // candidate buffers.
+  // Quota table (six 8 B fields + churn state per tenant) plus the
+  // per-tenant fill candidate buffers.
   return base_->MetadataBytes() +
-         directory_.regions.size() * (5 + config_.candidate_buffer) * 8;
+         directory_.regions.size() * (6 + config_.candidate_buffer) * 8;
 }
 
 }  // namespace hybridtier

@@ -38,6 +38,13 @@
  *    floor so idle tenants are never starved to zero. Density (not raw
  *    access volume) is the signal, so a streaming tenant with no reuse
  *    cannot out-bid a small hot set for capacity it would waste.
+ *  - Tenants can *churn*: directory regions carry arrival/departure
+ *    windows, and the maintenance tick applies every window edge the
+ *    clock has crossed. A departure demotes the tenant's fast-resident
+ *    pages (reclaim writeback) and releases its whole region back to
+ *    the free pools; both edges re-divide quotas over the tenants that
+ *    remain, so the survivors absorb the freed capacity within one
+ *    tick and the scheduled rebalance re-applies demand on top.
  *
  * Everything is deterministic: quotas are integer units computed in a
  * fixed tenant order, so same config + seed replays bit-identically.
@@ -130,11 +137,38 @@ class FairSharePolicy : public TieringPolicy {
     return fill_promotions_[tenant];
   }
 
+  /** Pages released back to the free pools when `tenant` departed. */
+  uint64_t released_units(uint32_t tenant) const {
+    return released_units_[tenant];
+  }
+
+  /** True if `tenant`'s residency window was open at the last tick. */
+  bool tenant_active(uint32_t tenant) const {
+    return churn_state_[tenant] == kChurnActive;
+  }
+
   /** The wrapped policy. */
   const TieringPolicy& base() const { return *base_; }
 
  private:
   class QuotaGate;
+
+  /** Where a tenant sits in its residency window. */
+  enum ChurnState : uint8_t {
+    kChurnPending = 0,  //!< Arrival window not yet reached.
+    kChurnActive = 1,   //!< Present: holds quota, counted in rebalance.
+    kChurnDeparted = 2, //!< Gone: region released, quota zero.
+  };
+
+  /**
+   * Applies arrival/departure window edges crossed by `now`: departures
+   * release the tenant's region, and any edge re-divides quotas over
+   * the remaining active tenants.
+   */
+  void ApplyChurn(TimeNs now);
+
+  /** Departure reclaim: demote the region's fast pages, free it all. */
+  void ReleaseTenant(uint32_t tenant, TimeNs now);
 
   /**
    * Counts fast-resident units per tenant once, lazily, at the first
@@ -187,11 +221,15 @@ class FairSharePolicy : public TieringPolicy {
   std::vector<uint64_t> gated_promotions_;
   std::vector<uint64_t> enforced_demotions_;
   std::vector<uint64_t> fill_promotions_;
+  std::vector<uint64_t> released_units_;  //!< Freed at departure.
+  std::vector<uint8_t> churn_state_;      //!< ChurnState per tenant.
   std::vector<std::vector<PageId>> candidates_;  //!< Sampled slow pages.
 
   // Scratch (avoids per-batch allocation).
   std::vector<PageId> admitted_;
-  std::vector<uint8_t> was_slow_;
+  /** Per-page marks within one batch: "charged against headroom" in
+   *  GatedPromote, "was fast-resident" in TrackedDemote. */
+  std::vector<uint8_t> batch_marks_;
   std::vector<uint64_t> batch_admits_;
   std::vector<PageId> victims_;
   std::unordered_set<PageId> batch_seen_;  //!< In-batch dedup.

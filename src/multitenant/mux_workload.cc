@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <tuple>
 #include <utility>
 
 #include "common/logging.h"
@@ -30,26 +31,91 @@ MuxWorkload::MuxWorkload(std::vector<Tenant> tenants)
     region.footprint_pages = workload.footprint_pages();
     region.span_pages = (region.footprint_pages + kPagesPerHugePage - 1) /
                         kPagesPerHugePage * kPagesPerHugePage;
+    region.arrival_ns = tenants_[i].arrival_ns;
+    region.departure_ns = tenants_[i].departure_ns;
+    if (region.departure_ns != 0) {
+      HT_ASSERT(region.departure_ns > region.arrival_ns, "tenant ",
+                region.name, " departs before it arrives");
+    }
     base += region.span_pages;
     if (i > 0) name_ += "+";
     name_ += region.name;
     directory_.regions.push_back(std::move(region));
-    active_.push_back(i);
+    // Tenants arriving at t=0 start in the rotation; the rest join when
+    // the clock reaches their window.
+    if (tenants_[i].arrival_ns == 0) {
+      status_.push_back(Status::kActive);
+      rotation_.push_back(i);
+    } else {
+      status_.push_back(Status::kPending);
+      ++unapplied_edges_;
+    }
+    if (tenants_[i].departure_ns != 0) ++unapplied_edges_;
   }
   name_ += ")";
   total_span_pages_ = base;
 }
 
+void MuxWorkload::RemoveFromRotation(uint32_t tenant) {
+  const auto it = std::find(rotation_.begin(), rotation_.end(), tenant);
+  if (it == rotation_.end()) return;
+  const size_t slot = static_cast<size_t>(it - rotation_.begin());
+  rotation_.erase(it);
+  if (rr_next_ > slot) --rr_next_;
+}
+
+void MuxWorkload::UpdateActivation(TimeNs now) {
+  // Keep the multiplexer's hottest path free of the window scan once
+  // every configured edge has fired (always, for windowless runs).
+  if (unapplied_edges_ == 0) return;
+  const size_t first_new = churn_events_.size();
+  for (uint32_t t = 0; t < tenants_.size(); ++t) {
+    const TenantRegion& region = directory_.regions[t];
+    if (status_[t] == Status::kPending && now >= region.arrival_ns) {
+      status_[t] = Status::kActive;
+      rotation_.push_back(t);
+      churn_events_.push_back(
+          TenantChurnEvent{region.arrival_ns, t, /*arrival=*/true});
+      --unapplied_edges_;
+    }
+    const bool departing = region.departure_ns != 0 &&
+                           now >= region.departure_ns;
+    if (departing && (status_[t] == Status::kActive ||
+                      status_[t] == Status::kFinished)) {
+      // A departure ends the tenant whether it is mid-stream (process
+      // killed) or already finished (its pages were lingering).
+      if (status_[t] == Status::kActive) RemoveFromRotation(t);
+      status_[t] = Status::kDeparted;
+      churn_events_.push_back(
+          TenantChurnEvent{region.departure_ns, t, /*arrival=*/false});
+      --unapplied_edges_;
+    }
+  }
+  // One pass can apply several edges with different scheduled times (a
+  // clock jump across an idle gap); keep the log chronological.
+  std::sort(churn_events_.begin() +
+                static_cast<ptrdiff_t>(first_new),
+            churn_events_.end(),
+            [](const TenantChurnEvent& a, const TenantChurnEvent& b) {
+              return std::tie(a.time_ns, a.tenant, a.arrival) <
+                     std::tie(b.time_ns, b.tenant, b.arrival);
+            });
+}
+
 bool MuxWorkload::NextOp(TimeNs now, OpTrace* op) {
-  while (!active_.empty()) {
-    if (rr_next_ >= active_.size()) rr_next_ = 0;
-    const uint32_t tenant = active_[rr_next_];
+  UpdateActivation(now);
+  while (!rotation_.empty()) {
+    if (rr_next_ >= rotation_.size()) rr_next_ = 0;
+    const uint32_t tenant = rotation_[rr_next_];
     if (!tenants_[tenant].workload->NextOp(now, op)) {
       // Tenant ran to completion; drop it from the rotation (its pages
-      // stay resident, as a terminated process's would until reclaim).
-      active_.erase(active_.begin() + rr_next_);
+      // stay resident, as a terminated process's would until reclaim —
+      // or until a departure window releases them).
+      status_[tenant] = Status::kFinished;
+      rotation_.erase(rotation_.begin() + static_cast<ptrdiff_t>(rr_next_));
       continue;
     }
+    op->think_time_ns = 0;
     const TenantRegion& region = directory_.regions[tenant];
     const uint64_t base_addr = region.base_page * kPageSize;
     const uint64_t span_bytes = region.span_pages * kPageSize;
@@ -63,7 +129,21 @@ bool MuxWorkload::NextOp(TimeNs now, OpTrace* op) {
     ++rr_next_;
     return true;
   }
-  return false;
+
+  // Nobody is runnable. If an arrival is still ahead, emit a pure idle
+  // gap that carries the clock to it; otherwise the mux is done.
+  TimeNs next_arrival = 0;
+  bool have_pending = false;
+  for (uint32_t t = 0; t < tenants_.size(); ++t) {
+    if (status_[t] != Status::kPending) continue;
+    const TimeNs arrival = directory_.regions[t].arrival_ns;
+    if (!have_pending || arrival < next_arrival) next_arrival = arrival;
+    have_pending = true;
+  }
+  if (!have_pending) return false;
+  op->Clear();
+  op->think_time_ns = next_arrival > now ? next_arrival - now : 1;
+  return true;
 }
 
 double DefaultTenantScale(const std::string& id) {
@@ -89,6 +169,8 @@ std::unique_ptr<MuxWorkload> MakeMuxWorkload(
     MuxWorkload::Tenant tenant;
     tenant.workload = MakeWorkload(spec.workload_id, scale, tenant_seed);
     tenant.weight = spec.weight;
+    tenant.arrival_ns = spec.arrival_ns;
+    tenant.departure_ns = spec.departure_ns;
     tenants.push_back(std::move(tenant));
   }
   return std::make_unique<MuxWorkload>(std::move(tenants));

@@ -14,6 +14,16 @@
  * round-robin in op space — the multi-programmed schedule an OS would
  * produce with one runnable thread per tenant — so same specs + seed
  * replay bit-identically.
+ *
+ * Tenants carry residency windows (`TenantSpec::arrival_ns` /
+ * `departure_ns`): a tenant enters the rotation when the virtual clock
+ * reaches its arrival and is removed (mid-op-stream, like a process
+ * being killed) at its departure. Transitions are surfaced as
+ * `TenantChurnEvent`s so harnesses can mark them on timelines, and
+ * `tenant_active_at` exposes the window to the simulation (prefault and
+ * fairness scoping). When no tenant is runnable but one arrives later,
+ * NextOp emits a pure idle gap (`OpTrace::think_time_ns`) that advances
+ * the clock to the next arrival.
  */
 
 #include <memory>
@@ -26,13 +36,22 @@
 
 namespace hybridtier {
 
+/** One tenant arrival or departure observed by the multiplexer. */
+struct TenantChurnEvent {
+  TimeNs time_ns = 0;    //!< Scheduled window edge (arrival/departure).
+  uint32_t tenant = 0;   //!< Tenant index in admission order.
+  bool arrival = false;  //!< True for arrivals, false for departures.
+};
+
 /** N tenant workloads multiplexed into one tagged access stream. */
 class MuxWorkload : public Workload, public TenantTagSource {
  public:
-  /** One admitted tenant: its generator and fair-share weight. */
+  /** One admitted tenant: its generator, weight, and residency window. */
   struct Tenant {
     std::unique_ptr<Workload> workload;
     double weight = 1.0;
+    TimeNs arrival_ns = 0;
+    TimeNs departure_ns = 0;  //!< 0 = stays until the run ends.
   };
 
   /** Lays out `tenants` in admission order; needs at least one. */
@@ -52,15 +71,43 @@ class MuxWorkload : public Workload, public TenantTagSource {
   PageRange tenant_units(uint32_t tenant, PageMode mode) const override {
     return directory_.regions[tenant].UnitRange(mode);
   }
+  bool tenant_active_at(uint32_t tenant, TimeNs now) const override {
+    return directory_.regions[tenant].ActiveAt(now);
+  }
+  double tenant_weight(uint32_t tenant) const override {
+    return directory_.regions[tenant].weight;
+  }
 
   /** The shared-tier layout (regions in admission order). */
   const TenantDirectory& directory() const { return directory_; }
 
+  /** Arrivals/departures observed so far, in detection order. */
+  const std::vector<TenantChurnEvent>& churn_events() const {
+    return churn_events_;
+  }
+
  private:
+  /** Rotation membership of one tenant over its lifetime. */
+  enum class Status : uint8_t {
+    kPending,   //!< Window not yet reached.
+    kActive,    //!< In the round-robin rotation.
+    kFinished,  //!< Workload ran to completion (pages stay resident).
+    kDeparted,  //!< Window closed; removed from the rotation.
+  };
+
+  /** Applies window edges the clock has crossed by `now`. */
+  void UpdateActivation(TimeNs now);
+
+  /** Drops `tenant` from the rotation, fixing up the rotation cursor. */
+  void RemoveFromRotation(uint32_t tenant);
+
   std::vector<Tenant> tenants_;
   TenantDirectory directory_;
-  std::vector<uint32_t> active_;  //!< Unfinished tenants, rotation order.
-  size_t rr_next_ = 0;            //!< Next rotation slot to serve.
+  std::vector<Status> status_;
+  std::vector<uint32_t> rotation_;  //!< Runnable tenants, rotation order.
+  std::vector<TenantChurnEvent> churn_events_;
+  uint32_t unapplied_edges_ = 0;    //!< Window edges still ahead.
+  size_t rr_next_ = 0;              //!< Next rotation slot to serve.
   uint32_t last_tenant_ = 0;
   uint64_t total_span_pages_ = 0;
   std::string name_;

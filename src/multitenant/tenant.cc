@@ -7,6 +7,29 @@
 
 namespace hybridtier {
 
+namespace {
+
+/** Parses a non-negative virtual time like "0", "5e8" or "2.5e9". */
+TimeNs ParseTimeNs(const std::string& text, const std::string& entry) {
+  size_t parsed = 0;
+  double value = -1.0;
+  try {
+    value = std::stod(text, &parsed);
+  } catch (const std::exception&) {
+    parsed = 0;
+  }
+  // The upper bound keeps the double-to-uint64 cast defined (and
+  // rejects NaN, which fails every comparison).
+  constexpr double kMaxTime = 1.8e19;  // < 2^64 ns (~584 years).
+  if (parsed != text.size() || !(value >= 0.0 && value < kMaxTime)) {
+    HT_FATAL("bad time '", text, "' in tenant entry '", entry,
+             "' (must be a non-negative ns count below 1.8e19, e.g. 5e8)");
+  }
+  return static_cast<TimeNs>(value);
+}
+
+}  // namespace
+
 std::vector<TenantSpec> ParseTenantList(const std::string& list) {
   std::vector<TenantSpec> specs;
   size_t start = 0;
@@ -20,10 +43,36 @@ std::vector<TenantSpec> ParseTenantList(const std::string& list) {
     }
 
     TenantSpec spec;
-    const size_t colon = entry.find(':');
-    spec.workload_id = entry.substr(0, colon);
+    // Split off the optional "@arrival[-departure]" residency window
+    // first; what precedes it is the familiar "id[:weight]".
+    const size_t at = entry.find('@');
+    const std::string head = entry.substr(0, at);
+    if (at != std::string::npos) {
+      const std::string window = entry.substr(at + 1);
+      // A '-' splits arrival from departure unless it is the sign of a
+      // scientific-notation exponent ("1e-3").
+      size_t dash = std::string::npos;
+      for (size_t i = 1; i < window.size(); ++i) {
+        if (window[i] == '-' && window[i - 1] != 'e' &&
+            window[i - 1] != 'E') {
+          dash = i;
+          break;
+        }
+      }
+      spec.arrival_ns = ParseTimeNs(window.substr(0, dash), entry);
+      if (dash != std::string::npos) {
+        spec.departure_ns = ParseTimeNs(window.substr(dash + 1), entry);
+        if (spec.departure_ns <= spec.arrival_ns) {
+          HT_FATAL("tenant window '", window, "' in entry '", entry,
+                   "' must depart after it arrives");
+        }
+      }
+    }
+
+    const size_t colon = head.find(':');
+    spec.workload_id = head.substr(0, colon);
     if (colon != std::string::npos) {
-      const std::string weight = entry.substr(colon + 1);
+      const std::string weight = head.substr(colon + 1);
       size_t parsed = 0;
       try {
         spec.weight = std::stod(weight, &parsed);

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/units.h"
 #include "mem/page.h"
 
 namespace hybridtier {
@@ -29,12 +30,18 @@ struct TenantSpec {
   double weight = 1.0;      //!< Fair-share weight (fast-tier quota).
   double scale = -1.0;      //!< Footprint scale; < 0 = per-family default.
   uint64_t seed = 0;        //!< 0 = derive from the run seed + index.
+  TimeNs arrival_ns = 0;    //!< Virtual time the tenant arrives.
+  TimeNs departure_ns = 0;  //!< Virtual departure time; 0 = never leaves.
 };
 
 /**
- * Parses a tenant list of the form "cdn,bfs-k:2,silo:0.5". Each entry is
- * a workload id with an optional ":weight" suffix (weight > 0, default
- * 1). Fatal on malformed entries or unknown workload ids.
+ * Parses a tenant list of the form "cdn,bfs-k:2,silo:0.5@1e8-5e8". Each
+ * entry is a workload id with an optional ":weight" suffix (weight > 0,
+ * default 1) and an optional "@arrival[-departure]" residency window in
+ * virtual nanoseconds (scientific notation accepted): the tenant arrives
+ * mid-run at `arrival` and, when a departure is given, exits at
+ * `departure`, releasing its memory. Fatal on malformed entries or
+ * unknown workload ids.
  */
 std::vector<TenantSpec> ParseTenantList(const std::string& list);
 
@@ -45,6 +52,8 @@ struct TenantRegion {
   uint64_t base_page = 0;     //!< First 4 KiB page of the region.
   uint64_t footprint_pages = 0;  //!< Pages the tenant actually uses.
   uint64_t span_pages = 0;    //!< Reserved span (2 MiB-aligned).
+  TimeNs arrival_ns = 0;      //!< Virtual arrival time (0 = at start).
+  TimeNs departure_ns = 0;    //!< Virtual departure time (0 = never).
 
   /** Tracking units [begin, end) under `mode`; exact in both modes. */
   PageRange UnitRange(PageMode mode) const {
@@ -52,6 +61,11 @@ struct TenantRegion {
         mode == PageMode::kHuge ? kPagesPerHugePage : 1;
     return PageRange{base_page / per_unit,
                      (base_page + span_pages) / per_unit};
+  }
+
+  /** True if the tenant's residency window contains virtual time `now`. */
+  bool ActiveAt(TimeNs now) const {
+    return now >= arrival_ns && (departure_ns == 0 || now < departure_ns);
   }
 };
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/units.h"
+#include "policies/scan_util.h"
 
 namespace hybridtier {
 
@@ -70,23 +71,20 @@ void AutoNumaPolicy::WatermarkDemotion(TimeNs now) {
 
   std::vector<PageId> victims;
   const uint64_t footprint = context().footprint_units;
-  uint64_t scanned = 0;
   // MGLRU eviction: walk fast-resident pages, demote those whose
   // generation age shows no recent access.
-  while (scanned < config_.age_chunk_units && victims.size() < needed) {
-    const uint64_t chunk =
-        std::min<uint64_t>(1024, config_.age_chunk_units - scanned);
-    mem.ScanResident(demote_cursor_, chunk, Tier::kFast, [&](PageId unit) {
-      sink().Touch(kPagemapBase + (unit / 8) * kCacheLineSize);
-      if (ager_->AgeOf(unit) >= config_.demote_min_age &&
-          victims.size() < needed) {
-        victims.push_back(unit);
-      }
-    });
-    scanned += chunk;
-    demote_cursor_ += chunk;
-    if (demote_cursor_ >= footprint) demote_cursor_ = 0;
-  }
+  BudgetedResidentScan(mem, &demote_cursor_, footprint,
+                       config_.age_chunk_units, Tier::kFast,
+                       [&] { return victims.size() >= needed; },
+                       [&](PageId unit) {
+                         sink().Touch(kPagemapBase +
+                                      (unit / 8) * kCacheLineSize);
+                         if (ager_->AgeOf(unit) >=
+                                 config_.demote_min_age &&
+                             victims.size() < needed) {
+                           victims.push_back(unit);
+                         }
+                       });
   if (!victims.empty()) migration().Demote(victims, now);
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/units.h"
+#include "policies/scan_util.h"
 
 namespace hybridtier {
 
@@ -129,7 +130,6 @@ void MemtisPolicy::WatermarkDemotion(TimeNs now) {
 uint64_t MemtisPolicy::DemoteColdPages(uint64_t needed, TimeNs now) {
   TieredMemory& mem = memory();
   std::vector<PageId> victims;
-  uint64_t scanned = 0;
   const uint64_t footprint = context().footprint_units;
 
   const uint32_t demote_below = std::max<uint32_t>(
@@ -139,23 +139,18 @@ uint64_t MemtisPolicy::DemoteColdPages(uint64_t needed, TimeNs now) {
   // clearly-cold pages (hysteresis); if starved, the relaxed phase takes
   // any sub-threshold page.
   for (const uint32_t bar : {demote_below, hot_threshold_}) {
-    scanned = 0;
-    while (scanned < config_.scan_units_per_tick &&
-           needed > victims.size()) {
-      const uint64_t chunk =
-          std::min<uint64_t>(1024, config_.scan_units_per_tick - scanned);
-      mem.ScanResident(scan_cursor_, chunk, Tier::kFast, [&](PageId unit) {
-        // The scan reads the pagemap entry and the counter record.
-        sink().Touch(kPagemapBase + (unit / 8) * kCacheLineSize);
-        sink().Touch(kMetaBase + (unit / 4) * kCacheLineSize);
-        if (counters_->RawCount(unit) < bar && victims.size() < needed) {
-          victims.push_back(unit);
-        }
-      });
-      scanned += chunk;
-      scan_cursor_ += chunk;
-      if (scan_cursor_ >= footprint) scan_cursor_ = 0;
-    }
+    BudgetedResidentScan(
+        mem, &scan_cursor_, footprint, config_.scan_units_per_tick,
+        Tier::kFast, [&] { return victims.size() >= needed; },
+        [&](PageId unit) {
+          // The scan reads the pagemap entry and the counter record.
+          sink().Touch(kPagemapBase + (unit / 8) * kCacheLineSize);
+          sink().Touch(kMetaBase + (unit / 4) * kCacheLineSize);
+          if (counters_->RawCount(unit) < bar &&
+              victims.size() < needed) {
+            victims.push_back(unit);
+          }
+        });
     if (victims.size() >= needed) break;
   }
 

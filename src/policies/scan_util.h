@@ -1,0 +1,49 @@
+#ifndef HYBRIDTIER_POLICIES_SCAN_UTIL_H_
+#define HYBRIDTIER_POLICIES_SCAN_UTIL_H_
+
+/**
+ * @file
+ * Budgeted, wrapping resident-page scan shared by the demotion paths of
+ * the tiering policies (HybridTier, Memtis, TPP, AutoNUMA). Each policy
+ * walks the pagemap in chunks against a per-tick unit budget; keeping
+ * the chunking and cursor arithmetic in one place keeps the accounting
+ * (charge what was visited, wrap at the footprint) from diverging.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "mem/page.h"
+#include "mem/tiered_memory.h"
+
+namespace hybridtier {
+
+/**
+ * Scans resident pages of `tier` from `*cursor` in chunks of up to 1024
+ * units, wrapping at `footprint`, until `budget` units were visited or
+ * `done()` returns true (checked between chunks, as the real pagemap
+ * walks batch their work). Charges only units actually visited — the
+ * tail chunk is clipped at the footprint, and charging its nominal size
+ * would under-scan passes near the wrap. Advances `*cursor` and returns
+ * the units visited.
+ */
+inline uint64_t BudgetedResidentScan(
+    const TieredMemory& memory, PageId* cursor, uint64_t footprint,
+    uint64_t budget, Tier tier, const std::function<bool()>& done,
+    const std::function<void(PageId)>& fn) {
+  uint64_t scanned = 0;
+  while (scanned < budget && !done()) {
+    const uint64_t chunk = std::min<uint64_t>(1024, budget - scanned);
+    const uint64_t visited = memory.ScanResident(*cursor, chunk, tier, fn);
+    if (visited == 0) break;  // Defensive: never spin on an empty scan.
+    scanned += visited;
+    *cursor += visited;
+    if (*cursor >= footprint) *cursor = 0;
+  }
+  return scanned;
+}
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_POLICIES_SCAN_UTIL_H_

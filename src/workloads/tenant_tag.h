@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/units.h"
 #include "mem/page.h"
 
 namespace hybridtier {
@@ -41,6 +42,24 @@ class TenantTagSource {
    * (regions are 2 MiB aligned).
    */
   virtual PageRange tenant_units(uint32_t tenant, PageMode mode) const = 0;
+
+  /**
+   * True if tenant `tenant`'s residency window contains virtual time
+   * `now`. Workloads without churn keep the default (always active);
+   * the harness uses this to scope prefaulting and fairness reporting
+   * to tenants actually present.
+   */
+  virtual bool tenant_active_at(uint32_t tenant, TimeNs now) const {
+    (void)tenant;
+    (void)now;
+    return true;
+  }
+
+  /** Fair-share weight of tenant `tenant` (1.0 when unweighted). */
+  virtual double tenant_weight(uint32_t tenant) const {
+    (void)tenant;
+    return 1.0;
+  }
 };
 
 }  // namespace hybridtier

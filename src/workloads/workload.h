@@ -33,8 +33,20 @@ struct MemoryAccess {
 struct OpTrace {
   std::vector<MemoryAccess> accesses;
 
+  /**
+   * Idle virtual time preceding the accesses: the CPU is stalled but no
+   * memory traffic is generated. Composite workloads use this to skip
+   * ahead over gaps where no tenant is runnable (e.g. before the first
+   * arrival of a late tenant); an op with no accesses and a think time is
+   * a pure idle gap that advances the clock without counting as work.
+   */
+  TimeNs think_time_ns = 0;
+
   /** Clears the trace for reuse. */
-  void Clear() { accesses.clear(); }
+  void Clear() {
+    accesses.clear();
+    think_time_ns = 0;
+  }
 
   /** Appends a read access. */
   void Read(uint64_t addr) { accesses.push_back({addr, false}); }

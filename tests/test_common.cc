@@ -281,6 +281,31 @@ TEST(SettleTime, RespectsNotBefore) {
   EXPECT_EQ(SettleTimeNs(series, 10.0, 0.01, 15), 20u);
 }
 
+// ------------------------------------------------------------ fairness --
+
+TEST(Fairness, JainIndexBounds) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({}), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({5.0, 5.0, 5.0}), 1.0);
+  // One tenant holds everything: 1/n.
+  EXPECT_NEAR(JainFairnessIndex({9.0, 0.0, 0.0}), 1.0 / 3, 1e-12);
+}
+
+TEST(Fairness, WeightedIndexScoresWeightTrackingSplitsAsFair) {
+  // A 4:1 occupancy split under 4:1 weights is perfectly fair...
+  EXPECT_DOUBLE_EQ(WeightedJainFairnessIndex({400.0, 100.0}, {4.0, 1.0}),
+                   1.0);
+  // ...while the unweighted index penalizes it.
+  EXPECT_LT(JainFairnessIndex({400.0, 100.0}), 1.0);
+  // And an even split under 4:1 weights is *not* weighted-fair.
+  EXPECT_LT(WeightedJainFairnessIndex({250.0, 250.0}, {4.0, 1.0}), 1.0);
+}
+
+TEST(Fairness, WeightedIndexWithUnitWeightsMatchesPlain) {
+  const std::vector<double> values = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(WeightedJainFairnessIndex(values, {1.0, 1.0, 1.0}),
+                   JainFairnessIndex(values));
+}
+
 // ---------------------------------------------------------------- EMA --
 
 TEST(EmaCounter, AccumulatesWithoutCooling) {

@@ -88,6 +88,22 @@ TEST(AccessTracker, CountsAndCools) {
   EXPECT_LE(tracker.Get(7), 8u);
 }
 
+TEST(AccessTracker, RecordAccessReturnsPostCoolingCount) {
+  TrackerConfig config;
+  config.sizing = FrequencyCbfSizing(1024);
+  config.cooling_period_samples = 10;
+  AccessTracker tracker(config);
+  CountingSink sink;
+  uint32_t returned = 0;
+  for (int i = 0; i < 10; ++i) returned = tracker.RecordAccess(7, sink);
+  ASSERT_TRUE(tracker.cooled_on_last_record());
+  // The 10th record raised the count to 10 and then cooling halved the
+  // filter. The caller thresholds on the returned value, so it must be
+  // the post-cooling estimate — not the ~2x-stale pre-cooling one.
+  EXPECT_EQ(returned, tracker.Get(7));
+  EXPECT_EQ(returned, 5u);
+}
+
 TEST(AccessTracker, BlockedCbfTouchesOneLinePerUpdate) {
   TrackerConfig config;
   config.kind = EstimatorKind::kBlockedCbf;
@@ -248,6 +264,34 @@ TEST(HybridTier, LowLowDemotedImmediately) {
   policy.Tick(kMillisecond);
   EXPECT_GT(harness.engine().stats().demoted_pages, 0u);
   EXPECT_GE(harness.memory().FreePages(Tier::kFast), 50u);
+}
+
+TEST(HybridTier, DemotionScanChargesOnlyVisitedUnitsAtWrap) {
+  HybridTierConfig config;
+  config.scan_units_per_tick = 1024;
+  config.demote_trigger_frac = 0.5;
+  config.demote_target_frac = 0.5;
+  HybridTierPolicy policy(config);
+  CoreHarness harness(1500, 16);
+  harness.Bind(&policy);
+  harness.TouchAll(16);  // Fast tier full: the watermark demoter runs.
+
+  // Make every fast page momentum-hot so the scan classifies but never
+  // finds a victim — each phase must then burn its full scan budget.
+  for (PageId page = 0; page < 16; ++page) {
+    for (int i = 0; i < 3; ++i) {
+      policy.OnSample(harness.Sample(page, 0));
+    }
+  }
+
+  ASSERT_EQ(policy.scan_cursor(), 0u);
+  policy.Tick(1 * kMillisecond);
+  // Two phases x 1024 units over a 1500-unit footprint must advance the
+  // cursor to 2048 mod 1500. Charging the clipped tail chunk at its
+  // nominal 1024 would end the wrapped phase 548 units early instead.
+  EXPECT_EQ(policy.scan_cursor(), (2u * 1024u) % 1500u);
+  policy.Tick(2 * kMillisecond);
+  EXPECT_EQ(policy.scan_cursor(), (4u * 1024u) % 1500u);
 }
 
 TEST(HybridTier, MetadataScalesWithFastTierNotFootprint) {

@@ -113,5 +113,47 @@ TEST(Determinism, MultiTenantPerTenantResultsAreBitIdentical) {
   }
 }
 
+/** Runs a cell with mid-run tenant churn (an arrival and a departure). */
+SimulationResult RunChurnCell() {
+  std::vector<TenantSpec> specs =
+      ParseTenantList("zipf,cdn:2@0-5e7,zipf@3e7");
+  for (TenantSpec& spec : specs) spec.scale = 0.05;
+  auto mux = MakeMuxWorkload(specs, 11);
+  auto fair = std::make_unique<FairSharePolicy>(MakePolicy("HybridTier"),
+                                                mux->directory());
+  SimulationConfig config = TestConfig();
+  config.max_accesses = 30000000;
+  config.max_time_ns = 90 * kMillisecond;
+  return RunSimulation(config, mux.get(), fair.get());
+}
+
+void ExpectIdenticalTimelines(const TimeSeries& a, const TimeSeries& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.times_ns[i], b.times_ns[i]);
+    EXPECT_EQ(a.values[i], b.values[i]);  // Bit-for-bit.
+  }
+}
+
+TEST(Determinism, ChurnTimelinesAreBitIdentical) {
+  const SimulationResult a = RunChurnCell();
+  const SimulationResult b = RunChurnCell();
+  ExpectIdenticalHeadlines(a, b);
+  EXPECT_EQ(a.jain_fairness, b.jain_fairness);
+  EXPECT_EQ(a.weighted_jain_fairness, b.weighted_jain_fairness);
+  ExpectIdenticalTimelines(a.weighted_fairness_timeline,
+                           b.weighted_fairness_timeline);
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  for (size_t t = 0; t < a.tenants.size(); ++t) {
+    EXPECT_EQ(a.tenants[t].ops, b.tenants[t].ops);
+    EXPECT_EQ(a.tenants[t].fast_resident_units,
+              b.tenants[t].fast_resident_units);
+    ExpectIdenticalTimelines(a.tenants[t].occupancy_timeline,
+                             b.tenants[t].occupancy_timeline);
+    ExpectIdenticalTimelines(a.tenants[t].latency_timeline,
+                             b.tenants[t].latency_timeline);
+  }
+}
+
 }  // namespace
 }  // namespace hybridtier

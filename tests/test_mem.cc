@@ -115,6 +115,37 @@ TEST(TieredMemory, ProtectNonResidentDoesNothing) {
   EXPECT_FALSE(touch.hint_fault);
 }
 
+TEST(TieredMemory, ReleaseFreesResidentRange) {
+  TieredMemory mem(20, 5, 20);
+  for (PageId page = 0; page < 10; ++page) mem.Touch(page, 0);
+  ASSERT_EQ(mem.UsedPages(Tier::kFast), 5u);
+  ASSERT_EQ(mem.UsedPages(Tier::kSlow), 5u);
+
+  // Release a range straddling fast residents {3,4}, slow residents
+  // {5..9}, and a never-touched tail; only the resident pages count.
+  EXPECT_EQ(mem.Release(PageRange{3, 15}), 7u);
+  EXPECT_EQ(mem.UsedPages(Tier::kFast), 3u);
+  EXPECT_EQ(mem.UsedPages(Tier::kSlow), 0u);
+  EXPECT_FALSE(mem.IsResident(3));
+  EXPECT_FALSE(mem.IsResident(9));
+  EXPECT_TRUE(mem.IsResident(2));
+
+  // A released page re-allocates like a fresh one (fast-first).
+  const TouchResult touch = mem.Touch(3, 10);
+  EXPECT_TRUE(touch.first_touch);
+  EXPECT_EQ(touch.tier, Tier::kFast);
+}
+
+TEST(TieredMemory, ReleaseClearsProtection) {
+  TieredMemory mem(10, 10, 10);
+  mem.Touch(0, 0);
+  mem.Protect(PageRange{0, 1}, 5);
+  ASSERT_TRUE(mem.IsProtected(0));
+  EXPECT_EQ(mem.Release(PageRange{0, 1}), 1u);
+  EXPECT_FALSE(mem.IsProtected(0));
+  EXPECT_FALSE(mem.Touch(0, 10).hint_fault);
+}
+
 TEST(TieredMemory, ScanResidentFiltersTier) {
   TieredMemory mem(20, 5, 20);
   for (PageId page = 0; page < 10; ++page) mem.Touch(page, 0);

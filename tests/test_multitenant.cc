@@ -46,6 +46,28 @@ TEST(ParseTenantList, SingleTenant) {
   EXPECT_DOUBLE_EQ(specs[0].weight, 3.0);
 }
 
+TEST(ParseTenantList, ParsesResidencyWindows) {
+  const std::vector<TenantSpec> specs =
+      ParseTenantList("cdn@0-2e9,bfs-k:2@5e8,zipf");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].workload_id, "cdn");
+  EXPECT_EQ(specs[0].arrival_ns, 0u);
+  EXPECT_EQ(specs[0].departure_ns, 2000000000u);
+  EXPECT_EQ(specs[1].workload_id, "bfs-k");
+  EXPECT_DOUBLE_EQ(specs[1].weight, 2.0);
+  EXPECT_EQ(specs[1].arrival_ns, 500000000u);
+  EXPECT_EQ(specs[1].departure_ns, 0u);  // Stays until the end.
+  EXPECT_EQ(specs[2].arrival_ns, 0u);
+  EXPECT_EQ(specs[2].departure_ns, 0u);
+}
+
+TEST(ParseTenantList, WindowAcceptsExponentSigns) {
+  const std::vector<TenantSpec> specs = ParseTenantList("zipf@1e-3-2e9");
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].arrival_ns, 0u);  // 1e-3 ns truncates to 0.
+  EXPECT_EQ(specs[0].departure_ns, 2000000000u);
+}
+
 // -------------------------------------------------------- MuxWorkload --
 
 std::vector<TenantSpec> SmallSpecs() {
@@ -113,6 +135,61 @@ TEST(MuxWorkload, TagsOpsAndRemapsIntoOwnRegion) {
   EXPECT_EQ(seen.size(), mux->tenant_count());
 }
 
+TEST(MuxWorkload, WindowsGateTheRotation) {
+  std::vector<TenantSpec> specs = ParseTenantList("zipf,zipf@1e6-2e6");
+  for (TenantSpec& spec : specs) spec.scale = 0.05;
+  auto mux = MakeMuxWorkload(specs, 42);
+  EXPECT_TRUE(mux->tenant_active_at(0, 0));
+  EXPECT_FALSE(mux->tenant_active_at(1, 0));
+  EXPECT_TRUE(mux->tenant_active_at(1, 1500000));
+  EXPECT_FALSE(mux->tenant_active_at(1, 2000000));
+
+  OpTrace op;
+  // Before the arrival only tenant 0 is served.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(mux->NextOp(0, &op));
+    EXPECT_EQ(mux->last_tenant(), 0u);
+  }
+  EXPECT_TRUE(mux->churn_events().empty());
+
+  // Inside the window both run; the arrival is surfaced as an event.
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(mux->NextOp(1500000, &op));
+    seen.insert(mux->last_tenant());
+  }
+  EXPECT_EQ(seen.size(), 2u);
+  ASSERT_EQ(mux->churn_events().size(), 1u);
+  EXPECT_TRUE(mux->churn_events()[0].arrival);
+  EXPECT_EQ(mux->churn_events()[0].tenant, 1u);
+  EXPECT_EQ(mux->churn_events()[0].time_ns, 1000000u);
+
+  // Past the departure tenant 1 is gone again.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(mux->NextOp(3000000, &op));
+    EXPECT_EQ(mux->last_tenant(), 0u);
+  }
+  ASSERT_EQ(mux->churn_events().size(), 2u);
+  EXPECT_FALSE(mux->churn_events()[1].arrival);
+  EXPECT_EQ(mux->churn_events()[1].time_ns, 2000000u);
+}
+
+TEST(MuxWorkload, IdleGapBridgesToFirstArrival) {
+  std::vector<TenantSpec> specs = ParseTenantList("zipf@5e6");
+  specs[0].scale = 0.05;
+  auto mux = MakeMuxWorkload(specs, 42);
+  OpTrace op;
+  // Nobody is runnable at t=0: the mux emits a pure idle gap reaching
+  // the arrival instead of ending the run.
+  ASSERT_TRUE(mux->NextOp(0, &op));
+  EXPECT_TRUE(op.accesses.empty());
+  EXPECT_EQ(op.think_time_ns, 5000000u);
+  // At the arrival real ops flow.
+  ASSERT_TRUE(mux->NextOp(5000000, &op));
+  EXPECT_FALSE(op.accesses.empty());
+  EXPECT_EQ(op.think_time_ns, 0u);
+}
+
 TEST(TenantDirectory, TenantOfUnitMatchesRanges) {
   auto mux = MakeMuxWorkload(SmallSpecs(), 42);
   const TenantDirectory& directory = mux->directory();
@@ -144,16 +221,22 @@ class PromoteAllPolicy : public TieringPolicy {
   const char* name() const override { return "PromoteAll"; }
 };
 
-/** Two synthetic tenants (1024 pages each) with a 3:1 weight split. */
-TenantDirectory TwoTenantDirectory() {
+/** Two synthetic tenants (1024 pages each) with the given weights. */
+TenantDirectory TwoTenantDirectoryWeighted(double weight_a,
+                                           double weight_b) {
   TenantDirectory directory;
   directory.regions.push_back(TenantRegion{
-      .name = "a", .weight = 3.0, .base_page = 0, .footprint_pages = 1024,
-      .span_pages = 1024});
+      .name = "a", .weight = weight_a, .base_page = 0,
+      .footprint_pages = 1024, .span_pages = 1024});
   directory.regions.push_back(TenantRegion{
-      .name = "b", .weight = 1.0, .base_page = 1024,
+      .name = "b", .weight = weight_b, .base_page = 1024,
       .footprint_pages = 1024, .span_pages = 1024});
   return directory;
+}
+
+/** Two synthetic tenants (1024 pages each) with a 3:1 weight split. */
+TenantDirectory TwoTenantDirectory() {
+  return TwoTenantDirectoryWeighted(3.0, 1.0);
 }
 
 /** Minimal bound context around a FairSharePolicy for unit tests. */
@@ -162,12 +245,13 @@ class FairShareHarness {
   explicit FairShareHarness(AllocationPolicy allocation,
                             FairShareConfig config = FairShareConfig{},
                             std::unique_ptr<TieringPolicy> base =
-                                std::make_unique<PromoteAllPolicy>())
+                                std::make_unique<PromoteAllPolicy>(),
+                            TenantDirectory directory = TwoTenantDirectory())
       : memory_(2048, 512, 2048, allocation),
         perf_(PerfModelConfig{}, DefaultFastTier(512),
               DefaultSlowTier(2048)),
         engine_(&memory_, &perf_),
-        policy_(std::move(base), TwoTenantDirectory(), config) {
+        policy_(std::move(base), std::move(directory), config) {
     PolicyContext context;
     context.memory = &memory_;
     context.migration = &engine_;
@@ -276,6 +360,71 @@ TEST(FairSharePolicy, DuplicatePagesInBatchesDoNotCorruptAccounting) {
   EXPECT_EQ(harness.FastResident(1), 1u);  // Page 1030.
 }
 
+/**
+ * Test policy that promotes one batch mixing non-resident pages (an
+ * arriving tenant's region) with slow-resident ones.
+ */
+class MixedBatchPolicy : public TieringPolicy {
+ public:
+  void Tick(TimeNs now) override {
+    if (done_) return;
+    done_ = true;
+    std::vector<PageId> batch;
+    // 12 non-resident pages first, then 200 slow-resident ones — all
+    // belonging to tenant a.
+    for (PageId page = 500; page < 512; ++page) batch.push_back(page);
+    for (PageId page = 0; page < 200; ++page) batch.push_back(page);
+    migration().Promote(batch, now);
+  }
+  size_t MetadataBytes() const override { return 0; }
+  const char* name() const override { return "MixedBatch"; }
+
+ private:
+  bool done_ = false;
+};
+
+TEST(FairSharePolicy, GateChargesNonResidentPagesAgainstQuota) {
+  FairShareConfig config;
+  config.rebalance = false;
+  // Weights 1:3 give tenant a a 128-unit quota over the 512 fast units.
+  FairShareHarness harness(AllocationPolicy::kFastFirst, config,
+                           std::make_unique<MixedBatchPolicy>(),
+                           TwoTenantDirectoryWeighted(1.0, 3.0));
+  ASSERT_EQ(harness.policy().quota_units(0), 128u);
+
+  TieredMemory& mem = harness.memory();
+  // Tenant b fills the fast tier, tenant a lands slow, and then 312 of
+  // b's pages are demoted so the tier has free capacity — the state an
+  // arrival meets: free fast pages, a's region partly non-resident.
+  for (PageId page = 1024; page < 1536; ++page) mem.Touch(page, 0);
+  for (PageId page = 0; page < 500; ++page) mem.Touch(page, 0);
+  for (PageId page = 1224; page < 1536; ++page) {
+    ASSERT_TRUE(mem.Migrate(page, Tier::kSlow));
+  }
+  ASSERT_EQ(mem.FreePages(Tier::kFast), 312u);
+
+  // The base policy promotes a batch mixing 12 non-resident pages with
+  // 200 slow-resident ones; every page the engine could land fast must
+  // consume gate headroom.
+  harness.policy().Tick(1 * kMillisecond);
+
+  // The 12 admitted non-resident pages now get their first touch (the
+  // arriving tenant starts running) and allocate fast-first.
+  for (PageId page = 500; page < 512; ++page) {
+    const TouchResult touch = mem.Touch(page, 2 * kMillisecond);
+    ASSERT_TRUE(touch.first_touch);
+    ASSERT_EQ(touch.tier, Tier::kFast);
+    harness.policy().OnAccess(page, touch, 2 * kMillisecond);
+  }
+
+  // Without charging non-resident admissions, tenant a ends at
+  // quota + 12. With the fix the batch reserved their headroom.
+  EXPECT_LE(harness.policy().fast_units(0),
+            harness.policy().quota_units(0));
+  EXPECT_EQ(harness.policy().fast_units(0), harness.FastResident(0));
+  EXPECT_EQ(harness.FastResident(0), 128u);
+}
+
 // --------------------------------------- simulation-level attribution --
 
 SimulationConfig SmallSimConfig() {
@@ -338,6 +487,96 @@ TEST(MultiTenantSimulation, FairShareKeepsEveryTenantWithinQuota) {
     // system's ground truth at end of run.
     EXPECT_EQ(result.tenants[t].fast_resident_units, fair->fast_units(t));
   }
+}
+
+// ------------------------------------------------------- tenant churn --
+
+TEST(MultiTenantSimulation, DepartureReleasesFastShareWithinOneRebalance) {
+  std::vector<TenantSpec> specs =
+      ParseTenantList("zipf,zipf@0-6e7,cdn:2");
+  for (TenantSpec& spec : specs) spec.scale = 0.05;
+  auto mux = MakeMuxWorkload(specs, 7);
+  const FairShareConfig fair_config;
+  auto fair = std::make_unique<FairSharePolicy>(MakePolicy("HybridTier"),
+                                                mux->directory(),
+                                                fair_config);
+  SimulationConfig config = SmallSimConfig();
+  config.max_accesses = 30000000;
+  config.max_time_ns = 120 * kMillisecond;
+  Simulation simulation(config, mux.get(), fair.get());
+  const SimulationResult result = simulation.Run();
+
+  constexpr TimeNs kDeparture = 60000000;  // 6e7 ns.
+  ASSERT_GT(result.duration_ns, kDeparture);
+
+  // The mux surfaced the departure and stopped serving the tenant.
+  bool saw_departure = false;
+  for (const TenantChurnEvent& event : mux->churn_events()) {
+    if (!event.arrival && event.tenant == 1) {
+      saw_departure = true;
+      EXPECT_EQ(event.time_ns, kDeparture);
+    }
+  }
+  EXPECT_TRUE(saw_departure);
+
+  // The departed tenant's fast share was fully released and its quota
+  // re-divided over the survivors.
+  EXPECT_FALSE(fair->tenant_active(1));
+  EXPECT_GT(fair->released_units(1), 0u);
+  EXPECT_EQ(fair->quota_units(1), 0u);
+  EXPECT_EQ(result.tenants[1].fast_resident_units, 0u);
+  EXPECT_EQ(fair->quota_units(0) + fair->quota_units(2),
+            simulation.fast_capacity_units());
+
+  // Timeline view: the tenant held fast capacity before departing, and
+  // its occupancy is zero from one rebalance interval after departure.
+  const TimeSeries& occupancy = result.tenants[1].occupancy_timeline;
+  ASSERT_GT(occupancy.size(), 0u);
+  bool held_capacity_before = false;
+  const TimeNs deadline =
+      kDeparture + fair_config.rebalance_interval_ns;
+  for (size_t i = 0; i < occupancy.size(); ++i) {
+    if (occupancy.times_ns[i] < kDeparture && occupancy.values[i] > 0.0) {
+      held_capacity_before = true;
+    }
+    if (occupancy.times_ns[i] >= deadline) {
+      EXPECT_EQ(occupancy.values[i], 0.0)
+          << "departed tenant still resident at t="
+          << occupancy.times_ns[i];
+    }
+  }
+  EXPECT_TRUE(held_capacity_before);
+}
+
+TEST(MultiTenantSimulation, ArrivalJoinsRotationAndEarnsQuota) {
+  std::vector<TenantSpec> specs = ParseTenantList("zipf,zipf@4e7");
+  for (TenantSpec& spec : specs) spec.scale = 0.05;
+  auto mux = MakeMuxWorkload(specs, 7);
+  auto fair = std::make_unique<FairSharePolicy>(MakePolicy("HybridTier"),
+                                                mux->directory());
+  SimulationConfig config = SmallSimConfig();
+  config.max_accesses = 30000000;
+  config.max_time_ns = 100 * kMillisecond;
+  Simulation simulation(config, mux.get(), fair.get());
+  const SimulationResult result = simulation.Run();
+
+  constexpr TimeNs kArrival = 40000000;  // 4e7 ns.
+  ASSERT_GT(result.duration_ns, kArrival);
+  EXPECT_GT(result.tenants[1].ops, 0u);
+  EXPECT_TRUE(fair->tenant_active(1));
+  EXPECT_GT(fair->quota_units(1), 0u);
+
+  // Before the arrival the tenant's region does not exist: it was not
+  // prefaulted and holds no fast capacity.
+  const TimeSeries& occupancy = result.tenants[1].occupancy_timeline;
+  ASSERT_GT(occupancy.size(), 0u);
+  for (size_t i = 0; i < occupancy.size(); ++i) {
+    if (occupancy.times_ns[i] < kArrival) {
+      EXPECT_EQ(occupancy.values[i], 0.0);
+    }
+  }
+  // After it, the tenant owns part of the tier.
+  EXPECT_GT(result.tenants[1].fast_resident_units, 0u);
 }
 
 TEST(MultiTenantSimulation, HugePageModeAttributesCleanly) {
