@@ -54,9 +54,15 @@ void PrintUsage() {
          "                    window in virtual ns (e.g.\n"
          "                    cdn@0-3e8,bfs-k:2@1e8,silo); also accepts\n"
          "                    the synthetic \"zipf\" hot-set tenant\n"
-         "  --fair            wrap the policy in the per-tenant\n"
-         "                    fair-share quota enforcer\n"
-         "  --no-rebalance    fair-share: static weight quotas only\n";
+         "  --fair [mode]     wrap the policy in the per-tenant\n"
+         "                    fair-share quota enforcer; mode is the\n"
+         "                    rebalance demand signal: marginal\n"
+         "                    (ghost-MRC marginal utility, default) or\n"
+         "                    density (sampled hit density)\n"
+         "  --no-rebalance    fair-share: static weight quotas only\n"
+         "  --sampler-budget  per-tenant sample-period scaling so a\n"
+         "                    high-rate tenant cannot crowd the sample\n"
+         "                    stream (multi-tenant runs only)\n";
 }
 
 /** Prints the per-tenant table and fairness index of a tenants run. */
@@ -106,7 +112,9 @@ int main(int argc, char** argv) {
   bool huge = false;
   bool fair = false;
   bool rebalance = true;
+  bool sampler_budget = false;
   bool workload_set = false;
+  QuotaMode quota_mode = FairShareConfig{}.quota_mode;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -146,8 +154,15 @@ int main(int argc, char** argv) {
       tenants = next();
     } else if (arg == "--fair") {
       fair = true;
+      // Optional mode operand: --fair marginal | --fair density.
+      if (i + 1 < argc && (std::strcmp(argv[i + 1], "density") == 0 ||
+                           std::strcmp(argv[i + 1], "marginal") == 0)) {
+        quota_mode = ParseQuotaMode(argv[++i]);
+      }
     } else if (arg == "--no-rebalance") {
       rebalance = false;
+    } else if (arg == "--sampler-budget") {
+      sampler_budget = true;
     } else {
       std::cerr << "unknown option " << arg << "\n";
       PrintUsage();
@@ -169,6 +184,10 @@ int main(int argc, char** argv) {
     std::cerr << "--no-rebalance requires --fair\n";
     return 1;
   }
+  if (tenants.empty() && sampler_budget) {
+    std::cerr << "--sampler-budget requires --tenants\n";
+    return 1;
+  }
 
   if (!tenants.empty()) {
     if (workload_set) {
@@ -188,6 +207,7 @@ int main(int argc, char** argv) {
     if (fair) {
       FairShareConfig fair_config;
       fair_config.rebalance = rebalance;
+      fair_config.quota_mode = quota_mode;
       auto wrapped = std::make_unique<FairSharePolicy>(
           std::move(policy), mux->directory(), fair_config);
       fair_policy = wrapped.get();
@@ -200,14 +220,20 @@ int main(int argc, char** argv) {
     config.max_accesses = accesses;
     config.mode = huge ? PageMode::kHuge : PageMode::kRegular;
     config.seed = seed;
+    config.tenant_sample_budget = sampler_budget;
 
     Simulation simulation(config, mux.get(), policy.get());
     const SimulationResult result = simulation.Run();
 
     std::cout << "workload:          " << mux->name() << " ("
               << mux->footprint_pages() << " pages)\n"
-              << "policy:            " << policy->name() << "\n"
-              << "fast tier:         " << simulation.fast_capacity_units()
+              << "policy:            " << policy->name() << "\n";
+    if (fair) {
+      std::cout << "fair mode:         "
+                << (rebalance ? QuotaModeName(quota_mode) : "static")
+                << (sampler_budget ? " + sampler budget" : "") << "\n";
+    }
+    std::cout << "fast tier:         " << simulation.fast_capacity_units()
               << " / " << simulation.footprint_units() << " units\n"
               << "accesses:          " << result.accesses << " in "
               << FormatTime(result.duration_ns) << " virtual\n"

@@ -89,6 +89,11 @@ class HybridTierPolicy : public TieringPolicy {
   size_t MetadataBytes() const override;
   const char* name() const override;
 
+  /** Long-term frequency estimate (the demotion-ordering signal). */
+  uint32_t HotnessOf(PageId unit) const override {
+    return freq_->Get(unit);
+  }
+
   /** Current histogram-derived frequency threshold. */
   uint32_t freq_threshold() const { return freq_threshold_; }
 

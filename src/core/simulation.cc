@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "multitenant/tenant_stats.h"
 
 namespace hybridtier {
 
@@ -56,8 +57,6 @@ Simulation::Simulation(const SimulationConfig& config, Workload* workload,
   migration_ =
       std::make_unique<MigrationEngine>(memory_.get(), perf_.get(),
                                         config.mode);
-  sampler_ = std::make_unique<AccessSampler>(
-      config.sample_period, config.sample_buffer, config.seed);
   if (config.measure_metadata_traffic) {
     sink_ = std::make_unique<HierarchySink>(hierarchy_.get());
   } else {
@@ -78,6 +77,24 @@ Simulation::Simulation(const SimulationConfig& config, Workload* workload,
   tenant_source_ = dynamic_cast<TenantTagSource*>(workload);
   if (tenant_source_ != nullptr) {
     const uint32_t tenants = tenant_source_->tenant_count();
+    // Register the tenant layout with the memory system so per-tenant
+    // occupancy reads (every stats interval) are O(tenants) counter
+    // lookups instead of O(footprint) residency rescans.
+    std::vector<PageRange> regions;
+    regions.reserve(tenants);
+    for (uint32_t t = 0; t < tenants; ++t) {
+      regions.push_back(tenant_source_->tenant_units(t, config.mode));
+    }
+    memory_->DefineRegions(regions);
+    if (config.tenant_sample_budget) {
+      BudgetedSamplerConfig sampler_config;
+      sampler_config.base_period = config.sample_period;
+      sampler_config.buffer_capacity = config.sample_buffer;
+      sampler_config.adapt_window_accesses = config.sample_adapt_window;
+      sampler_config.seed = config.seed;
+      budgeted_sampler_ =
+          std::make_unique<BudgetedSampler>(sampler_config, tenants);
+    }
     tenant_states_.reserve(tenants);
     for (uint32_t t = 0; t < tenants; ++t) {
       // Distinct multiplier from MakeMuxWorkload's per-tenant workload
@@ -86,6 +103,12 @@ Simulation::Simulation(const SimulationConfig& config, Workload* workload,
       tenant_states_.emplace_back(SplitMix64Next(state),
                                   config.latency_window);
     }
+  }
+  // Exactly one sampler exists per run: the per-tenant budgeted one
+  // when enabled (tenant runs), otherwise the global-period sampler.
+  if (budgeted_sampler_ == nullptr) {
+    sampler_ = std::make_unique<AccessSampler>(
+        config.sample_period, config.sample_buffer, config.seed);
   }
 }
 
@@ -135,10 +158,7 @@ void Simulation::RecordTimelinePoint(TimeNs at, bool idle) {
     std::vector<double> weights;
     for (uint32_t t = 0; t < tenant_source_->tenant_count(); ++t) {
       TenantState& state = tenant_states_[t];
-      const PageRange range = tenant_source_->tenant_units(t, config_.mode);
-      uint64_t fast_resident = 0;
-      memory_->ScanResident(range.begin, range.size(), Tier::kFast,
-                            [&fast_resident](PageId) { ++fast_resident; });
+      const uint64_t fast_resident = memory_->RegionResident(t, Tier::kFast);
       const double share =
           static_cast<double>(fast_resident) /
           static_cast<double>(std::max<uint64_t>(1, fast_capacity_units_));
@@ -283,7 +303,12 @@ SimulationResult Simulation::Run() {
       }
 
       policy_->OnAccess(unit, touch, now_);
-      sampler_->OnAccess(unit, touch.tier, now_);
+      if (budgeted_sampler_ != nullptr) {
+        budgeted_sampler_->OnAccess(tenant_source_->last_tenant(), unit,
+                                    touch.tier, now_);
+      } else {
+        sampler_->OnAccess(unit, touch.tier, now_);
+      }
 
       now_ += latency;
       op_latency += latency;
@@ -292,7 +317,11 @@ SimulationResult Simulation::Run() {
 
     // Drain the PEBS buffer to the policy (the tiering thread's loop).
     samples.clear();
-    sampler_->Drain(&samples, samples.capacity());
+    if (budgeted_sampler_ != nullptr) {
+      budgeted_sampler_->Drain(&samples, samples.capacity());
+    } else {
+      sampler_->Drain(&samples, samples.capacity());
+    }
     for (const SampleRecord& sample : samples) policy_->OnSample(sample);
 
     // Periodic policy maintenance.
@@ -374,14 +403,21 @@ SimulationResult Simulation::Run() {
   result_.llc_tiering_misses =
       hierarchy_->LlcMisses(AccessOwner::kTiering);
   result_.metadata_bytes = policy_->MetadataBytes();
-  result_.samples_taken = sampler_->samples_taken();
-  result_.samples_dropped = sampler_->samples_dropped();
+  result_.samples_taken = budgeted_sampler_ != nullptr
+                              ? budgeted_sampler_->samples_taken()
+                              : sampler_->samples_taken();
+  result_.samples_dropped = budgeted_sampler_ != nullptr
+                                ? budgeted_sampler_->samples_dropped()
+                                : sampler_->samples_dropped();
   FinalizeTenantResults();
   return result_;
 }
 
 void Simulation::FinalizeTenantResults() {
   if (tenant_source_ == nullptr) return;
+  // The quota controller's per-tenant view, when the policy has one.
+  const auto* quota_stats =
+      dynamic_cast<const TenantQuotaStatsSource*>(policy_);
   std::vector<double> occupancies;
   std::vector<double> present_occupancies;
   std::vector<double> present_weights;
@@ -404,12 +440,21 @@ void Simulation::FinalizeTenantResults() {
 
     const PageRange range = tenant_source_->tenant_units(t, config_.mode);
     tenant.footprint_units = range.size();
-    uint64_t fast_resident = 0;
-    memory_->ScanResident(range.begin, range.size(), Tier::kFast,
-                          [&fast_resident](PageId) { ++fast_resident; });
-    tenant.fast_resident_units = fast_resident;
+    tenant.fast_resident_units = memory_->RegionResident(t, Tier::kFast);
     tenant.occupancy_timeline = std::move(state.occupancy_timeline);
     tenant.latency_timeline = std::move(state.latency_timeline);
+
+    if (quota_stats != nullptr) {
+      TenantQuotaStats stats;
+      if (quota_stats->GetTenantQuotaStats(t, &stats)) {
+        tenant.quota_units = stats.quota_units;
+        tenant.shadow_samples = stats.shadow_samples;
+        tenant.marginal_utility = stats.marginal_utility;
+      }
+    }
+    tenant.sample_period = budgeted_sampler_ != nullptr
+                               ? budgeted_sampler_->period(t)
+                               : config_.sample_period;
 
     occupancies.push_back(static_cast<double>(tenant.fast_resident_units));
     if (tenant_source_->tenant_active_at(t, now_)) {

@@ -29,6 +29,7 @@
 #include "mem/perf_model.h"
 #include "mem/tiered_memory.h"
 #include "policies/policy.h"
+#include "sampling/budgeted_sampler.h"
 #include "sampling/sampler.h"
 #include "workloads/tenant_tag.h"
 #include "workloads/workload.h"
@@ -49,6 +50,16 @@ struct SimulationConfig {
   TimeNs op_overhead_ns = 60;           //!< Non-memory work per op.
   uint64_t sample_period = 61;          //!< PEBS period (accesses/sample).
   size_t sample_buffer = 8192;          //!< PEBS buffer depth.
+  /**
+   * Multi-tenant runs only: replace the single global sampler with the
+   * per-tenant budgeted sampler (`BudgetedSampler`), which re-divides
+   * the global sample budget equally among active tenants so a
+   * high-access-rate tenant cannot crowd the sample stream that feeds
+   * per-tenant demand estimators. Ignored for single-tenant workloads.
+   */
+  bool tenant_sample_budget = false;
+  /** Accesses between budgeted-sampler period re-adaptations. */
+  uint64_t sample_adapt_window = 65536;
   TimeNs tick_interval_ns = 1 * kMillisecond;   //!< Policy maintenance.
   TimeNs stats_interval_ns = 20 * kMillisecond; //!< Timeline sampling.
   size_t latency_window = 4096;         //!< Window for timeline medians.
@@ -84,6 +95,15 @@ struct TenantResult {
   double median_latency_ns = 0.0;    //!< Post-warmup op latency median.
   double p99_latency_ns = 0.0;
   double mean_latency_ns = 0.0;
+
+  // Quota-controller view (zero unless the policy manages per-tenant
+  // quotas, i.e. implements TenantQuotaStatsSource).
+  uint64_t quota_units = 0;        //!< End-of-run fast-tier quota.
+  uint64_t shadow_samples = 0;     //!< Samples fed to the ghost estimate.
+  double marginal_utility = 0.0;   //!< Hits/window of the next fast unit.
+  /** Effective sampling period for this tenant's accesses (the global
+   *  period unless the budgeted sampler is enabled). */
+  uint64_t sample_period = 0;
 
   // Per-tenant adaptation timelines, sampled every stats_interval_ns.
   TimeSeries occupancy_timeline;  //!< Fast units / fast capacity.
@@ -263,6 +283,8 @@ class Simulation {
   std::unique_ptr<CacheHierarchy> hierarchy_;
   std::unique_ptr<MigrationEngine> migration_;
   std::unique_ptr<AccessSampler> sampler_;
+  /** Replaces sampler_ when tenant_sample_budget is on (tenant runs). */
+  std::unique_ptr<BudgetedSampler> budgeted_sampler_;
   std::unique_ptr<MetadataTrafficSink> sink_;
 
   // Run state.

@@ -39,6 +39,7 @@ TouchResult TieredMemory::Touch(PageId page, TimeNs now) {
       f &= static_cast<uint8_t>(~kTierSlow);
     }
     ++used_[static_cast<size_t>(tier)];
+    AccountRegion(page, tier, +1);
     result.first_touch = true;
     result.tier = tier;
     return result;
@@ -100,6 +101,8 @@ bool TieredMemory::Migrate(PageId page, Tier dst) {
   }
   --used_[static_cast<size_t>(src)];
   ++used_[static_cast<size_t>(dst)];
+  AccountRegion(page, src, -1);
+  AccountRegion(page, dst, +1);
   return true;
 }
 
@@ -111,10 +114,39 @@ uint64_t TieredMemory::Release(PageRange range) {
     if (!(f & kResident)) continue;
     const Tier tier = (f & kTierSlow) ? Tier::kSlow : Tier::kFast;
     --used_[static_cast<size_t>(tier)];
+    AccountRegion(page, tier, -1);
     f = 0;
     ++released;
   }
   return released;
+}
+
+void TieredMemory::DefineRegions(const std::vector<PageRange>& regions) {
+  region_of_.assign(flags_.size(), kNoRegion);
+  for (size_t tier = 0; tier < kNumTiers; ++tier) {
+    region_resident_[tier].assign(regions.size(), 0);
+  }
+  for (size_t r = 0; r < regions.size(); ++r) {
+    const PageRange& range = regions[r];
+    HT_ASSERT(range.end <= flags_.size(),
+              "region end outside address space");
+    for (PageId page = range.begin; page < range.end; ++page) {
+      HT_ASSERT(region_of_[page] == kNoRegion,
+                "accounting regions overlap at page ", page);
+      region_of_[page] = static_cast<uint32_t>(r);
+      const uint8_t f = flags_[page];
+      if (!(f & kResident)) continue;
+      const Tier tier = (f & kTierSlow) ? Tier::kSlow : Tier::kFast;
+      ++region_resident_[static_cast<size_t>(tier)][r];
+    }
+  }
+}
+
+uint64_t TieredMemory::RegionResident(uint32_t region, Tier tier) const {
+  const auto& counts = region_resident_[static_cast<size_t>(tier)];
+  HT_ASSERT(region < counts.size(), "region ", region,
+            " outside the accounting layout");
+  return counts[region];
 }
 
 uint64_t TieredMemory::ScanResident(

@@ -118,10 +118,38 @@ class TieredMemory {
   uint64_t ScanResident(PageId start, uint64_t count, Tier tier,
                         const std::function<void(PageId)>& fn) const;
 
+  /**
+   * Registers disjoint accounting regions (one per tenant) and seeds
+   * their per-tier resident counters from the current page state. From
+   * then on Touch/Migrate/Release maintain the counters incrementally,
+   * so `RegionResident` reads are O(1) instead of an O(region) rescan —
+   * the difference between an O(tenants) and an O(footprint) stats
+   * interval. Pages outside every region stay unaccounted. Calling
+   * again replaces the layout.
+   */
+  void DefineRegions(const std::vector<PageRange>& regions);
+
+  /** True once DefineRegions has installed an accounting layout. */
+  bool has_regions() const { return !region_resident_[0].empty(); }
+
+  /** Resident pages of `region` in `tier` (needs DefineRegions). */
+  uint64_t RegionResident(uint32_t region, Tier tier) const;
+
   /** First-touch allocation policy in use. */
   AllocationPolicy allocation_policy() const { return allocation_policy_; }
 
  private:
+  static constexpr uint32_t kNoRegion = UINT32_MAX;
+
+  /** Adjusts `page`'s region counter in `tier` by +/-1. */
+  void AccountRegion(PageId page, Tier tier, int64_t delta) {
+    if (region_of_.empty()) return;
+    const uint32_t region = region_of_[page];
+    if (region == kNoRegion) return;
+    region_resident_[static_cast<size_t>(tier)][region] +=
+        static_cast<uint64_t>(delta);
+  }
+
   // Per-page state flags.
   static constexpr uint8_t kResident = 1u << 0;
   static constexpr uint8_t kTierSlow = 1u << 1;  // Set => slow tier.
@@ -132,6 +160,10 @@ class TieredMemory {
   uint64_t capacity_[kNumTiers];
   uint64_t used_[kNumTiers] = {0, 0};
   AllocationPolicy allocation_policy_;
+
+  // Per-region residency accounting (empty until DefineRegions).
+  std::vector<uint32_t> region_of_;  //!< Region id per page, or kNoRegion.
+  std::vector<uint64_t> region_resident_[kNumTiers];
 };
 
 }  // namespace hybridtier

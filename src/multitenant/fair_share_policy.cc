@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "multitenant/quota_controller.h"
 
 namespace hybridtier {
 
@@ -14,65 +15,21 @@ namespace {
 // convention as the baseline policies; 1<<50+ keeps clear of their maps).
 constexpr uint64_t kQuotaTableBase = 1ULL << 50;   // Per-tenant quota rows.
 constexpr uint64_t kSharePagemapBase = 1ULL << 51; // Enforcement scans.
-
-/**
- * Divides `total` units among tenants in proportion to `weights`, never
- * exceeding `caps`, with integer water-filling: capped tenants are
- * pinned and the surplus re-divided among the rest. Flooring leftovers
- * go to tenants in index order, so the split is deterministic and sums
- * to min(total, sum(caps)).
- */
-std::vector<uint64_t> DivideProportional(const std::vector<double>& weights,
-                                         const std::vector<uint64_t>& caps,
-                                         uint64_t total) {
-  const size_t n = weights.size();
-  std::vector<uint64_t> quotas(n, 0);
-  std::vector<bool> pinned(n, false);
-  uint64_t remaining = total;
-
-  for (;;) {
-    double sum_weight = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      if (!pinned[i]) sum_weight += weights[i];
-    }
-    if (remaining == 0 || sum_weight <= 0.0) return quotas;
-
-    // Pin every tenant whose proportional share overflows its cap.
-    bool repinned = false;
-    for (size_t i = 0; i < n; ++i) {
-      if (pinned[i]) continue;
-      const double ideal =
-          static_cast<double>(remaining) * weights[i] / sum_weight;
-      if (ideal >= static_cast<double>(caps[i])) {
-        quotas[i] = caps[i];
-        remaining -= std::min(remaining, caps[i]);
-        pinned[i] = true;
-        repinned = true;
-      }
-    }
-    if (repinned) continue;
-
-    // No overflow left: floor-allocate and hand the leftover units out
-    // one by one in index order.
-    uint64_t allocated = 0;
-    for (size_t i = 0; i < n; ++i) {
-      if (pinned[i]) continue;
-      quotas[i] = static_cast<uint64_t>(
-          std::floor(static_cast<double>(remaining) * weights[i] /
-                     sum_weight));
-      allocated += quotas[i];
-    }
-    uint64_t leftover = remaining - allocated;
-    for (size_t i = 0; i < n && leftover > 0; ++i) {
-      if (pinned[i] || quotas[i] >= caps[i]) continue;
-      ++quotas[i];
-      --leftover;
-    }
-    return quotas;
-  }
-}
+constexpr uint64_t kGhostTableBase = 1ULL << 52;   // Shadow MRC counters.
+// Per-tenant stride of the ghost table's synthetic line addresses.
+constexpr uint64_t kGhostTenantStride = 1ULL << 32;
 
 }  // namespace
+
+QuotaMode ParseQuotaMode(const std::string& name) {
+  if (name == "density") return QuotaMode::kDensity;
+  if (name == "marginal") return QuotaMode::kMarginal;
+  HT_FATAL("unknown quota mode '", name, "' (want density | marginal)");
+}
+
+const char* QuotaModeName(QuotaMode mode) {
+  return mode == QuotaMode::kDensity ? "density" : "marginal";
+}
 
 /**
  * The migration gate handed to the base policy: promotions are filtered
@@ -137,8 +94,23 @@ void FairSharePolicy::Bind(const PolicyContext& context) {
   released_units_.assign(n, 0);
   batch_admits_.assign(n, 0);
   candidates_.assign(n, {});
+  pending_pages_.assign(n, {});
+  shadow_samples_.assign(n, 0);
+  marginal_utility_.assign(n, 0.0);
+  grace_until_ns_.assign(n, 0);
   occupancy_ready_ = false;
   next_rebalance_ns_ = config_.rebalance_interval_ns;
+
+  // The shadow MRC estimate exists only when the marginal controller
+  // can use it: density runs keep their metadata footprint unchanged.
+  ghost_.clear();
+  if (config_.rebalance && config_.quota_mode == QuotaMode::kMarginal) {
+    ghost_.reserve(n);
+    for (uint32_t t = 0; t < n; ++t) {
+      ghost_.emplace_back(
+          directory_.regions[t].UnitRange(context.mode).size());
+    }
+  }
 
   // Residency-window state at t=0; later edges apply at the tick that
   // crosses them (ApplyChurn).
@@ -196,6 +168,24 @@ void FairSharePolicy::ApplyChurn(TimeNs now) {
     if (churn_state_[t] == kChurnPending && now >= region.arrival_ns) {
       churn_state_[t] = kChurnActive;
       changed = true;
+      if (config_.arrival_grace > 0.0) {
+        // Warm-up grace: the newcomer has no demand history, so the
+        // first rebalance would drop it to the min_share floor (the
+        // post-arrival fairness dip fig_tenant_churn measures). Raise
+        // its floor for one window and seed its demand EMA from the
+        // incumbents' weighted average, so it bids as an average
+        // tenant until its own samples arrive.
+        grace_until_ns_[t] = now + config_.rebalance_interval_ns;
+        double sum_weight = 0.0;
+        double sum_weighted_ema = 0.0;
+        for (uint32_t s = 0; s < directory_.size(); ++s) {
+          if (s == t || churn_state_[s] != kChurnActive) continue;
+          const double w = directory_.regions[s].weight;
+          sum_weight += w;
+          sum_weighted_ema += w * demand_ema_[s];
+        }
+        if (sum_weight > 0.0) demand_ema_[t] = sum_weighted_ema / sum_weight;
+      }
     }
     if (churn_state_[t] == kChurnActive && region.departure_ns != 0 &&
         now >= region.departure_ns) {
@@ -238,70 +228,139 @@ void FairSharePolicy::ReleaseTenant(uint32_t tenant, TimeNs now) {
   window_slow_samples_[tenant] = 0;
   demand_ema_[tenant] = 0.0;
   candidates_[tenant].clear();
+  pending_pages_[tenant].clear();
+  marginal_utility_[tenant] = 0.0;
+  grace_until_ns_[tenant] = 0;
+  if (!ghost_.empty()) {
+    ghost_[tenant].Reset();
+    shadow_samples_[tenant] = 0;
+  }
 }
 
-void FairSharePolicy::Rebalance(TimeNs now) {
+uint64_t FairSharePolicy::RebalanceFloor(uint32_t tenant,
+                                         TimeNs now) const {
+  double fraction = config_.min_share;
+  // Post-arrival grace: guarantee (a fraction of) the static share for
+  // the first window while the demand estimate warms up.
+  if (now < grace_until_ns_[tenant]) {
+    fraction = std::max(fraction, config_.arrival_grace);
+  }
+  return static_cast<uint64_t>(
+      static_cast<double>(static_quota_[tenant]) * std::min(fraction, 1.0));
+}
+
+void FairSharePolicy::RebalanceDensity(TimeNs now) {
   const uint32_t n = directory_.size();
   // Hit density: sampled fast-tier hits per resident unit, smoothed by
   // a halving EMA over rebalance windows (the cooling idiom the paper's
   // trackers use: responsive to shifts, stable against one noisy
   // window). Density is value-per-unit of capacity, so capacity flows
   // to tenants that actually reuse it — raw access volume would let a
-  // streaming tenant with no reuse out-bid every hot set.
+  // streaming tenant with no reuse out-bid every hot set. (Density is
+  // still blind to *marginal* value: a streamer's few resident pages
+  // can look dense while extra capacity would gain it nothing — the
+  // case the marginal mode handles.)
   double total_demand = 0.0;
-  std::vector<double> fast_fraction(n, 1.0);
   for (uint32_t t = 0; t < n; ++t) {
-    if (churn_state_[t] != kChurnActive) {
-      // Absent tenants produce no samples and hold no quota; keep their
-      // windows clean so a t=0-departed slot never skews the division.
-      window_fast_samples_[t] = 0;
-      window_slow_samples_[t] = 0;
-      continue;
-    }
+    if (churn_state_[t] != kChurnActive) continue;
     const double density =
         static_cast<double>(window_fast_samples_[t]) /
         static_cast<double>(std::max<uint64_t>(1, fast_units_[t]));
+    demand_ema_[t] = demand_ema_[t] * 0.5 + density;
+    total_demand += demand_ema_[t];
+    sink().Touch(kQuotaTableBase + (t / 2) * kCacheLineSize);
+  }
+  if (total_demand <= 0.0) return;
+
+  // Guaranteed floor first, then the rest in proportion to
+  // weight-scaled hit density.
+  std::vector<double> demand(n);
+  std::vector<uint64_t> caps(n);
+  uint64_t floor_total = 0;
+  for (uint32_t t = 0; t < n; ++t) {
+    if (churn_state_[t] != kChurnActive) {
+      quota_[t] = 0;
+      caps[t] = 0;
+      demand[t] = 0.0;
+      continue;
+    }
+    const uint64_t span =
+        directory_.regions[t].UnitRange(context().mode).size();
+    const uint64_t floor_units = std::min(span, RebalanceFloor(t, now));
+    quota_[t] = floor_units;
+    floor_total += floor_units;
+    caps[t] = span - floor_units;
+    demand[t] = directory_.regions[t].weight * demand_ema_[t];
+  }
+  const uint64_t fast_cap = context().fast_capacity_units;
+  const std::vector<uint64_t> extra = DivideProportional(
+      demand, caps, fast_cap - std::min(fast_cap, floor_total));
+  for (uint32_t t = 0; t < n; ++t) quota_[t] += extra[t];
+}
+
+void FairSharePolicy::RebalanceMarginal(TimeNs now) {
+  const uint32_t n = directory_.size();
+  // Water-filling on the ghost estimates: each tenant bids its shadow
+  // demand curve ("my q-th hottest unit would contribute v sampled hits
+  // per window") and capacity flows to the highest weighted marginal
+  // utility above the guaranteed floors. Unlike hit density, the bid of
+  // a streaming tenant collapses past its tiny reuse set — its curve is
+  // flat at 1 — so it cannot out-bid a hot set for capacity it would
+  // waste, however many accesses it issues.
+  std::vector<std::vector<GhostDemandStep>> curves(n);
+  std::vector<double> weights(n, 0.0);
+  std::vector<uint64_t> floors(n, 0);
+  std::vector<uint64_t> caps(n, 0);
+  for (uint32_t t = 0; t < n; ++t) {
+    if (churn_state_[t] != kChurnActive) continue;
+    const uint64_t span =
+        directory_.regions[t].UnitRange(context().mode).size();
+    weights[t] = directory_.regions[t].weight;
+    caps[t] = span;
+    floors[t] = std::min(span, RebalanceFloor(t, now));
+    ghost_[t].AppendDemandSteps(&curves[t]);
+    sink().Touch(kQuotaTableBase + (t / 2) * kCacheLineSize);
+  }
+  quota_ = MarginalUtilityQuotas(curves, weights, floors, caps,
+                                 context().fast_capacity_units);
+  for (uint32_t t = 0; t < n; ++t) {
+    if (churn_state_[t] != kChurnActive) {
+      marginal_utility_[t] = 0.0;
+      continue;
+    }
+    // The water level this tenant bid at: hits/window of its next unit
+    // past the awarded quota. Then cool — the ghost is a halving EMA
+    // over rebalance windows, like the density EMA it replaces.
+    marginal_utility_[t] =
+        static_cast<double>(ghost_[t].RankValue(quota_[t]));
+    ghost_[t].CoolByHalving();
+  }
+}
+
+void FairSharePolicy::Rebalance(TimeNs now) {
+  const uint32_t n = directory_.size();
+  // Sampled fast-tier fraction this window, for rotation (both modes).
+  std::vector<double> fast_fraction(n, 1.0);
+  for (uint32_t t = 0; t < n; ++t) {
+    if (churn_state_[t] != kChurnActive) continue;
     const uint64_t window_total =
         window_fast_samples_[t] + window_slow_samples_[t];
     if (window_total > 0) {
       fast_fraction[t] = static_cast<double>(window_fast_samples_[t]) /
                          static_cast<double>(window_total);
     }
-    window_fast_samples_[t] = 0;
-    window_slow_samples_[t] = 0;
-    demand_ema_[t] = demand_ema_[t] * 0.5 + density;
-    total_demand += demand_ema_[t];
-    sink().Touch(kQuotaTableBase + (t / 2) * kCacheLineSize);
   }
 
-  if (total_demand > 0.0) {
-    // Guaranteed floor first, then the rest in proportion to
-    // weight-scaled hit density.
-    std::vector<double> demand(n);
-    std::vector<uint64_t> caps(n);
-    uint64_t floor_total = 0;
-    for (uint32_t t = 0; t < n; ++t) {
-      if (churn_state_[t] != kChurnActive) {
-        quota_[t] = 0;
-        caps[t] = 0;
-        demand[t] = 0.0;
-        continue;
-      }
-      const uint64_t span =
-          directory_.regions[t].UnitRange(context().mode).size();
-      const uint64_t floor_units =
-          std::min(span, static_cast<uint64_t>(
-                             static_cast<double>(static_quota_[t]) *
-                             config_.min_share));
-      quota_[t] = floor_units;
-      floor_total += floor_units;
-      caps[t] = span - floor_units;
-      demand[t] = directory_.regions[t].weight * demand_ema_[t];
-    }
-    const uint64_t fast_cap = context().fast_capacity_units;
-    const std::vector<uint64_t> extra = DivideProportional(
-        demand, caps, fast_cap - std::min(fast_cap, floor_total));
-    for (uint32_t t = 0; t < n; ++t) quota_[t] += extra[t];
+  if (config_.quota_mode == QuotaMode::kMarginal) {
+    RebalanceMarginal(now);
+  } else {
+    RebalanceDensity(now);
+  }
+  // Windows are per-rebalance; absent tenants' stay clean so a
+  // t=0-departed slot never skews a later division.
+  for (uint32_t t = 0; t < n; ++t) {
+    window_fast_samples_[t] = 0;
+    window_slow_samples_[t] = 0;
   }
 
   // Rotate tenants whose placement is visibly bad: most of their
@@ -331,9 +390,8 @@ void FairSharePolicy::DemoteToTarget(uint32_t t, uint64_t target,
       std::min(fast_units_[t] - target, config_.max_enforce_batch);
 
   // Find the tenant's fast-resident units (the pagemap walk every
-  // watermark demoter performs) and demote from the top of the region;
-  // the filler and the base policy bring the hot subset back within
-  // quota.
+  // watermark demoter performs); the filler and the base policy bring
+  // the hot subset back within quota.
   const PageRange range = directory_.regions[t].UnitRange(context().mode);
   victims_.clear();
   memory().ScanResident(range.begin, range.size(), Tier::kFast,
@@ -344,8 +402,27 @@ void FairSharePolicy::DemoteToTarget(uint32_t t, uint64_t target,
                         });
   const uint64_t take = std::min<uint64_t>(excess, victims_.size());
   if (take == 0) return;
+  if (take < victims_.size()) {
+    // Coldest first, by the base policy's own hotness estimate (ties in
+    // address order, so the choice is deterministic). Demoting in plain
+    // address order would evict the hot pages whenever they sit at the
+    // scanned end — the base policy promotes them right back, and the
+    // swap repeats every enforcement pass (rotation churn).
+    victim_rank_.clear();
+    victim_rank_.reserve(victims_.size());
+    for (const PageId unit : victims_) {
+      victim_rank_.emplace_back(base_->HotnessOf(unit), unit);
+    }
+    // Only the coldest `take` need ordering; the rest stay resident.
+    std::partial_sort(victim_rank_.begin(), victim_rank_.begin() + take,
+                      victim_rank_.end());
+    victims_.clear();
+    for (uint64_t i = 0; i < take; ++i) {
+      victims_.push_back(victim_rank_[i].second);
+    }
+  }
   const uint64_t before = fast_units_[t];
-  TrackedDemote(std::span<const PageId>(victims_).last(take), now);
+  TrackedDemote(std::span<const PageId>(victims_).first(take), now);
   enforced_demotions_[t] += before - fast_units_[t];
 }
 
@@ -363,39 +440,59 @@ TimeNs FairSharePolicy::GatedPromote(std::span<const PageId> pages,
   batch_seen_.clear();
   std::fill(batch_admits_.begin(), batch_admits_.end(), 0);
 
+  // Per-page admission states within one batch.
+  constexpr uint8_t kWasSlow = 0;      //!< Slow-resident; engine moves it.
+  constexpr uint8_t kNonResident = 1;  //!< First touch will allocate it.
+
   for (const PageId page : pages) {
     // Dedup within the batch: a repeated page would be a no-op for the
     // engine but would double-count in the occupancy accounting below.
     if (!batch_seen_.insert(page).second) continue;
+    // A page already fast-resident needs no promotion: drop it before
+    // the headroom check, so a base policy re-promoting its (correctly
+    // placed) hot set is neither charged nor miscounted as gated.
+    const bool resident = memory().IsResident(page);
+    if (resident && memory().TierOf(page) == Tier::kFast) continue;
     const uint32_t t = directory_.TenantOfUnit(page, context().mode);
+    // A non-resident page already carrying a durable charge is staged:
+    // re-admitting it would double-charge one future landing.
+    if (!resident && pending_pages_[t].count(page) > 0) continue;
     sink().Touch(kQuotaTableBase + (t / 2) * kCacheLineSize);
-    if (fast_units_[t] + batch_admits_[t] >= quota_[t]) {
+    if (fast_units_[t] + pending_pages_[t].size() + batch_admits_[t] >=
+        quota_[t]) {
       ++gated_promotions_[t];
       continue;
     }
-    // Charge every page that could end up fast-resident — slow-resident
-    // pages the engine will move, and non-resident pages whose first
-    // touch lands in the fast tier right after admission (tenant
-    // arrivals). Charging only the slow ones would let a mixed batch
-    // reserve no headroom for the rest and push the tenant past quota.
-    // The charge is per-batch: first touches that land after a later
-    // batch are bounded by quota enforcement at the next tick.
-    const bool was_fast =
-        memory().IsResident(page) && memory().TierOf(page) == Tier::kFast;
+    // Charge every admitted page — each could end up fast-resident:
+    // slow-resident pages the engine will move, and non-resident pages
+    // whose first touch lands in the fast tier right after admission
+    // (tenant arrivals). Charging only the slow ones would let a mixed
+    // batch reserve no headroom for the rest and push the tenant past
+    // quota.
     admitted_.push_back(page);
-    batch_marks_.push_back(was_fast ? 0 : 1);
-    if (!was_fast) ++batch_admits_[t];
+    batch_marks_.push_back(resident ? kWasSlow : kNonResident);
+    ++batch_admits_[t];
   }
   // An entirely gated batch issues no syscall at all.
   if (admitted_.empty()) return 0;
 
   const TimeNs cost = migration().Promote(admitted_, now);
   for (size_t i = 0; i < admitted_.size(); ++i) {
-    if (!batch_marks_[i]) continue;  // Already fast before the batch.
     const PageId page = admitted_[i];
-    if (memory().IsResident(page) &&
-        memory().TierOf(page) == Tier::kFast) {
-      ++fast_units_[directory_.TenantOfUnit(page, context().mode)];
+    const uint32_t t = directory_.TenantOfUnit(page, context().mode);
+    if (memory().IsResident(page)) {
+      if (memory().TierOf(page) == Tier::kFast &&
+          batch_marks_[i] == kWasSlow) {
+        ++fast_units_[t];
+      }
+    } else if (batch_marks_[i] == kNonResident) {
+      // The engine cannot move a page that does not exist yet; the
+      // admission still staged a future fast first-touch landing.
+      // Charge it durably — the page holds headroom until OnAccess
+      // sees its first touch — so a base policy re-promoting the same
+      // untouched region across batches cannot stage more landings
+      // than one batch of headroom.
+      pending_pages_[t].insert(page);
     }
   }
   return cost;
@@ -481,8 +578,14 @@ void FairSharePolicy::FillQuotas(TimeNs now) {
 void FairSharePolicy::OnAccess(PageId unit, const TouchResult& touch,
                                TimeNs now) {
   const bool fresh = EnsureOccupancy();
-  if (!fresh && touch.first_touch && touch.tier == Tier::kFast) {
-    ++fast_units_[directory_.TenantOfUnit(unit, context().mode)];
+  if (touch.first_touch) {
+    const uint32_t t = directory_.TenantOfUnit(unit, context().mode);
+    if (!fresh && touch.tier == Tier::kFast) ++fast_units_[t];
+    // If this unit carried a durable gate charge, the landing it
+    // reserved headroom for has happened (or, when the touch landed
+    // slow, will never consume fast headroom): release it. First
+    // touches of uncharged units leave the staged charges alone.
+    if (!pending_pages_[t].empty()) pending_pages_[t].erase(unit);
   }
   base_->OnAccess(unit, touch, now);
 }
@@ -496,6 +599,16 @@ void FairSharePolicy::OnSample(const SampleRecord& sample) {
     ++window_slow_samples_[t];
   }
   sink().Touch(kQuotaTableBase + (t / 2) * kCacheLineSize);
+  if (!ghost_.empty() && churn_state_[t] == kChurnActive) {
+    // Shadow-sample the access into the tenant's ghost MRC estimate.
+    const PageRange range =
+        directory_.regions[t].UnitRange(context().mode);
+    const uint64_t local = sample.page - range.begin;
+    ghost_[t].Increment(local);
+    ++shadow_samples_[t];
+    sink().Touch(kGhostTableBase + t * kGhostTenantStride +
+                 ghost_[t].CacheLineOf(local) * kCacheLineSize);
+  }
   if (sample.tier == Tier::kSlow &&
       candidates_[t].size() < config_.candidate_buffer) {
     candidates_[t].push_back(sample.page);
@@ -531,10 +644,28 @@ void FairSharePolicy::Tick(TimeNs now) {
 }
 
 size_t FairSharePolicy::MetadataBytes() const {
-  // Quota table (six 8 B fields + churn state per tenant) plus the
-  // per-tenant fill candidate buffers.
+  // Quota table (ten 8 B fields + churn state per tenant), the
+  // per-tenant fill candidate buffers, the in-flight durable gate
+  // charges, and — in marginal mode — the ghost MRC counter arrays.
+  size_t ghost_bytes = 0;
+  for (const GhostMrc& ghost : ghost_) ghost_bytes += ghost.memory_bytes();
+  size_t pending_bytes = 0;
+  for (const auto& pending : pending_pages_) {
+    pending_bytes += pending.size() * sizeof(PageId);
+  }
   return base_->MetadataBytes() +
-         directory_.regions.size() * (6 + config_.candidate_buffer) * 8;
+         directory_.regions.size() * (10 + config_.candidate_buffer) * 8 +
+         pending_bytes + ghost_bytes;
+}
+
+bool FairSharePolicy::GetTenantQuotaStats(uint32_t tenant,
+                                          TenantQuotaStats* out) const {
+  if (tenant >= quota_.size()) return false;
+  out->quota_units = quota_[tenant];
+  out->shadow_samples = shadow_samples_[tenant];
+  out->marginal_utility = marginal_utility_[tenant];
+  out->pending_first_touch = pending_pages_[tenant].size();
+  return true;
 }
 
 }  // namespace hybridtier

@@ -32,12 +32,25 @@
  *    pages (e.g. leftover first-touch placement) could never improve
  *    its mix, and its measured hit density would starve it for good.
  *  - Quotas start weight-proportional ("static weights"). When rebalance
- *    is on, a periodic tick re-divides the tier in proportion to each
- *    tenant's recent fast-tier hit density — sampled fast-tier hits per
- *    resident unit, EMA-smoothed and weight-scaled — with a guaranteed
- *    floor so idle tenants are never starved to zero. Density (not raw
- *    access volume) is the signal, so a streaming tenant with no reuse
- *    cannot out-bid a small hot set for capacity it would waste.
+ *    is on, a periodic tick re-divides the tier by one of two demand
+ *    signals (`FairShareConfig::quota_mode`):
+ *      - *marginal* (default): each tenant keeps a shadow-sampled
+ *        miss-ratio-curve estimate (`GhostMrc`, fed from the sample
+ *        stream) answering "how many sampled hits per window would my
+ *        q-th hottest unit contribute?"; the rebalancer water-fills
+ *        capacity to whichever tenant has the highest weight-scaled
+ *        marginal utility, above guaranteed `min_share` floors. A
+ *        streaming tenant whose pages are touched once flattens its own
+ *        curve immediately, so it cannot out-bid a hot set — the
+ *        failure mode of per-unit densities.
+ *      - *density*: the previous heuristic — sampled fast-tier hits per
+ *        resident unit, EMA-smoothed and weight-scaled. Kept as the
+ *        comparison baseline (`bench/fig_marginal_utility`).
+ *  - A tenant arriving mid-run has no demand history; for the first
+ *    rebalance window after its arrival its floor is raised to
+ *    `arrival_grace` of its static share (and its demand EMA is seeded
+ *    from the incumbents), so the post-arrival fairness dip lasts one
+ *    window instead of a full EMA warm-up.
  *  - Tenants can *churn*: directory regions carry arrival/departure
  *    windows, and the maintenance tick applies every window edge the
  *    clock has crossed. A departure demotes the tenant's fast-resident
@@ -54,17 +67,34 @@
 #include <memory>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "multitenant/tenant.h"
+#include "multitenant/tenant_stats.h"
 #include "policies/policy.h"
+#include "probstruct/ghost_mrc.h"
 
 namespace hybridtier {
+
+/** Demand signal the rebalance tick divides the tier by. */
+enum class QuotaMode : uint8_t {
+  kDensity = 0,   //!< Sampled fast-tier hits per resident unit (EMA).
+  kMarginal = 1,  //!< Ghost-MRC marginal utility, water-filled.
+};
+
+/** Parses "density" / "marginal"; fatal on anything else. */
+QuotaMode ParseQuotaMode(const std::string& name);
+
+/** Display name of a quota mode. */
+const char* QuotaModeName(QuotaMode mode);
 
 /** Knobs of the fair-share wrapper. */
 struct FairShareConfig {
   /** Re-divide quotas by recent hit rate; false = static weights only. */
   bool rebalance = true;
+  /** Demand signal for the re-division. */
+  QuotaMode quota_mode = QuotaMode::kMarginal;
   /**
    * Virtual-time period of the rebalance tick. Sized to the simulator's
    * compressed timescales (policy tick 1 ms, stats 20 ms).
@@ -94,10 +124,18 @@ struct FairShareConfig {
    * therefore its quota — at the floor forever.
    */
   double rotate_below = 0.5;
+  /**
+   * Fraction of a newly arrived tenant's static share guaranteed as its
+   * floor for the first rebalance window after arrival, while its
+   * demand estimate warms up. 0 disables the grace (the tenant starts
+   * from the min_share floor and earns quota only as samples arrive).
+   */
+  double arrival_grace = 1.0;
 };
 
 /** Per-tenant quota enforcement as a `TieringPolicy` decorator. */
-class FairSharePolicy : public TieringPolicy {
+class FairSharePolicy : public TieringPolicy,
+                        public TenantQuotaStatsSource {
  public:
   /**
    * @param base      wrapped policy (owned); decides *which* pages move.
@@ -115,6 +153,15 @@ class FairSharePolicy : public TieringPolicy {
   void Tick(TimeNs now) override;
   size_t MetadataBytes() const override;
   const char* name() const override { return name_.c_str(); }
+
+  /** The wrapped policy's estimate (victim ordering sees through us). */
+  uint32_t HotnessOf(PageId unit) const override {
+    return base_->HotnessOf(unit);
+  }
+
+  // TenantQuotaStatsSource:
+  bool GetTenantQuotaStats(uint32_t tenant,
+                           TenantQuotaStats* out) const override;
 
   /** Current fast-tier quota of `tenant`, in tracking units. */
   uint64_t quota_units(uint32_t tenant) const { return quota_[tenant]; }
@@ -140,6 +187,25 @@ class FairSharePolicy : public TieringPolicy {
   /** Pages released back to the free pools when `tenant` departed. */
   uint64_t released_units(uint32_t tenant) const {
     return released_units_[tenant];
+  }
+
+  /** Gate charges for admitted-but-not-yet-touched units of `tenant`. */
+  uint64_t pending_first_touch(uint32_t tenant) const {
+    return pending_pages_[tenant].size();
+  }
+
+  /**
+   * Marginal utility (sampled hits/window of the next fast unit past the
+   * current quota) computed for `tenant` at the last rebalance; 0 in
+   * density mode.
+   */
+  double marginal_utility(uint32_t tenant) const {
+    return marginal_utility_[tenant];
+  }
+
+  /** Samples fed to `tenant`'s ghost estimate since its last reset. */
+  uint64_t shadow_samples(uint32_t tenant) const {
+    return shadow_samples_[tenant];
   }
 
   /** True if `tenant`'s residency window was open at the last tick. */
@@ -181,8 +247,21 @@ class FairSharePolicy : public TieringPolicy {
   /** Weight-proportional quotas summing exactly to the fast capacity. */
   void ComputeStaticQuotas();
 
-  /** Demand-proportional re-division (EMA-smoothed, floored). */
+  /** Demand-driven re-division (density EMA or marginal utility). */
   void Rebalance(TimeNs now);
+
+  /**
+   * The guaranteed floor for `tenant` at a rebalance at `now`: the
+   * min_share fraction of its static quota, raised to the arrival-grace
+   * share while the tenant is inside its post-arrival grace window.
+   */
+  uint64_t RebalanceFloor(uint32_t tenant, TimeNs now) const;
+
+  /** Density-EMA re-division (the original heuristic). */
+  void RebalanceDensity(TimeNs now);
+
+  /** Ghost-MRC marginal-utility water-filling re-division. */
+  void RebalanceMarginal(TimeNs now);
 
   /** Fill-limit for `tenant`: its quota minus the reserved margin. */
   uint64_t FillLimit(uint32_t tenant) const;
@@ -224,6 +303,16 @@ class FairSharePolicy : public TieringPolicy {
   std::vector<uint64_t> released_units_;  //!< Freed at departure.
   std::vector<uint8_t> churn_state_;      //!< ChurnState per tenant.
   std::vector<std::vector<PageId>> candidates_;  //!< Sampled slow pages.
+  /** Durable gate charges: the admitted non-resident units whose first
+   *  touch has not happened yet. Tracking the units themselves (not a
+   *  bare counter) keeps the charge exact: only the charged unit's own
+   *  first touch releases it, and re-admitting a still-untouched unit
+   *  cannot double-charge. */
+  std::vector<std::unordered_set<PageId>> pending_pages_;
+  std::vector<GhostMrc> ghost_;  //!< Shadow MRC estimate (marginal mode).
+  std::vector<uint64_t> shadow_samples_;   //!< Samples fed to ghost_.
+  std::vector<double> marginal_utility_;   //!< At last rebalance.
+  std::vector<TimeNs> grace_until_ns_;     //!< Arrival-grace deadline.
 
   // Scratch (avoids per-batch allocation).
   std::vector<PageId> admitted_;
@@ -232,6 +321,8 @@ class FairSharePolicy : public TieringPolicy {
   std::vector<uint8_t> batch_marks_;
   std::vector<uint64_t> batch_admits_;
   std::vector<PageId> victims_;
+  /** (hotness, unit) pairs for coldest-first victim ordering. */
+  std::vector<std::pair<uint32_t, PageId>> victim_rank_;
   std::unordered_set<PageId> batch_seen_;  //!< In-batch dedup.
 };
 

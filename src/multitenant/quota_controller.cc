@@ -1,0 +1,146 @@
+#include "multitenant/quota_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hybridtier {
+
+std::vector<uint64_t> DivideProportional(const std::vector<double>& weights,
+                                         const std::vector<uint64_t>& caps,
+                                         uint64_t total) {
+  const size_t n = weights.size();
+  std::vector<uint64_t> quotas(n, 0);
+  std::vector<bool> pinned(n, false);
+  uint64_t remaining = total;
+
+  for (;;) {
+    double sum_weight = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!pinned[i]) sum_weight += weights[i];
+    }
+    if (remaining == 0 || sum_weight <= 0.0) return quotas;
+
+    // Pin every tenant whose proportional share overflows its cap.
+    bool repinned = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (pinned[i]) continue;
+      const double ideal =
+          static_cast<double>(remaining) * weights[i] / sum_weight;
+      if (ideal >= static_cast<double>(caps[i])) {
+        quotas[i] = caps[i];
+        remaining -= std::min(remaining, caps[i]);
+        pinned[i] = true;
+        repinned = true;
+      }
+    }
+    if (repinned) continue;
+
+    // No overflow left: floor-allocate and hand the leftover units out
+    // one by one in index order.
+    uint64_t allocated = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (pinned[i]) continue;
+      quotas[i] = static_cast<uint64_t>(
+          std::floor(static_cast<double>(remaining) * weights[i] /
+                     sum_weight));
+      allocated += quotas[i];
+    }
+    uint64_t leftover = remaining - allocated;
+    for (size_t i = 0; i < n && leftover > 0; ++i) {
+      if (pinned[i] || quotas[i] >= caps[i]) continue;
+      ++quotas[i];
+      --leftover;
+    }
+    return quotas;
+  }
+}
+
+namespace {
+
+/** One chunk of a tenant's demand curve past its floor. */
+struct DemandEvent {
+  double utility = 0.0;   //!< weight * sampled hits per window per unit.
+  uint32_t tenant = 0;
+  uint32_t value = 0;     //!< Unweighted step value (tie-break).
+  uint64_t units = 0;
+};
+
+}  // namespace
+
+std::vector<uint64_t> MarginalUtilityQuotas(
+    const std::vector<std::vector<GhostDemandStep>>& curves,
+    const std::vector<double>& weights,
+    const std::vector<uint64_t>& floors,
+    const std::vector<uint64_t>& caps, uint64_t total) {
+  const size_t n = weights.size();
+  std::vector<uint64_t> quotas(n, 0);
+  uint64_t remaining = total;
+
+  // Guaranteed floors first, in index order (a tenant with weight 0 is
+  // absent: no floor, no demand, no leftover share).
+  for (size_t i = 0; i < n; ++i) {
+    if (weights[i] <= 0.0) continue;
+    const uint64_t floor_units =
+        std::min(std::min(floors[i], caps[i]), remaining);
+    quotas[i] = floor_units;
+    remaining -= floor_units;
+  }
+  if (remaining == 0) return quotas;
+
+  // Demand past the floor, as (weighted marginal utility, chunk) events.
+  // The floor already buys each tenant the top of its own curve, so the
+  // first quota[i] curve units are skipped — the floor is not free extra
+  // demand.
+  std::vector<DemandEvent> events;
+  for (size_t i = 0; i < n; ++i) {
+    if (weights[i] <= 0.0) continue;
+    uint64_t covered = quotas[i];
+    for (const GhostDemandStep& step : curves[i]) {
+      uint64_t units = step.units;
+      if (covered >= units) {
+        covered -= units;
+        continue;
+      }
+      units -= covered;
+      covered = 0;
+      events.push_back(DemandEvent{
+          .utility = weights[i] * static_cast<double>(step.value),
+          .tenant = static_cast<uint32_t>(i),
+          .value = step.value,
+          .units = units});
+    }
+  }
+
+  // Water-filling: highest weighted utility first. The order is a pure
+  // function of the curves, so growing `total` only extends the greedy
+  // prefix — quotas are monotone in capacity.
+  std::sort(events.begin(), events.end(),
+            [](const DemandEvent& a, const DemandEvent& b) {
+              if (a.utility != b.utility) return a.utility > b.utility;
+              if (a.tenant != b.tenant) return a.tenant < b.tenant;
+              return a.value > b.value;
+            });
+  for (const DemandEvent& event : events) {
+    if (remaining == 0) break;
+    const uint64_t headroom = caps[event.tenant] - quotas[event.tenant];
+    const uint64_t take = std::min({event.units, headroom, remaining});
+    quotas[event.tenant] += take;
+    remaining -= take;
+  }
+
+  if (remaining > 0) {
+    // Capacity beyond everyone's sampled demand: divide it by weight so
+    // the tier is never left stranded (first-touch allocation will land
+    // there regardless of what the curves predicted).
+    std::vector<uint64_t> headroom(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      if (weights[i] > 0.0) headroom[i] = caps[i] - quotas[i];
+    }
+    const std::vector<uint64_t> extra =
+        DivideProportional(weights, headroom, remaining);
+    for (size_t i = 0; i < n; ++i) quotas[i] += extra[i];
+  }
+  return quotas;
+}
+
+}  // namespace hybridtier

@@ -1,0 +1,72 @@
+#ifndef HYBRIDTIER_MULTITENANT_QUOTA_CONTROLLER_H_
+#define HYBRIDTIER_MULTITENANT_QUOTA_CONTROLLER_H_
+
+/**
+ * @file
+ * Quota division primitives for the fair-share wrapper.
+ *
+ * Two allocators turn per-tenant demand signals into an integer split of
+ * the fast tier:
+ *
+ *  - `DivideProportional`: classic capped proportional division (used
+ *    for static weight quotas, the density heuristic, and for spreading
+ *    capacity no tenant has a use for).
+ *  - `MarginalUtilityQuotas`: Equilibria-style water-filling on marginal
+ *    utility. Each tenant submits a descending demand curve ("my q-th
+ *    hottest unit would contribute v sampled hits per window", from its
+ *    `GhostMrc` shadow estimate); capacity flows unit-chunk by
+ *    unit-chunk to whichever tenant currently has the highest
+ *    weight-scaled marginal utility, after `floors` are guaranteed.
+ *    Capacity left after all positive-utility demand is satisfied is
+ *    divided weight-proportionally so nothing is stranded.
+ *
+ * Both are deterministic: ties break on tenant index, then on the higher
+ * utility step, so the same inputs always produce the same split — and
+ * both are monotone in `total` (more capacity never shrinks any
+ * tenant's quota), which the unit tests assert.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "probstruct/ghost_mrc.h"
+
+namespace hybridtier {
+
+/**
+ * Divides `total` units among tenants in proportion to `weights`, never
+ * exceeding `caps`, with integer water-filling: capped tenants are
+ * pinned and the surplus re-divided among the rest. Flooring leftovers
+ * go to tenants in index order, so the split is deterministic and sums
+ * to min(total, sum(caps)).
+ */
+std::vector<uint64_t> DivideProportional(const std::vector<double>& weights,
+                                         const std::vector<uint64_t>& caps,
+                                         uint64_t total);
+
+/**
+ * Water-fills `total` fast units over per-tenant marginal-utility
+ * curves.
+ *
+ * @param curves  per-tenant descending demand steps (from
+ *                `GhostMrc::AppendDemandSteps`); the first `floors[i]`
+ *                units of tenant i's curve are considered covered by its
+ *                floor.
+ * @param weights per-tenant fair-share weights (> 0 for live tenants; a
+ *                weight of 0 marks an absent tenant, which receives 0).
+ * @param floors  guaranteed minimum quotas (each <= caps[i]).
+ * @param caps    per-tenant maximum quotas (the region span).
+ * @param total   fast-tier capacity to divide.
+ * @returns       quotas with floors[i] <= q[i] <= caps[i] for live
+ *                tenants, summing to min(total, sum(caps)) whenever
+ *                total >= sum(floors).
+ */
+std::vector<uint64_t> MarginalUtilityQuotas(
+    const std::vector<std::vector<GhostDemandStep>>& curves,
+    const std::vector<double>& weights,
+    const std::vector<uint64_t>& floors,
+    const std::vector<uint64_t>& caps, uint64_t total);
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_MULTITENANT_QUOTA_CONTROLLER_H_

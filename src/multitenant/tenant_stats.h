@@ -1,0 +1,48 @@
+#ifndef HYBRIDTIER_MULTITENANT_TENANT_STATS_H_
+#define HYBRIDTIER_MULTITENANT_TENANT_STATS_H_
+
+/**
+ * @file
+ * Per-tenant quota/estimator stats interface.
+ *
+ * The simulation harness attributes results per tenant when the workload
+ * is a `TenantTagSource`; symmetrically, a policy that manages per-tenant
+ * quotas implements this interface so the harness can surface the
+ * controller's view (quota, shadow-sample volume, marginal utility at
+ * the allocation edge) in each `TenantResult`. The harness detects it
+ * with a `dynamic_cast`, mirroring the workload side — policies without
+ * per-tenant state need no changes.
+ */
+
+#include <cstdint>
+
+namespace hybridtier {
+
+/** One tenant's quota-controller state, as reported to the harness. */
+struct TenantQuotaStats {
+  uint64_t quota_units = 0;       //!< Current fast-tier quota.
+  uint64_t shadow_samples = 0;    //!< Samples fed to the ghost estimate.
+  /**
+   * Sampled hits per rebalance window the tenant's next fast unit past
+   * its current quota would contribute (the water level it bid at).
+   */
+  double marginal_utility = 0.0;
+  uint64_t pending_first_touch = 0;  //!< Durable gate charges in flight.
+};
+
+/** Implemented by policies that manage per-tenant quotas. */
+class TenantQuotaStatsSource {
+ public:
+  virtual ~TenantQuotaStatsSource() = default;
+
+  /**
+   * Fills `out` with tenant `tenant`'s controller state; returns false
+   * when the policy tracks no such tenant.
+   */
+  virtual bool GetTenantQuotaStats(uint32_t tenant,
+                                   TenantQuotaStats* out) const = 0;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_MULTITENANT_TENANT_STATS_H_

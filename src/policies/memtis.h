@@ -57,6 +57,11 @@ class MemtisPolicy : public TieringPolicy {
   size_t MetadataBytes() const override;
   const char* name() const override { return "Memtis"; }
 
+  /** Per-page access-count estimate (the demotion-ordering signal). */
+  uint32_t HotnessOf(PageId unit) const override {
+    return counters_->Get(unit);
+  }
+
   /** Current histogram-derived hotness threshold. */
   uint32_t hot_threshold() const { return hot_threshold_; }
 

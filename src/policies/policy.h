@@ -80,6 +80,19 @@ class TieringPolicy {
   /** Periodic maintenance; called every simulator tick interval. */
   virtual void Tick(TimeNs now) { (void)now; }
 
+  /**
+   * The policy's current hotness estimate for `unit`, on the policy's
+   * own scale (higher = hotter; only the ordering matters). Wrappers use
+   * this to pick eviction victims coldest-first instead of in address
+   * order. The default — no estimate — ranks every unit equally. This is
+   * a simulator-internal read: implementations should not report
+   * metadata traffic from it (the caller accounts for its own scan).
+   */
+  virtual uint32_t HotnessOf(PageId unit) const {
+    (void)unit;
+    return 0;
+  }
+
   /** Current metadata footprint in bytes (paper Table 4 metric). */
   virtual size_t MetadataBytes() const = 0;
 

@@ -1,0 +1,83 @@
+#include "probstruct/ghost_mrc.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hybridtier {
+
+namespace {
+// 4-bit counters, the regular-page width HybridTier's frequency tracker
+// uses: units pinned at the cap all belong in the fast tier, so finer
+// resolution would not change the allocation.
+constexpr uint32_t kGhostCounterBits = 4;
+}  // namespace
+
+GhostMrc::GhostMrc(uint64_t units)
+    : counters_(units, kGhostCounterBits) {
+  HT_ASSERT(units > 0, "ghost MRC needs a non-empty region");
+  HT_ASSERT(counters_.max_value() < hist_.size(),
+            "ghost histogram too small for counter width");
+  hist_.fill(0);
+  hist_[0] = units;
+}
+
+void GhostMrc::Increment(uint64_t unit) {
+  const uint32_t prev = counters_.Get(unit);
+  if (prev == counters_.max_value()) return;  // Saturated: no change.
+  const uint32_t now = counters_.SaturatingIncrement(unit);
+  --hist_[prev];
+  ++hist_[now];
+  if (prev == 0) ++demand_units_;
+  ++total_hits_;
+}
+
+void GhostMrc::CoolByHalving() {
+  counters_.HalveAll();
+  std::array<uint64_t, 17> folded{};
+  uint64_t hits = 0;
+  for (uint32_t v = 0; v <= counters_.max_value(); ++v) {
+    folded[v / 2] += hist_[v];
+    hits += static_cast<uint64_t>(v / 2) * hist_[v];
+  }
+  hist_ = folded;
+  total_hits_ = hits;
+  demand_units_ = counters_.size() - hist_[0];
+}
+
+void GhostMrc::Reset() {
+  counters_.Reset();
+  hist_.fill(0);
+  hist_[0] = counters_.size();
+  demand_units_ = 0;
+  total_hits_ = 0;
+}
+
+uint32_t GhostMrc::RankValue(uint64_t rank) const {
+  uint64_t seen = 0;
+  for (uint32_t v = counters_.max_value(); v > 0; --v) {
+    seen += hist_[v];
+    if (seen > rank) return v;
+  }
+  return 0;
+}
+
+uint64_t GhostMrc::CumulativeHits(uint64_t q) const {
+  uint64_t hits = 0;
+  uint64_t taken = 0;
+  for (uint32_t v = counters_.max_value(); v > 0 && taken < q; --v) {
+    const uint64_t take = std::min<uint64_t>(hist_[v], q - taken);
+    hits += take * v;
+    taken += take;
+  }
+  return hits;
+}
+
+void GhostMrc::AppendDemandSteps(std::vector<GhostDemandStep>* out) const {
+  for (uint32_t v = counters_.max_value(); v > 0; --v) {
+    if (hist_[v] == 0) continue;
+    out->push_back(GhostDemandStep{.value = v, .units = hist_[v]});
+  }
+}
+
+}  // namespace hybridtier

@@ -1,0 +1,107 @@
+#ifndef HYBRIDTIER_PROBSTRUCT_GHOST_MRC_H_
+#define HYBRIDTIER_PROBSTRUCT_GHOST_MRC_H_
+
+/**
+ * @file
+ * Shadow-sampled miss-ratio-curve estimate over one tenant's region.
+ *
+ * A `GhostMrc` is the ghost structure behind the marginal-utility quota
+ * controller: it consumes the tenant's sampled accesses (the shadow of
+ * the real access stream) into a dense array of 4-bit saturating
+ * counters — the same packed-counter substrate HybridTier's trackers
+ * use — plus an incrementally maintained histogram of counter values.
+ * Because the counters survive cooling as a halving EMA, the value
+ * distribution approximates "sampled hits per window" of each unit, and
+ * reading it off in rank order answers the allocator's question: if this
+ * tenant held its q hottest units in the fast tier, how many sampled
+ * hits per window would the q-th unit contribute (`RankValue`), and how
+ * many would the whole allocation capture (`CumulativeHits`)? A
+ * streaming tenant whose pages are touched once concentrates its mass at
+ * counter value 1, so its curve flattens immediately — exactly the
+ * signal per-unit hit *density* gets wrong.
+ *
+ * The histogram is maintained in O(1) per update and O(max_count) per
+ * cooling pass, so rebalance reads never rescan the counter array.
+ */
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "probstruct/packed_counters.h"
+
+namespace hybridtier {
+
+/** One step of a descending demand curve: `units` units at `value`. */
+struct GhostDemandStep {
+  uint32_t value = 0;   //!< Sampled hits per window of each unit.
+  uint64_t units = 0;   //!< Units sitting at exactly this value.
+};
+
+/** Shadow-sampled per-unit hotness ranking with EMA cooling. */
+class GhostMrc {
+ public:
+  /** @param units tracked units (the tenant's region span). */
+  explicit GhostMrc(uint64_t units);
+
+  /** Records one sampled access to local unit `unit` (region-relative). */
+  void Increment(uint64_t unit);
+
+  /** Halves every counter (EMA cooling across rebalance windows). */
+  void CoolByHalving();
+
+  /** Clears all counters and the histogram. */
+  void Reset();
+
+  /**
+   * Sampled hits per window contributed by the `rank`-th hottest unit
+   * (0-based); 0 when fewer than `rank+1` units were ever sampled. This
+   * is the marginal utility of the (rank+1)-th fast unit.
+   */
+  uint32_t RankValue(uint64_t rank) const;
+
+  /** Total sampled hits captured by holding the `q` hottest units. */
+  uint64_t CumulativeHits(uint64_t q) const;
+
+  /** Units with a nonzero counter (the sampled working set). */
+  uint64_t demand_units() const { return demand_units_; }
+
+  /** Sum of all counter values (sampled hits represented). */
+  uint64_t total_hits() const { return total_hits_; }
+
+  /**
+   * The demand curve as descending steps: for each counter value v from
+   * the maximum down to 1, how many units sit at exactly v. Appends to
+   * `out`; steps with zero units are skipped.
+   */
+  void AppendDemandSteps(std::vector<GhostDemandStep>* out) const;
+
+  /** Tracked units. */
+  uint64_t units() const { return counters_.size(); }
+
+  /** Bytes of backing storage. */
+  size_t memory_bytes() const { return counters_.memory_bytes(); }
+
+  /** Largest representable per-unit value. */
+  uint32_t max_value() const { return counters_.max_value(); }
+
+  /**
+   * Index of the 64-byte cache line (relative to this structure's
+   * storage base) an update of `unit` touches, for metadata-traffic
+   * accounting.
+   */
+  uint64_t CacheLineOf(uint64_t unit) const {
+    return counters_.CacheLineOf(unit);
+  }
+
+ private:
+  PackedCounterArray counters_;
+  /** hist_[v] = units whose counter currently equals v. */
+  std::array<uint64_t, 17> hist_;
+  uint64_t demand_units_ = 0;
+  uint64_t total_hits_ = 0;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_PROBSTRUCT_GHOST_MRC_H_

@@ -1,0 +1,91 @@
+#include "sampling/budgeted_sampler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hybridtier {
+
+BudgetedSampler::BudgetedSampler(const BudgetedSamplerConfig& config,
+                                 uint32_t tenants)
+    : config_(config), buffer_(config.buffer_capacity) {
+  HT_ASSERT(config.base_period >= 1, "sampling period must be >= 1");
+  HT_ASSERT(config.adapt_window_accesses >= 1,
+            "adaptation window must be >= 1");
+  HT_ASSERT(tenants > 0, "budgeted sampler needs at least one tenant");
+  rng_.reserve(tenants);
+  for (uint32_t t = 0; t < tenants; ++t) {
+    uint64_t state = config.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1));
+    rng_.emplace_back(SplitMix64Next(state));
+  }
+  period_.assign(tenants, config.base_period);
+  countdown_.assign(tenants, 0);
+  window_accesses_.assign(tenants, 0);
+  tenant_accesses_.assign(tenants, 0);
+  tenant_samples_.assign(tenants, 0);
+  for (uint32_t t = 0; t < tenants; ++t) countdown_[t] = NextCountdown(t);
+}
+
+uint64_t BudgetedSampler::NextCountdown(uint32_t t) {
+  const uint64_t period = period_[t];
+  if (period == 1) return 1;
+  // Jitter the period by +/-25% to break aliasing with strided loops,
+  // matching AccessSampler's schedule.
+  const uint64_t spread = period / 2;
+  if (spread == 0) return period;
+  return period - spread / 2 + rng_[t].NextBounded(spread + 1);
+}
+
+void BudgetedSampler::Adapt() {
+  // The window's global sample budget, divided equally among the
+  // tenants that actually ran in it: per-tenant period = window
+  // accesses / per-tenant share, clamped so an idle-then-bursty tenant
+  // can neither sample every access forever nor starve to silence.
+  const uint64_t budget =
+      std::max<uint64_t>(1, config_.adapt_window_accesses /
+                                config_.base_period);
+  uint32_t active = 0;
+  for (const uint64_t accesses : window_accesses_) {
+    if (accesses > 0) ++active;
+  }
+  if (active == 0) return;
+  const uint64_t share = std::max<uint64_t>(1, budget / active);
+  const uint64_t max_period =
+      config_.base_period * std::max<uint64_t>(1, config_.max_period_scale);
+  for (size_t t = 0; t < period_.size(); ++t) {
+    if (window_accesses_[t] == 0) continue;  // Keep the last period.
+    const uint64_t period = window_accesses_[t] / share;
+    period_[t] = std::clamp<uint64_t>(period, 1, max_period);
+    // Re-arm with the new period so the change takes effect this
+    // window, not one full old-period later.
+    countdown_[t] = NextCountdown(static_cast<uint32_t>(t));
+    window_accesses_[t] = 0;
+  }
+  ++adaptations_;
+}
+
+bool BudgetedSampler::OnAccess(uint32_t tenant, PageId page, Tier tier,
+                               TimeNs now) {
+  HT_ASSERT(tenant < period_.size(), "tenant ", tenant,
+            " outside sampler budget table");
+  ++accesses_seen_;
+  ++tenant_accesses_[tenant];
+  ++window_accesses_[tenant];
+  if (++window_seen_ >= config_.adapt_window_accesses) {
+    window_seen_ = 0;
+    Adapt();
+  }
+  if (--countdown_[tenant] > 0) return false;
+  countdown_[tenant] = NextCountdown(tenant);
+  ++samples_taken_;
+  ++tenant_samples_[tenant];
+  buffer_.Push(SampleRecord{.page = page, .tier = tier, .time_ns = now});
+  return true;
+}
+
+size_t BudgetedSampler::Drain(std::vector<SampleRecord>* out,
+                              size_t max_records) {
+  return buffer_.Drain(out, max_records);
+}
+
+}  // namespace hybridtier

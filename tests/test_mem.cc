@@ -295,5 +295,74 @@ TEST(MigrationEngine, TracksMigrationTime) {
   EXPECT_GT(engine.stats().migration_time_ns, 20u * 1200u);
 }
 
+// ---------------------------------------------- per-region accounting --
+
+/** Ground truth: rescan `mem` for resident pages of `tier` in range. */
+uint64_t RescanResident(const TieredMemory& mem, PageRange range,
+                        Tier tier) {
+  uint64_t count = 0;
+  mem.ScanResident(range.begin, range.size(), tier,
+                   [&count](PageId) { ++count; });
+  return count;
+}
+
+TEST(TieredMemory, RegionCountersMatchRescanThroughLifecycle) {
+  TieredMemory mem(256, 64, 256, AllocationPolicy::kFastFirst);
+  const std::vector<PageRange> regions = {PageRange{0, 128},
+                                          PageRange{128, 256}};
+  mem.DefineRegions(regions);
+  ASSERT_TRUE(mem.has_regions());
+
+  const auto expect_match = [&](const char* stage) {
+    for (uint32_t r = 0; r < regions.size(); ++r) {
+      for (const Tier tier : {Tier::kFast, Tier::kSlow}) {
+        EXPECT_EQ(mem.RegionResident(r, tier),
+                  RescanResident(mem, regions[r], tier))
+            << stage << ": region " << r << " tier "
+            << static_cast<int>(tier);
+      }
+    }
+  };
+
+  expect_match("empty");
+
+  // First touches: region 0 soaks up the fast tier, region 1 overflows
+  // to slow.
+  for (PageId page = 0; page < 200; ++page) mem.Touch(page, 0);
+  expect_match("after touch");
+  EXPECT_EQ(mem.RegionResident(0, Tier::kFast), 64u);
+
+  // Migrations in both directions.
+  for (PageId page = 0; page < 32; ++page) {
+    ASSERT_TRUE(mem.Migrate(page, Tier::kSlow));
+  }
+  for (PageId page = 128; page < 144; ++page) {
+    ASSERT_TRUE(mem.Migrate(page, Tier::kFast));
+  }
+  expect_match("after migrate");
+
+  // Release one region entirely (tenant departure).
+  EXPECT_EQ(mem.Release(regions[1]), 72u);
+  expect_match("after release");
+  EXPECT_EQ(mem.RegionResident(1, Tier::kFast), 0u);
+  EXPECT_EQ(mem.RegionResident(1, Tier::kSlow), 0u);
+
+  // Re-touch after release re-allocates and re-counts.
+  for (PageId page = 128; page < 140; ++page) mem.Touch(page, 1);
+  expect_match("after re-touch");
+}
+
+TEST(TieredMemory, DefineRegionsSeedsCountersFromExistingState) {
+  TieredMemory mem(100, 30, 100, AllocationPolicy::kFastFirst);
+  for (PageId page = 0; page < 80; ++page) mem.Touch(page, 0);
+  // Layout installed *after* pages were placed: counters must be seeded
+  // from the current state, not start at zero.
+  mem.DefineRegions({PageRange{0, 50}, PageRange{50, 100}});
+  EXPECT_EQ(mem.RegionResident(0, Tier::kFast), 30u);
+  EXPECT_EQ(mem.RegionResident(0, Tier::kSlow), 20u);
+  EXPECT_EQ(mem.RegionResident(1, Tier::kFast), 0u);
+  EXPECT_EQ(mem.RegionResident(1, Tier::kSlow), 30u);
+}
+
 }  // namespace
 }  // namespace hybridtier

@@ -18,6 +18,7 @@
 #include "mem/tiered_memory.h"
 #include "multitenant/fair_share_policy.h"
 #include "multitenant/mux_workload.h"
+#include "multitenant/quota_controller.h"
 #include "policies/policy.h"
 #include "workloads/factory.h"
 
@@ -200,6 +201,97 @@ TEST(TenantDirectory, TenantOfUnitMatchesRanges) {
       EXPECT_EQ(directory.TenantOfUnit(range.end - 1, mode), t);
     }
   }
+}
+
+// ---------------------------------------------------- QuotaController --
+
+/** A demand curve of `hot` units at value `hot_value` + a 1-value tail. */
+std::vector<GhostDemandStep> Curve(uint64_t hot, uint32_t hot_value,
+                                   uint64_t tail) {
+  std::vector<GhostDemandStep> curve;
+  if (hot > 0) curve.push_back({.value = hot_value, .units = hot});
+  if (tail > 0) curve.push_back({.value = 1, .units = tail});
+  return curve;
+}
+
+TEST(QuotaController, MarginalWaterFillRespectsFloorsCapsAndTotal) {
+  const std::vector<std::vector<GhostDemandStep>> curves = {
+      Curve(100, 10, 0), Curve(0, 0, 900)};
+  const std::vector<double> weights = {1.0, 1.0};
+  const std::vector<uint64_t> floors = {64, 64};
+  const std::vector<uint64_t> caps = {1024, 1024};
+
+  const std::vector<uint64_t> quotas =
+      MarginalUtilityQuotas(curves, weights, floors, caps, 512);
+  ASSERT_EQ(quotas.size(), 2u);
+  EXPECT_EQ(quotas[0] + quotas[1], 512u);
+  EXPECT_GE(quotas[0], 64u);
+  EXPECT_GE(quotas[1], 64u);
+  // The hot set (100 units at value 10) is fully funded before the
+  // streaming tail (900 units at value 1) takes the rest.
+  EXPECT_GE(quotas[0], 100u);
+  EXPECT_LE(quotas[0], 1024u);
+}
+
+TEST(QuotaController, MarginalWaterFillStreamingCannotCrowdOutHotSet) {
+  // The streamer offers 10x the demand *volume* (units touched once),
+  // the hot tenant a compact reuse set. Density-style division by
+  // volume would hand the streamer most of the tier; water-filling
+  // funds the hot set first.
+  const std::vector<std::vector<GhostDemandStep>> curves = {
+      Curve(200, 8, 0), Curve(0, 0, 2000)};
+  const std::vector<uint64_t> quotas = MarginalUtilityQuotas(
+      curves, {1.0, 1.0}, {32, 32}, {4096, 4096}, 256);
+  EXPECT_GE(quotas[0], 200u);  // Whole reuse set, floors included.
+  EXPECT_EQ(quotas[0] + quotas[1], 256u);
+}
+
+TEST(QuotaController, MarginalWaterFillMonotoneInCapacity) {
+  // More capacity never lowers any tenant's quota.
+  const std::vector<std::vector<GhostDemandStep>> curves = {
+      Curve(100, 12, 50), Curve(30, 3, 800), Curve(0, 0, 0)};
+  const std::vector<double> weights = {1.0, 2.0, 0.5};
+  const std::vector<uint64_t> floors = {16, 40, 8};
+  const std::vector<uint64_t> caps = {512, 1024, 96};
+
+  std::vector<uint64_t> previous(3, 0);
+  for (uint64_t total = 0; total <= 1700; total += 7) {
+    const std::vector<uint64_t> quotas =
+        MarginalUtilityQuotas(curves, weights, floors, caps, total);
+    uint64_t sum = 0;
+    for (size_t i = 0; i < quotas.size(); ++i) {
+      EXPECT_GE(quotas[i], previous[i])
+          << "tenant " << i << " shrank when total grew to " << total;
+      EXPECT_LE(quotas[i], caps[i]);
+      sum += quotas[i];
+    }
+    EXPECT_EQ(sum, std::min<uint64_t>(total, 512 + 1024 + 96));
+    previous = quotas;
+  }
+}
+
+TEST(QuotaController, MarginalWaterFillDeterministic) {
+  const std::vector<std::vector<GhostDemandStep>> curves = {
+      Curve(64, 7, 128), Curve(64, 7, 128), Curve(10, 15, 0)};
+  const std::vector<double> weights = {1.5, 1.5, 1.0};
+  const std::vector<uint64_t> floors = {10, 10, 10};
+  const std::vector<uint64_t> caps = {600, 600, 600};
+  const std::vector<uint64_t> a =
+      MarginalUtilityQuotas(curves, weights, floors, caps, 333);
+  const std::vector<uint64_t> b =
+      MarginalUtilityQuotas(curves, weights, floors, caps, 333);
+  EXPECT_EQ(a, b);
+  // Identical tenants tie-break by index, not arbitrarily.
+  EXPECT_GE(a[0], a[1]);
+}
+
+TEST(QuotaController, MarginalWaterFillSkipsAbsentTenants) {
+  const std::vector<std::vector<GhostDemandStep>> curves = {
+      Curve(100, 10, 0), Curve(100, 10, 0)};
+  const std::vector<uint64_t> quotas = MarginalUtilityQuotas(
+      curves, {1.0, 0.0}, {64, 64}, {1024, 1024}, 512);
+  EXPECT_EQ(quotas[1], 0u);  // Weight 0 marks an absent tenant.
+  EXPECT_EQ(quotas[0], 512u);
 }
 
 // ---------------------------------------------------- FairSharePolicy --
@@ -425,6 +517,251 @@ TEST(FairSharePolicy, GateChargesNonResidentPagesAgainstQuota) {
   EXPECT_EQ(harness.FastResident(0), 128u);
 }
 
+/**
+ * Test policy that stages non-resident admissions in one batch and
+ * fills the quota with slow-resident promotions in a *later* batch —
+ * the cross-batch pattern a per-batch-only gate charge misses.
+ */
+class StagedBatchPolicy : public TieringPolicy {
+ public:
+  void Tick(TimeNs now) override {
+    ++ticks_;
+    std::vector<PageId> batch;
+    if (ticks_ == 1 || ticks_ == 2) {
+      // 12 non-resident pages of tenant a (an arriving region) —
+      // promoted twice: the second batch must not double-charge the
+      // still-untouched pages.
+      for (PageId page = 500; page < 512; ++page) batch.push_back(page);
+    } else if (ticks_ == 3) {
+      // Then enough slow-resident pages to fill the whole quota.
+      for (PageId page = 0; page < 200; ++page) batch.push_back(page);
+    } else {
+      return;
+    }
+    migration().Promote(batch, now);
+  }
+  size_t MetadataBytes() const override { return 0; }
+  const char* name() const override { return "StagedBatch"; }
+
+ private:
+  int ticks_ = 0;
+};
+
+TEST(FairSharePolicy, GateChargesNonResidentAdmissionsDurably) {
+  FairShareConfig config;
+  config.rebalance = false;
+  // Weights 1:3 give tenant a a 128-unit quota over the 512 fast units.
+  FairShareHarness harness(AllocationPolicy::kFastFirst, config,
+                           std::make_unique<StagedBatchPolicy>(),
+                           TwoTenantDirectoryWeighted(1.0, 3.0));
+  ASSERT_EQ(harness.policy().quota_units(0), 128u);
+
+  TieredMemory& mem = harness.memory();
+  // Same arrival picture as the per-batch test: b fills the fast tier,
+  // a lands slow, 312 fast units are freed, pages 500..511 untouched.
+  for (PageId page = 1024; page < 1536; ++page) mem.Touch(page, 0);
+  for (PageId page = 0; page < 500; ++page) mem.Touch(page, 0);
+  for (PageId page = 1224; page < 1536; ++page) {
+    ASSERT_TRUE(mem.Migrate(page, Tier::kSlow));
+  }
+  ASSERT_EQ(mem.FreePages(Tier::kFast), 312u);
+
+  // Batch 1 (tick 1) stages the 12 non-resident admissions. A charge
+  // that evaporates at the end of the batch lets a later batch fill
+  // the entire quota, so the 12 landings push tenant a to quota + 12.
+  harness.policy().Tick(1 * kMillisecond);
+  EXPECT_EQ(harness.policy().pending_first_touch(0), 12u);
+
+  // An unrelated first touch of tenant a (page 600 was never admitted)
+  // must not release any staged charge.
+  const TouchResult unrelated = mem.Touch(600, 1 * kMillisecond + 1);
+  ASSERT_TRUE(unrelated.first_touch);
+  harness.policy().OnAccess(600, unrelated, 1 * kMillisecond + 1);
+  EXPECT_EQ(harness.policy().pending_first_touch(0), 12u);
+
+  // Batch 2 re-promotes the same still-untouched pages: no
+  // double-charge. Batch 3 promotes 200 slow-resident pages into the
+  // remaining headroom.
+  harness.policy().Tick(2 * kMillisecond);
+  EXPECT_EQ(harness.policy().pending_first_touch(0), 12u);
+  harness.policy().Tick(3 * kMillisecond);
+  // 128 quota - 12 pending - 1 unrelated landing = 115 admitted.
+  EXPECT_EQ(harness.policy().fast_units(0), 116u);
+
+  // The staged first touches land (the arriving tenant starts running).
+  for (PageId page = 500; page < 512; ++page) {
+    const TouchResult touch = mem.Touch(page, 4 * kMillisecond);
+    ASSERT_TRUE(touch.first_touch);
+    ASSERT_EQ(touch.tier, Tier::kFast);
+    harness.policy().OnAccess(page, touch, 4 * kMillisecond);
+  }
+
+  EXPECT_EQ(harness.policy().pending_first_touch(0), 0u);
+  EXPECT_LE(harness.policy().fast_units(0),
+            harness.policy().quota_units(0));
+  EXPECT_EQ(harness.policy().fast_units(0), harness.FastResident(0));
+  EXPECT_EQ(harness.FastResident(0), 128u);
+}
+
+// ------------------------------------------- coldest-first enforcement --
+
+/**
+ * Test policy whose hotness metadata marks tenant a's units 384..511
+ * hot and re-promotes exactly that hot set every tick.
+ */
+class RepromoteHotSetPolicy : public TieringPolicy {
+ public:
+  void Tick(TimeNs now) override {
+    std::vector<PageId> batch;
+    for (PageId page = 384; page < 512; ++page) batch.push_back(page);
+    migration().Promote(batch, now);
+  }
+  uint32_t HotnessOf(PageId unit) const override {
+    return unit >= 384 && unit < 512 ? 5 : 0;
+  }
+  size_t MetadataBytes() const override { return 0; }
+  const char* name() const override { return "RepromoteHotSet"; }
+};
+
+TEST(FairSharePolicy, EnforcementDemotesColdestUnitsFirst) {
+  FairShareConfig config;
+  config.rebalance = false;
+  FairShareHarness harness(AllocationPolicy::kFastFirst, config,
+                           std::make_unique<RepromoteHotSetPolicy>());
+  // Fast-first prefault: tenant a's units 0..511 hold the fast tier,
+  // 128 over its 384-unit quota. The base policy says 384..511 are the
+  // hot ones.
+  harness.TouchAll();
+  ASSERT_EQ(harness.FastResident(0), 512u);
+
+  for (int tick = 1; tick <= 5; ++tick) {
+    harness.policy().Tick(tick * kMillisecond);
+  }
+
+  // Enforcement demoted the *coldest* 128 units (0..127), not the top
+  // of the region in address order — which is exactly the hot set here.
+  // Demoting in address order evicts 384..511, the base policy tries to
+  // bring them back every tick, and the tenant's hot set lives in the
+  // slow tier while gated promotions pile up.
+  for (PageId page = 384; page < 512; ++page) {
+    EXPECT_EQ(harness.memory().TierOf(page), Tier::kFast)
+        << "hot unit " << page << " was demoted";
+  }
+  for (PageId page = 0; page < 128; ++page) {
+    EXPECT_EQ(harness.memory().TierOf(page), Tier::kSlow)
+        << "cold unit " << page << " survived enforcement";
+  }
+  // One enforcement pass settles the placement: no repeat churn, no
+  // gated re-promotions of an evicted hot set.
+  EXPECT_EQ(harness.policy().enforced_demotions(0), 128u);
+  EXPECT_EQ(harness.policy().gated_promotions(0), 0u);
+  EXPECT_EQ(harness.policy().fast_units(0), harness.FastResident(0));
+}
+
+// ----------------------------------------------- marginal-utility mode --
+
+/** Feeds one OnSample record per unit in [begin, end), `rounds` times. */
+void FeedSamples(FairSharePolicy* policy, PageId begin, PageId end,
+                 int rounds, Tier tier = Tier::kSlow) {
+  for (int round = 0; round < rounds; ++round) {
+    for (PageId unit = begin; unit < end; ++unit) {
+      policy->OnSample(
+          SampleRecord{.page = unit, .tier = tier, .time_ns = 0});
+    }
+  }
+}
+
+TEST(FairSharePolicy, MarginalModeFundsReuseSetOverStreamingVolume) {
+  FairShareConfig config;  // Marginal mode is the default.
+  ASSERT_EQ(config.quota_mode, QuotaMode::kMarginal);
+  FairShareHarness harness(AllocationPolicy::kSlowOnly, config,
+                           std::make_unique<PromoteAllPolicy>(),
+                           TwoTenantDirectoryWeighted(1.0, 1.0));
+  harness.TouchAll();
+
+  // Tenant a: a compact reuse set — 100 units sampled 8x each. Tenant
+  // b: streaming — 960 distinct units sampled once, more total volume.
+  FeedSamples(&harness.policy(), 0, 100, 8);
+  FeedSamples(&harness.policy(), 1024, 1984, 1);
+  EXPECT_EQ(harness.policy().shadow_samples(0), 800u);
+  EXPECT_EQ(harness.policy().shadow_samples(1), 960u);
+
+  harness.policy().Tick(25 * kMillisecond);  // First rebalance.
+
+  // The whole reuse set is funded above the floor before the streaming
+  // tail sees a unit; the streamer absorbs the remainder (better there
+  // than stranded) but cannot push the hot set below its demand.
+  EXPECT_EQ(harness.policy().quota_units(0) +
+                harness.policy().quota_units(1),
+            512u);
+  EXPECT_GE(harness.policy().quota_units(0), 100u);
+  EXPECT_LE(harness.policy().quota_units(0), 160u);
+}
+
+TEST(FairSharePolicy, MarginalModeQuotasDeterministicAcrossReruns) {
+  std::vector<uint64_t> quotas[2];
+  for (int run = 0; run < 2; ++run) {
+    FairShareConfig config;
+    FairShareHarness harness(AllocationPolicy::kSlowOnly, config,
+                             std::make_unique<PromoteAllPolicy>(),
+                             TwoTenantDirectoryWeighted(2.0, 1.0));
+    harness.TouchAll();
+    FeedSamples(&harness.policy(), 0, 300, 3);
+    FeedSamples(&harness.policy(), 1024, 1400, 2);
+    harness.policy().Tick(25 * kMillisecond);
+    FeedSamples(&harness.policy(), 0, 200, 5);
+    harness.policy().Tick(50 * kMillisecond);
+    quotas[run] = {harness.policy().quota_units(0),
+                   harness.policy().quota_units(1)};
+  }
+  EXPECT_EQ(quotas[0], quotas[1]);
+}
+
+// ------------------------------------------------- arrival warm-up dip --
+
+/** Tenant a from t=0; tenant b arrives at `arrival_ns`. Equal weights. */
+TenantDirectory ArrivalDirectory(TimeNs arrival_ns) {
+  TenantDirectory directory;
+  directory.regions.push_back(TenantRegion{
+      .name = "a", .weight = 1.0, .base_page = 0,
+      .footprint_pages = 1024, .span_pages = 1024});
+  directory.regions.push_back(TenantRegion{
+      .name = "b", .weight = 1.0, .base_page = 1024,
+      .footprint_pages = 1024, .span_pages = 1024,
+      .arrival_ns = arrival_ns});
+  return directory;
+}
+
+/** Drives the arrival schedule and returns tenant b's quota right
+ *  after the rebalance that coincides with its arrival. */
+uint64_t ArrivalQuota(const FairShareConfig& config) {
+  FairShareHarness harness(AllocationPolicy::kSlowOnly, config,
+                           std::make_unique<PromoteAllPolicy>(),
+                           ArrivalDirectory(50 * kMillisecond));
+  harness.TouchAll();
+  // Incumbent demand: tenant a's samples cover 600 units, refreshed
+  // each window so cooling never zeroes the estimate.
+  FeedSamples(&harness.policy(), 0, 600, 2);
+  harness.policy().Tick(25 * kMillisecond);
+  FeedSamples(&harness.policy(), 0, 600, 2);
+  harness.policy().Tick(50 * kMillisecond);  // b arrives + rebalance.
+  return harness.policy().quota_units(1);
+}
+
+TEST(FairSharePolicy, ArrivalGraceSeedsQuotaFromStaticShare) {
+  // With the grace (default config) the newcomer's first rebalance
+  // guarantees its static share — no history required.
+  const uint64_t with_grace = ArrivalQuota(FairShareConfig{});
+  EXPECT_GE(with_grace, 230u);  // Static share is 256.
+
+  // Without it (the pre-fix behavior) the incumbent's demand squeezes
+  // the newcomer to the min_share floor: the post-arrival fairness dip.
+  FairShareConfig no_grace;
+  no_grace.arrival_grace = 0.0;
+  const uint64_t without_grace = ArrivalQuota(no_grace);
+  EXPECT_LE(without_grace, 70u);  // min_share floor is 64.
+}
+
 // --------------------------------------- simulation-level attribution --
 
 SimulationConfig SmallSimConfig() {
@@ -577,6 +914,119 @@ TEST(MultiTenantSimulation, ArrivalJoinsRotationAndEarnsQuota) {
   }
   // After it, the tenant owns part of the tier.
   EXPECT_GT(result.tenants[1].fast_resident_units, 0u);
+}
+
+TEST(MultiTenantSimulation, TenantResultsCarryControllerAndSamplerStats) {
+  auto mux = MakeMuxWorkload(SmallSpecs(), 7);
+  auto fair = std::make_unique<FairSharePolicy>(MakePolicy("HybridTier"),
+                                                mux->directory());
+  SimulationConfig config = SmallSimConfig();
+  config.max_accesses = 400000;
+  config.tenant_sample_budget = true;
+  const SimulationResult result =
+      RunSimulation(config, mux.get(), fair.get());
+
+  uint64_t shadow_total = 0;
+  for (uint32_t t = 0; t < mux->tenant_count(); ++t) {
+    const TenantResult& tenant = result.tenants[t];
+    EXPECT_EQ(tenant.quota_units, fair->quota_units(t));
+    EXPECT_GT(tenant.quota_units, 0u);
+    EXPECT_GE(tenant.sample_period, 1u);
+    shadow_total += tenant.shadow_samples;
+  }
+  EXPECT_GT(shadow_total, 0u);  // The ghost estimate was actually fed.
+}
+
+TEST(MultiTenantSimulation, RegionOccupancyCountersMatchRescan) {
+  // The incremental per-tenant resident counters must agree with a
+  // ground-truth pagemap rescan even across churn (arrival, departure,
+  // release) — the invariant that lets timeline points read occupancy
+  // in O(tenants).
+  std::vector<TenantSpec> specs =
+      ParseTenantList("zipf,zipf@0-6e7,cdn:2@3e7");
+  for (TenantSpec& spec : specs) spec.scale = 0.05;
+  auto mux = MakeMuxWorkload(specs, 7);
+  auto fair = std::make_unique<FairSharePolicy>(MakePolicy("HybridTier"),
+                                                mux->directory());
+  SimulationConfig config = SmallSimConfig();
+  config.max_accesses = 30000000;
+  config.max_time_ns = 120 * kMillisecond;
+  Simulation simulation(config, mux.get(), fair.get());
+  simulation.Run();
+
+  const TieredMemory& memory = simulation.memory();
+  ASSERT_TRUE(memory.has_regions());
+  for (uint32_t t = 0; t < mux->tenant_count(); ++t) {
+    const PageRange range = mux->tenant_units(t, config.mode);
+    for (const Tier tier : {Tier::kFast, Tier::kSlow}) {
+      uint64_t rescan = 0;
+      memory.ScanResident(range.begin, range.size(), tier,
+                          [&rescan](PageId) { ++rescan; });
+      EXPECT_EQ(memory.RegionResident(t, tier), rescan)
+          << "tenant " << t << " tier " << static_cast<int>(tier);
+    }
+  }
+}
+
+TEST(MultiTenantSimulation, MarginalRunsAreDeterministicAcrossReruns) {
+  std::vector<uint64_t> quotas[2];
+  double fairness[2] = {0.0, 0.0};
+  uint64_t ops[2] = {0, 0};
+  for (int run = 0; run < 2; ++run) {
+    auto mux = MakeMuxWorkload(SmallSpecs(), 7);
+    auto fair = std::make_unique<FairSharePolicy>(
+        MakePolicy("HybridTier"), mux->directory());
+    SimulationConfig config = SmallSimConfig();
+    config.max_accesses = 400000;
+    config.tenant_sample_budget = true;
+    const SimulationResult result =
+        RunSimulation(config, mux.get(), fair.get());
+    for (uint32_t t = 0; t < mux->tenant_count(); ++t) {
+      quotas[run].push_back(fair->quota_units(t));
+    }
+    fairness[run] = result.weighted_jain_fairness;
+    ops[run] = result.ops;
+  }
+  EXPECT_EQ(quotas[0], quotas[1]);
+  EXPECT_EQ(fairness[0], fairness[1]);
+  EXPECT_EQ(ops[0], ops[1]);
+}
+
+TEST(MultiTenantSimulation, ArrivalGraceLiftsPostArrivalFairness) {
+  // Churn regression on the fairness timeline: with the arrival grace
+  // the weighted fairness right after a mid-run arrival must not dip
+  // below what the graceless (pre-fix) controller produces.
+  constexpr TimeNs kArrival = 40000000;  // 4e7 ns.
+  const auto run_mean_after_arrival = [&](double grace) {
+    std::vector<TenantSpec> specs = ParseTenantList("zipf,zipf@4e7");
+    for (TenantSpec& spec : specs) spec.scale = 0.05;
+    auto mux = MakeMuxWorkload(specs, 7);
+    FairShareConfig fair_config;
+    fair_config.arrival_grace = grace;
+    auto fair = std::make_unique<FairSharePolicy>(
+        MakePolicy("HybridTier"), mux->directory(), fair_config);
+    SimulationConfig config = SmallSimConfig();
+    config.max_accesses = 30000000;
+    config.max_time_ns = 100 * kMillisecond;
+    const SimulationResult result =
+        RunSimulation(config, mux.get(), fair.get());
+    const TimeSeries& fairness = result.weighted_fairness_timeline;
+    double sum = 0.0;
+    size_t count = 0;
+    for (size_t i = 0; i < fairness.size(); ++i) {
+      if (fairness.times_ns[i] >= kArrival &&
+          fairness.times_ns[i] < kArrival + 3 * fair_config.rebalance_interval_ns) {
+        sum += fairness.values[i];
+        ++count;
+      }
+    }
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  };
+
+  const double with_grace = run_mean_after_arrival(1.0);
+  const double without_grace = run_mean_after_arrival(0.0);
+  EXPECT_GE(with_grace, without_grace);
+  EXPECT_GT(with_grace, 0.0);
 }
 
 TEST(MultiTenantSimulation, HugePageModeAttributesCleanly) {

@@ -16,6 +16,7 @@
 #include "probstruct/blocked_cbf.h"
 #include "probstruct/cbf.h"
 #include "probstruct/exact_table.h"
+#include "probstruct/ghost_mrc.h"
 #include "probstruct/hash.h"
 #include "probstruct/packed_counters.h"
 #include "probstruct/sizing.h"
@@ -436,6 +437,68 @@ TEST(CbfAccuracy, AgreementRateHighAtPaperSizing) {
     agree += (cbf.Get(key) >= threshold) == (exact.Get(key) >= threshold);
   }
   EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.99);
+}
+
+// ----------------------------------------------------------- GhostMrc --
+
+TEST(GhostMrc, ShadowSampleBookkeeping) {
+  GhostMrc ghost(64);
+  EXPECT_EQ(ghost.demand_units(), 0u);
+  EXPECT_EQ(ghost.total_hits(), 0u);
+  EXPECT_EQ(ghost.RankValue(0), 0u);
+
+  // Unit 3 sampled five times, unit 7 twice, unit 9 once.
+  for (int i = 0; i < 5; ++i) ghost.Increment(3);
+  ghost.Increment(7);
+  ghost.Increment(7);
+  ghost.Increment(9);
+
+  EXPECT_EQ(ghost.demand_units(), 3u);
+  EXPECT_EQ(ghost.total_hits(), 8u);
+  EXPECT_EQ(ghost.RankValue(0), 5u);  // Hottest: unit 3.
+  EXPECT_EQ(ghost.RankValue(1), 2u);
+  EXPECT_EQ(ghost.RankValue(2), 1u);
+  EXPECT_EQ(ghost.RankValue(3), 0u);  // Beyond the sampled set.
+  EXPECT_EQ(ghost.CumulativeHits(0), 0u);
+  EXPECT_EQ(ghost.CumulativeHits(1), 5u);
+  EXPECT_EQ(ghost.CumulativeHits(2), 7u);
+  EXPECT_EQ(ghost.CumulativeHits(64), 8u);
+
+  std::vector<GhostDemandStep> steps;
+  ghost.AppendDemandSteps(&steps);
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[0].value, 5u);
+  EXPECT_EQ(steps[0].units, 1u);
+  EXPECT_EQ(steps[1].value, 2u);
+  EXPECT_EQ(steps[2].value, 1u);
+}
+
+TEST(GhostMrc, CoolingHalvesAndFoldsHistogram) {
+  GhostMrc ghost(16);
+  for (int i = 0; i < 5; ++i) ghost.Increment(0);
+  for (int i = 0; i < 2; ++i) ghost.Increment(1);
+  ghost.Increment(2);
+
+  ghost.CoolByHalving();
+  // 5 -> 2, 2 -> 1, 1 -> 0.
+  EXPECT_EQ(ghost.RankValue(0), 2u);
+  EXPECT_EQ(ghost.RankValue(1), 1u);
+  EXPECT_EQ(ghost.RankValue(2), 0u);
+  EXPECT_EQ(ghost.demand_units(), 2u);
+  EXPECT_EQ(ghost.total_hits(), 3u);
+
+  ghost.Reset();
+  EXPECT_EQ(ghost.demand_units(), 0u);
+  EXPECT_EQ(ghost.total_hits(), 0u);
+  EXPECT_EQ(ghost.RankValue(0), 0u);
+}
+
+TEST(GhostMrc, SaturatesAtCounterMax) {
+  GhostMrc ghost(4);
+  for (int i = 0; i < 100; ++i) ghost.Increment(1);
+  EXPECT_EQ(ghost.RankValue(0), ghost.max_value());
+  EXPECT_EQ(ghost.total_hits(), ghost.max_value());
+  EXPECT_EQ(ghost.demand_units(), 1u);
 }
 
 }  // namespace

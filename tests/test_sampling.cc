@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sampling/budgeted_sampler.h"
 #include "sampling/ring_buffer.h"
 #include "sampling/sampler.h"
 
@@ -136,6 +137,101 @@ TEST(Sampler, DeterministicForSeed) {
       b.Drain(&db, 1024);
     }
   }
+}
+
+// ---------------------------------------------------- BudgetedSampler --
+
+BudgetedSamplerConfig SmallBudgetConfig() {
+  BudgetedSamplerConfig config;
+  config.base_period = 64;
+  config.buffer_capacity = 1u << 16;
+  config.adapt_window_accesses = 8192;
+  return config;
+}
+
+/**
+ * Interleaves accesses at `ratio`:1 between tenant 0 and tenant 1 and
+ * drives them through `sampler` for `rounds` rounds.
+ */
+void DriveTwoTenants(BudgetedSampler* sampler, uint64_t ratio,
+                     uint64_t rounds) {
+  std::vector<SampleRecord> sink;
+  for (uint64_t i = 0; i < rounds; ++i) {
+    for (uint64_t k = 0; k < ratio; ++k) {
+      sampler->OnAccess(0, i % 1024, Tier::kFast, i);
+    }
+    sampler->OnAccess(1, 2048 + i % 64, Tier::kSlow, i);
+    if (sampler->pending() > 8192) sampler->Drain(&sink, 1u << 16);
+  }
+}
+
+TEST(BudgetedSampler, EqualizesSamplesAcrossUnequalRates) {
+  // Tenant 0 issues 15x tenant 1's accesses. With one global period the
+  // sample stream would split 15:1; the budget adaptation must bring
+  // the split close to 1:1 after the warm-up window.
+  BudgetedSampler sampler(SmallBudgetConfig(), 2);
+  DriveTwoTenants(&sampler, 15, 200000);
+
+  ASSERT_GT(sampler.adaptations(), 0u);
+  EXPECT_GT(sampler.period(0), sampler.period(1));
+  const double s0 = static_cast<double>(sampler.tenant_samples(0));
+  const double s1 = static_cast<double>(sampler.tenant_samples(1));
+  ASSERT_GT(s1, 0.0);
+  // Within 2x of each other (vs 15x without budgets), including the
+  // pre-adaptation warm-up rounds.
+  EXPECT_LT(s0 / s1, 2.0);
+  EXPECT_GT(s0 / s1, 0.5);
+}
+
+TEST(BudgetedSampler, SmallTenantPeriodFloorsAtOne) {
+  // A tenant with fewer accesses than its sample share samples every
+  // access (period 1), never less.
+  BudgetedSampler sampler(SmallBudgetConfig(), 2);
+  DriveTwoTenants(&sampler, 200, 20000);
+  EXPECT_EQ(sampler.period(1), 1u);
+  EXPECT_GE(sampler.period(0), 1u);
+}
+
+TEST(BudgetedSampler, PeriodCeilingCapsHighRateTenants) {
+  BudgetedSamplerConfig config = SmallBudgetConfig();
+  config.max_period_scale = 2;
+  BudgetedSampler sampler(config, 2);
+  DriveTwoTenants(&sampler, 500, 20000);
+  EXPECT_LE(sampler.period(0), config.base_period * 2);
+}
+
+TEST(BudgetedSampler, DeterministicForSeed) {
+  BudgetedSampler a(SmallBudgetConfig(), 3), b(SmallBudgetConfig(), 3);
+  for (uint64_t i = 0; i < 30000; ++i) {
+    const uint32_t tenant = i % 3;
+    EXPECT_EQ(a.OnAccess(tenant, i % 512, Tier::kFast, i),
+              b.OnAccess(tenant, i % 512, Tier::kFast, i));
+    if (a.pending() > 512) {
+      std::vector<SampleRecord> da, db;
+      a.Drain(&da, 1024);
+      b.Drain(&db, 1024);
+      ASSERT_EQ(da.size(), db.size());
+    }
+  }
+  EXPECT_EQ(a.samples_taken(), b.samples_taken());
+  for (uint32_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(a.period(t), b.period(t));
+    EXPECT_EQ(a.tenant_samples(t), b.tenant_samples(t));
+  }
+}
+
+TEST(BudgetedSampler, AccountsAccessesAndDrops) {
+  BudgetedSamplerConfig config = SmallBudgetConfig();
+  config.buffer_capacity = 8;
+  BudgetedSampler sampler(config, 1);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    sampler.OnAccess(0, i, Tier::kSlow, i);
+  }
+  EXPECT_EQ(sampler.accesses_seen(), 10000u);
+  EXPECT_EQ(sampler.tenant_accesses(0), 10000u);
+  EXPECT_GT(sampler.samples_taken(), 0u);
+  EXPECT_GT(sampler.samples_dropped(), 0u);  // Tiny buffer, no drains.
+  EXPECT_EQ(sampler.pending(), 8u);
 }
 
 }  // namespace
