@@ -1,7 +1,11 @@
 #include "common/bench_util.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "common/logging.h"
 
@@ -11,6 +15,69 @@ const std::vector<RatioPoint>& PaperRatios() {
   static const std::vector<RatioPoint> ratios = {
       {"1:16", 1.0 / 16}, {"1:8", 1.0 / 8}, {"1:4", 1.0 / 4}};
   return ratios;
+}
+
+std::vector<std::string> PaperRatioLabels() {
+  std::vector<std::string> labels;
+  for (const RatioPoint& ratio : PaperRatios()) {
+    labels.push_back(ratio.label);
+  }
+  return labels;
+}
+
+double RatioFraction(const std::string& label) {
+  for (const RatioPoint& ratio : PaperRatios()) {
+    if (label == ratio.label) return ratio.fraction;
+  }
+  HT_FATAL("unknown ratio label '", label, "'");
+}
+
+BenchOptions ParseBenchArgs(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::printf(
+          "usage: %s [--jobs N]\n"
+          "  --jobs N   sweep worker threads (default: all hardware\n"
+          "             threads); output is identical for every N\n",
+          argv[0]);
+      std::exit(0);
+    }
+    if (std::strcmp(arg, "--jobs") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --jobs\n");
+        std::exit(1);
+      }
+      const char* text = argv[++i];
+      char* end = nullptr;
+      // strtoul would silently wrap "-2" and truncate >32-bit values;
+      // require plain digits and a sane range instead.
+      const unsigned long jobs =
+          std::isdigit(static_cast<unsigned char>(text[0]))
+              ? std::strtoul(text, &end, 10)
+              : 0;
+      if (end == nullptr || *end != '\0' || jobs == 0 || jobs > 65536) {
+        std::fprintf(stderr,
+                     "--jobs wants a positive integer (max 65536), got "
+                     "'%s'\n",
+                     text);
+        std::exit(1);
+      }
+      options.jobs = static_cast<unsigned>(jobs);
+      continue;
+    }
+    std::fprintf(stderr, "unknown option '%s' (try --help)\n", arg);
+    std::exit(1);
+  }
+  return options;
+}
+
+SweepRunner MakeSweepRunner(const BenchOptions& options, std::string name) {
+  SweepOptions sweep_options;
+  sweep_options.jobs = options.jobs;
+  sweep_options.name = std::move(name);
+  return SweepRunner(sweep_options);
 }
 
 SimulationResult RunCell(const RunSpec& spec) {

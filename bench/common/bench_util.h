@@ -19,6 +19,7 @@
 
 #include "core/policy_factory.h"
 #include "core/simulation.h"
+#include "exec/sweep.h"
 #include "workloads/factory.h"
 
 namespace hybridtier::bench {
@@ -31,6 +32,33 @@ struct RatioPoint {
 
 /** {1:16, 1:8, 1:4} in paper order. */
 const std::vector<RatioPoint>& PaperRatios();
+
+/** PaperRatios labels, as a sweep axis value list. */
+std::vector<std::string> PaperRatioLabels();
+
+/** Fast-tier fraction of a PaperRatios label; fatal on unknown labels. */
+double RatioFraction(const std::string& label);
+
+/** Flags shared by every bench binary. */
+struct BenchOptions {
+  /** Sweep worker threads; 0 = hardware_concurrency. */
+  unsigned jobs = 0;
+};
+
+/**
+ * Parses the shared bench flags: `--jobs N` (sweep worker threads,
+ * default hardware_concurrency) and `--help`. Exits with usage on
+ * unknown flags, so every matrix driver rejects typos the same way.
+ */
+BenchOptions ParseBenchArgs(int argc, char** argv);
+
+/**
+ * SweepRunner for this bench: worker count from the parsed flags,
+ * progress + per-sweep wall-time reporting under the bench's name.
+ * Cell outputs stay jobs-invariant (see exec/sweep.h); wall time is
+ * printed to stdout only, never written into a CSV.
+ */
+SweepRunner MakeSweepRunner(const BenchOptions& options, std::string name);
 
 /** One simulation cell: workload id + policy name + ratio + budgets. */
 struct RunSpec {

@@ -71,15 +71,24 @@ AdaptResult RunPolicy(const std::string& policy_name) {
 }  // namespace
 }  // namespace hybridtier::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybridtier;
   using namespace hybridtier::bench;
+  const BenchOptions options = ParseBenchArgs(argc, argv);
   Banner("fig04", "median-latency timeline across a distribution change");
 
   const std::vector<std::string> policies = {"AutoNUMA", "Memtis",
                                              "HybridTier"};
+  SweepGrid grid;
+  grid.AddAxis("policy", policies);
+  SweepRunner runner = MakeSweepRunner(options, "fig04");
+  const std::vector<AdaptResult> cells = runner.Run(
+      grid,
+      [](const SweepCell& cell) { return RunPolicy(cell.Get("policy")); });
   std::map<std::string, AdaptResult> results;
-  for (const std::string& name : policies) results[name] = RunPolicy(name);
+  for (size_t p = 0; p < policies.size(); ++p) {
+    results[policies[p]] = cells[p];
+  }
 
   // Timeline table (common time axis from HybridTier's run).
   TablePrinter table(

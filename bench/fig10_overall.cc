@@ -5,6 +5,13 @@
  * for all six systems at 1:16 / 1:8 / 1:4, normalized to TPP (higher is
  * better), plus the cross-workload geomean.
  *
+ * The full (ratio x workload x policy) matrix is submitted as one
+ * sweep: cells run in parallel under --jobs, and the tables/CSVs are
+ * byte-identical for every thread count. Every cell pins the shared
+ * bench seed because the figure is a *paired* comparison — each policy
+ * must see the same access stream as the TPP baseline it is normalized
+ * against.
+ *
  * Shape targets: HybridTier wins the geomean; its largest edge is on
  * BFS (single-source hotness shifts); ARC/TwoQ trail; gaps narrow as
  * the fast tier grows (except Memtis).
@@ -46,26 +53,48 @@ uint64_t RunDuration(const std::string& workload_id,
 }  // namespace
 }  // namespace hybridtier::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybridtier;
   using namespace hybridtier::bench;
+  const BenchOptions options = ParseBenchArgs(argc, argv);
   Banner("fig10", "relative performance vs TPP, 10 workloads x 3 ratios");
+
+  SweepGrid grid;
+  grid.AddAxis("ratio", PaperRatioLabels());
+  grid.AddAxis("workload", Fig10Workloads());
+  grid.AddAxis("policy", StandardPolicyNames());
+
+  SweepRunner runner = MakeSweepRunner(options, "fig10");
+  const std::vector<uint64_t> durations =
+      runner.Run(grid, [](const SweepCell& cell) {
+        return RunDuration(cell.Get("workload"), cell.Get("policy"),
+                           RatioFraction(cell.Get("ratio")));
+      });
+
+  const auto duration_of = [&](size_t r, size_t w, size_t p) {
+    return durations[grid.FlatIndex({r, w, p})];
+  };
+  size_t tpp_policy = 0;
+  for (size_t p = 0; p < StandardPolicyNames().size(); ++p) {
+    if (StandardPolicyNames()[p] == "TPP") tpp_policy = p;
+  }
 
   // rel_perf[ratio][policy] aggregated over workloads for the geomean.
   std::map<std::string, std::map<std::string, std::vector<double>>> rel;
 
-  for (const RatioPoint& ratio : PaperRatios()) {
+  for (size_t r = 0; r < PaperRatios().size(); ++r) {
+    const RatioPoint& ratio = PaperRatios()[r];
     TablePrinter table({"workload", "TPP", "AutoNUMA", "Memtis", "ARC",
                         "TwoQ", "HybridTier"});
     table.SetTitle(std::string("Figure 10 @ ") + ratio.label +
                    " — runtime relative to TPP (higher is better)");
-    for (const std::string& workload : Fig10Workloads()) {
-      const uint64_t tpp_ns = RunDuration(workload, "TPP", ratio.fraction);
+    for (size_t w = 0; w < Fig10Workloads().size(); ++w) {
+      const std::string& workload = Fig10Workloads()[w];
+      const uint64_t tpp_ns = duration_of(r, w, tpp_policy);
       std::vector<std::string> row = {workload};
-      for (const std::string& policy : StandardPolicyNames()) {
-        const uint64_t ns =
-            policy == "TPP" ? tpp_ns
-                            : RunDuration(workload, policy, ratio.fraction);
+      for (size_t p = 0; p < StandardPolicyNames().size(); ++p) {
+        const std::string& policy = StandardPolicyNames()[p];
+        const uint64_t ns = duration_of(r, w, p);
         const double relative =
             ns == 0 ? 0.0
                     : static_cast<double>(tpp_ns) / static_cast<double>(ns);

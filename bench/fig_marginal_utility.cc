@@ -72,12 +72,23 @@ ModeResult RunMode(QuotaMode mode) {
 }  // namespace
 }  // namespace hybridtier::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybridtier;
   using namespace hybridtier::bench;
+  const BenchOptions options = ParseBenchArgs(argc, argv);
   Banner("fig_marginal_utility",
          "density vs marginal-utility quota allocation, mixed "
          "zipf+streaming tenants at 1:8");
+
+  // Both mode cells pin kSeed: the gate below is a paired comparison,
+  // so the two allocators must divide the same access stream.
+  SweepGrid grid;
+  grid.AddAxis("mode", {"density", "marginal"});
+  SweepRunner runner = MakeSweepRunner(options, "fig_marginal_utility");
+  const std::vector<ModeResult> runs =
+      runner.Run(grid, [](const SweepCell& cell) {
+        return RunMode(ParseQuotaMode(cell.Get("mode")));
+      });
 
   TablePrinter table({"mode", "tenant", "weight", "quota", "fast units",
                       "share %", "fast-fill %", "MU", "period"});
@@ -86,8 +97,8 @@ int main() {
   double jain[2] = {0.0, 0.0};
   double hit_ratio[2] = {0.0, 0.0};
   for (const QuotaMode mode : {QuotaMode::kDensity, QuotaMode::kMarginal}) {
-    const ModeResult run = RunMode(mode);
     const size_t m = static_cast<size_t>(mode);
+    const ModeResult& run = runs[m];
     jain[m] = run.result.weighted_jain_fairness;
     hit_ratio[m] = run.result.FastAccessFraction();
     for (const TenantResult& tenant : run.result.tenants) {

@@ -63,20 +63,31 @@ MixResult RunMix(const std::string& policy_name, bool fair) {
 }  // namespace
 }  // namespace hybridtier::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybridtier;
   using namespace hybridtier::bench;
+  const BenchOptions options = ParseBenchArgs(argc, argv);
   Banner("fig_multitenant_fairness",
          "4 tenants sharing a 1:8 fast tier, unmanaged vs fair-share");
 
   const std::vector<std::string> policies = {"TPP", "Memtis", "HybridTier"};
 
+  SweepGrid grid;
+  grid.AddAxis("policy", policies);
+  grid.AddAxis("mode", {"unmanaged", "fair"});
+  SweepRunner runner = MakeSweepRunner(options, "fig_multitenant_fairness");
+  const std::vector<MixResult> mixes =
+      runner.Run(grid, [](const SweepCell& cell) {
+        return RunMix(cell.Get("policy"), cell.Get("mode") == "fair");
+      });
+
   TablePrinter table({"policy", "zipf share%", "cdn share%", "bfs share%",
                       "silo share%", "Jain", "Mop/s"});
   table.SetTitle("per-tenant fast-tier occupancy share");
-  for (const std::string& policy : policies) {
+  for (size_t p = 0; p < policies.size(); ++p) {
+    const std::string& policy = policies[p];
     for (const bool fair : {false, true}) {
-      const MixResult mix = RunMix(policy, fair);
+      const MixResult& mix = mixes[grid.FlatIndex({p, fair ? 1u : 0u})];
       std::vector<std::string> row;
       row.push_back(fair ? "FairShare(" + policy + ")" : policy);
       for (const TenantResult& tenant : mix.result.tenants) {

@@ -113,13 +113,21 @@ std::string FormatRecovery(uint64_t event_ns, uint64_t recovered_ns) {
 }  // namespace
 }  // namespace hybridtier::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybridtier;
   using namespace hybridtier::bench;
+  const BenchOptions options = ParseBenchArgs(argc, argv);
   Banner("fig_tenant_churn",
          "quota reconvergence around a mid-run arrival and departure");
 
-  const ChurnRun run = Run();
+  // One-cell sweep: the figure is a single timeline, but routing it
+  // through SweepRunner keeps the --jobs flag and per-sweep wall-time
+  // reporting uniform across the matrix drivers.
+  SweepGrid grid;
+  grid.AddAxis("cell", {"churn"});
+  SweepRunner runner = MakeSweepRunner(options, "fig_tenant_churn");
+  const ChurnRun run =
+      runner.Run(grid, [](const SweepCell&) { return Run(); }).front();
   const SimulationResult& result = run.result;
   const TimeSeries& fairness = result.weighted_fairness_timeline;
 

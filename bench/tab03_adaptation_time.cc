@@ -63,10 +63,22 @@ std::string FormatAdapt(TimeNs t) {
 }  // namespace
 }  // namespace hybridtier::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybridtier;
   using namespace hybridtier::bench;
+  const BenchOptions options = ParseBenchArgs(argc, argv);
   Banner("tab03", "time to adapt after the distribution change");
+
+  SweepGrid grid;
+  grid.AddAxis("workload", {"cdn", "social"});
+  grid.AddAxis("ratio", PaperRatioLabels());
+  grid.AddAxis("policy", {"Memtis", "HybridTier"});
+  SweepRunner runner = MakeSweepRunner(options, "tab03");
+  const std::vector<AdaptCell> cells =
+      runner.Run(grid, [](const SweepCell& cell) {
+        return MeasureAdaptation(cell.Get("workload"), cell.Get("policy"),
+                                 RatioFraction(cell.Get("ratio")));
+      });
 
   TablePrinter table({"workload", "ratio", "Memtis settle",
                       "HybridTier settle", "Memtis steady p50",
@@ -77,12 +89,13 @@ int main() {
       "paper's kernel module (see EXPERIMENTS.md), so the reproducible "
       "signal at simulation scale is the steady-state gap.");
   std::vector<double> advantages;
-  for (const char* workload : {"cdn", "social"}) {
-    for (const RatioPoint& ratio : PaperRatios()) {
-      const AdaptCell memtis =
-          MeasureAdaptation(workload, "Memtis", ratio.fraction);
-      const AdaptCell hybrid =
-          MeasureAdaptation(workload, "HybridTier", ratio.fraction);
+  const std::vector<std::string> workloads = {"cdn", "social"};
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    const std::string& workload = workloads[w];
+    for (size_t r = 0; r < PaperRatios().size(); ++r) {
+      const RatioPoint& ratio = PaperRatios()[r];
+      const AdaptCell memtis = cells[grid.FlatIndex({w, r, 0})];
+      const AdaptCell hybrid = cells[grid.FlatIndex({w, r, 1})];
       const double advantage =
           hybrid.steady_p50 > 0 ? memtis.steady_p50 / hybrid.steady_p50
                                 : 0.0;

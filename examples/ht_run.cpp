@@ -16,15 +16,18 @@
  * policies with --help.
  */
 
+#include <cctype>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/table.h"
 #include "core/policy_factory.h"
 #include "core/simulation.h"
+#include "exec/sweep.h"
 #include "multitenant/fair_share_policy.h"
 #include "multitenant/mux_workload.h"
 #include "workloads/factory.h"
@@ -43,7 +46,13 @@ void PrintUsage() {
          "                    HybridTier | HybridTier-onlyFreq |\n"
          "                    HybridTier-CBF | HybridTier-exact |\n"
          "                    AllFast | FirstTouch\n"
-         "  --ratio 1:N       fast:slow capacity ratio (default 1:8)\n"
+         "  --ratio 1:N[,1:M,...]  fast:slow capacity ratio (default\n"
+         "                    1:8); a comma-separated list sweeps every\n"
+         "                    ratio (single-workload mode only) and\n"
+         "                    prints one summary row per cell\n"
+         "  --jobs <n>        worker threads for a --ratio sweep\n"
+         "                    (default: all hardware threads; results\n"
+         "                    are identical for every value)\n"
          "  --accesses <n>    access budget (default 5000000)\n"
          "  --scale <f>       workload footprint scale (default: bench)\n"
          "  --seed <n>        RNG seed (default 42)\n"
@@ -105,10 +114,12 @@ int main(int argc, char** argv) {
   std::string workload_id = "cdn";
   std::string policy_name = "HybridTier";
   std::string tenants;
-  double ratio = 1.0 / 8;
+  std::vector<std::string> ratio_labels = {"1:8"};
+  std::vector<double> ratios = {1.0 / 8};
   double scale = -1.0;
   uint64_t accesses = 5000000;
   uint64_t seed = 42;
+  unsigned jobs = 0;
   bool huge = false;
   bool fair = false;
   bool rebalance = true;
@@ -135,13 +146,61 @@ int main(int argc, char** argv) {
       policy_name = next();
     } else if (arg == "--ratio") {
       const std::string value = next();
-      const size_t colon = value.find(':');
-      if (colon == std::string::npos) {
-        std::cerr << "--ratio must look like 1:8\n";
+      ratio_labels.clear();
+      ratios.clear();
+      size_t start = 0;
+      while (start <= value.size()) {
+        size_t comma = value.find(',', start);
+        if (comma == std::string::npos) comma = value.size();
+        const std::string entry = value.substr(start, comma - start);
+        start = comma + 1;
+        const size_t colon = entry.find(':');
+        double fast = 0.0;
+        double slow = 0.0;
+        size_t fast_len = 0;
+        size_t slow_len = 0;
+        bool parsed = colon != std::string::npos && !entry.empty();
+        if (parsed) {
+          try {
+            fast = std::stod(entry.substr(0, colon), &fast_len);
+            slow = std::stod(entry.substr(colon + 1), &slow_len);
+          } catch (const std::exception&) {
+            parsed = false;
+          }
+        }
+        if (!parsed || fast_len != colon ||
+            slow_len != entry.size() - colon - 1 || fast <= 0.0 ||
+            slow <= 0.0) {
+          std::cerr << "--ratio must be positive numbers like 1:8 (or a "
+                       "comma-separated list like 1:16,1:8,1:4), got '"
+                    << entry << "'\n";
+          return 1;
+        }
+        ratio_labels.push_back(entry);
+        ratios.push_back(fast / slow);
+        if (comma == value.size()) break;
+      }
+    } else if (arg == "--jobs") {
+      const std::string value = next();
+      size_t parsed_len = 0;
+      unsigned long parsed_jobs = 0;
+      // stoul would accept "-2" by wrapping; require plain digits and a
+      // sane range.
+      const bool digits =
+          !value.empty() &&
+          std::isdigit(static_cast<unsigned char>(value[0]));
+      try {
+        if (digits) parsed_jobs = std::stoul(value, &parsed_len);
+      } catch (const std::exception&) {
+        parsed_len = 0;
+      }
+      if (parsed_len != value.size() || parsed_jobs == 0 ||
+          parsed_jobs > 65536) {
+        std::cerr << "--jobs wants a positive integer (max 65536), got '"
+                  << value << "'\n";
         return 1;
       }
-      ratio = std::stod(value.substr(0, colon)) /
-              std::stod(value.substr(colon + 1));
+      jobs = static_cast<unsigned>(parsed_jobs);
     } else if (arg == "--accesses") {
       accesses = std::stoull(next());
     } else if (arg == "--scale") {
@@ -188,6 +247,11 @@ int main(int argc, char** argv) {
     std::cerr << "--sampler-budget requires --tenants\n";
     return 1;
   }
+  if (ratios.size() > 1 && !tenants.empty()) {
+    std::cerr << "--ratio lists are single-workload sweeps; pick one "
+                 "ratio for --tenants runs\n";
+    return 1;
+  }
 
   if (!tenants.empty()) {
     if (workload_set) {
@@ -215,7 +279,7 @@ int main(int argc, char** argv) {
     }
 
     SimulationConfig config;
-    config.fast_tier_fraction = FastFractionFor(policy_name, ratio);
+    config.fast_tier_fraction = FastFractionFor(policy_name, ratios[0]);
     config.allocation = AllocationPolicyFor(policy_name);
     config.max_accesses = accesses;
     config.mode = huge ? PageMode::kHuge : PageMode::kRegular;
@@ -259,11 +323,57 @@ int main(int argc, char** argv) {
   }
   if (scale < 0) scale = DefaultWorkloadScale(workload_id);
 
+  if (ratios.size() > 1) {
+    // Ratio sweep: one independent cell per ratio, executed through the
+    // sweep runner (parallel under --jobs, output identical for any
+    // thread count). Every cell rebuilds its own workload + policy.
+    SweepOptions sweep_options;
+    sweep_options.jobs = jobs;
+    sweep_options.name = "ht_run";
+    // Every cell pins --seed (not cell.seed()): the sweep compares the
+    // same workload stream across ratios, like the paired bench drivers.
+    SweepGrid grid;
+    grid.AddAxis("ratio", ratio_labels);
+    SweepRunner runner(sweep_options);
+    const std::vector<SimulationResult> results =
+        runner.Run(grid, [&](const SweepCell& cell) {
+          auto cell_workload = MakeWorkload(workload_id, scale, seed);
+          auto cell_policy = MakePolicy(policy_name);
+          SimulationConfig config;
+          config.fast_tier_fraction = FastFractionFor(
+              policy_name, ratios[cell.ValueIndex("ratio")]);
+          config.allocation = AllocationPolicyFor(policy_name);
+          config.max_accesses = accesses;
+          config.mode = huge ? PageMode::kHuge : PageMode::kRegular;
+          config.seed = seed;
+          return RunSimulation(config, cell_workload.get(),
+                               cell_policy.get());
+        });
+
+    std::cout << "workload:          " << workload_id << " (scale " << scale
+              << ")\npolicy:            " << policy_name << "\n";
+    TablePrinter table({"ratio", "p50 ns", "p99 ns", "Mop/s",
+                        "fast-fill %", "promoted", "demoted"});
+    table.SetTitle("per-ratio results");
+    for (size_t r = 0; r < results.size(); ++r) {
+      const SimulationResult& result = results[r];
+      table.AddRow({ratio_labels[r],
+                    FormatDouble(result.median_latency_ns, 0),
+                    FormatDouble(result.p99_latency_ns, 0),
+                    FormatDouble(result.throughput_mops, 3),
+                    FormatDouble(result.FastAccessFraction() * 100, 1),
+                    std::to_string(result.migration.promoted_pages),
+                    std::to_string(result.migration.demoted_pages)});
+    }
+    table.Print(std::cout);
+    return 0;
+  }
+
   auto workload = MakeWorkload(workload_id, scale, seed);
   auto policy = MakePolicy(policy_name);
 
   SimulationConfig config;
-  config.fast_tier_fraction = FastFractionFor(policy_name, ratio);
+  config.fast_tier_fraction = FastFractionFor(policy_name, ratios[0]);
   config.allocation = AllocationPolicyFor(policy_name);
   config.max_accesses = accesses;
   config.mode = huge ? PageMode::kHuge : PageMode::kRegular;

@@ -1,0 +1,60 @@
+#include "exec/sweep.h"
+
+namespace hybridtier {
+
+SweepGrid::SweepGrid(std::vector<SweepAxis> axes) {
+  for (SweepAxis& axis : axes) {
+    AddAxis(std::move(axis.name), std::move(axis.values));
+  }
+}
+
+void SweepGrid::AddAxis(std::string name, std::vector<std::string> values) {
+  HT_ASSERT(!values.empty(), "sweep axis '", name, "' has no values");
+  for (const SweepAxis& axis : axes_) {
+    HT_ASSERT(axis.name != name, "duplicate sweep axis '", name, "'");
+  }
+  axes_.push_back(SweepAxis{std::move(name), std::move(values)});
+}
+
+size_t SweepGrid::cell_count() const {
+  if (axes_.empty()) return 0;
+  size_t count = 1;
+  for (const SweepAxis& axis : axes_) count *= axis.values.size();
+  return count;
+}
+
+size_t SweepGrid::AxisIndex(const std::string& name) const {
+  for (size_t i = 0; i < axes_.size(); ++i) {
+    if (axes_[i].name == name) return i;
+  }
+  HT_PANIC("unknown sweep axis '", name, "'");
+}
+
+size_t SweepGrid::FlatIndex(const std::vector<size_t>& value_indices) const {
+  HT_ASSERT(value_indices.size() == axes_.size(),
+            "FlatIndex wants one value index per axis (",
+            axes_.size(), "), got ", value_indices.size());
+  size_t index = 0;
+  for (size_t a = 0; a < axes_.size(); ++a) {
+    HT_ASSERT(value_indices[a] < axes_[a].values.size(), "axis '",
+              axes_[a].name, "' has ", axes_[a].values.size(),
+              " values, index ", value_indices[a], " is out of range");
+    index = index * axes_[a].values.size() + value_indices[a];
+  }
+  return index;
+}
+
+size_t SweepGrid::ValueIndexAt(size_t cell_index, size_t axis) const {
+  HT_ASSERT(axis < axes_.size(), "axis ", axis, " out of range");
+  HT_ASSERT(cell_index < cell_count(), "cell ", cell_index,
+            " out of range for a ", cell_count(), "-cell grid");
+  // Row-major: the first axis varies slowest, so strip the faster axes'
+  // strides off the tail of the flat index.
+  size_t stride = 1;
+  for (size_t a = axes_.size(); a-- > axis + 1;) {
+    stride *= axes_[a].values.size();
+  }
+  return (cell_index / stride) % axes_[axis].values.size();
+}
+
+}  // namespace hybridtier

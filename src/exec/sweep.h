@@ -1,0 +1,226 @@
+#ifndef HYBRIDTIER_EXEC_SWEEP_H_
+#define HYBRIDTIER_EXEC_SWEEP_H_
+
+/**
+ * @file
+ * Parallel sweep execution over a declarative parameter grid.
+ *
+ * Every `bench/fig*` and `tab*` driver evaluates a config matrix —
+ * (policy x workload x fast-tier ratio x tenant mix x seed) — whose
+ * cells are independent `Simulation` runs. `SweepGrid` names the axes
+ * of such a matrix, `SweepRunner` expands it into cells and executes
+ * them on a `ThreadPool`, and the contract that makes this safe for CI
+ * is *jobs-invariance*: the returned result vector is ordered by flat
+ * cell index, every cell's RNG seed derives only from (base seed, cell
+ * index), and no cell shares mutable state with another — so the
+ * aggregated tables and CSV files are byte-identical whether the sweep
+ * ran on 1 thread or 64.
+ *
+ * Cell order is row-major over the axes in declaration order (the first
+ * axis varies slowest), matching the nested loops the drivers replaced.
+ *
+ * Per-cell seeds come from `DeriveCellSeed(base_seed, index)` — a
+ * SplitMix64 mix, the same idiom `MakeMuxWorkload` uses for per-tenant
+ * seeds. Drivers that compare cells in *pairs* (a policy against its
+ * baseline on the same access stream) deliberately ignore the derived
+ * seed and pin one shared seed across the paired cells; the derived
+ * seed is for replicate axes and independent cells.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "exec/thread_pool.h"
+
+namespace hybridtier {
+
+/** Per-cell RNG seed: a SplitMix64 mix of the base seed + cell index. */
+inline uint64_t DeriveCellSeed(uint64_t base_seed, uint64_t cell_index) {
+  uint64_t state = base_seed ^ (0x9e3779b97f4a7c15ULL * (cell_index + 1));
+  return SplitMix64Next(state);
+}
+
+/** One named parameter axis of a sweep grid. */
+struct SweepAxis {
+  std::string name;                 //!< e.g. "policy", "ratio".
+  std::vector<std::string> values;  //!< At least one value.
+};
+
+/** A declarative grid: the cross product of its axes. */
+class SweepGrid {
+ public:
+  SweepGrid() = default;
+  explicit SweepGrid(std::vector<SweepAxis> axes);
+
+  /** Appends one axis (fatal on empty values or duplicate names). */
+  void AddAxis(std::string name, std::vector<std::string> values);
+
+  /** Number of cells (product of axis sizes; 0 for an empty grid). */
+  size_t cell_count() const;
+
+  /** The axes, in declaration (slowest-varying-first) order. */
+  const std::vector<SweepAxis>& axes() const { return axes_; }
+
+  /** Position of the named axis; fatal on unknown names. */
+  size_t AxisIndex(const std::string& name) const;
+
+  /**
+   * Flat index of the cell at the given per-axis value positions
+   * (row-major, first axis slowest). Fatal on rank/range mismatch.
+   */
+  size_t FlatIndex(const std::vector<size_t>& value_indices) const;
+
+  /** Value position of axis `axis` within cell `cell_index`. */
+  size_t ValueIndexAt(size_t cell_index, size_t axis) const;
+
+ private:
+  std::vector<SweepAxis> axes_;
+};
+
+/** One expanded cell, handed to the cell function. */
+class SweepCell {
+ public:
+  SweepCell(const SweepGrid* grid, size_t index, uint64_t seed)
+      : grid_(grid), index_(index), seed_(seed) {}
+
+  /** Flat cell index in grid order. */
+  size_t index() const { return index_; }
+
+  /** Deterministically derived per-cell RNG seed (see DeriveCellSeed). */
+  uint64_t seed() const { return seed_; }
+
+  /** This cell's value of the named axis; fatal on unknown names. */
+  const std::string& Get(const std::string& axis) const {
+    const size_t a = grid_->AxisIndex(axis);
+    return grid_->axes()[a].values[grid_->ValueIndexAt(index_, a)];
+  }
+
+  /** Position of this cell's value within the named axis. */
+  size_t ValueIndex(const std::string& axis) const {
+    return grid_->ValueIndexAt(index_, grid_->AxisIndex(axis));
+  }
+
+ private:
+  const SweepGrid* grid_;
+  size_t index_;
+  uint64_t seed_;
+};
+
+/** Knobs of one sweep execution. */
+struct SweepOptions {
+  /** Worker threads; 0 = ThreadPool::DefaultWorkers(). */
+  unsigned jobs = 0;
+  /** Root of per-cell seed derivation. */
+  uint64_t base_seed = 42;
+  /** Label used in progress/wall-time lines. */
+  std::string name = "sweep";
+  /** Print the cells/jobs/wall-time summary line to stdout. */
+  bool report_wall_time = true;
+};
+
+/**
+ * Expands a grid into cells and runs them, possibly in parallel.
+ *
+ * Results come back ordered by flat cell index regardless of the thread
+ * count or completion order, so downstream aggregation and CSV emission
+ * are jobs-invariant. The cell function must be safe to call from
+ * multiple threads at once on *different* cells (a cell that builds its
+ * own Workload/Policy/Simulation is; anything touching driver-global
+ * mutable state is not).
+ */
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = SweepOptions{})
+      : options_(std::move(options)) {}
+
+  /** Effective worker count for a sweep of `cells` cells. */
+  unsigned EffectiveJobs(size_t cells) const {
+    const unsigned jobs =
+        options_.jobs == 0 ? ThreadPool::DefaultWorkers() : options_.jobs;
+    return static_cast<unsigned>(
+        std::min<size_t>(jobs, cells == 0 ? 1 : cells));
+  }
+
+  /**
+   * Runs `fn(cell)` for every cell of `grid`; returns the results in
+   * flat-index order. `fn` must not throw.
+   */
+  template <typename Fn>
+  auto Run(const SweepGrid& grid, Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, const SweepCell&>> {
+    using Result = std::invoke_result_t<Fn&, const SweepCell&>;
+    static_assert(!std::is_same_v<Result, bool>,
+                  "std::vector<bool> packs elements into shared bytes, so "
+                  "concurrent per-cell writes would race — return int or "
+                  "uint8_t from the cell function instead");
+    const size_t cells = grid.cell_count();
+    std::vector<Result> results(cells);
+    const unsigned jobs = EffectiveJobs(cells);
+    HT_INFORM("[sweep] ", options_.name, ": ", cells, " cells on ", jobs,
+              jobs == 1 ? " worker" : " workers");
+    const auto start = std::chrono::steady_clock::now();
+
+    if (jobs <= 1) {
+      // Inline path: no pool, cells run in index order on this thread.
+      for (size_t i = 0; i < cells; ++i) {
+        results[i] = fn(SweepCell(&grid, i,
+                                  DeriveCellSeed(options_.base_seed, i)));
+      }
+    } else {
+      ThreadPool pool(jobs);
+      std::atomic<size_t> completed{0};
+      // ~8 progress lines per sweep, however large the grid is.
+      const size_t progress_every = std::max<size_t>(1, cells / 8);
+      for (size_t i = 0; i < cells; ++i) {
+        pool.Submit([this, &grid, &fn, &results, &completed, cells,
+                     progress_every, i] {
+          results[i] =
+              fn(SweepCell(&grid, i, DeriveCellSeed(options_.base_seed, i)));
+          const size_t done = completed.fetch_add(1) + 1;
+          if (done % progress_every == 0 && done != cells) {
+            HT_INFORM("[sweep] ", options_.name, ": ", done, "/", cells,
+                      " cells done");
+          }
+        });
+      }
+      pool.Wait();
+    }
+
+    last_wall_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (options_.report_wall_time) {
+      // Wall time goes to stdout for trajectory tracking, never into a
+      // CSV — byte-identical CSV output across thread counts is the
+      // subsystem's contract.
+      std::printf("[sweep] %s: %zu cells, jobs=%u, wall %.2f s\n",
+                  options_.name.c_str(), cells, jobs, last_wall_seconds_);
+      std::fflush(stdout);
+    }
+    return results;
+  }
+
+  /** Wall-clock seconds of the most recent Run. */
+  double last_wall_seconds() const { return last_wall_seconds_; }
+
+  /** The options this runner was built with. */
+  const SweepOptions& options() const { return options_; }
+
+ private:
+  SweepOptions options_;
+  double last_wall_seconds_ = 0.0;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_EXEC_SWEEP_H_

@@ -1,0 +1,65 @@
+#ifndef HYBRIDTIER_EXEC_THREAD_POOL_H_
+#define HYBRIDTIER_EXEC_THREAD_POOL_H_
+
+/**
+ * @file
+ * Fixed-size worker pool for the sweep-execution subsystem.
+ *
+ * A deliberately small pool: N workers drain one FIFO queue. Sweep
+ * cells are coarse (one full simulation each, milliseconds to minutes),
+ * so work stealing and per-worker queues would buy nothing; the mutex
+ * around the queue is cold. Determinism is the callers' job — the pool
+ * guarantees only that every submitted task runs exactly once and that
+ * `Wait` returns after all of them finished.
+ */
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hybridtier {
+
+/** Fixed worker pool draining one FIFO task queue. */
+class ThreadPool {
+ public:
+  /** Starts `workers` threads (0 = DefaultWorkers()). */
+  explicit ThreadPool(unsigned workers = 0);
+
+  /** Drains the queue, then joins every worker. */
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /** Enqueues `task`; it runs on some worker in FIFO dispatch order. */
+  void Submit(std::function<void()> task);
+
+  /** Blocks until the queue is empty and no task is still running. */
+  void Wait();
+
+  /** Number of worker threads. */
+  unsigned worker_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /** `hardware_concurrency`, floored at 1 (the value `0` advertises). */
+  static unsigned DefaultWorkers();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;  //!< Signals queued work / stop.
+  std::condition_variable all_idle_;    //!< Signals queue drained + idle.
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;  //!< Tasks currently executing.
+  bool stop_ = false;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_EXEC_THREAD_POOL_H_

@@ -115,6 +115,8 @@ void FairSharePolicy::Bind(const PolicyContext& context) {
   // Residency-window state at t=0; later edges apply at the tick that
   // crosses them (ApplyChurn).
   churn_state_.assign(n, kChurnPending);
+  window_index_.assign(n, 0);
+  drain_cursor_.assign(n, 0);
   for (uint32_t t = 0; t < n; ++t) {
     if (directory_.regions[t].ActiveAt(0)) churn_state_[t] = kChurnActive;
   }
@@ -164,33 +166,62 @@ void FairSharePolicy::ComputeStaticQuotas() {
 void FairSharePolicy::ApplyChurn(TimeNs now) {
   bool changed = false;
   for (uint32_t t = 0; t < directory_.size(); ++t) {
-    const TenantRegion& region = directory_.regions[t];
-    if (churn_state_[t] == kChurnPending && now >= region.arrival_ns) {
-      churn_state_[t] = kChurnActive;
-      changed = true;
-      if (config_.arrival_grace > 0.0) {
-        // Warm-up grace: the newcomer has no demand history, so the
-        // first rebalance would drop it to the min_share floor (the
-        // post-arrival fairness dip fig_tenant_churn measures). Raise
-        // its floor for one window and seed its demand EMA from the
-        // incumbents' weighted average, so it bids as an average
-        // tenant until its own samples arrive.
-        grace_until_ns_[t] = now + config_.rebalance_interval_ns;
-        double sum_weight = 0.0;
-        double sum_weighted_ema = 0.0;
-        for (uint32_t s = 0; s < directory_.size(); ++s) {
-          if (s == t || churn_state_[s] != kChurnActive) continue;
-          const double w = directory_.regions[s].weight;
-          sum_weight += w;
-          sum_weighted_ema += w * demand_ema_[s];
+    const std::vector<ResidencyWindow>& windows =
+        directory_.regions[t].windows;
+    if (windows.empty()) continue;  // Resident for the whole run.
+    // A clock jump can cross several of a tenant's window edges at
+    // once; walk its window list until the next edge is still ahead. A
+    // draining tenant normally blocks here — its next window cannot
+    // open until the paced reclaim has released the region
+    // (DrainDeparting advances it).
+    while (churn_state_[t] != kChurnDeparted) {
+      if (churn_state_[t] == kChurnDraining) {
+        // The pace yields when it must: if the tenant's next window has
+        // already opened, flush the remainder now (the legacy one-shot
+        // teardown) so re-admission never runs against a half-released
+        // region the drain is still demoting.
+        const size_t next = window_index_[t] + 1;
+        if (next >= windows.size() || now < windows[next].arrival_ns) {
+          break;
         }
-        if (sum_weight > 0.0) demand_ema_[t] = sum_weighted_ema / sum_weight;
+        ForceFinishDrain(t, now);
+        changed = true;
+        continue;  // Now kChurnPending at the next window.
       }
-    }
-    if (churn_state_[t] == kChurnActive && region.departure_ns != 0 &&
-        now >= region.departure_ns) {
-      churn_state_[t] = kChurnDeparted;
-      ReleaseTenant(t, now);
+      const ResidencyWindow& window = windows[window_index_[t]];
+      if (churn_state_[t] == kChurnPending) {
+        if (now < window.arrival_ns) break;
+        churn_state_[t] = kChurnActive;
+        changed = true;
+        if (config_.arrival_grace > 0.0) {
+          // Warm-up grace: the newcomer has no demand history, so the
+          // first rebalance would drop it to the min_share floor (the
+          // post-arrival fairness dip fig_tenant_churn measures). Raise
+          // its floor for one window and seed its demand EMA from the
+          // incumbents' weighted average, so it bids as an average
+          // tenant until its own samples arrive. Re-arrivals get the
+          // same grace: their demand state was reset at release.
+          grace_until_ns_[t] = now + config_.rebalance_interval_ns;
+          double sum_weight = 0.0;
+          double sum_weighted_ema = 0.0;
+          for (uint32_t s = 0; s < directory_.size(); ++s) {
+            if (s == t || churn_state_[s] != kChurnActive) continue;
+            const double w = directory_.regions[s].weight;
+            sum_weight += w;
+            sum_weighted_ema += w * demand_ema_[s];
+          }
+          if (sum_weight > 0.0) {
+            demand_ema_[t] = sum_weighted_ema / sum_weight;
+          }
+        }
+      }
+      if (window.departure_ns == 0 || now < window.departure_ns) break;
+      // Departure: the tenant stops holding quota immediately (the
+      // survivors absorb its capacity this tick) and enters the paced
+      // reclaim drain; the region is released when the drain finishes.
+      churn_state_[t] = kChurnDraining;
+      drain_cursor_[t] =
+          directory_.regions[t].UnitRange(context().mode).begin;
       changed = true;
     }
   }
@@ -204,13 +235,46 @@ void FairSharePolicy::ApplyChurn(TimeNs now) {
   }
 }
 
-void FairSharePolicy::ReleaseTenant(uint32_t tenant, TimeNs now) {
+void FairSharePolicy::DrainDeparting(TimeNs now) {
+  for (uint32_t t = 0; t < directory_.size(); ++t) {
+    if (churn_state_[t] != kChurnDraining) continue;
+    if (fast_units_[t] > 0) {
+      // Reclaim writeback, paced: demote up to release_batch fast
+      // units per tick (0 = the legacy whole-share flush), in address
+      // order — hotness ranking is pointless for a dead tenant's
+      // pages, sequential reclaim is what an exit path does. The scan
+      // resumes at the drain cursor, so each pagemap byte is walked
+      // once per drain instead of once per tick. Nothing can land new
+      // fast units behind the cursor: the tenant is out of the mux
+      // rotation and its zero quota gates every promotion path.
+      const PageRange range =
+          directory_.regions[t].UnitRange(context().mode);
+      const uint64_t batch = config_.release_batch == 0
+                                 ? range.size()
+                                 : config_.release_batch;
+      victims_.clear();
+      PageId unit = drain_cursor_[t];
+      for (; unit < range.end && victims_.size() < batch; ++unit) {
+        sink().Touch(kSharePagemapBase + (unit / 8) * kCacheLineSize);
+        if (memory().IsResident(unit) &&
+            memory().TierOf(unit) == Tier::kFast) {
+          victims_.push_back(unit);
+        }
+      }
+      drain_cursor_[t] = unit;
+      HT_ASSERT(!victims_.empty() || fast_units_[t] == 0 ||
+                    unit < range.end,
+                "drain cursor passed tenant ", t, "'s region with ",
+                fast_units_[t], " fast units unaccounted");
+      if (!victims_.empty()) TrackedDemote(victims_, now);
+    }
+    if (fast_units_[t] == 0) FinishRelease(t);
+  }
+}
+
+void FairSharePolicy::ForceFinishDrain(uint32_t tenant, TimeNs now) {
   const PageRange range =
       directory_.regions[tenant].UnitRange(context().mode);
-  // Reclaim writeback: every fast-resident page is demoted in one batch
-  // (the dirty-page flush a teardown performs), uncapped — a departure
-  // must fully drain the tenant's fast share, not trickle it out in
-  // enforcement-sized bites.
   victims_.clear();
   memory().ScanResident(range.begin, range.size(), Tier::kFast,
                         [this](PageId unit) {
@@ -219,10 +283,17 @@ void FairSharePolicy::ReleaseTenant(uint32_t tenant, TimeNs now) {
                           victims_.push_back(unit);
                         });
   if (!victims_.empty()) TrackedDemote(victims_, now);
+  FinishRelease(tenant);
+}
+
+void FairSharePolicy::FinishRelease(uint32_t tenant) {
   HT_ASSERT(fast_units_[tenant] == 0, "tenant ", tenant, " still holds ",
-            fast_units_[tenant], " fast units after departure demotion");
-  // Then the region itself returns to the free pools, as exit reclaim
-  // would free a dead process's memory.
+            fast_units_[tenant], " fast units at release");
+  // The region returns to the free pools, as exit reclaim would free a
+  // dead process's memory; a later residency window re-allocates it
+  // from scratch via first touches.
+  const PageRange range =
+      directory_.regions[tenant].UnitRange(context().mode);
   released_units_[tenant] += memory().Release(range);
   window_fast_samples_[tenant] = 0;
   window_slow_samples_[tenant] = 0;
@@ -235,6 +306,15 @@ void FairSharePolicy::ReleaseTenant(uint32_t tenant, TimeNs now) {
     ghost_[tenant].Reset();
     shadow_samples_[tenant] = 0;
   }
+  // Advance to the tenant's next residency window, if it has one. No
+  // quota re-division here: the tenant already lost its quota at the
+  // departure tick, and finishing the drain changes nothing for the
+  // survivors.
+  ++window_index_[tenant];
+  churn_state_[tenant] =
+      window_index_[tenant] < directory_.regions[tenant].windows.size()
+          ? kChurnPending
+          : kChurnDeparted;
 }
 
 uint64_t FairSharePolicy::RebalanceFloor(uint32_t tenant,
@@ -428,6 +508,9 @@ void FairSharePolicy::DemoteToTarget(uint32_t t, uint64_t target,
 
 void FairSharePolicy::EnforceQuotas(TimeNs now) {
   for (uint32_t t = 0; t < directory_.size(); ++t) {
+    // Draining tenants are reclaimed by DrainDeparting at the paced
+    // release_batch rate, not by enforcement-sized bites.
+    if (churn_state_[t] == kChurnDraining) continue;
     DemoteToTarget(t, quota_[t], now);
   }
 }
@@ -623,6 +706,7 @@ void FairSharePolicy::OnSample(const SampleRecord& sample) {
 void FairSharePolicy::Tick(TimeNs now) {
   EnsureOccupancy();
   ApplyChurn(now);
+  DrainDeparting(now);
   if (config_.rebalance) {
     while (now >= next_rebalance_ns_) {
       Rebalance(next_rebalance_ns_);

@@ -51,13 +51,20 @@
  *    `arrival_grace` of its static share (and its demand EMA is seeded
  *    from the incumbents), so the post-arrival fairness dip lasts one
  *    window instead of a full EMA warm-up.
- *  - Tenants can *churn*: directory regions carry arrival/departure
- *    windows, and the maintenance tick applies every window edge the
- *    clock has crossed. A departure demotes the tenant's fast-resident
- *    pages (reclaim writeback) and releases its whole region back to
- *    the free pools; both edges re-divide quotas over the tenants that
- *    remain, so the survivors absorb the freed capacity within one
- *    tick and the scheduled rebalance re-applies demand on top.
+ *  - Tenants can *churn*: directory regions carry residency windows
+ *    (possibly several — diurnal co-location), and the maintenance tick
+ *    applies every window edge the clock has crossed. A departure
+ *    starts a *paced* reclaim drain: up to `release_batch` of the
+ *    tenant's fast-resident units are demoted per tick (the
+ *    asynchronous reclaim writeback a real kernel performs — an exit
+ *    never flushes gigabytes in one stop-the-world batch), and once the
+ *    share is drained the whole region is released back to the free
+ *    pools. The departing tenant loses its quota the moment it departs,
+ *    so the drain pace bounds migration stall cost without delaying the
+ *    survivors' re-division; benches can therefore separate release
+ *    latency from stall cost. A tenant with more residency windows then
+ *    waits for the next one and re-arrives (with the same arrival
+ *    grace as a first arrival) into its freshly released region.
  *
  * Everything is deterministic: quotas are integer units computed in a
  * fixed tenant order, so same config + seed replays bit-identically.
@@ -131,6 +138,13 @@ struct FairShareConfig {
    * from the min_share floor and earns quota only as samples arrive).
    */
   double arrival_grace = 1.0;
+  /**
+   * Cap on the fast units demoted per tick while draining a departed
+   * tenant's share (paced reclaim writeback); the region is released
+   * once the drain finishes. 0 = legacy behavior: the whole share is
+   * demoted in one uncapped batch at the departure tick.
+   */
+  uint64_t release_batch = 4096;
 };
 
 /** Per-tenant quota enforcement as a `TieringPolicy` decorator. */
@@ -213,28 +227,53 @@ class FairSharePolicy : public TieringPolicy,
     return churn_state_[tenant] == kChurnActive;
   }
 
+  /** True if `tenant` departed but its paced reclaim drain still runs. */
+  bool tenant_draining(uint32_t tenant) const {
+    return churn_state_[tenant] == kChurnDraining;
+  }
+
   /** The wrapped policy. */
   const TieringPolicy& base() const { return *base_; }
 
  private:
   class QuotaGate;
 
-  /** Where a tenant sits in its residency window. */
+  /** Where a tenant sits in its residency windows. */
   enum ChurnState : uint8_t {
-    kChurnPending = 0,  //!< Arrival window not yet reached.
+    kChurnPending = 0,  //!< Next window's arrival not yet reached.
     kChurnActive = 1,   //!< Present: holds quota, counted in rebalance.
-    kChurnDeparted = 2, //!< Gone: region released, quota zero.
+    kChurnDeparted = 2, //!< Every window closed: region released.
+    kChurnDraining = 3, //!< Departed; paced reclaim still demoting.
   };
 
   /**
-   * Applies arrival/departure window edges crossed by `now`: departures
-   * release the tenant's region, and any edge re-divides quotas over
-   * the remaining active tenants.
+   * Applies arrival/departure window edges crossed by `now`: a
+   * departure moves the tenant into the paced drain, and any edge
+   * re-divides quotas over the remaining active tenants.
    */
   void ApplyChurn(TimeNs now);
 
-  /** Departure reclaim: demote the region's fast pages, free it all. */
-  void ReleaseTenant(uint32_t tenant, TimeNs now);
+  /**
+   * Paced departure reclaim: demotes up to `release_batch` fast units
+   * of each draining tenant, and releases the region once drained. The
+   * address-order scan resumes at a per-tenant cursor, so each pagemap
+   * byte is visited once per drain, not once per tick.
+   */
+  void DrainDeparting(TimeNs now);
+
+  /**
+   * Flushes a draining tenant's remaining fast share in one batch and
+   * releases the region now — used when the tenant's next residency
+   * window opens before the paced drain finished, so a re-admission
+   * never overlaps a half-released region.
+   */
+  void ForceFinishDrain(uint32_t tenant, TimeNs now);
+
+  /**
+   * Frees a fully drained tenant's region, resets its demand state, and
+   * advances it to its next residency window (or retires it for good).
+   */
+  void FinishRelease(uint32_t tenant);
 
   /**
    * Counts fast-resident units per tenant once, lazily, at the first
@@ -302,6 +341,8 @@ class FairSharePolicy : public TieringPolicy,
   std::vector<uint64_t> fill_promotions_;
   std::vector<uint64_t> released_units_;  //!< Freed at departure.
   std::vector<uint8_t> churn_state_;      //!< ChurnState per tenant.
+  std::vector<size_t> window_index_;      //!< Current residency window.
+  std::vector<PageId> drain_cursor_;      //!< Paced-drain scan resume.
   std::vector<std::vector<PageId>> candidates_;  //!< Sampled slow pages.
   /** Durable gate charges: the admitted non-resident units whose first
    *  touch has not happened yet. Tracking the units themselves (not a

@@ -31,26 +31,43 @@ MuxWorkload::MuxWorkload(std::vector<Tenant> tenants)
     region.footprint_pages = workload.footprint_pages();
     region.span_pages = (region.footprint_pages + kPagesPerHugePage - 1) /
                         kPagesPerHugePage * kPagesPerHugePage;
-    region.arrival_ns = tenants_[i].arrival_ns;
-    region.departure_ns = tenants_[i].departure_ns;
-    if (region.departure_ns != 0) {
-      HT_ASSERT(region.departure_ns > region.arrival_ns, "tenant ",
-                region.name, " departs before it arrives");
+    region.windows = tenants_[i].windows;
+    for (size_t w = 0; w < region.windows.size(); ++w) {
+      const ResidencyWindow& window = region.windows[w];
+      if (window.departure_ns != 0) {
+        HT_ASSERT(window.departure_ns > window.arrival_ns, "tenant ",
+                  region.name, " departs before it arrives");
+      } else {
+        HT_ASSERT(w + 1 == region.windows.size(), "tenant ", region.name,
+                  ": only the last residency window may be open-ended");
+      }
+      if (w > 0) {
+        HT_ASSERT(window.arrival_ns > region.windows[w - 1].departure_ns,
+                  "tenant ", region.name,
+                  " has overlapping or unordered residency windows");
+      }
     }
     base += region.span_pages;
     if (i > 0) name_ += "+";
     name_ += region.name;
-    directory_.regions.push_back(std::move(region));
-    // Tenants arriving at t=0 start in the rotation; the rest join when
-    // the clock reaches their window.
-    if (tenants_[i].arrival_ns == 0) {
+    // Tenants whose first window opens at t=0 (or who have no windows)
+    // start in the rotation; the rest join when the clock reaches their
+    // next window's arrival. Every remaining window edge is counted so
+    // the hot path can skip the window scan once all have fired.
+    window_.push_back(0);
+    if (region.windows.empty() || region.windows[0].arrival_ns == 0) {
       status_.push_back(Status::kActive);
       rotation_.push_back(i);
     } else {
       status_.push_back(Status::kPending);
-      ++unapplied_edges_;
     }
-    if (tenants_[i].departure_ns != 0) ++unapplied_edges_;
+    for (size_t w = 0; w < region.windows.size(); ++w) {
+      if (!(w == 0 && region.windows[w].arrival_ns == 0)) {
+        ++unapplied_edges_;  // Arrival edge still ahead.
+      }
+      if (region.windows[w].departure_ns != 0) ++unapplied_edges_;
+    }
+    directory_.regions.push_back(std::move(region));
   }
   name_ += ")";
   total_span_pages_ = base;
@@ -70,25 +87,33 @@ void MuxWorkload::UpdateActivation(TimeNs now) {
   if (unapplied_edges_ == 0) return;
   const size_t first_new = churn_events_.size();
   for (uint32_t t = 0; t < tenants_.size(); ++t) {
-    const TenantRegion& region = directory_.regions[t];
-    if (status_[t] == Status::kPending && now >= region.arrival_ns) {
-      status_[t] = Status::kActive;
-      rotation_.push_back(t);
-      churn_events_.push_back(
-          TenantChurnEvent{region.arrival_ns, t, /*arrival=*/true});
-      --unapplied_edges_;
-    }
-    const bool departing = region.departure_ns != 0 &&
-                           now >= region.departure_ns;
-    if (departing && (status_[t] == Status::kActive ||
-                      status_[t] == Status::kFinished)) {
-      // A departure ends the tenant whether it is mid-stream (process
-      // killed) or already finished (its pages were lingering).
+    const std::vector<ResidencyWindow>& windows =
+        directory_.regions[t].windows;
+    // One pass may cross several edges of the same tenant (a clock jump
+    // over a whole window): walk its window list until the next edge is
+    // still ahead of `now`.
+    while (status_[t] != Status::kDeparted && !windows.empty()) {
+      const ResidencyWindow& window = windows[window_[t]];
+      if (status_[t] == Status::kPending) {
+        if (now < window.arrival_ns) break;
+        // Re-arrivals resume the suspended op stream; a stream that
+        // already ran dry is dropped again on its first NextOp.
+        status_[t] = Status::kActive;
+        rotation_.push_back(t);
+        churn_events_.push_back(
+            TenantChurnEvent{window.arrival_ns, t, /*arrival=*/true});
+        --unapplied_edges_;
+      }
+      // A departure ends the window whether the tenant is mid-stream
+      // (process killed) or already finished (its pages lingered).
+      if (window.departure_ns == 0 || now < window.departure_ns) break;
       if (status_[t] == Status::kActive) RemoveFromRotation(t);
-      status_[t] = Status::kDeparted;
       churn_events_.push_back(
-          TenantChurnEvent{region.departure_ns, t, /*arrival=*/false});
+          TenantChurnEvent{window.departure_ns, t, /*arrival=*/false});
       --unapplied_edges_;
+      ++window_[t];
+      status_[t] = window_[t] < windows.size() ? Status::kPending
+                                               : Status::kDeparted;
     }
   }
   // One pass can apply several edges with different scheduled times (a
@@ -136,7 +161,8 @@ bool MuxWorkload::NextOp(TimeNs now, OpTrace* op) {
   bool have_pending = false;
   for (uint32_t t = 0; t < tenants_.size(); ++t) {
     if (status_[t] != Status::kPending) continue;
-    const TimeNs arrival = directory_.regions[t].arrival_ns;
+    const TimeNs arrival =
+        directory_.regions[t].windows[window_[t]].arrival_ns;
     if (!have_pending || arrival < next_arrival) next_arrival = arrival;
     have_pending = true;
   }
@@ -169,8 +195,7 @@ std::unique_ptr<MuxWorkload> MakeMuxWorkload(
     MuxWorkload::Tenant tenant;
     tenant.workload = MakeWorkload(spec.workload_id, scale, tenant_seed);
     tenant.weight = spec.weight;
-    tenant.arrival_ns = spec.arrival_ns;
-    tenant.departure_ns = spec.departure_ns;
+    tenant.windows = spec.windows;
     tenants.push_back(std::move(tenant));
   }
   return std::make_unique<MuxWorkload>(std::move(tenants));

@@ -15,15 +15,19 @@
  * produce with one runnable thread per tenant — so same specs + seed
  * replay bit-identically.
  *
- * Tenants carry residency windows (`TenantSpec::arrival_ns` /
- * `departure_ns`): a tenant enters the rotation when the virtual clock
- * reaches its arrival and is removed (mid-op-stream, like a process
- * being killed) at its departure. Transitions are surfaced as
- * `TenantChurnEvent`s so harnesses can mark them on timelines, and
- * `tenant_active_at` exposes the window to the simulation (prefault and
- * fairness scoping). When no tenant is runnable but one arrives later,
- * NextOp emits a pure idle gap (`OpTrace::think_time_ns`) that advances
- * the clock to the next arrival.
+ * Tenants carry residency windows (`TenantSpec::windows`): a tenant
+ * enters the rotation when the virtual clock reaches a window's arrival
+ * and is removed (mid-op-stream, like a process being killed) at its
+ * departure. A tenant with several windows *recurs* — after a departure
+ * it waits for its next window and re-enters the rotation there,
+ * resuming its op stream where it was suspended (the diurnal
+ * co-location pattern; `TieredMemory::Release` makes its region
+ * reusable in between). Transitions are surfaced as `TenantChurnEvent`s
+ * so harnesses can mark them on timelines, and `tenant_active_at`
+ * exposes the windows to the simulation (prefault and fairness
+ * scoping). When no tenant is runnable but one arrives later, NextOp
+ * emits a pure idle gap (`OpTrace::think_time_ns`) that advances the
+ * clock to the next arrival.
  */
 
 #include <memory>
@@ -46,12 +50,12 @@ struct TenantChurnEvent {
 /** N tenant workloads multiplexed into one tagged access stream. */
 class MuxWorkload : public Workload, public TenantTagSource {
  public:
-  /** One admitted tenant: its generator, weight, and residency window. */
+  /** One admitted tenant: its generator, weight, and residency windows. */
   struct Tenant {
     std::unique_ptr<Workload> workload;
     double weight = 1.0;
-    TimeNs arrival_ns = 0;
-    TimeNs departure_ns = 0;  //!< 0 = stays until the run ends.
+    /** Residency windows (see TenantSpec::windows); empty = whole run. */
+    std::vector<ResidencyWindow> windows;
   };
 
   /** Lays out `tenants` in admission order; needs at least one. */
@@ -89,10 +93,10 @@ class MuxWorkload : public Workload, public TenantTagSource {
  private:
   /** Rotation membership of one tenant over its lifetime. */
   enum class Status : uint8_t {
-    kPending,   //!< Window not yet reached.
+    kPending,   //!< Next window not yet reached.
     kActive,    //!< In the round-robin rotation.
     kFinished,  //!< Workload ran to completion (pages stay resident).
-    kDeparted,  //!< Window closed; removed from the rotation.
+    kDeparted,  //!< Every window closed; removed for good.
   };
 
   /** Applies window edges the clock has crossed by `now`. */
@@ -104,6 +108,7 @@ class MuxWorkload : public Workload, public TenantTagSource {
   std::vector<Tenant> tenants_;
   TenantDirectory directory_;
   std::vector<Status> status_;
+  std::vector<size_t> window_;      //!< Current/next window per tenant.
   std::vector<uint32_t> rotation_;  //!< Runnable tenants, rotation order.
   std::vector<TenantChurnEvent> churn_events_;
   uint32_t unapplied_edges_ = 0;    //!< Window edges still ahead.

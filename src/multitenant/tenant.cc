@@ -43,29 +43,60 @@ std::vector<TenantSpec> ParseTenantList(const std::string& list) {
     }
 
     TenantSpec spec;
-    // Split off the optional "@arrival[-departure]" residency window
-    // first; what precedes it is the familiar "id[:weight]".
+    // Split off the optional "@window[+window...]" residency windows
+    // first; what precedes them is the familiar "id[:weight]".
     const size_t at = entry.find('@');
     const std::string head = entry.substr(0, at);
     if (at != std::string::npos) {
-      const std::string window = entry.substr(at + 1);
-      // A '-' splits arrival from departure unless it is the sign of a
-      // scientific-notation exponent ("1e-3").
-      size_t dash = std::string::npos;
-      for (size_t i = 1; i < window.size(); ++i) {
-        if (window[i] == '-' && window[i - 1] != 'e' &&
-            window[i - 1] != 'E') {
-          dash = i;
-          break;
-        }
+      // Windows are '+'-separated (a '+' after 'e'/'E' is a
+      // scientific-notation exponent sign, "1e+8", not a separator).
+      const std::string window_list = entry.substr(at + 1);
+      std::vector<std::string> window_texts;
+      size_t window_start = 0;
+      for (size_t i = 1; i <= window_list.size(); ++i) {
+        const bool split =
+            i == window_list.size() ||
+            (window_list[i] == '+' && window_list[i - 1] != 'e' &&
+             window_list[i - 1] != 'E');
+        if (!split) continue;
+        window_texts.push_back(
+            window_list.substr(window_start, i - window_start));
+        window_start = i + 1;
       }
-      spec.arrival_ns = ParseTimeNs(window.substr(0, dash), entry);
-      if (dash != std::string::npos) {
-        spec.departure_ns = ParseTimeNs(window.substr(dash + 1), entry);
-        if (spec.departure_ns <= spec.arrival_ns) {
-          HT_FATAL("tenant window '", window, "' in entry '", entry,
-                   "' must depart after it arrives");
+      if (window_texts.empty()) {
+        HT_FATAL("empty residency window in tenant entry '", entry, "'");
+      }
+      for (size_t w = 0; w < window_texts.size(); ++w) {
+        const std::string& window = window_texts[w];
+        // A '-' splits arrival from departure unless it is the sign of
+        // a scientific-notation exponent ("1e-3").
+        size_t dash = std::string::npos;
+        for (size_t i = 1; i < window.size(); ++i) {
+          if (window[i] == '-' && window[i - 1] != 'e' &&
+              window[i - 1] != 'E') {
+            dash = i;
+            break;
+          }
         }
+        ResidencyWindow parsed;
+        parsed.arrival_ns = ParseTimeNs(window.substr(0, dash), entry);
+        if (dash != std::string::npos) {
+          parsed.departure_ns = ParseTimeNs(window.substr(dash + 1), entry);
+          if (parsed.departure_ns <= parsed.arrival_ns) {
+            HT_FATAL("tenant window '", window, "' in entry '", entry,
+                     "' must depart after it arrives");
+          }
+        } else if (w + 1 < window_texts.size()) {
+          HT_FATAL("tenant window '", window, "' in entry '", entry,
+                   "' needs a departure: only the last of several "
+                   "windows may be open-ended");
+        }
+        if (!spec.windows.empty() &&
+            parsed.arrival_ns <= spec.windows.back().departure_ns) {
+          HT_FATAL("tenant windows in entry '", entry,
+                   "' must be disjoint and in increasing order");
+        }
+        spec.windows.push_back(parsed);
       }
     }
 

@@ -24,14 +24,33 @@
 
 namespace hybridtier {
 
+/**
+ * One residency interval [arrival, departure) in virtual time. A zero
+ * departure means the tenant stays until the run ends.
+ */
+struct ResidencyWindow {
+  TimeNs arrival_ns = 0;
+  TimeNs departure_ns = 0;  //!< 0 = open-ended (never departs).
+
+  /** True if `now` falls inside this window. */
+  bool Contains(TimeNs now) const {
+    return now >= arrival_ns && (departure_ns == 0 || now < departure_ns);
+  }
+};
+
 /** One tenant to admit: which workload it runs and its share weight. */
 struct TenantSpec {
   std::string workload_id;  //!< Workload-factory id (e.g. "cdn", "zipf").
   double weight = 1.0;      //!< Fair-share weight (fast-tier quota).
   double scale = -1.0;      //!< Footprint scale; < 0 = per-family default.
   uint64_t seed = 0;        //!< 0 = derive from the run seed + index.
-  TimeNs arrival_ns = 0;    //!< Virtual time the tenant arrives.
-  TimeNs departure_ns = 0;  //!< Virtual departure time; 0 = never leaves.
+  /**
+   * Residency windows, strictly increasing and non-overlapping; every
+   * window but the last is closed. Empty = resident for the whole run.
+   * Several windows model diurnal co-location: the tenant departs (its
+   * memory is released) and re-arrives when the next window opens.
+   */
+  std::vector<ResidencyWindow> windows;
 };
 
 /**
@@ -40,8 +59,11 @@ struct TenantSpec {
  * default 1) and an optional "@arrival[-departure]" residency window in
  * virtual nanoseconds (scientific notation accepted): the tenant arrives
  * mid-run at `arrival` and, when a departure is given, exits at
- * `departure`, releasing its memory. Fatal on malformed entries or
- * unknown workload ids.
+ * `departure`, releasing its memory. Several '+'-joined windows —
+ * "zipf@1e8-2e8+5e8-6e8" — give the tenant recurring residency (it
+ * re-arrives at each later window); every window but the last must then
+ * be closed, and windows must be disjoint and in increasing order.
+ * Fatal on malformed entries or unknown workload ids.
  */
 std::vector<TenantSpec> ParseTenantList(const std::string& list);
 
@@ -52,8 +74,8 @@ struct TenantRegion {
   uint64_t base_page = 0;     //!< First 4 KiB page of the region.
   uint64_t footprint_pages = 0;  //!< Pages the tenant actually uses.
   uint64_t span_pages = 0;    //!< Reserved span (2 MiB-aligned).
-  TimeNs arrival_ns = 0;      //!< Virtual arrival time (0 = at start).
-  TimeNs departure_ns = 0;    //!< Virtual departure time (0 = never).
+  /** Residency windows (see TenantSpec::windows); empty = whole run. */
+  std::vector<ResidencyWindow> windows;
 
   /** Tracking units [begin, end) under `mode`; exact in both modes. */
   PageRange UnitRange(PageMode mode) const {
@@ -63,9 +85,16 @@ struct TenantRegion {
                      (base_page + span_pages) / per_unit};
   }
 
-  /** True if the tenant's residency window contains virtual time `now`. */
+  /** True if the tenant is resident for the whole run (no windows). */
+  bool AlwaysResident() const { return windows.empty(); }
+
+  /** True if any residency window contains virtual time `now`. */
   bool ActiveAt(TimeNs now) const {
-    return now >= arrival_ns && (departure_ns == 0 || now < departure_ns);
+    if (windows.empty()) return true;
+    for (const ResidencyWindow& window : windows) {
+      if (window.Contains(now)) return true;
+    }
+    return false;
   }
 };
 

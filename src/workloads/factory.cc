@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <mutex>
 
 #include "common/logging.h"
 #include "workloads/gap_kernels.h"
@@ -20,13 +21,20 @@ namespace {
 constexpr uint32_t kBaseGraphScale = 18;
 constexpr uint32_t kEdgeFactor = 8;
 
-/** Per-process cache of generated graphs, keyed by (kind, scale). */
+/**
+ * Per-process cache of generated graphs, keyed by (kind, scale). The
+ * mutex makes concurrent workload construction safe (parallel sweep
+ * cells build their GAP workloads from worker threads); generation is
+ * serialized under it, which only ever costs the first cell per key.
+ */
 std::shared_ptr<const Graph> CachedGraph(bool kronecker,
                                          uint32_t graph_scale,
                                          uint64_t seed) {
+  static std::mutex mutex;
   static std::map<std::tuple<bool, uint32_t, uint64_t>,
                   std::shared_ptr<const Graph>>
       cache;
+  std::lock_guard<std::mutex> lock(mutex);
   const auto key = std::make_tuple(kronecker, graph_scale, seed);
   auto it = cache.find(key);
   if (it != cache.end()) return it->second;

@@ -52,21 +52,44 @@ TEST(ParseTenantList, ParsesResidencyWindows) {
       ParseTenantList("cdn@0-2e9,bfs-k:2@5e8,zipf");
   ASSERT_EQ(specs.size(), 3u);
   EXPECT_EQ(specs[0].workload_id, "cdn");
-  EXPECT_EQ(specs[0].arrival_ns, 0u);
-  EXPECT_EQ(specs[0].departure_ns, 2000000000u);
+  ASSERT_EQ(specs[0].windows.size(), 1u);
+  EXPECT_EQ(specs[0].windows[0].arrival_ns, 0u);
+  EXPECT_EQ(specs[0].windows[0].departure_ns, 2000000000u);
   EXPECT_EQ(specs[1].workload_id, "bfs-k");
   EXPECT_DOUBLE_EQ(specs[1].weight, 2.0);
-  EXPECT_EQ(specs[1].arrival_ns, 500000000u);
-  EXPECT_EQ(specs[1].departure_ns, 0u);  // Stays until the end.
-  EXPECT_EQ(specs[2].arrival_ns, 0u);
-  EXPECT_EQ(specs[2].departure_ns, 0u);
+  ASSERT_EQ(specs[1].windows.size(), 1u);
+  EXPECT_EQ(specs[1].windows[0].arrival_ns, 500000000u);
+  EXPECT_EQ(specs[1].windows[0].departure_ns, 0u);  // Stays to the end.
+  EXPECT_TRUE(specs[2].windows.empty());  // Resident for the whole run.
 }
 
 TEST(ParseTenantList, WindowAcceptsExponentSigns) {
   const std::vector<TenantSpec> specs = ParseTenantList("zipf@1e-3-2e9");
   ASSERT_EQ(specs.size(), 1u);
-  EXPECT_EQ(specs[0].arrival_ns, 0u);  // 1e-3 ns truncates to 0.
-  EXPECT_EQ(specs[0].departure_ns, 2000000000u);
+  ASSERT_EQ(specs[0].windows.size(), 1u);
+  EXPECT_EQ(specs[0].windows[0].arrival_ns, 0u);  // 1e-3 truncates to 0.
+  EXPECT_EQ(specs[0].windows[0].departure_ns, 2000000000u);
+}
+
+TEST(ParseTenantList, ParsesRecurringWindows) {
+  // Two residency windows model diurnal co-location; '+' after an
+  // exponent ("1e+8") must still read as a sign, not a separator.
+  const std::vector<TenantSpec> specs =
+      ParseTenantList("zipf@1e+8-2e8+5e8-6e8,cdn");
+  ASSERT_EQ(specs.size(), 2u);
+  ASSERT_EQ(specs[0].windows.size(), 2u);
+  EXPECT_EQ(specs[0].windows[0].arrival_ns, 100000000u);
+  EXPECT_EQ(specs[0].windows[0].departure_ns, 200000000u);
+  EXPECT_EQ(specs[0].windows[1].arrival_ns, 500000000u);
+  EXPECT_EQ(specs[0].windows[1].departure_ns, 600000000u);
+  EXPECT_TRUE(specs[1].windows.empty());
+
+  // The last of several windows may stay open.
+  const std::vector<TenantSpec> open =
+      ParseTenantList("zipf@0-1e8+3e8");
+  ASSERT_EQ(open[0].windows.size(), 2u);
+  EXPECT_EQ(open[0].windows[1].arrival_ns, 300000000u);
+  EXPECT_EQ(open[0].windows[1].departure_ns, 0u);
 }
 
 // -------------------------------------------------------- MuxWorkload --
@@ -173,6 +196,66 @@ TEST(MuxWorkload, WindowsGateTheRotation) {
   ASSERT_EQ(mux->churn_events().size(), 2u);
   EXPECT_FALSE(mux->churn_events()[1].arrival);
   EXPECT_EQ(mux->churn_events()[1].time_ns, 2000000u);
+}
+
+TEST(MuxWorkload, RecurringWindowsReactivateTheTenant) {
+  std::vector<TenantSpec> specs =
+      ParseTenantList("zipf,zipf@1e6-2e6+4e6-5e6");
+  for (TenantSpec& spec : specs) spec.scale = 0.05;
+  auto mux = MakeMuxWorkload(specs, 42);
+
+  // The windows gate activity: out, in, out, in again, out for good.
+  EXPECT_FALSE(mux->tenant_active_at(1, 0));
+  EXPECT_TRUE(mux->tenant_active_at(1, 1500000));
+  EXPECT_FALSE(mux->tenant_active_at(1, 3000000));
+  EXPECT_TRUE(mux->tenant_active_at(1, 4500000));
+  EXPECT_FALSE(mux->tenant_active_at(1, 6000000));
+
+  const auto serve = [&](TimeNs now, int ops) {
+    OpTrace op;
+    std::set<uint32_t> seen;
+    for (int i = 0; i < ops; ++i) {
+      EXPECT_TRUE(mux->NextOp(now, &op));
+      seen.insert(mux->last_tenant());
+    }
+    return seen;
+  };
+
+  // First window: both tenants run. Between windows: only tenant 0.
+  EXPECT_EQ(serve(1500000, 100).size(), 2u);
+  EXPECT_EQ(serve(3000000, 100).size(), 1u);
+  // Second window: the tenant re-enters the rotation, resuming its
+  // suspended stream; afterwards it is gone for good.
+  EXPECT_EQ(serve(4500000, 100).size(), 2u);
+  EXPECT_EQ(serve(6000000, 100).size(), 1u);
+
+  // Four edges, chronological: arrive, depart, re-arrive, depart.
+  ASSERT_EQ(mux->churn_events().size(), 4u);
+  const TimeNs times[] = {1000000, 2000000, 4000000, 5000000};
+  const bool arrivals[] = {true, false, true, false};
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(mux->churn_events()[i].tenant, 1u);
+    EXPECT_EQ(mux->churn_events()[i].time_ns, times[i]);
+    EXPECT_EQ(mux->churn_events()[i].arrival, arrivals[i]);
+  }
+}
+
+TEST(MuxWorkload, IdleGapBridgesToNextRecurringWindow) {
+  // A single tenant with two windows: between them the mux emits a pure
+  // idle gap carrying the clock to the re-arrival, not end-of-stream.
+  std::vector<TenantSpec> specs = ParseTenantList("zipf@0-1e6+5e6");
+  specs[0].scale = 0.05;
+  auto mux = MakeMuxWorkload(specs, 42);
+  OpTrace op;
+  ASSERT_TRUE(mux->NextOp(0, &op));
+  EXPECT_FALSE(op.accesses.empty());
+  // Past the first departure, nobody is runnable until 5e6.
+  ASSERT_TRUE(mux->NextOp(2000000, &op));
+  EXPECT_TRUE(op.accesses.empty());
+  EXPECT_EQ(op.think_time_ns, 3000000u);
+  // At the second window real ops flow again.
+  ASSERT_TRUE(mux->NextOp(5000000, &op));
+  EXPECT_FALSE(op.accesses.empty());
 }
 
 TEST(MuxWorkload, IdleGapBridgesToFirstArrival) {
@@ -717,6 +800,192 @@ TEST(FairSharePolicy, MarginalModeQuotasDeterministicAcrossReruns) {
   EXPECT_EQ(quotas[0], quotas[1]);
 }
 
+// ------------------------------------------------ paced release drain --
+
+/** Base policy that never migrates: drains are the wrapper's alone. */
+class IdlePolicy : public TieringPolicy {
+ public:
+  void Tick(TimeNs) override {}
+  size_t MetadataBytes() const override { return 0; }
+  const char* name() const override { return "Idle"; }
+};
+
+/** Tenant b: resident [0, depart), then again from `rearrive`. */
+TenantDirectory RecurringDirectory(TimeNs depart, TimeNs rearrive) {
+  TenantDirectory directory;
+  directory.regions.push_back(TenantRegion{
+      .name = "a", .weight = 1.0, .base_page = 0,
+      .footprint_pages = 1024, .span_pages = 1024});
+  directory.regions.push_back(TenantRegion{
+      .name = "b", .weight = 1.0, .base_page = 1024,
+      .footprint_pages = 1024, .span_pages = 1024,
+      .windows = {{0, depart}, {rearrive, 0}}});
+  return directory;
+}
+
+TEST(FairSharePolicy, DepartureDrainIsPacedAndReleasesWhenDrained) {
+  FairShareConfig config;
+  config.rebalance = false;
+  config.fill_to_quota = false;
+  config.release_batch = 64;
+  FairShareHarness harness(
+      AllocationPolicy::kSlowOnly, config, std::make_unique<IdlePolicy>(),
+      RecurringDirectory(5 * kMillisecond, 20 * kMillisecond));
+  harness.TouchAll();
+  // 256 of b's pages sit in the fast tier when it departs.
+  for (PageId page = 1024; page < 1280; ++page) {
+    ASSERT_TRUE(harness.memory().Migrate(page, Tier::kFast));
+  }
+
+  harness.policy().Tick(1 * kMillisecond);
+  ASSERT_EQ(harness.policy().fast_units(1), 256u);
+  ASSERT_TRUE(harness.policy().tenant_active(1));
+
+  // The departure tick zeroes b's quota immediately but demotes only
+  // release_batch units; the drain continues across later ticks and the
+  // region is released only once the share hits zero.
+  harness.policy().Tick(5 * kMillisecond);
+  EXPECT_TRUE(harness.policy().tenant_draining(1));
+  EXPECT_EQ(harness.policy().quota_units(1), 0u);
+  EXPECT_EQ(harness.policy().quota_units(0), 512u);
+  EXPECT_EQ(harness.policy().fast_units(1), 192u);
+  EXPECT_EQ(harness.policy().released_units(1), 0u);
+
+  harness.policy().Tick(6 * kMillisecond);
+  EXPECT_EQ(harness.policy().fast_units(1), 128u);
+  harness.policy().Tick(7 * kMillisecond);
+  EXPECT_EQ(harness.policy().fast_units(1), 64u);
+  harness.policy().Tick(8 * kMillisecond);
+
+  // Drained: the whole region (fast and slow residents) was freed.
+  EXPECT_FALSE(harness.policy().tenant_draining(1));
+  EXPECT_FALSE(harness.policy().tenant_active(1));
+  EXPECT_EQ(harness.policy().fast_units(1), 0u);
+  EXPECT_EQ(harness.policy().released_units(1), 1024u);
+  EXPECT_EQ(harness.FastResident(1), 0u);
+  EXPECT_FALSE(harness.memory().IsResident(1024));
+  // The drain is reclaim, not quota enforcement.
+  EXPECT_EQ(harness.policy().enforced_demotions(1), 0u);
+
+  // Re-arrival at the second window: quota returns, the region is
+  // reusable, and a first touch re-allocates from scratch.
+  harness.policy().Tick(20 * kMillisecond);
+  EXPECT_TRUE(harness.policy().tenant_active(1));
+  EXPECT_EQ(harness.policy().quota_units(1), 256u);
+  EXPECT_EQ(harness.policy().quota_units(0), 256u);
+  const TouchResult touch =
+      harness.memory().Touch(1024, 20 * kMillisecond + 1);
+  EXPECT_TRUE(touch.first_touch);
+  harness.policy().OnAccess(1024, touch, 20 * kMillisecond + 1);
+}
+
+TEST(FairSharePolicy, ReArrivalDuringDrainForcesTheFlushToFinishFirst) {
+  // The inter-window gap (5ms -> 6ms) is shorter than the paced drain
+  // (256 units at 64/tick): the re-arrival must force-finish the flush
+  // and release the region before re-admitting the tenant, never run
+  // it against a half-released region.
+  FairShareConfig config;
+  config.rebalance = false;
+  config.fill_to_quota = false;
+  config.release_batch = 64;
+  FairShareHarness harness(
+      AllocationPolicy::kSlowOnly, config, std::make_unique<IdlePolicy>(),
+      RecurringDirectory(5 * kMillisecond, 6 * kMillisecond));
+  harness.TouchAll();
+  for (PageId page = 1024; page < 1280; ++page) {
+    ASSERT_TRUE(harness.memory().Migrate(page, Tier::kFast));
+  }
+  harness.policy().Tick(1 * kMillisecond);
+
+  harness.policy().Tick(5 * kMillisecond);
+  ASSERT_TRUE(harness.policy().tenant_draining(1));
+  ASSERT_EQ(harness.policy().fast_units(1), 192u);
+
+  // The next window opens mid-drain: one tick finishes the flush,
+  // releases the whole region, and re-admits the tenant with quota.
+  harness.policy().Tick(6 * kMillisecond);
+  EXPECT_FALSE(harness.policy().tenant_draining(1));
+  EXPECT_TRUE(harness.policy().tenant_active(1));
+  EXPECT_EQ(harness.policy().fast_units(1), 0u);
+  EXPECT_EQ(harness.policy().released_units(1), 1024u);
+  EXPECT_EQ(harness.policy().quota_units(1), 256u);
+  EXPECT_FALSE(harness.memory().IsResident(1024));
+}
+
+TEST(FairSharePolicy, UncappedReleaseBatchDrainsInOneTick) {
+  FairShareConfig config;
+  config.rebalance = false;
+  config.fill_to_quota = false;
+  config.release_batch = 0;  // Legacy whole-share flush.
+  FairShareHarness harness(
+      AllocationPolicy::kSlowOnly, config, std::make_unique<IdlePolicy>(),
+      RecurringDirectory(5 * kMillisecond, 20 * kMillisecond));
+  harness.TouchAll();
+  for (PageId page = 1024; page < 1280; ++page) {
+    ASSERT_TRUE(harness.memory().Migrate(page, Tier::kFast));
+  }
+  harness.policy().Tick(1 * kMillisecond);
+  harness.policy().Tick(5 * kMillisecond);
+  EXPECT_FALSE(harness.policy().tenant_draining(1));
+  EXPECT_EQ(harness.policy().fast_units(1), 0u);
+  EXPECT_EQ(harness.policy().released_units(1), 1024u);
+}
+
+TEST(MultiTenantSimulation, RecurringTenantReacquiresCapacity) {
+  // End-to-end diurnal residency: a zipf tenant departs mid-run and
+  // re-arrives at a later window under the fair-share wrapper.
+  std::vector<TenantSpec> specs =
+      ParseTenantList("zipf,zipf@0-3e7+6e7");
+  for (TenantSpec& spec : specs) spec.scale = 0.05;
+  auto mux = MakeMuxWorkload(specs, 7);
+  const FairShareConfig fair_config;
+  auto fair = std::make_unique<FairSharePolicy>(MakePolicy("HybridTier"),
+                                                mux->directory(),
+                                                fair_config);
+  SimulationConfig config;
+  config.seed = 7;
+  config.max_accesses = 40000000;
+  config.max_time_ns = 100 * kMillisecond;
+  config.stats_interval_ns = 5 * kMillisecond;  // Points inside the gap.
+  Simulation simulation(config, mux.get(), fair.get());
+  const SimulationResult result = simulation.Run();
+
+  constexpr TimeNs kDeparture = 30000000;  // 3e7.
+  constexpr TimeNs kReturn = 60000000;     // 6e7.
+  ASSERT_GT(result.duration_ns, kReturn);
+
+  // Two mid-run edges (the t=0 arrival is not an event): the departure
+  // and the second-window return, in order.
+  ASSERT_EQ(mux->churn_events().size(), 2u);
+  EXPECT_FALSE(mux->churn_events()[0].arrival);
+  EXPECT_EQ(mux->churn_events()[0].time_ns, kDeparture);
+  EXPECT_TRUE(mux->churn_events()[1].arrival);
+  EXPECT_EQ(mux->churn_events()[1].time_ns, kReturn);
+
+  // The tenant's first-window share was released, and it ended the run
+  // present again, holding capacity under a fresh quota.
+  EXPECT_GT(fair->released_units(1), 0u);
+  EXPECT_TRUE(fair->tenant_active(1));
+  EXPECT_GT(fair->quota_units(1), 0u);
+  EXPECT_GT(result.tenants[1].fast_resident_units, 0u);
+
+  // Occupancy timeline: zero between drain completion and the return.
+  const TimeSeries& occupancy = result.tenants[1].occupancy_timeline;
+  const FairShareConfig defaults;
+  const TimeNs drain_deadline =
+      kDeparture + defaults.rebalance_interval_ns;
+  bool saw_gap_point = false;
+  for (size_t i = 0; i < occupancy.size(); ++i) {
+    if (occupancy.times_ns[i] >= drain_deadline &&
+        occupancy.times_ns[i] < kReturn) {
+      saw_gap_point = true;
+      EXPECT_EQ(occupancy.values[i], 0.0)
+          << "departed tenant resident at t=" << occupancy.times_ns[i];
+    }
+  }
+  EXPECT_TRUE(saw_gap_point);
+}
+
 // ------------------------------------------------- arrival warm-up dip --
 
 /** Tenant a from t=0; tenant b arrives at `arrival_ns`. Equal weights. */
@@ -728,7 +997,7 @@ TenantDirectory ArrivalDirectory(TimeNs arrival_ns) {
   directory.regions.push_back(TenantRegion{
       .name = "b", .weight = 1.0, .base_page = 1024,
       .footprint_pages = 1024, .span_pages = 1024,
-      .arrival_ns = arrival_ns});
+      .windows = {{arrival_ns, 0}}});
   return directory;
 }
 
