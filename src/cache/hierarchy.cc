@@ -11,17 +11,6 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
       l1_tiering_(config.l1, "L1d-tiering"),
       llc_(config.llc, "LLC") {}
 
-HitLevel CacheHierarchy::Access(uint64_t addr, AccessOwner owner) {
-  return AccessLine(addr / kCacheLineSize, owner);
-}
-
-HitLevel CacheHierarchy::AccessLine(uint64_t line_addr, AccessOwner owner) {
-  Cache& l1 = owner == AccessOwner::kApp ? l1_app_ : l1_tiering_;
-  if (l1.AccessLine(line_addr, owner)) return HitLevel::kL1;
-  if (llc_.AccessLine(line_addr, owner)) return HitLevel::kLlc;
-  return HitLevel::kMemory;
-}
-
 uint64_t CacheHierarchy::L1Misses(AccessOwner owner) const {
   const size_t o = static_cast<size_t>(owner);
   return l1_app_.stats().misses[o] + l1_tiering_.stats().misses[o];

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "cache/cache_sim.h"
+#include "common/units.h"
 
 namespace hybridtier {
 
@@ -48,10 +49,22 @@ class CacheHierarchy {
    * Accesses the 64-byte line containing byte address `addr` on behalf of
    * `owner` and returns the level that served it.
    */
-  HitLevel Access(uint64_t addr, AccessOwner owner);
+  HitLevel Access(uint64_t addr, AccessOwner owner) {
+    return AccessLine(addr / kCacheLineSize, owner);
+  }
 
   /** Same as Access but takes an already line-granular address. */
-  HitLevel AccessLine(uint64_t line_addr, AccessOwner owner);
+  HitLevel AccessLine(uint64_t line_addr, AccessOwner owner) {
+    Cache& l1 = owner == AccessOwner::kApp ? l1_app_ : l1_tiering_;
+    // Pull the LLC set state toward the host core while the L1 probe
+    // runs: the L1 mostly misses (footprints dwarf it), so the LLC probe
+    // is on the critical path nearly every access.
+    llc_.PrefetchLine(line_addr);
+    if (l1.AccessLine(line_addr, owner)) return HitLevel::kL1;
+    if (llc_.AccessLine(line_addr, owner)) return HitLevel::kLlc;
+    return HitLevel::kMemory;
+  }
+
 
   /** Statistics of the application-core L1. */
   const CacheStats& l1_app_stats() const { return l1_app_.stats(); }

@@ -79,6 +79,11 @@ void HybridTierPolicy::Bind(const PolicyContext& context) {
   histogram_ = std::make_unique<Histogram>(
       std::min<uint32_t>(freq_->max_count(), 255));
   freq_threshold_ = 1;
+
+  // Dense second-chance state: the footprint is known here, so the
+  // marks live in a flat PageId-indexed array instead of a hash map.
+  second_chance_.assign(context.footprint_units, SecondChanceMark{});
+  second_chance_pending_ = 0;
 }
 
 void HybridTierPolicy::UpdateThreshold() {
@@ -111,8 +116,10 @@ void HybridTierPolicy::OnSample(const SampleRecord& sample) {
   const PageId unit = sample.page;
 
   // Frequency update (+ histogram bookkeeping on actual increments).
-  const uint32_t old_freq = freq_->Get(unit);
-  const uint32_t new_freq = freq_->RecordAccess(unit, sink());
+  // The pre-update estimate comes out of the same filter walk as the
+  // increment — one CBF lookup per sample, not two.
+  uint32_t old_freq = 0;
+  const uint32_t new_freq = freq_->RecordAccess(unit, sink(), &old_freq);
   if (freq_->cooled_on_last_record()) {
     histogram_->CoolByHalving();
     // The halved histogram carries this unit at old_freq/2 — the
@@ -150,9 +157,9 @@ void HybridTierPolicy::OnSample(const SampleRecord& sample) {
   // The sample that triggers cooling also counts: the unit was
   // incremented before the halving, even though the returned estimate
   // is now below old_freq.
-  if (!second_chance_.empty() &&
+  if (second_chance_pending_ != 0 &&
       (new_freq > old_freq || freq_->cooled_on_last_record())) {
-    second_chance_.erase(unit);
+    ClearMark(unit);
   }
 
   if (samples_seen_ - samples_at_last_flush_ >=
@@ -205,13 +212,13 @@ uint64_t HybridTierPolicy::DemoteColdPages(uint64_t needed, TimeNs now) {
 
     if (momentum_hot) {
       // High momentum: recently promoted or actively heating — keep.
-      second_chance_.erase(unit);
+      ClearMark(unit);
       return;
     }
     if (!freq_hot) {
       // Low/low: demote (Table 1 bottom-right).
       if (freq < demote_below || relaxed) {
-        second_chance_.erase(unit);
+        ClearMark(unit);
         victims.push_back(unit);
       }
       return;
@@ -221,27 +228,27 @@ uint64_t HybridTierPolicy::DemoteColdPages(uint64_t needed, TimeNs now) {
     // mark: with saturating counters "frequency did not grow" cannot
     // distinguish idle from still-saturated-hot, so the momentum
     // tracker provides the accessed-since-mark signal.
-    auto it = second_chance_.find(unit);
-    if (it == second_chance_.end()) {
-      second_chance_.emplace(unit,
-                             SecondChanceMark{.freq_at_mark = freq,
-                                              .mark_time_ns = now});
+    SecondChanceMark& mark = second_chance_[unit];
+    if (mark.freq_at_mark == kNoMark) {
+      mark.freq_at_mark = freq;
+      mark.mark_time_ns = now;
+      ++second_chance_pending_;
       return;
     }
-    if (now - it->second.mark_time_ns <
-        config_.second_chance_revisit_ns) {
+    if (now - mark.mark_time_ns < config_.second_chance_revisit_ns) {
       return;
     }
     const bool accessed_since_mark =
-        momentum > 0 || freq > it->second.freq_at_mark;
-    if (!accessed_since_mark && freq <= it->second.freq_at_mark) {
-      second_chance_.erase(it);
+        momentum > 0 || freq > mark.freq_at_mark;
+    if (!accessed_since_mark && freq <= mark.freq_at_mark) {
+      mark.freq_at_mark = kNoMark;
+      --second_chance_pending_;
       victims.push_back(unit);
       ++second_chance_demotions_;
     } else {
       // Refresh the mark so the next revisit measures a fresh window.
-      it->second.freq_at_mark = freq;
-      it->second.mark_time_ns = now;
+      mark.freq_at_mark = freq;
+      mark.mark_time_ns = now;
     }
   };
 
@@ -270,7 +277,11 @@ size_t HybridTierPolicy::MetadataBytes() const {
   size_t bytes = freq_->memory_bytes();
   if (momentum_) bytes += momentum_->memory_bytes();
   bytes += histogram_->buckets().size() * sizeof(uint64_t);
-  bytes += second_chance_.size() * 24;  // map entries.
+  // The design's second-chance list holds one record per *marked* page
+  // (the dense array is a simulator-side layout choice, not metadata
+  // the real system would allocate), so the Table-4 metric charges the
+  // marked count at the legacy per-entry size.
+  bytes += second_chance_pending_ * 24;
   return bytes;
 }
 

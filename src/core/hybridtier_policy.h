@@ -28,7 +28,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/histogram.h"
@@ -89,6 +88,15 @@ class HybridTierPolicy : public TieringPolicy {
   size_t MetadataBytes() const override;
   const char* name() const override;
 
+  /**
+   * HybridTier is sample-driven: it never observes the demand-access
+   * stream (OnAccess stays the inherited no-op), so the simulator skips
+   * per-access policy dispatch entirely.
+   */
+  AccessInterest access_interest() const override {
+    return AccessInterest::kNone;
+  }
+
   /** Long-term frequency estimate (the demotion-ordering signal). */
   uint32_t HotnessOf(PageId unit) const override {
     return freq_->Get(unit);
@@ -104,7 +112,7 @@ class HybridTierPolicy : public TieringPolicy {
   const AccessTracker* momentum_tracker() const { return momentum_.get(); }
 
   /** Pages currently marked for a second chance. */
-  size_t second_chance_pending() const { return second_chance_.size(); }
+  size_t second_chance_pending() const { return second_chance_pending_; }
 
   /** Promotions triggered by momentum (not frequency). */
   uint64_t momentum_promotions() const { return momentum_promotions_; }
@@ -118,10 +126,22 @@ class HybridTierPolicy : public TieringPolicy {
   PageId scan_cursor() const { return scan_cursor_; }
 
  private:
+  /** No-mark sentinel: counter estimates never reach UINT32_MAX. */
+  static constexpr uint32_t kNoMark = UINT32_MAX;
+
   struct SecondChanceMark {
-    uint32_t freq_at_mark = 0;
+    uint32_t freq_at_mark = kNoMark;  //!< kNoMark = unit not marked.
     TimeNs mark_time_ns = 0;
   };
+
+  /** Clears `unit`'s second-chance mark if present. */
+  void ClearMark(PageId unit) {
+    SecondChanceMark& mark = second_chance_[unit];
+    if (mark.freq_at_mark != kNoMark) {
+      mark.freq_at_mark = kNoMark;
+      --second_chance_pending_;
+    }
+  }
 
   void UpdateThreshold();
   void FlushPromotions(TimeNs now);
@@ -139,7 +159,15 @@ class HybridTierPolicy : public TieringPolicy {
   std::unique_ptr<AccessTracker> momentum_;
   std::unique_ptr<Histogram> histogram_;
   std::vector<PageId> pending_promotions_;
-  std::unordered_map<PageId, SecondChanceMark> second_chance_;
+  /**
+   * Second-chance marks, dense by PageId (sized at Bind, when the
+   * footprint is known). The legacy unordered_map cost a hash probe per
+   * sample and per demotion-scan unit on the hottest policy paths; the
+   * flat array is one indexed load. `second_chance_pending_` tracks the
+   * marked-unit count the map's size() used to provide.
+   */
+  std::vector<SecondChanceMark> second_chance_;
+  size_t second_chance_pending_ = 0;
   uint64_t samples_seen_ = 0;
   uint64_t samples_at_last_flush_ = 0;
   uint32_t freq_threshold_ = 1;

@@ -8,20 +8,6 @@
 
 namespace hybridtier {
 
-/** Forwards metadata lines into the shared cache hierarchy. */
-class Simulation::HierarchySink : public MetadataTrafficSink {
- public:
-  explicit HierarchySink(CacheHierarchy* hierarchy)
-      : hierarchy_(hierarchy) {}
-
-  void Touch(uint64_t line_addr) override {
-    hierarchy_->Access(line_addr, AccessOwner::kTiering);
-  }
-
- private:
-  CacheHierarchy* hierarchy_;
-};
-
 Simulation::Simulation(const SimulationConfig& config, Workload* workload,
                        TieringPolicy* policy)
     : config_(config),
@@ -57,20 +43,27 @@ Simulation::Simulation(const SimulationConfig& config, Workload* workload,
   migration_ =
       std::make_unique<MigrationEngine>(memory_.get(), perf_.get(),
                                         config.mode);
-  if (config.measure_metadata_traffic) {
-    sink_ = std::make_unique<HierarchySink>(hierarchy_.get());
-  } else {
-    sink_ = std::make_unique<NullTrafficSink>();
-  }
+  // Metadata lines are buffered in the concrete counter and replayed
+  // into the hierarchy at flush points; with measurement off they are
+  // only counted, matching the legacy NullTrafficSink.
+  metadata_counter_.SetRecording(config.measure_metadata_traffic);
 
   PolicyContext context;
   context.memory = memory_.get();
   context.migration = migration_.get();
-  context.metadata_sink = sink_.get();
+  context.metadata_sink = &metadata_counter_;
   context.mode = config.mode;
   context.footprint_units = footprint_units_;
   context.fast_capacity_units = fast_capacity_units_;
   policy_->Bind(context);
+
+  // Resolve the dispatch mode once: the policy's declared interest, or
+  // forced per-access legacy dispatch when batching is disabled.
+  access_interest_ = config.batch_execution
+                         ? policy_->access_interest()
+                         : AccessInterest::kInline;
+  access_events_.reserve(256);
+  sample_buffer_.reserve(1024);
 
   // Multi-tenant workloads carry per-op attribution; when present, the
   // run also produces per-tenant results.
@@ -178,13 +171,135 @@ void Simulation::RecordTimelinePoint(TimeNs at, bool idle) {
   }
 }
 
+void Simulation::FlushMetadataTraffic() {
+  if (metadata_counter_.empty()) return;
+  for (const uint64_t line : metadata_counter_.lines()) {
+    hierarchy_->Access(line, AccessOwner::kTiering);
+  }
+  metadata_counter_.Clear();
+}
+
+void Simulation::RunOp(const OpTrace& op, TenantState* tenant) {
+  now_ += op.think_time_ns;  // Idle stall preceding the accesses.
+  TimeNs op_latency = config_.op_overhead_ns;
+  now_ += config_.op_overhead_ns;
+
+  const MemoryAccess* accesses = op.accesses.data();
+  const size_t count = op.accesses.size();
+  const PageMode mode = config_.mode;
+  const bool inline_policy = access_interest_ == AccessInterest::kInline;
+  const bool batch_policy = access_interest_ == AccessInterest::kBatched;
+
+  for (size_t i = 0; i < count; ++i) {
+    const MemoryAccess& access = accesses[i];
+    const PageId unit = TrackingUnitOfAddr(access.addr, mode);
+    const TouchResult touch = memory_->Touch(unit, now_);
+
+    TimeNs latency;
+    const HitLevel level =
+        hierarchy_->Access(access.addr, AccessOwner::kApp);
+    if (level == HitLevel::kMemory) {
+      latency = perf_->MemoryAccess(touch.tier, now_);
+      if (touch.tier == Tier::kFast) {
+        ++result_.fast_mem_accesses;
+        if (tenant != nullptr) ++tenant->fast_mem_accesses;
+      } else {
+        ++result_.slow_mem_accesses;
+        if (tenant != nullptr) ++tenant->slow_mem_accesses;
+      }
+    } else {
+      latency = level == HitLevel::kL1 ? perf_->L1Latency()
+                                       : perf_->LlcLatency();
+    }
+    if (touch.hint_fault) [[unlikely]] {
+      latency += perf_->HintFaultLatency();
+      ++result_.hint_faults;
+    }
+
+    if (inline_policy) {
+      // Legacy-exact dispatch: the policy may migrate or touch metadata
+      // here, and the next access must observe both.
+      policy_->OnAccess(unit, touch, now_);
+      if (!metadata_counter_.empty()) FlushMetadataTraffic();
+    } else if (batch_policy) {
+      access_events_.push_back(TouchEvent{unit, touch, now_});
+    }
+    // Policies with no access interest (the sample-driven designs) pay
+    // nothing here at all.
+
+    if (budgeted_sampler_ != nullptr) {
+      budgeted_sampler_->OnAccess(tenant_source_->last_tenant(), unit,
+                                  touch.tier, now_);
+    } else {
+      sampler_->OnAccess(unit, touch.tier, now_);
+    }
+
+    now_ += latency;
+    op_latency += latency;
+  }
+  accesses_ += count;
+
+  if (batch_policy) {
+    // One virtual dispatch for the whole op; events carry the same
+    // (unit, touch, now) triples the per-access path would have seen.
+    policy_->OnAccessBatch(access_events_);
+    access_events_.clear();
+    FlushMetadataTraffic();
+  }
+
+  // Drain the PEBS buffer to the policy (the tiering thread's loop).
+  sample_buffer_.clear();
+  if (budgeted_sampler_ != nullptr) {
+    budgeted_sampler_->Drain(&sample_buffer_, sample_buffer_.capacity());
+  } else {
+    sampler_->Drain(&sample_buffer_, sample_buffer_.capacity());
+  }
+  for (const SampleRecord& sample : sample_buffer_) {
+    policy_->OnSample(sample);
+  }
+  FlushMetadataTraffic();
+
+  // Periodic policy maintenance.
+  while (now_ >= next_tick_) {
+    policy_->Tick(next_tick_);
+    FlushMetadataTraffic();
+    next_tick_ += config_.tick_interval_ns;
+  }
+
+  // Application-visible migration stalls: each move_pages batch the
+  // policy issued since the last op sends TLB-shootdown IPIs to the
+  // app's cores (see PerfModelConfig::tlb_batch_stall_ns).
+  const MigrationStats& mig = migration_->stats();
+  const uint64_t batches = mig.promotion_batches + mig.demotion_batches;
+  const uint64_t pages = mig.promoted_pages + mig.demoted_pages;
+  if (batches != last_migration_batches_ ||
+      pages != last_migration_pages_) {
+    const TimeNs stall =
+        (batches - last_migration_batches_) *
+            config_.perf.tlb_batch_stall_ns +
+        (pages - last_migration_pages_) * config_.perf.tlb_page_stall_ns;
+    now_ += stall;
+    op_latency += stall;
+    last_migration_batches_ = batches;
+    last_migration_pages_ = pages;
+  }
+
+  ++ops_;
+  window_.Add(static_cast<double>(op_latency));
+  reservoir_.Add(static_cast<double>(op_latency));
+  if (tenant != nullptr) {
+    ++tenant->ops;
+    tenant->accesses += count;
+    tenant->reservoir.Add(static_cast<double>(op_latency));
+    tenant->window.Add(static_cast<double>(op_latency));
+  }
+}
+
 SimulationResult Simulation::Run() {
   OpTrace op;
-  std::vector<SampleRecord> samples;
-  samples.reserve(1024);
 
-  TimeNs next_tick = config_.tick_interval_ns;
-  TimeNs next_stats = config_.stats_interval_ns;
+  next_tick_ = config_.tick_interval_ns;
+  next_stats_ = config_.stats_interval_ns;
   bool warmed_up = config_.warmup_accesses == 0;
 
   if (config_.prefault_at_start) {
@@ -233,7 +348,7 @@ SimulationResult Simulation::Run() {
       // millisecond in between.
       constexpr uint64_t kGapEdgeEvents = 64;
       uint64_t gap_events = 0;
-      while (next_tick <= now_ || next_stats <= now_) {
+      while (next_tick_ <= now_ || next_stats_ <= now_) {
         if (++gap_events == kGapEdgeEvents) {
           const auto skip_forward = [this](TimeNs next, TimeNs interval) {
             if (next > now_) return next;
@@ -241,15 +356,19 @@ SimulationResult Simulation::Run() {
             if (remaining <= kGapEdgeEvents) return next;
             return next + (remaining - kGapEdgeEvents) * interval;
           };
-          next_tick = skip_forward(next_tick, config_.tick_interval_ns);
-          next_stats = skip_forward(next_stats, config_.stats_interval_ns);
+          next_tick_ = skip_forward(next_tick_, config_.tick_interval_ns);
+          next_stats_ =
+              skip_forward(next_stats_, config_.stats_interval_ns);
         }
-        if (next_tick <= next_stats) {
-          policy_->Tick(next_tick);
-          next_tick += config_.tick_interval_ns;
+        if (next_tick_ <= next_stats_) {
+          policy_->Tick(next_tick_);
+          // Replay the tick's metadata traffic before the next timeline
+          // point reads the hierarchy's counters.
+          FlushMetadataTraffic();
+          next_tick_ += config_.tick_interval_ns;
         } else {
-          RecordTimelinePoint(next_stats, /*idle=*/true);
-          next_stats += config_.stats_interval_ns;
+          RecordTimelinePoint(next_stats_, /*idle=*/true);
+          next_stats_ += config_.stats_interval_ns;
         }
       }
       // Migrations issued by ticks inside the gap (e.g. a departure
@@ -268,100 +387,11 @@ SimulationResult Simulation::Run() {
             ? nullptr
             : &tenant_states_[tenant_source_->last_tenant()];
 
-    now_ += op.think_time_ns;  // Idle stall preceding the accesses.
-    TimeNs op_latency = config_.op_overhead_ns;
-    now_ += config_.op_overhead_ns;
+    RunOp(op, tenant);
 
-    for (const MemoryAccess& access : op.accesses) {
-      const PageId unit = TrackingUnitOfAddr(access.addr, config_.mode);
-      const TouchResult touch = memory_->Touch(unit, now_);
-
-      TimeNs latency = 0;
-      const HitLevel level =
-          hierarchy_->Access(access.addr, AccessOwner::kApp);
-      switch (level) {
-        case HitLevel::kL1:
-          latency = perf_->L1Latency();
-          break;
-        case HitLevel::kLlc:
-          latency = perf_->LlcLatency();
-          break;
-        case HitLevel::kMemory:
-          latency = perf_->MemoryAccess(touch.tier, now_);
-          if (touch.tier == Tier::kFast) {
-            ++result_.fast_mem_accesses;
-            if (tenant != nullptr) ++tenant->fast_mem_accesses;
-          } else {
-            ++result_.slow_mem_accesses;
-            if (tenant != nullptr) ++tenant->slow_mem_accesses;
-          }
-          break;
-      }
-      if (touch.hint_fault) {
-        latency += perf_->HintFaultLatency();
-        ++result_.hint_faults;
-      }
-
-      policy_->OnAccess(unit, touch, now_);
-      if (budgeted_sampler_ != nullptr) {
-        budgeted_sampler_->OnAccess(tenant_source_->last_tenant(), unit,
-                                    touch.tier, now_);
-      } else {
-        sampler_->OnAccess(unit, touch.tier, now_);
-      }
-
-      now_ += latency;
-      op_latency += latency;
-      ++accesses_;
-    }
-
-    // Drain the PEBS buffer to the policy (the tiering thread's loop).
-    samples.clear();
-    if (budgeted_sampler_ != nullptr) {
-      budgeted_sampler_->Drain(&samples, samples.capacity());
-    } else {
-      sampler_->Drain(&samples, samples.capacity());
-    }
-    for (const SampleRecord& sample : samples) policy_->OnSample(sample);
-
-    // Periodic policy maintenance.
-    while (now_ >= next_tick) {
-      policy_->Tick(next_tick);
-      next_tick += config_.tick_interval_ns;
-    }
-
-    // Application-visible migration stalls: each move_pages batch the
-    // policy issued since the last op sends TLB-shootdown IPIs to the
-    // app's cores (see PerfModelConfig::tlb_batch_stall_ns).
-    const MigrationStats& mig = migration_->stats();
-    const uint64_t batches =
-        mig.promotion_batches + mig.demotion_batches;
-    const uint64_t pages = mig.promoted_pages + mig.demoted_pages;
-    if (batches != last_migration_batches_ ||
-        pages != last_migration_pages_) {
-      const TimeNs stall =
-          (batches - last_migration_batches_) *
-              config_.perf.tlb_batch_stall_ns +
-          (pages - last_migration_pages_) * config_.perf.tlb_page_stall_ns;
-      now_ += stall;
-      op_latency += stall;
-      last_migration_batches_ = batches;
-      last_migration_pages_ = pages;
-    }
-
-    ++ops_;
-    window_.Add(static_cast<double>(op_latency));
-    reservoir_.Add(static_cast<double>(op_latency));
-    if (tenant != nullptr) {
-      ++tenant->ops;
-      tenant->accesses += op.accesses.size();
-      tenant->reservoir.Add(static_cast<double>(op_latency));
-      tenant->window.Add(static_cast<double>(op_latency));
-    }
-
-    while (now_ >= next_stats) {
-      RecordTimelinePoint(next_stats);
-      next_stats += config_.stats_interval_ns;
+    while (now_ >= next_stats_) {
+      RecordTimelinePoint(next_stats_);
+      next_stats_ += config_.stats_interval_ns;
     }
 
     if (!warmed_up && accesses_ >= config_.warmup_accesses) {

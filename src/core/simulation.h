@@ -56,8 +56,16 @@ struct SimulationConfig {
    * the global sample budget equally among active tenants so a
    * high-access-rate tenant cannot crowd the sample stream that feeds
    * per-tenant demand estimators. Ignored for single-tenant workloads.
+   *
+   * On by default since the Fig 4-style single-hot-tenant sweep showed
+   * per-tenant periods leave adaptation time unhurt (convergence within
+   * the first 1 ms stats interval with the budget on and off, across
+   * seeds) while the hot tenant's final occupancy and the weighted
+   * fairness index come out equal or slightly better. Disable with
+   * `ht_run --no-sampler-budget` / this flag for the legacy global
+   * sampler.
    */
-  bool tenant_sample_budget = false;
+  bool tenant_sample_budget = true;
   /** Accesses between budgeted-sampler period re-adaptations. */
   uint64_t sample_adapt_window = 65536;
   TimeNs tick_interval_ns = 1 * kMillisecond;   //!< Policy maintenance.
@@ -66,6 +74,16 @@ struct SimulationConfig {
   HierarchyConfig cache;                //!< Cache geometry.
   PerfModelConfig perf;                 //!< Timing constants.
   bool measure_metadata_traffic = true; //!< Replay metadata lines in LLC.
+  /**
+   * Batched access execution (default): policies that declare no
+   * per-access interest are skipped in the hot loop, and batch-capable
+   * policies receive one OnAccessBatch call per op instead of a virtual
+   * OnAccess per access. `false` forces the legacy per-access dispatch
+   * for every policy. The two paths produce bit-identical results —
+   * batching only changes dispatch, never what a policy observes — and
+   * the determinism suite gates on that equivalence.
+   */
+  bool batch_execution = true;
   /**
    * Touch the whole address space once (in address order) before the
    * access stream starts, modeling application initialization: real
@@ -243,8 +261,6 @@ class Simulation {
   uint64_t footprint_units() const { return footprint_units_; }
 
  private:
-  class HierarchySink;
-
   /** Per-tenant accumulators while the run is in flight. */
   struct TenantState {
     uint64_t ops = 0;
@@ -269,6 +285,23 @@ class Simulation {
   /** Fills result_.tenants / jain_fairness from the tenant states. */
   void FinalizeTenantResults();
 
+  /**
+   * Executes one non-empty op end to end: the access loop (touch, cache
+   * probes, timing, sampling) as a tight inlined loop, policy dispatch
+   * per `access_interest_`, the sample drain, due maintenance ticks,
+   * migration-stall charging, and the op's latency accounting.
+   */
+  void RunOp(const OpTrace& op, TenantState* tenant);
+
+  /**
+   * Replays metadata lines buffered in `metadata_counter_` into the
+   * shared hierarchy, in report order, and clears the buffer. Called at
+   * every boundary between policy execution and the next cache-state
+   * observer (app access or stats read), so the modeled LLC sees the
+   * same access sequence the legacy immediate-replay sink produced.
+   */
+  void FlushMetadataTraffic();
+
   SimulationConfig config_;
   Workload* workload_;
   TieringPolicy* policy_;
@@ -285,7 +318,7 @@ class Simulation {
   std::unique_ptr<AccessSampler> sampler_;
   /** Replaces sampler_ when tenant_sample_budget is on (tenant runs). */
   std::unique_ptr<BudgetedSampler> budgeted_sampler_;
-  std::unique_ptr<MetadataTrafficSink> sink_;
+  MetadataTrafficCounter metadata_counter_;
 
   // Run state.
   TimeNs now_ = 0;
@@ -294,6 +327,13 @@ class Simulation {
   SimulationResult result_;
   WindowedPercentile window_;
   ReservoirSampler reservoir_;
+  /** Effective dispatch mode (policy interest, or kInline when
+   *  batch_execution is off). */
+  AccessInterest access_interest_ = AccessInterest::kInline;
+  std::vector<TouchEvent> access_events_;   //!< Per-op batch buffer.
+  std::vector<SampleRecord> sample_buffer_; //!< Per-op drain buffer.
+  TimeNs next_tick_ = 0;
+  TimeNs next_stats_ = 0;
 
   // Migration-stall accounting (TLB shootdowns hit the app cores).
   uint64_t last_migration_batches_ = 0;

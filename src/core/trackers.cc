@@ -40,7 +40,7 @@ AccessTracker::AccessTracker(const TrackerConfig& config)
                                config.exact_units, config.seed)) {}
 
 void AccessTracker::TouchLines(PageId unit,
-                               MetadataTrafficSink& sink) const {
+                               MetadataTrafficCounter& sink) const {
   scratch_lines_.clear();
   estimator_->AppendTouchedLines(unit, &scratch_lines_);
   for (const uint64_t line : scratch_lines_) {
@@ -49,10 +49,13 @@ void AccessTracker::TouchLines(PageId unit,
 }
 
 uint32_t AccessTracker::RecordAccess(PageId unit,
-                                     MetadataTrafficSink& sink) {
+                                     MetadataTrafficCounter& sink,
+                                     uint32_t* old_count) {
   ++samples_;
   cooled_on_last_record_ = false;
-  uint32_t count = estimator_->Increment(unit);
+  uint32_t scratch_old;
+  uint32_t count = estimator_->IncrementWithOld(
+      unit, old_count != nullptr ? old_count : &scratch_old);
   TouchLines(unit, sink);
 
   if (config_.cooling_period_samples != 0 &&
@@ -75,7 +78,7 @@ uint32_t AccessTracker::RecordAccess(PageId unit,
 }
 
 uint32_t AccessTracker::GetTracked(PageId unit,
-                                   MetadataTrafficSink& sink) const {
+                                   MetadataTrafficCounter& sink) const {
   const uint32_t count = estimator_->Get(unit);
   TouchLines(unit, sink);
   return count;

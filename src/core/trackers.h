@@ -55,16 +55,19 @@ class AccessTracker {
   /**
    * Records one sampled access to `unit`, reporting the metadata lines
    * it touches to `sink`, and applies scheduled cooling. Returns the new
-   * estimated count.
+   * estimated count; when `old_count` is non-null it receives the
+   * estimate from before the update (computed as part of the same
+   * filter walk, so callers needing both pay one lookup, not two).
    */
-  uint32_t RecordAccess(PageId unit, MetadataTrafficSink& sink);
+  uint32_t RecordAccess(PageId unit, MetadataTrafficCounter& sink,
+                        uint32_t* old_count = nullptr);
 
   /** Estimated count of `unit` (no traffic reported; simulator-internal
    *  reads during scans should use GetTracked instead). */
   uint32_t Get(PageId unit) const { return estimator_->Get(unit); }
 
   /** Estimated count, reporting the lookup's metadata lines to `sink`. */
-  uint32_t GetTracked(PageId unit, MetadataTrafficSink& sink) const;
+  uint32_t GetTracked(PageId unit, MetadataTrafficCounter& sink) const;
 
   /** Largest representable count. */
   uint32_t max_count() const { return estimator_->max_count(); }
@@ -89,7 +92,7 @@ class AccessTracker {
 
  private:
   /** Replays one update's touched lines into the sink. */
-  void TouchLines(PageId unit, MetadataTrafficSink& sink) const;
+  void TouchLines(PageId unit, MetadataTrafficCounter& sink) const;
 
   TrackerConfig config_;
   std::unique_ptr<FrequencyEstimator> estimator_;

@@ -12,6 +12,17 @@ PerfModel::PerfModel(const PerfModelConfig& config, const TierConfig& fast,
   HT_ASSERT(fast.bandwidth_gbps > 0 && slow.bandwidth_gbps > 0,
             "tier bandwidth must be positive");
   HT_ASSERT(config.threads >= 1, "threads must be >= 1");
+  // A demand line fill occupies the channel for one line per
+  // thread-share: 16 threads issuing concurrently are folded into one
+  // modeled stream, so each modeled access stands for `threads` line
+  // transfers of pressure. Both operands are run constants, so the
+  // occupancy is computed once here instead of per access.
+  access_bytes_ = kCacheLineSize * config.threads;
+  access_service_[static_cast<size_t>(Tier::kFast)] =
+      TransferTime(Tier::kFast, access_bytes_);
+  access_service_[static_cast<size_t>(Tier::kSlow)] =
+      TransferTime(Tier::kSlow, access_bytes_);
+  max_queue_delay_ns_ = static_cast<TimeNs>(config.max_queue_delay_ns);
 }
 
 TimeNs PerfModel::TransferTime(Tier tier, uint64_t bytes) const {
@@ -19,26 +30,6 @@ TimeNs PerfModel::TransferTime(Tier tier, uint64_t bytes) const {
   // bytes / (GB/s) = bytes / (bytes/ns * 1e0): 1 GB/s == 1 byte/ns.
   const double ns = static_cast<double>(bytes) / gbps;
   return std::max<TimeNs>(static_cast<TimeNs>(ns), 1);
-}
-
-TimeNs PerfModel::MemoryAccess(Tier tier, TimeNs now) {
-  const size_t t = static_cast<size_t>(tier);
-  // A demand line fill occupies the channel for one line per thread-share:
-  // 16 threads issuing concurrently are folded into one modeled stream, so
-  // each modeled access stands for `threads` line transfers of pressure.
-  const uint64_t bytes = kCacheLineSize * config_.threads;
-  const TimeNs service = TransferTime(tier, bytes);
-
-  TimeNs queue_delay = 0;
-  if (busy_until_[t] > now) {
-    queue_delay = std::min<TimeNs>(
-        busy_until_[t] - now,
-        static_cast<TimeNs>(config_.max_queue_delay_ns));
-  }
-  busy_until_[t] = std::max(busy_until_[t], now) + service;
-  bytes_transferred_[t] += bytes;
-
-  return tiers_[t].idle_latency_ns + queue_delay;
 }
 
 TimeNs PerfModel::OccupyChannel(Tier tier, uint64_t bytes, TimeNs now) {

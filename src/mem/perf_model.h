@@ -17,6 +17,7 @@
  * while the simulator models a single serialized access stream.
  */
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/units.h"
@@ -54,8 +55,23 @@ class PerfModel {
    * Returns the latency of a demand access of one cache line served by
    * `tier` at virtual time `now`, including any queueing delay, and
    * occupies the channel accordingly.
+   *
+   * Inlined with the per-access channel occupancy precomputed at
+   * construction (its operands — line size, thread factor, tier
+   * bandwidth — are run constants), so the hot loop pays no floating
+   * division.
    */
-  TimeNs MemoryAccess(Tier tier, TimeNs now);
+  TimeNs MemoryAccess(Tier tier, TimeNs now) {
+    const size_t t = static_cast<size_t>(tier);
+    TimeNs queue_delay = 0;
+    if (busy_until_[t] > now) {
+      queue_delay = std::min<TimeNs>(busy_until_[t] - now,
+                                     max_queue_delay_ns_);
+    }
+    busy_until_[t] = std::max(busy_until_[t], now) + access_service_[t];
+    bytes_transferred_[t] += access_bytes_;
+    return tiers_[t].idle_latency_ns + queue_delay;
+  }
 
   /**
    * Accounts a bulk transfer of `bytes` on `tier`'s channel starting at
@@ -101,6 +117,10 @@ class PerfModel {
   TierConfig tiers_[kNumTiers];
   TimeNs busy_until_[kNumTiers] = {0, 0};
   uint64_t bytes_transferred_[kNumTiers] = {0, 0};
+  // Hot-path constants derived from the config at construction.
+  uint64_t access_bytes_ = 0;                    //!< Line * thread factor.
+  TimeNs access_service_[kNumTiers] = {0, 0};    //!< Channel occupancy.
+  TimeNs max_queue_delay_ns_ = 0;
 };
 
 }  // namespace hybridtier

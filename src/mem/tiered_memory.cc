@@ -19,8 +19,7 @@ TieredMemory::TieredMemory(uint64_t total_pages, uint64_t fast_capacity,
             slow_capacity, " < ", total_pages);
 }
 
-TouchResult TieredMemory::Touch(PageId page, TimeNs now) {
-  HT_ASSERT(page < flags_.size(), "page ", page, " outside address space");
+TouchResult TieredMemory::TouchSlowPath(PageId page, TimeNs now) {
   uint8_t& f = flags_[page];
   TouchResult result;
 
@@ -147,21 +146,6 @@ uint64_t TieredMemory::RegionResident(uint32_t region, Tier tier) const {
   HT_ASSERT(region < counts.size(), "region ", region,
             " outside the accounting layout");
   return counts[region];
-}
-
-uint64_t TieredMemory::ScanResident(
-    PageId start, uint64_t count, Tier tier,
-    const std::function<void(PageId)>& fn) const {
-  const PageId end = std::min<PageId>(start + count, flags_.size());
-  uint64_t visited = 0;
-  for (PageId page = start; page < end; ++page) {
-    ++visited;
-    const uint8_t f = flags_[page];
-    if (!(f & kResident)) continue;
-    const Tier t = (f & kTierSlow) ? Tier::kSlow : Tier::kFast;
-    if (t == tier) fn(page);
-  }
-  return visited;
 }
 
 }  // namespace hybridtier

@@ -18,10 +18,11 @@
  * (paper §5.2), selectable via AllocationPolicy.
  */
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/units.h"
 #include "mem/page.h"
 #include "mem/tier.h"
@@ -59,8 +60,23 @@ class TieredMemory {
   /**
    * Records a demand access to `page` at time `now`. Allocates the page
    * on first touch and clears + reports protection faults.
+   *
+   * The steady-state case — resident, unprotected — is a single flag
+   * load inlined into the caller's loop; allocation and hint-fault
+   * handling live out of line.
    */
-  TouchResult Touch(PageId page, TimeNs now);
+  TouchResult Touch(PageId page, TimeNs now) {
+    HT_ASSERT(page < flags_.size(), "page ", page,
+              " outside address space");
+    const uint8_t f = flags_[page];
+    if ((f & (kResident | kProtected)) == kResident) [[likely]] {
+      TouchResult result;
+      result.tier = (f & kTierSlow) ? Tier::kSlow : Tier::kFast;
+      return result;
+    }
+    return TouchSlowPath(page, now);
+  }
+
 
   /** Tier of a resident page (asserts residency). */
   Tier TierOf(PageId page) const;
@@ -114,9 +130,23 @@ class TieredMemory {
    * Linear address-space scan (the /proc/PID/pagemap walk used for
    * demotion candidate discovery): invokes `fn(page)` for every resident
    * page in `tier` within [start, start+count), returns pages visited.
+   * Templated on the callback so the per-unit call inlines instead of
+   * going through a std::function thunk.
    */
+  template <typename Fn>
   uint64_t ScanResident(PageId start, uint64_t count, Tier tier,
-                        const std::function<void(PageId)>& fn) const;
+                        Fn&& fn) const {
+    const PageId end = std::min<PageId>(start + count, flags_.size());
+    uint64_t visited = 0;
+    const uint8_t tier_flag =
+        tier == Tier::kSlow ? kTierSlow : static_cast<uint8_t>(0);
+    for (PageId page = start; page < end; ++page) {
+      ++visited;
+      const uint8_t f = flags_[page];
+      if ((f & kResident) && (f & kTierSlow) == tier_flag) fn(page);
+    }
+    return visited;
+  }
 
   /**
    * Registers disjoint accounting regions (one per tenant) and seeds
@@ -140,6 +170,9 @@ class TieredMemory {
 
  private:
   static constexpr uint32_t kNoRegion = UINT32_MAX;
+
+  /** First-touch allocation and hint-fault clearing (cold path). */
+  TouchResult TouchSlowPath(PageId page, TimeNs now);
 
   /** Adjusts `page`'s region counter in `tier` by +/-1. */
   void AccountRegion(PageId page, Tier tier, int64_t delta) {

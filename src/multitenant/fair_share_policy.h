@@ -168,6 +168,17 @@ class FairSharePolicy : public TieringPolicy,
   size_t MetadataBytes() const override;
   const char* name() const override { return name_.c_str(); }
 
+  /**
+   * Inline: OnAccess keeps gate charges and occupancy in sync with the
+   * memory state at the instant of each access (EnsureOccupancy rescans
+   * read live residency), and the wrapped policy may itself require
+   * inline delivery — deferring either to end of op would let the rescan
+   * observe later first-touches it then double-counts.
+   */
+  AccessInterest access_interest() const override {
+    return AccessInterest::kInline;
+  }
+
   /** The wrapped policy's estimate (victim ordering sees through us). */
   uint32_t HotnessOf(PageId unit) const override {
     return base_->HotnessOf(unit);

@@ -28,6 +28,12 @@ class ArcPolicy : public TieringPolicy {
 
   void Bind(const PolicyContext& context) override;
   void OnSample(const SampleRecord& sample) override;
+  /** Sample-driven: never observes the demand stream (OnAccess stays
+   *  the inherited no-op), so per-access dispatch is skipped. */
+  AccessInterest access_interest() const override {
+    return AccessInterest::kNone;
+  }
+
   size_t MetadataBytes() const override;
   const char* name() const override { return "ARC"; }
 

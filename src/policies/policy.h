@@ -8,19 +8,33 @@
  * The simulator owns the workload, the cache hierarchy, the tiered
  * memory, and migration cost accounting; a policy only *decides*. All
  * policies receive the same three signals the real systems get:
- *  - OnAccess: the demand-access stream, carrying only the information a
- *    kernel would have (tier served, hint-fault outcome). Policies must
- *    not inspect access contents beyond this — recency baselines use the
- *    fault/accessed-bit information, sample baselines ignore it.
+ *  - OnAccess / OnAccessBatch: the demand-access stream, carrying only
+ *    the information a kernel would have (tier served, hint-fault
+ *    outcome). Policies must not inspect access contents beyond this —
+ *    recency baselines use the fault/accessed-bit information, sample
+ *    baselines ignore it.
  *  - OnSample: the PEBS/IBS sample stream (page + tier + time).
  *  - Tick: periodic maintenance (cooling, scans, watermark demotion).
  * Policies execute decisions through the MigrationEngine in the bound
  * context and report every metadata cache line they touch through the
- * MetadataTrafficSink so tiering cache overhead is measured, not
+ * MetadataTrafficCounter so tiering cache overhead is measured, not
  * asserted.
+ *
+ * Access dispatch is tiered by `access_interest()`:
+ *  - kNone: the policy does not observe the demand stream at all (the
+ *    sample-driven designs: HybridTier, Memtis, ARC/TwoQ). The hot loop
+ *    skips dispatch entirely — zero per-access policy cost.
+ *  - kBatched: the policy wants the stream but tolerates end-of-op
+ *    delivery; the simulator buffers TouchEvents and hands the whole op
+ *    to OnAccessBatch in one (devirtualized-per-batch) call.
+ *  - kInline: the policy mutates placement inside OnAccess (TPP and
+ *    AutoNUMA promote at fault time), so later accesses of the same op
+ *    must observe the migration; the simulator calls OnAccess per
+ *    access, exactly like the legacy path.
  */
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/units.h"
@@ -31,26 +45,68 @@
 
 namespace hybridtier {
 
-/** Receives the cache-line addresses of tiering metadata accesses. */
-class MetadataTrafficSink {
+/**
+ * Accumulates the cache-line addresses of tiering metadata accesses.
+ *
+ * Concrete and final: the legacy virtual `MetadataTrafficSink::Touch`
+ * cost an indirect call per metadata line on the sample hot path. Lines
+ * are now appended to a flat buffer (an inlined bounds-checked store)
+ * and the simulator replays the buffer into the shared cache hierarchy
+ * at the next flush point — in exactly the order they were reported, so
+ * the modeled LLC sees the same access sequence as before.
+ *
+ * When recording is off (overhead-free runs and unit tests that only
+ * count traffic) lines are dropped and only the counter advances.
+ */
+class MetadataTrafficCounter {
  public:
-  virtual ~MetadataTrafficSink() = default;
-
   /** Records one tiering-owned access to the 64 B line at `line_addr`. */
-  virtual void Touch(uint64_t line_addr) = 0;
+  void Touch(uint64_t line_addr) {
+    ++touches_;
+    if (recording_) lines_.push_back(line_addr);
+  }
+
+  /** Buffer lines for replay (on) or count only (off). Default on. */
+  void SetRecording(bool recording) { recording_ = recording; }
+
+  /** Total Touch calls, recorded or not. */
+  uint64_t touches() const { return touches_; }
+
+  /** Buffered lines awaiting replay, in report order. */
+  const std::vector<uint64_t>& lines() const { return lines_; }
+
+  /** True when no lines await replay. */
+  bool empty() const { return lines_.empty(); }
+
+  /** Drops buffered lines; capacity is kept so steady state is
+   *  allocation-free. The touch counter is not reset. */
+  void Clear() { lines_.clear(); }
+
+ private:
+  std::vector<uint64_t> lines_;
+  uint64_t touches_ = 0;
+  bool recording_ = true;
 };
 
-/** A sink that drops all traffic (for tests and overhead-free runs). */
-class NullTrafficSink : public MetadataTrafficSink {
- public:
-  void Touch(uint64_t line_addr) override { (void)line_addr; }
+/** How a policy wants to observe the demand-access stream. */
+enum class AccessInterest : uint8_t {
+  kNone = 0,  //!< OnAccess is the inherited no-op; skip dispatch.
+  kBatched,   //!< Deliver per op via OnAccessBatch (deferral-safe).
+  kInline,    //!< Call OnAccess per access (placement feedback).
+};
+
+/** One executed demand access, as delivered to OnAccessBatch. */
+struct TouchEvent {
+  PageId unit = 0;
+  TouchResult touch;
+  TimeNs now = 0;  //!< Virtual time the access issued (pre-latency).
 };
 
 /** Everything a policy may interact with, bound once before the run. */
 struct PolicyContext {
   TieredMemory* memory = nullptr;
   MigrationEngine* migration = nullptr;
-  MetadataTrafficSink* metadata_sink = nullptr;
+  MetadataTrafficCounter* metadata_sink = nullptr;
   PageMode mode = PageMode::kRegular;
   uint64_t footprint_units = 0;      //!< Address-space size in units.
   uint64_t fast_capacity_units = 0;  //!< Fast-tier size in units.
@@ -65,6 +121,22 @@ class TieringPolicy {
   virtual void Bind(const PolicyContext& context) { context_ = context; }
 
   /**
+   * How this policy consumes the demand stream. kNone promises the
+   * policy leaves OnAccess at the inherited no-op; kBatched promises
+   * OnAccess has no feedback into same-op observable state — no
+   * migrations, no protection changes, and no metadata traffic (the
+   * batch path replays buffered metadata lines after the op's app
+   * accesses, so sink traffic from OnAccess would reach the shared LLC
+   * at a different interleaving than per-access dispatch and break the
+   * bit-identity guarantee). Policies that do any of those inside
+   * OnAccess must return kInline — the default, so unknown subclasses
+   * keep exact legacy per-access semantics.
+   */
+  virtual AccessInterest access_interest() const {
+    return AccessInterest::kInline;
+  }
+
+  /**
    * Observes one demand access to `unit` at `now`. `touch` carries the
    * signals an OS would see (tier, first touch, hint fault + latency).
    */
@@ -72,6 +144,16 @@ class TieringPolicy {
     (void)unit;
     (void)touch;
     (void)now;
+  }
+
+  /**
+   * Delivers one op's accesses in a single call — the batch fast path:
+   * one virtual dispatch per op instead of one per access. Events carry
+   * the same (unit, touch, now) triples OnAccess would have seen, in
+   * issue order.
+   */
+  void OnAccessBatch(std::span<const TouchEvent> events) {
+    if (!events.empty()) OnAccessBatchImpl(events);
   }
 
   /** Consumes one hardware access sample. */
@@ -100,11 +182,22 @@ class TieringPolicy {
   virtual const char* name() const = 0;
 
  protected:
+  /**
+   * Batch delivery body; the default falls back to per-access OnAccess
+   * so subclasses that only implement the per-access hook behave
+   * identically under batch dispatch.
+   */
+  virtual void OnAccessBatchImpl(std::span<const TouchEvent> events) {
+    for (const TouchEvent& event : events) {
+      OnAccess(event.unit, event.touch, event.now);
+    }
+  }
+
   /** Bound context accessors for subclasses. */
   const PolicyContext& context() const { return context_; }
   TieredMemory& memory() const { return *context_.memory; }
   MigrationEngine& migration() const { return *context_.migration; }
-  MetadataTrafficSink& sink() const { return *context_.metadata_sink; }
+  MetadataTrafficCounter& sink() const { return *context_.metadata_sink; }
 
   PolicyContext context_;
 };

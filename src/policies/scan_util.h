@@ -12,7 +12,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
 
 #include "mem/page.h"
 #include "mem/tiered_memory.h"
@@ -26,12 +25,13 @@ namespace hybridtier {
  * walks batch their work). Charges only units actually visited — the
  * tail chunk is clipped at the footprint, and charging its nominal size
  * would under-scan passes near the wrap. Advances `*cursor` and returns
- * the units visited.
+ * the units visited. Templated on both callbacks so the per-unit
+ * classification inlines into the scan loop.
  */
+template <typename DoneFn, typename UnitFn>
 inline uint64_t BudgetedResidentScan(
     const TieredMemory& memory, PageId* cursor, uint64_t footprint,
-    uint64_t budget, Tier tier, const std::function<bool()>& done,
-    const std::function<void(PageId)>& fn) {
+    uint64_t budget, Tier tier, const DoneFn& done, const UnitFn& fn) {
   uint64_t scanned = 0;
   while (scanned < budget && !done()) {
     const uint64_t chunk = std::min<uint64_t>(1024, budget - scanned);

@@ -30,6 +30,12 @@ class StaticPolicy : public TieringPolicy {
 
   size_t MetadataBytes() const override { return 0; }
 
+  /** Static placement ignores every signal; skip access dispatch. */
+  AccessInterest access_interest() const override {
+    return AccessInterest::kNone;
+  }
+
+
   const char* name() const override {
     return kind_ == StaticKind::kAllFast ? "AllFast" : "FirstTouch";
   }

@@ -50,6 +50,12 @@ class TppPolicy : public TieringPolicy {
 
   void Bind(const PolicyContext& context) override;
   void OnAccess(PageId unit, const TouchResult& touch, TimeNs now) override;
+  /** Promotes at fault time inside OnAccess, so later accesses of the
+   *  same op must observe the migration: requires inline dispatch. */
+  AccessInterest access_interest() const override {
+    return AccessInterest::kInline;
+  }
+
   void Tick(TimeNs now) override;
   size_t MetadataBytes() const override;
   const char* name() const override { return "TPP"; }

@@ -61,6 +61,12 @@ uint32_t BlockedCountingBloomFilter::Get(uint64_t key) const {
 }
 
 uint32_t BlockedCountingBloomFilter::Increment(uint64_t key) {
+  uint32_t old_count;
+  return IncrementWithOld(key, &old_count);
+}
+
+uint32_t BlockedCountingBloomFilter::IncrementWithOld(uint64_t key,
+                                                      uint32_t* old_count) {
   uint64_t block;
   uint32_t slots[kMaxHashes];
   Locate(key, &block, slots);
@@ -69,6 +75,8 @@ uint32_t BlockedCountingBloomFilter::Increment(uint64_t key) {
   for (uint32_t i = 0; i < num_hashes_; ++i) {
     min_count = std::min(min_count, counters_.Get(base + slots[i]));
   }
+  // The pre-update estimate is the same min() Get would have returned.
+  *old_count = min_count;
   if (min_count >= counters_.max_value()) return min_count;
   for (uint32_t i = 0; i < num_hashes_; ++i) {
     if (counters_.Get(base + slots[i]) == min_count) {

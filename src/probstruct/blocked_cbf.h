@@ -35,6 +35,7 @@ class BlockedCountingBloomFilter : public FrequencyEstimator {
 
   uint32_t Get(uint64_t key) const override;
   uint32_t Increment(uint64_t key) override;
+  uint32_t IncrementWithOld(uint64_t key, uint32_t* old_count) override;
   void CoolByHalving() override;
   void Reset() override;
   size_t memory_bytes() const override { return counters_.memory_bytes(); }

@@ -39,12 +39,19 @@ uint32_t CountingBloomFilter::Get(uint64_t key) const {
 }
 
 uint32_t CountingBloomFilter::Increment(uint64_t key) {
+  uint32_t old_count;
+  return IncrementWithOld(key, &old_count);
+}
+
+uint32_t CountingBloomFilter::IncrementWithOld(uint64_t key,
+                                               uint32_t* old_count) {
   uint64_t indices[kMaxHashes];
   IndicesFor(key, indices);
   uint32_t min_count = counters_.max_value();
   for (uint32_t i = 0; i < num_hashes_; ++i) {
     min_count = std::min(min_count, counters_.Get(indices[i]));
   }
+  *old_count = min_count;
   if (min_count >= counters_.max_value()) return min_count;
   // Conservative update: only counters at the minimum move, which keeps
   // the estimate at min() tight in the presence of collisions.

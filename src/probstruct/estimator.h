@@ -28,6 +28,17 @@ class FrequencyEstimator {
   /** Records one access to `key`; returns the new estimated count. */
   virtual uint32_t Increment(uint64_t key) = 0;
 
+  /**
+   * Increment that also reports the estimate *before* the update in
+   * `*old_count`. CBF implementations compute that minimum as part of
+   * the update anyway, so overriding this halves the hot-path lookups;
+   * the default falls back to Get + Increment.
+   */
+  virtual uint32_t IncrementWithOld(uint64_t key, uint32_t* old_count) {
+    *old_count = Get(key);
+    return Increment(key);
+  }
+
   /** Halves every stored count (EMA cooling with decay factor 2). */
   virtual void CoolByHalving() = 0;
 

@@ -19,13 +19,10 @@ uint64_t AccessSampler::NextCountdown() {
   return period_ - spread / 2 + rng_.NextBounded(spread + 1);
 }
 
-bool AccessSampler::OnAccess(PageId page, Tier tier, TimeNs now) {
-  ++accesses_seen_;
-  if (--countdown_ > 0) return false;
+void AccessSampler::TakeSample(PageId page, Tier tier, TimeNs now) {
   countdown_ = NextCountdown();
   ++samples_taken_;
   buffer_.Push(SampleRecord{.page = page, .tier = tier, .time_ns = now});
-  return true;
 }
 
 size_t AccessSampler::Drain(std::vector<SampleRecord>* out,

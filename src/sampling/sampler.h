@@ -36,8 +36,16 @@ class AccessSampler {
   /**
    * Observes one access; if the countdown expires, enqueues a sample.
    * Returns true if this access was sampled (regardless of buffer drops).
+   * Inlined: the common case is one decrement and a predictable branch.
    */
-  bool OnAccess(PageId page, Tier tier, TimeNs now);
+  bool OnAccess(PageId page, Tier tier, TimeNs now) {
+    ++accesses_seen_;
+    if (--countdown_ > 0) [[likely]] {
+      return false;
+    }
+    TakeSample(page, tier, now);
+    return true;
+  }
 
   /** Drains up to `max_records` pending samples into `out` (appending). */
   size_t Drain(std::vector<SampleRecord>* out, size_t max_records);
@@ -60,6 +68,9 @@ class AccessSampler {
  private:
   /** Draws the next jittered countdown (period +/- 25%). */
   uint64_t NextCountdown();
+
+  /** Emits one sample and re-arms the countdown (cold path). */
+  void TakeSample(PageId page, Tier tier, TimeNs now);
 
   uint64_t period_;
   RingBuffer<SampleRecord> buffer_;

@@ -134,6 +134,8 @@ void CacheLibWorkload::EmitObjectOp(uint64_t obj, bool is_write,
 
 bool CacheLibWorkload::NextOp(TimeNs now, OpTrace* op) {
   op->Clear();
+  // Index read + one access per page of the largest object class.
+  op->Reserve(2 + config_.max_object_bytes / kPageSize);
   MaybeChurn(now);
   const uint64_t rank = zipf_.Next(rng_);
   const uint64_t obj = rank_to_object_[rank];

@@ -271,6 +271,9 @@ void GapWorkload::StepPr(OpTrace* op) {
 bool GapWorkload::NextOp(TimeNs now, OpTrace* op) {
   (void)now;
   op->Clear();
+  // Worst-case op shape: offsets read + state reads/writes + one access
+  // per adjacency line for a full chunk (or an init chunk's line span).
+  op->Reserve(3 * config_.max_edges_per_op + 8);
   // Loop until we actually emitted accesses: trial/pass boundaries may
   // consume a step without producing work.
   for (int guard = 0; guard < 8 && op->accesses.empty(); ++guard) {

@@ -65,6 +65,7 @@ class GapWorkload : public Workload {
     return space_.total_pages();
   }
   const char* name() const override { return name_; }
+  bool time_invariant() const override { return true; }
 
   /** Completed kernel trials (BFS runs / CC convergences / PR trials). */
   uint64_t trials_completed() const { return trials_; }

@@ -41,6 +41,7 @@ SiloWorkload::SiloWorkload(const SiloConfig& config, const char* name)
 bool SiloWorkload::NextOp(TimeNs now, OpTrace* op) {
   (void)now;
   op->Clear();
+  op->Reserve(index_levels_.size() + 2);
   const uint64_t rank = zipf_.Next(rng_);
   const uint64_t record = key_to_record_[rank];
   const bool is_write = !rng_.Bernoulli(config_.read_ratio);

@@ -48,6 +48,7 @@ class SiloWorkload : public Workload {
     return space_.total_pages();
   }
   const char* name() const override { return name_; }
+  bool time_invariant() const override { return true; }
 
   /** Number of index levels in the modeled tree (including the root). */
   size_t index_levels() const { return index_levels_.size(); }

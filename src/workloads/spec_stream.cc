@@ -38,6 +38,7 @@ StreamWorkload::StreamWorkload(const StreamConfig& config, const char* name)
 bool StreamWorkload::NextOp(TimeNs now, OpTrace* op) {
   (void)now;
   op->Clear();
+  op->Reserve(2 * config_.elements_per_op);
   const uint64_t n = config_.elements_per_array;
   const uint64_t end = std::min(n, position_ + config_.elements_per_op);
 

@@ -55,6 +55,7 @@ class StreamWorkload : public Workload {
     return space_.total_pages();
   }
   const char* name() const override { return name_; }
+  bool time_invariant() const override { return true; }
 
   /** Completed full sweeps over the arrays. */
   uint64_t sweeps_completed() const { return sweeps_; }

@@ -24,6 +24,7 @@ SyntheticZipfWorkload::SyntheticZipfWorkload(
 bool SyntheticZipfWorkload::NextOp(TimeNs now, OpTrace* op) {
   (void)now;
   op->Clear();
+  op->Reserve(config_.accesses_per_op);
   for (uint32_t i = 0; i < config_.accesses_per_op; ++i) {
     const uint64_t rank = zipf_.Next(rng_);
     const uint64_t page = page_of_rank_[rank];

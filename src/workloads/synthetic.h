@@ -41,6 +41,7 @@ class SyntheticZipfWorkload : public Workload {
   bool NextOp(TimeNs now, OpTrace* op) override;
   uint64_t footprint_pages() const override { return space_.total_pages(); }
   const char* name() const override { return "zipf"; }
+  bool time_invariant() const override { return true; }
 
  private:
   SyntheticZipfConfig config_;

@@ -1,0 +1,49 @@
+#include "workloads/trace.h"
+
+#include "common/logging.h"
+
+namespace hybridtier {
+
+RecordedTrace RecordTrace(Workload& inner, uint64_t min_accesses,
+                          uint64_t max_ops) {
+  HT_ASSERT(inner.time_invariant(),
+            "RecordTrace requires a time-invariant workload; '",
+            inner.name(), "' schedules events in virtual time");
+  RecordedTrace trace;
+  trace.footprint_pages_ = inner.footprint_pages();
+  trace.workload_name_ = inner.name();
+  trace.accesses_.reserve(min_accesses);
+
+  OpTrace op;
+  while (trace.accesses_.size() < min_accesses &&
+         (max_ops == 0 || trace.ops_.size() < max_ops)) {
+    // `now` = 0 is safe by the time-invariance contract asserted above.
+    if (!inner.NextOp(0, &op)) break;
+    RecordedTrace::Op recorded;
+    recorded.first = trace.accesses_.size();
+    recorded.count = static_cast<uint32_t>(op.accesses.size());
+    recorded.think_time_ns = op.think_time_ns;
+    trace.accesses_.insert(trace.accesses_.end(), op.accesses.begin(),
+                           op.accesses.end());
+    trace.ops_.push_back(recorded);
+  }
+  return trace;
+}
+
+ReplayWorkload::ReplayWorkload(std::shared_ptr<const RecordedTrace> trace)
+    : trace_(std::move(trace)) {
+  HT_ASSERT(trace_ != nullptr, "ReplayWorkload needs a trace");
+  name_ = trace_->workload_name() + "+replay";
+}
+
+bool ReplayWorkload::NextOp(TimeNs now, OpTrace* op) {
+  (void)now;
+  if (next_op_ >= trace_->ops().size()) return false;
+  const RecordedTrace::Op& recorded = trace_->ops()[next_op_++];
+  const MemoryAccess* first = trace_->accesses().data() + recorded.first;
+  op->accesses.assign(first, first + recorded.count);
+  op->think_time_ns = recorded.think_time_ns;
+  return true;
+}
+
+}  // namespace hybridtier

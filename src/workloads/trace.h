@@ -1,0 +1,101 @@
+#ifndef HYBRIDTIER_WORKLOADS_TRACE_H_
+#define HYBRIDTIER_WORKLOADS_TRACE_H_
+
+/**
+ * @file
+ * Trace-driven execution: record a workload's op stream once, replay it
+ * many times.
+ *
+ * Execution-driven generation is a real cost on the simulator's hot
+ * path (a Zipf draw is two libm calls; graph kernels chase real pointer
+ * chains). For time-invariant workloads — those whose `NextOp` ignores
+ * virtual time — the op stream is a pure function of the generator seed,
+ * so it can be materialized once into a flat buffer and streamed back at
+ * memcpy speed. Replay preserves op boundaries, think times, and access
+ * order exactly, so a replayed run produces bit-identical
+ * `SimulationResult`s to a live-generated run (asserted by the
+ * determinism suite). `bench_throughput` uses this to (a) time the
+ * simulation engine without the generator in the loop and (b) share one
+ * recorded stream across every policy cell of a sweep instead of
+ * re-generating it per cell.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace hybridtier {
+
+/** An immutable recorded op stream (see RecordTrace). */
+class RecordedTrace {
+ public:
+  /** One op: a slice of the flat access buffer plus its think time. */
+  struct Op {
+    uint64_t first = 0;        //!< Index of the op's first access.
+    uint32_t count = 0;        //!< Accesses in the op (0 = idle gap).
+    TimeNs think_time_ns = 0;  //!< Idle time preceding the accesses.
+  };
+
+  const std::vector<MemoryAccess>& accesses() const { return accesses_; }
+  const std::vector<Op>& ops() const { return ops_; }
+  uint64_t footprint_pages() const { return footprint_pages_; }
+  const std::string& workload_name() const { return workload_name_; }
+
+  /** Total recorded accesses. */
+  uint64_t total_accesses() const { return accesses_.size(); }
+
+ private:
+  friend RecordedTrace RecordTrace(Workload& inner, uint64_t min_accesses,
+                                   uint64_t max_ops);
+
+  std::vector<MemoryAccess> accesses_;  //!< Flat, in op order.
+  std::vector<Op> ops_;
+  uint64_t footprint_pages_ = 0;
+  std::string workload_name_;
+};
+
+/**
+ * Consumes ops from `inner` (which must be time-invariant) until at
+ * least `min_accesses` accesses were recorded, `max_ops` ops were taken
+ * (0 = unlimited), or the workload ran to natural completion. Size the
+ * recording to the simulation's access budget: a replayed run stops
+ * early (NextOp returns false) once the trace is exhausted.
+ */
+RecordedTrace RecordTrace(Workload& inner, uint64_t min_accesses,
+                          uint64_t max_ops = 0);
+
+/**
+ * Replays a RecordedTrace as a Workload. The trace is shared and not
+ * owned: many replay instances (one per policy cell of a sweep) can
+ * stream the same recording concurrently, since replay never mutates
+ * it.
+ */
+class ReplayWorkload : public Workload {
+ public:
+  explicit ReplayWorkload(std::shared_ptr<const RecordedTrace> trace);
+
+  bool NextOp(TimeNs now, OpTrace* op) override;
+  uint64_t footprint_pages() const override {
+    return trace_->footprint_pages();
+  }
+  const char* name() const override { return name_.c_str(); }
+  bool time_invariant() const override { return true; }
+
+  /** Restarts replay from the first op. */
+  void Rewind() { next_op_ = 0; }
+
+  /** The shared recording. */
+  const RecordedTrace& trace() const { return *trace_; }
+
+ private:
+  std::shared_ptr<const RecordedTrace> trace_;
+  std::string name_;
+  size_t next_op_ = 0;
+};
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_WORKLOADS_TRACE_H_

@@ -42,10 +42,19 @@ struct OpTrace {
    */
   TimeNs think_time_ns = 0;
 
-  /** Clears the trace for reuse. */
+  /**
+   * Clears the trace for reuse. Never releases capacity: the simulator
+   * reuses one OpTrace for the whole run, so once the buffer has grown
+   * to the largest op seen, steady-state generation is allocation-free.
+   */
   void Clear() {
     accesses.clear();
     think_time_ns = 0;
+  }
+
+  /** Grows the access buffer to at least `n` slots (never shrinks). */
+  void Reserve(size_t n) {
+    if (accesses.capacity() < n) accesses.reserve(n);
   }
 
   /** Appends a read access. */
@@ -75,6 +84,16 @@ class Workload {
 
   /** Short workload name (e.g. "cachelib-cdn"). */
   virtual const char* name() const = 0;
+
+  /**
+   * True when NextOp ignores the `now` argument, i.e. the op stream is
+   * a pure function of the generator's own state and seed. Such a
+   * stream can be recorded once and replayed (see workloads/trace.h)
+   * with bit-identical simulation results. Workloads that schedule
+   * events in virtual time (tenant churn, CacheLib hot-set churn) must
+   * return false.
+   */
+  virtual bool time_invariant() const { return false; }
 };
 
 }  // namespace hybridtier

@@ -26,10 +26,15 @@ void XgboostWorkload::StartRound() {
       1, static_cast<uint32_t>(config_.colsample *
                                static_cast<double>(config_.num_features)));
   // Draw a fresh random column subset: the new hot set for this round.
-  std::vector<uint32_t> all(config_.num_features);
-  for (uint32_t f = 0; f < config_.num_features; ++f) all[f] = f;
-  rng_.Shuffle(all.data(), all.size());
-  round_columns_.assign(all.begin(), all.begin() + selected);
+  // The permutation scratch is a reused member so starting a round
+  // allocates nothing in steady state.
+  column_scratch_.resize(config_.num_features);
+  for (uint32_t f = 0; f < config_.num_features; ++f) {
+    column_scratch_[f] = f;
+  }
+  rng_.Shuffle(column_scratch_.data(), column_scratch_.size());
+  round_columns_.assign(column_scratch_.begin(),
+                        column_scratch_.begin() + selected);
   column_cursor_ = 0;
   row_cursor_ = 0;
   // Row subsampling as a strided scan with a random phase.
@@ -41,6 +46,7 @@ void XgboostWorkload::StartRound() {
 bool XgboostWorkload::NextOp(TimeNs now, OpTrace* op) {
   (void)now;
   op->Clear();
+  op->Reserve(2 * config_.rows_per_op);
 
   if (column_cursor_ >= round_columns_.size()) {
     ++rounds_;

@@ -44,6 +44,7 @@ class XgboostWorkload : public Workload {
     return space_.total_pages();
   }
   const char* name() const override { return name_; }
+  bool time_invariant() const override { return true; }
 
   /** Boosting rounds completed so far. */
   uint64_t rounds_completed() const { return rounds_; }
@@ -64,6 +65,7 @@ class XgboostWorkload : public Workload {
   VirtualArray features_;   //!< 4 B * rows * features, column-major.
   VirtualArray gradients_;  //!< 8 B per row, rewritten every round.
   std::vector<uint32_t> round_columns_;
+  std::vector<uint32_t> column_scratch_;  //!< Reused permutation buffer.
   size_t column_cursor_ = 0;
   uint64_t row_cursor_ = 0;
   uint64_t row_stride_ = 2;

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Steady-state allocation gates for the op-generation hot path.
+ *
+ * The workload generators reuse the caller's OpTrace buffer (Clear
+ * keeps capacity, Reserve grows it once to the worst-case op shape), so
+ * after a warmup phase has sized every internal buffer, NextOp must not
+ * allocate at all. This file replaces global operator new/delete with
+ * counting forwarders to assert exactly that; each gtest case runs in
+ * its own process (ctest per-test discovery), so the counter never
+ * observes unrelated tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "workloads/factory.h"
+#include "workloads/trace.h"
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+// The replacements pair new->malloc with delete->free consistently;
+// GCC's conservative analyzer cannot see across the replacement
+// boundary and warns anyway.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace hybridtier {
+namespace {
+
+uint64_t AllocationCount() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+/** Generates `ops` operations into one reused OpTrace. */
+void Generate(Workload& workload, OpTrace& op, uint64_t ops) {
+  for (uint64_t i = 0; i < ops; ++i) {
+    if (!workload.NextOp(0, &op)) break;
+  }
+}
+
+TEST(SteadyStateAllocation, GeneratorsAreAllocationFreeAfterWarmup) {
+  // (id, scale, warmup ops): warmup must cover every internal buffer's
+  // high-water mark — for the graph kernels that means several full
+  // trials so frontier/state vectors have peaked.
+  struct Case {
+    const char* id;
+    double scale;
+    uint64_t warmup_ops;
+  };
+  const Case cases[] = {
+      {"zipf", 0.25, 1024},   {"cc-k", 0.25, 30000},
+      {"pr-k", 0.25, 30000},  {"bfs-k", 0.25, 30000},
+      {"silo", 0.05, 1024},   {"cdn", 0.05, 4096},
+      {"bwaves", 0.05, 1024}, {"xgboost", 0.05, 4096},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.id);
+    auto workload = MakeWorkload(c.id, c.scale, 42);
+    OpTrace op;
+    Generate(*workload, op, c.warmup_ops);
+    const uint64_t before = AllocationCount();
+    Generate(*workload, op, 2048);
+    EXPECT_EQ(AllocationCount() - before, 0u)
+        << c.id << " allocated during steady-state op generation";
+  }
+}
+
+TEST(SteadyStateAllocation, TraceReplayIsAllocationFree) {
+  auto workload = MakeWorkload("zipf", 0.25, 42);
+  auto trace =
+      std::make_shared<const RecordedTrace>(RecordTrace(*workload, 65536));
+  ReplayWorkload replay(trace);
+  OpTrace op;
+  Generate(replay, op, 64);  // Size the reused buffer.
+  replay.Rewind();
+  const uint64_t before = AllocationCount();
+  Generate(replay, op, 8192);
+  EXPECT_EQ(AllocationCount() - before, 0u);
+}
+
+}  // namespace
+}  // namespace hybridtier

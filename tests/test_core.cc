@@ -23,16 +23,9 @@
 namespace hybridtier {
 namespace {
 
-/** Counts metadata lines instead of feeding a cache model. */
-class CountingSink : public MetadataTrafficSink {
- public:
-  void Touch(uint64_t line_addr) override {
-    ++touches;
-    last_line = line_addr;
-  }
-  uint64_t touches = 0;
-  uint64_t last_line = 0;
-};
+// Metadata traffic is counted (and line-buffered) by the concrete
+// MetadataTrafficCounter directly; no test-local sink subclass needed.
+using CountingSink = MetadataTrafficCounter;
 
 /** Policy harness mirroring the one in test_policies.cc. */
 class CoreHarness {
@@ -62,13 +55,13 @@ class CoreHarness {
 
   TieredMemory& memory() { return memory_; }
   MigrationEngine& engine() { return engine_; }
-  CountingSink& sink() { return sink_; }
+  MetadataTrafficCounter& sink() { return sink_; }
 
  private:
   TieredMemory memory_;
   PerfModel perf_;
   MigrationEngine engine_;
-  CountingSink sink_;
+  MetadataTrafficCounter sink_;
   PolicyContext context_;
 };
 
@@ -111,8 +104,8 @@ TEST(AccessTracker, BlockedCbfTouchesOneLinePerUpdate) {
   AccessTracker tracker(config);
   CountingSink sink;
   tracker.RecordAccess(42, sink);
-  EXPECT_EQ(sink.touches, 1u);
-  EXPECT_GE(sink.last_line, config.metadata_base);
+  EXPECT_EQ(sink.touches(), 1u);
+  EXPECT_GE(sink.lines().back(), config.metadata_base);
 }
 
 TEST(AccessTracker, StandardCbfTouchesMoreLines) {
@@ -131,8 +124,8 @@ TEST(AccessTracker, StandardCbfTouchesMoreLines) {
   }
   // The locality claim behind Fig 14: standard CBF touches ~k lines per
   // update, blocked CBF exactly one.
-  EXPECT_EQ(blocked_sink.touches, 500u);
-  EXPECT_GT(standard_sink.touches, 1500u);
+  EXPECT_EQ(blocked_sink.touches(), 500u);
+  EXPECT_GT(standard_sink.touches(), 1500u);
 }
 
 TEST(AccessTracker, CoolingTouchesWholeFilter) {
@@ -144,7 +137,7 @@ TEST(AccessTracker, CoolingTouchesWholeFilter) {
   for (int i = 0; i < 10; ++i) tracker.RecordAccess(i, sink);
   EXPECT_TRUE(tracker.cooled_on_last_record());
   const uint64_t filter_lines = tracker.memory_bytes() / kCacheLineSize;
-  EXPECT_GE(sink.touches, filter_lines);
+  EXPECT_GE(sink.touches(), filter_lines);
 }
 
 TEST(AccessTracker, ExactKindUsesTable) {
@@ -334,7 +327,8 @@ TEST(HybridTier, HugePageModeUses16BitCounters) {
   PerfModel perf(PerfModelConfig{}, DefaultFastTier(1 << 8),
                  DefaultSlowTier(1 << 12));
   MigrationEngine engine(&memory, &perf, PageMode::kHuge);
-  NullTrafficSink sink;
+  MetadataTrafficCounter sink;
+  sink.SetRecording(false);
   context.memory = &memory;
   context.migration = &engine;
   context.metadata_sink = &sink;

@@ -15,6 +15,7 @@
 #include "multitenant/fair_share_policy.h"
 #include "multitenant/mux_workload.h"
 #include "workloads/factory.h"
+#include "workloads/trace.h"
 
 namespace hybridtier {
 namespace {
@@ -152,6 +153,187 @@ TEST(Determinism, ChurnTimelinesAreBitIdentical) {
                              b.tenants[t].occupancy_timeline);
     ExpectIdenticalTimelines(a.tenants[t].latency_timeline,
                              b.tenants[t].latency_timeline);
+  }
+}
+
+// ----------------------------------------------------------------------
+// Hot-path refactor gates: the batched execution engine must be
+// observably indistinguishable from the legacy per-access path, and
+// both must still reproduce the stats the pre-refactor simulator
+// produced.
+
+void ExpectFullyIdentical(const SimulationResult& a,
+                          const SimulationResult& b) {
+  ExpectIdenticalHeadlines(a, b);
+  EXPECT_EQ(a.l1_app_misses, b.l1_app_misses);
+  EXPECT_EQ(a.l1_tiering_misses, b.l1_tiering_misses);
+  EXPECT_EQ(a.llc_app_misses, b.llc_app_misses);
+  EXPECT_EQ(a.llc_tiering_misses, b.llc_tiering_misses);
+  EXPECT_EQ(a.metadata_bytes, b.metadata_bytes);
+  EXPECT_EQ(a.samples_dropped, b.samples_dropped);
+  EXPECT_EQ(a.migration.promotion_batches, b.migration.promotion_batches);
+  EXPECT_EQ(a.migration.demotion_batches, b.migration.demotion_batches);
+  ExpectIdenticalTimelines(a.latency_timeline, b.latency_timeline);
+  ExpectIdenticalTimelines(a.tiering_llc_share_timeline,
+                           b.tiering_llc_share_timeline);
+  ExpectIdenticalTimelines(a.fast_used_timeline, b.fast_used_timeline);
+}
+
+/** One cell under either dispatch engine. */
+SimulationResult RunEngineCell(const std::string& workload_id,
+                               const std::string& policy_name,
+                               bool batch_execution) {
+  auto workload =
+      MakeWorkload(workload_id, workload_id == "zipf" ? 0.25 : 1.0, 17);
+  auto policy = MakePolicy(policy_name);
+  SimulationConfig config;
+  config.max_accesses = 300000;
+  config.seed = 17;
+  config.batch_execution = batch_execution;
+  return RunSimulation(config, workload.get(), policy.get());
+}
+
+TEST(Determinism, BatchedAndLegacyDispatchAreBitIdentical) {
+  for (const char* workload : {"zipf", "bfs-k"}) {
+    for (const char* policy :
+         {"HybridTier", "Memtis", "TPP", "AutoNUMA", "ARC", "FirstTouch"}) {
+      SCOPED_TRACE(std::string(workload) + "/" + policy);
+      const SimulationResult batched =
+          RunEngineCell(workload, policy, /*batch_execution=*/true);
+      const SimulationResult legacy =
+          RunEngineCell(workload, policy, /*batch_execution=*/false);
+      ExpectFullyIdentical(batched, legacy);
+    }
+  }
+}
+
+TEST(Determinism, BatchedAndLegacyDispatchMatchForFairShare) {
+  const auto run = [](bool batch_execution) {
+    std::vector<TenantSpec> specs = ParseTenantList("zipf,cdn:2,silo");
+    for (TenantSpec& spec : specs) spec.scale = 0.05;
+    auto mux = MakeMuxWorkload(specs, 11);
+    auto fair = std::make_unique<FairSharePolicy>(MakePolicy("HybridTier"),
+                                                  mux->directory());
+    SimulationConfig config = TestConfig();
+    config.max_accesses = 300000;
+    config.batch_execution = batch_execution;
+    return RunSimulation(config, mux.get(), fair.get());
+  };
+  const SimulationResult batched = run(true);
+  const SimulationResult legacy = run(false);
+  ExpectFullyIdentical(batched, legacy);
+  ASSERT_EQ(batched.tenants.size(), legacy.tenants.size());
+  for (size_t t = 0; t < batched.tenants.size(); ++t) {
+    EXPECT_EQ(batched.tenants[t].fast_resident_units,
+              legacy.tenants[t].fast_resident_units);
+    EXPECT_EQ(batched.tenants[t].ops, legacy.tenants[t].ops);
+  }
+}
+
+TEST(Determinism, TraceReplayMatchesLiveGeneration) {
+  for (const char* workload_id : {"zipf", "bfs-k"}) {
+    SCOPED_TRACE(workload_id);
+    const double scale = std::string(workload_id) == "zipf" ? 0.25 : 1.0;
+    SimulationConfig config;
+    config.max_accesses = 300000;
+    config.seed = 29;
+
+    auto live_workload = MakeWorkload(workload_id, scale, 29);
+    auto live_policy = MakePolicy("HybridTier");
+    const SimulationResult live =
+        RunSimulation(config, live_workload.get(), live_policy.get());
+
+    auto recorded_workload = MakeWorkload(workload_id, scale, 29);
+    auto trace = std::make_shared<const RecordedTrace>(
+        RecordTrace(*recorded_workload, config.max_accesses));
+    ReplayWorkload replay(trace);
+    auto replay_policy = MakePolicy("HybridTier");
+    const SimulationResult replayed =
+        RunSimulation(config, &replay, replay_policy.get());
+
+    ExpectFullyIdentical(live, replayed);
+  }
+}
+
+// Pre-refactor goldens: integer stats captured from the seed simulator
+// (before the batched-execution / devirtualized-metadata / flat-state
+// refactor) on this matrix. The refactored engine must reproduce every
+// one bit-for-bit — the hot-path overhaul is a pure implementation
+// change. If a *deliberate* semantic change ever lands, recapture these
+// with the previous release.
+struct GoldenCell {
+  const char* workload;
+  const char* policy;
+  uint64_t ops, accesses, duration_ns;
+  uint64_t fast_mem, slow_mem, hint_faults;
+  uint64_t promoted, demoted, samples_taken;
+  uint64_t l1_app, llc_app, l1_tier, llc_tier;
+};
+
+constexpr GoldenCell kPreRefactorGoldens[] = {
+    {"zipf", "HybridTier", 100000ull, 400000ull, 39930826ull, 113233ull,
+     186277ull, 0ull, 2461ull, 2461ull, 6564ull, 382878ull, 299510ull,
+     13709ull, 11136ull},
+    {"zipf", "Memtis", 100000ull, 400000ull, 39955106ull, 113427ull,
+     186376ull, 0ull, 2461ull, 2461ull, 6564ull, 382878ull, 299803ull,
+     14903ull, 14777ull},
+    {"zipf", "TPP", 100000ull, 400000ull, 127787828ull, 70518ull,
+     239508ull, 51721ull, 2783ull, 3034ull, 6564ull, 382878ull, 310026ull,
+     136176ull, 125246ull},
+    {"zipf", "AutoNUMA", 100000ull, 400000ull, 137888926ull, 86695ull,
+     223784ull, 55001ull, 3309ull, 3309ull, 6564ull, 382878ull, 310479ull,
+     147721ull, 126569ull},
+    {"bfs-k", "HybridTier", 2359ull, 400080ull, 23945877ull, 142121ull,
+     89749ull, 0ull, 717ull, 745ull, 6565ull, 313531ull, 231870ull,
+     4366ull, 3088ull},
+    {"bfs-k", "Memtis", 2359ull, 400080ull, 23944297ull, 142134ull,
+     89727ull, 0ull, 717ull, 745ull, 6565ull, 313531ull, 231861ull,
+     3752ull, 3186ull},
+    {"bfs-k", "TPP", 2359ull, 400080ull, 35484585ull, 34831ull, 198793ull,
+     3710ull, 246ull, 286ull, 6565ull, 313531ull, 233624ull, 11280ull,
+     10921ull},
+    {"bfs-k", "AutoNUMA", 2359ull, 400080ull, 37495645ull, 37484ull,
+     196256ull, 4231ull, 417ull, 417ull, 6565ull, 313531ull, 233740ull,
+     11820ull, 11308ull},
+    {"pr-k", "HybridTier", 32783ull, 400001ull, 30019142ull, 115676ull,
+     141433ull, 0ull, 1270ull, 1270ull, 6564ull, 322427ull, 257109ull,
+     11250ull, 4562ull},
+    {"pr-k", "Memtis", 32783ull, 400001ull, 29998574ull, 117010ull,
+     140368ull, 0ull, 1271ull, 1309ull, 6564ull, 322427ull, 257378ull,
+     8519ull, 5694ull},
+    {"pr-k", "TPP", 32783ull, 400001ull, 43597824ull, 26997ull, 231325ull,
+     5496ull, 309ull, 384ull, 6564ull, 322427ull, 258322ull, 13637ull,
+     12384ull},
+    {"pr-k", "AutoNUMA", 32783ull, 400001ull, 44182212ull, 29508ull,
+     228795ull, 5496ull, 318ull, 355ull, 6564ull, 322427ull, 258303ull,
+     13159ull, 12183ull},
+};
+
+TEST(Determinism, RefactoredEngineReproducesPreRefactorGoldens) {
+  for (const GoldenCell& golden : kPreRefactorGoldens) {
+    SCOPED_TRACE(std::string(golden.workload) + "/" + golden.policy);
+    auto workload = MakeWorkload(
+        golden.workload,
+        std::string(golden.workload) == "zipf" ? 1.0 : 2.0, 11);
+    auto policy = MakePolicy(golden.policy);
+    SimulationConfig config;
+    config.max_accesses = 400000;
+    config.seed = 11;
+    const SimulationResult r =
+        RunSimulation(config, workload.get(), policy.get());
+    EXPECT_EQ(r.ops, golden.ops);
+    EXPECT_EQ(r.accesses, golden.accesses);
+    EXPECT_EQ(r.duration_ns, golden.duration_ns);
+    EXPECT_EQ(r.fast_mem_accesses, golden.fast_mem);
+    EXPECT_EQ(r.slow_mem_accesses, golden.slow_mem);
+    EXPECT_EQ(r.hint_faults, golden.hint_faults);
+    EXPECT_EQ(r.migration.promoted_pages, golden.promoted);
+    EXPECT_EQ(r.migration.demoted_pages, golden.demoted);
+    EXPECT_EQ(r.samples_taken, golden.samples_taken);
+    EXPECT_EQ(r.l1_app_misses, golden.l1_app);
+    EXPECT_EQ(r.llc_app_misses, golden.llc_app);
+    EXPECT_EQ(r.l1_tiering_misses, golden.l1_tier);
+    EXPECT_EQ(r.llc_tiering_misses, golden.llc_tier);
   }
 }
 

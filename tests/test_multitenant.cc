@@ -427,6 +427,9 @@ class FairShareHarness {
               DefaultSlowTier(2048)),
         engine_(&memory_, &perf_),
         policy_(std::move(base), std::move(directory), config) {
+    // Count metadata touches without buffering lines for replay (the
+    // drop-in equivalent of the old null sink).
+    sink_.SetRecording(false);
     PolicyContext context;
     context.memory = &memory_;
     context.migration = &engine_;
@@ -454,7 +457,7 @@ class FairShareHarness {
   TieredMemory memory_;
   PerfModel perf_;
   MigrationEngine engine_;
-  NullTrafficSink sink_;
+  MetadataTrafficCounter sink_;
   FairSharePolicy policy_;
 };
 

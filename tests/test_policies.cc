@@ -35,6 +35,9 @@ class PolicyHarness {
         perf_(PerfModelConfig{}, DefaultFastTier(fast_capacity),
               DefaultSlowTier(footprint)),
         engine_(&memory_, &perf_) {
+    // The harness never replays metadata traffic; count without
+    // buffering (the drop-in equivalent of the old null sink).
+    sink_.SetRecording(false);
     context_.memory = &memory_;
     context_.migration = &engine_;
     context_.metadata_sink = &sink_;
@@ -62,7 +65,7 @@ class PolicyHarness {
   TieredMemory memory_;
   PerfModel perf_;
   MigrationEngine engine_;
-  NullTrafficSink sink_;
+  MetadataTrafficCounter sink_;
   PolicyContext context_;
 };
 
