@@ -52,6 +52,7 @@
 
 #include "common/bench_util.h"
 #include "common/table.h"
+#include "obs/stage_profiler.h"
 #include "workloads/trace.h"
 
 namespace hybridtier::bench {
@@ -91,6 +92,14 @@ struct Options {
    * regressions where an absolute accesses/sec floor cannot.
    */
   double check_relative = 0.0;
+  /**
+   * Sample every Nth op through a StageProfiler and print the
+   * per-stage ns/access breakdown (generation / cache / policy /
+   * sampler / migration / accounting) after the table. The sampled
+   * clock reads inflate wall times slightly, so don't combine with
+   * --check runs whose numbers you intend to commit.
+   */
+  bool profile_stages = false;
 };
 
 [[noreturn]] void Usage(const char* argv0, int code) {
@@ -107,7 +116,10 @@ struct Options {
       "  --min-ratio R regression tolerance for --check (default 0.9)\n"
       "  --check-relative R  also measure the legacy+live engine in\n"
       "                this invocation and fail if the primary engine's\n"
-      "                geomean advantage falls below R (load-immune)\n",
+      "                geomean advantage falls below R (load-immune)\n"
+      "  --profile-stages  sample engine stages (generation, cache,\n"
+      "                policy, sampler, migration, accounting) and\n"
+      "                print the per-policy ns/access breakdown\n",
       argv0);
   std::exit(code);
 }
@@ -156,6 +168,10 @@ Options ParseArgs(int argc, char** argv) {
           std::strtod(next_value("--check-relative"), nullptr);
       continue;
     }
+    if (arg == "--profile-stages") {
+      options.profile_stages = true;
+      continue;
+    }
     std::fprintf(stderr, "unknown option '%s' (try --help)\n", arg.c_str());
     std::exit(1);
   }
@@ -188,7 +204,8 @@ SimulationConfig CellConfig(bool legacy) {
 CellResult MeasureCell(const std::string& workload_id,
                        const std::string& policy_name,
                        const std::shared_ptr<const RecordedTrace>& trace,
-                       unsigned reps, bool legacy) {
+                       unsigned reps, bool legacy,
+                       StageProfiler* profiler) {
   CellResult cell;
   cell.workload = workload_id;
   cell.policy = policy_name;
@@ -206,7 +223,10 @@ CellResult MeasureCell(const std::string& workload_id,
       workload = live_workload.get();
     }
     auto policy = MakePolicy(policy_name);
-    Simulation simulation(CellConfig(legacy), workload, policy.get());
+    SimulationConfig config = CellConfig(legacy);
+    // The profiler accumulates across all reps of this cell.
+    config.telemetry.stages = profiler;
+    Simulation simulation(config, workload, policy.get());
     const uint64_t start = NowNs();
     const SimulationResult result = simulation.Run();
     const double wall_s =
@@ -218,11 +238,16 @@ CellResult MeasureCell(const std::string& workload_id,
   return cell;
 }
 
-/** Measures the whole matrix in one configuration. */
+/**
+ * Measures the whole matrix in one configuration. When `profilers` is
+ * non-null it must hold one StageProfiler per grid cell; each cell
+ * writes only its own slot (safe under --jobs).
+ */
 std::vector<CellResult> MeasureMatrix(
     const Options& options, bool live, bool legacy,
     const std::map<std::string, std::shared_ptr<const RecordedTrace>>&
-        traces) {
+        traces,
+    std::vector<StageProfiler>* profilers = nullptr) {
   SweepGrid grid;
   grid.AddAxis("workload", Workloads());
   grid.AddAxis("policy", Policies());
@@ -234,7 +259,9 @@ std::vector<CellResult> MeasureMatrix(
     auto it = traces.find(workload_id);
     return MeasureCell(workload_id, cell.Get("policy"),
                        live || it == traces.end() ? nullptr : it->second,
-                       options.reps, legacy);
+                       options.reps, legacy,
+                       profilers == nullptr ? nullptr
+                                            : &(*profilers)[cell.index()]);
   });
 }
 
@@ -361,8 +388,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::vector<CellResult> cells =
-      MeasureMatrix(options, options.live, options.legacy, traces);
+  std::vector<StageProfiler> profilers;
+  if (options.profile_stages) {
+    profilers.resize(Workloads().size() * Policies().size());
+  }
+  const std::vector<CellResult> cells = MeasureMatrix(
+      options, options.live, options.legacy, traces,
+      options.profile_stages ? &profilers : nullptr);
 
   TablePrinter table({"workload", "policy", "accesses", "best wall (s)",
                       "Macc/s"});
@@ -382,6 +414,24 @@ int main(int argc, char** argv) {
   for (const auto& [policy, value] : geomeans) {
     std::printf("[bench_throughput] %s geomean: %.2f Macc/s\n",
                 policy.c_str(), value);
+  }
+
+  if (options.profile_stages) {
+    // One merged breakdown per policy (across its workloads), then the
+    // whole-matrix aggregate — the measured version of the ROADMAP's
+    // ns/access floor attribution.
+    for (const std::string& policy : Policies()) {
+      StageProfiler merged;
+      for (size_t i = 0; i < cells.size(); ++i) {
+        if (cells[i].policy == policy) merged.Merge(profilers[i]);
+      }
+      std::printf("[bench_throughput] stage profile: %s\n%s",
+                  policy.c_str(), merged.Report().c_str());
+    }
+    StageProfiler all;
+    for (const StageProfiler& profiler : profilers) all.Merge(profiler);
+    std::printf("[bench_throughput] stage profile: all policies\n%s",
+                all.Report().c_str());
   }
   // Never clobber a committed trajectory file: the repo-root
   // BENCH_throughput.json carries the curated baseline_pre_pr /

@@ -34,15 +34,42 @@ double RatioFraction(const std::string& label) {
 
 BenchOptions ParseBenchArgs(int argc, char** argv) {
   BenchOptions options;
+  const auto flag_value = [&](int* i) -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[*i]);
+      std::exit(1);
+    }
+    return argv[++*i];
+  };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       std::printf(
-          "usage: %s [--jobs N]\n"
-          "  --jobs N   sweep worker threads (default: all hardware\n"
-          "             threads); output is identical for every N\n",
+          "usage: %s [--jobs N] [--log-level LEVEL] [--trace-out FILE]\n"
+          "          [--metrics-out FILE]\n"
+          "  --jobs N           sweep worker threads (default: all\n"
+          "                     hardware threads); CSV output is\n"
+          "                     identical for every N\n"
+          "  --log-level LEVEL  debug | info | warn | error | silent\n"
+          "                     (default: info)\n"
+          "  --trace-out FILE   write a sweep-level wall-clock Perfetto\n"
+          "                     trace (one span per cell)\n"
+          "  --metrics-out FILE write a sweep-level wall-time JSON\n"
+          "                     summary\n",
           argv[0]);
       std::exit(0);
+    }
+    if (std::strcmp(arg, "--log-level") == 0) {
+      SetLogLevel(ParseLogLevel(flag_value(&i)));
+      continue;
+    }
+    if (std::strcmp(arg, "--trace-out") == 0) {
+      options.trace_out = flag_value(&i);
+      continue;
+    }
+    if (std::strcmp(arg, "--metrics-out") == 0) {
+      options.metrics_out = flag_value(&i);
+      continue;
     }
     if (std::strcmp(arg, "--jobs") == 0) {
       if (i + 1 >= argc) {
@@ -77,6 +104,8 @@ SweepRunner MakeSweepRunner(const BenchOptions& options, std::string name) {
   SweepOptions sweep_options;
   sweep_options.jobs = options.jobs;
   sweep_options.name = std::move(name);
+  sweep_options.trace_out = options.trace_out;
+  sweep_options.metrics_out = options.metrics_out;
   return SweepRunner(sweep_options);
 }
 

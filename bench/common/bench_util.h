@@ -43,20 +43,27 @@ double RatioFraction(const std::string& label);
 struct BenchOptions {
   /** Sweep worker threads; 0 = hardware_concurrency. */
   unsigned jobs = 0;
+  /** Sweep-level wall-clock Perfetto trace path ("" = off). */
+  std::string trace_out;
+  /** Sweep-level wall-time JSON summary path ("" = off). */
+  std::string metrics_out;
 };
 
 /**
  * Parses the shared bench flags: `--jobs N` (sweep worker threads,
- * default hardware_concurrency) and `--help`. Exits with usage on
- * unknown flags, so every matrix driver rejects typos the same way.
+ * default hardware_concurrency), `--log-level LEVEL` (debug | info |
+ * warn | error | silent; applied immediately via SetLogLevel),
+ * `--trace-out FILE` / `--metrics-out FILE` (sweep-level wall-clock
+ * telemetry), and `--help`. Exits with usage on unknown flags, so
+ * every matrix driver rejects typos the same way.
  */
 BenchOptions ParseBenchArgs(int argc, char** argv);
 
 /**
- * SweepRunner for this bench: worker count from the parsed flags,
- * progress + per-sweep wall-time reporting under the bench's name.
- * Cell outputs stay jobs-invariant (see exec/sweep.h); wall time is
- * printed to stdout only, never written into a CSV.
+ * SweepRunner for this bench: worker count and telemetry sinks from
+ * the parsed flags, progress + per-sweep wall-time reporting under the
+ * bench's name. Cell outputs stay jobs-invariant (see exec/sweep.h);
+ * wall time is logged only, never written into a CSV.
  */
 SweepRunner MakeSweepRunner(const BenchOptions& options, std::string name);
 

@@ -18,6 +18,7 @@
 
 #include <cctype>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -30,6 +31,8 @@
 #include "exec/sweep.h"
 #include "multitenant/fair_share_policy.h"
 #include "multitenant/mux_workload.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workloads/factory.h"
 
 namespace {
@@ -75,7 +78,45 @@ void PrintUsage() {
          "                    default since the Fig 4-style sweep\n"
          "                    showed adaptation time is unhurt)\n"
          "  --no-sampler-budget  revert to one global sample period\n"
-         "                    shared by all tenants\n";
+         "                    shared by all tenants\n"
+         "  --trace-out <f>   write a Perfetto/chrome://tracing JSON\n"
+         "                    trace of the run (virtual-time migration,\n"
+         "                    rebalance, churn, cooling, and sampler\n"
+         "                    events); byte-identical across --jobs\n"
+         "                    values and engines\n"
+         "  --metrics-out <f> write the metric registry's time series;\n"
+         "                    a .csv suffix selects CSV (single runs),\n"
+         "                    anything else JSON\n"
+         "  --log-level <l>   debug | info | warn | error | silent\n"
+         "                    (default info)\n";
+}
+
+/** Writes `metrics` to `path`; a ".csv" suffix selects CSV over JSON. */
+void WriteMetricsFile(const MetricRegistry& metrics,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open metrics file '" << path << "'\n";
+    std::exit(1);
+  }
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    metrics.WriteCsv(out);
+  } else {
+    metrics.WriteJson(out);
+  }
+}
+
+/** Writes one merged trace file for `emitters`, in the given order. */
+void WriteTraceFile(const std::string& path,
+                    std::span<const TraceEmitter* const> emitters) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open trace file '" << path << "'\n";
+    std::exit(1);
+  }
+  WriteTraceJson(out, emitters);
 }
 
 /** Prints the per-tenant table and fairness index of a tenants run. */
@@ -130,6 +171,8 @@ int main(int argc, char** argv) {
   bool sampler_budget = true;
   bool workload_set = false;
   QuotaMode quota_mode = FairShareConfig{}.quota_mode;
+  std::string trace_out;
+  std::string metrics_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -228,6 +271,12 @@ int main(int argc, char** argv) {
       sampler_budget = true;
     } else if (arg == "--no-sampler-budget") {
       sampler_budget = false;
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg == "--log-level") {
+      SetLogLevel(ParseLogLevel(next()));
     } else {
       std::cerr << "unknown option " << arg << "\n";
       PrintUsage();
@@ -293,8 +342,29 @@ int main(int argc, char** argv) {
     config.seed = seed;
     config.tenant_sample_budget = sampler_budget;
 
+    MetricRegistry metrics;
+    TraceEmitter trace(1, std::string("ht_run:") + mux->name());
+    if (!metrics_out.empty()) config.telemetry.metrics = &metrics;
+    if (!trace_out.empty()) config.telemetry.trace = &trace;
+
     Simulation simulation(config, mux.get(), policy.get());
     const SimulationResult result = simulation.Run();
+
+    if (!trace_out.empty()) {
+      // Tenant arrival/departure instants from the workload's churn
+      // log, on a dedicated track — present even without --fair (the
+      // fair-share policy additionally traces its own quota view).
+      const TraceEmitter::TrackId churn_track = trace.Track("churn");
+      for (const TenantChurnEvent& event : mux->churn_events()) {
+        trace.Instant(
+            churn_track, event.arrival ? "arrival" : "departure",
+            event.time_ns,
+            {{"tenant", static_cast<double>(event.tenant)}});
+      }
+      const TraceEmitter* emitters[] = {&trace};
+      WriteTraceFile(trace_out, emitters);
+    }
+    if (!metrics_out.empty()) WriteMetricsFile(metrics, metrics_out);
 
     std::cout << "workload:          " << mux->name() << " ("
               << mux->footprint_pages() << " pages)\n"
@@ -342,6 +412,14 @@ int main(int argc, char** argv) {
     SweepGrid grid;
     grid.AddAxis("ratio", ratio_labels);
     SweepRunner runner(sweep_options);
+    // Per-cell telemetry is preallocated and indexed by flat cell
+    // index: each cell writes only its own slot, and the merged files
+    // are written in index order — so trace/metrics bytes are
+    // jobs-invariant like the result table itself.
+    std::vector<std::unique_ptr<TraceEmitter>> cell_traces(
+        ratio_labels.size());
+    std::vector<std::unique_ptr<MetricRegistry>> cell_metrics(
+        ratio_labels.size());
     const std::vector<SimulationResult> results =
         runner.Run(grid, [&](const SweepCell& cell) {
           auto cell_workload = MakeWorkload(workload_id, scale, seed);
@@ -353,9 +431,41 @@ int main(int argc, char** argv) {
           config.max_accesses = accesses;
           config.mode = huge ? PageMode::kHuge : PageMode::kRegular;
           config.seed = seed;
+          if (!trace_out.empty()) {
+            cell_traces[cell.index()] = std::make_unique<TraceEmitter>(
+                static_cast<uint32_t>(cell.index() + 1),
+                "ratio=" + ratio_labels[cell.ValueIndex("ratio")]);
+            config.telemetry.trace = cell_traces[cell.index()].get();
+          }
+          if (!metrics_out.empty()) {
+            cell_metrics[cell.index()] =
+                std::make_unique<MetricRegistry>();
+            config.telemetry.metrics = cell_metrics[cell.index()].get();
+          }
           return RunSimulation(config, cell_workload.get(),
                                cell_policy.get());
         });
+
+    if (!trace_out.empty()) {
+      std::vector<const TraceEmitter*> emitters;
+      for (const auto& trace : cell_traces) emitters.push_back(trace.get());
+      WriteTraceFile(trace_out, emitters);
+    }
+    if (!metrics_out.empty()) {
+      // One JSON object per ratio cell, keyed by label (always JSON:
+      // a multi-cell sweep has no single CSV shape).
+      std::ofstream out(metrics_out);
+      if (!out) {
+        std::cerr << "cannot open metrics file '" << metrics_out << "'\n";
+        return 1;
+      }
+      out << "{\n";
+      for (size_t r = 0; r < cell_metrics.size(); ++r) {
+        out << (r == 0 ? "" : ",\n") << "\"" << ratio_labels[r] << "\": ";
+        cell_metrics[r]->WriteJsonObject(out);
+      }
+      out << "\n}\n";
+    }
 
     std::cout << "workload:          " << workload_id << " (scale " << scale
               << ")\npolicy:            " << policy_name << "\n";
@@ -386,8 +496,19 @@ int main(int argc, char** argv) {
   config.mode = huge ? PageMode::kHuge : PageMode::kRegular;
   config.seed = seed;
 
+  MetricRegistry metrics;
+  TraceEmitter trace(1, std::string("ht_run:") + workload->name());
+  if (!metrics_out.empty()) config.telemetry.metrics = &metrics;
+  if (!trace_out.empty()) config.telemetry.trace = &trace;
+
   Simulation simulation(config, workload.get(), policy.get());
   const SimulationResult result = simulation.Run();
+
+  if (!trace_out.empty()) {
+    const TraceEmitter* emitters[] = {&trace};
+    WriteTraceFile(trace_out, emitters);
+  }
+  if (!metrics_out.empty()) WriteMetricsFile(metrics, metrics_out);
 
   std::cout << "workload:          " << workload->name() << " ("
             << workload->footprint_pages() << " pages, scale " << scale

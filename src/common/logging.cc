@@ -14,6 +14,32 @@ void SetLogLevel(LogLevel level) { g_log_level.store(level); }
 
 LogLevel GetLogLevel() { return g_log_level.load(); }
 
+LogLevel ParseLogLevel(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info" || name == "inform") return LogLevel::kInform;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "silent" || name == "none") return LogLevel::kSilent;
+  HT_FATAL("unknown log level '", name,
+           "' (expected debug|info|warn|error|silent)");
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInform:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kSilent:
+      return "silent";
+  }
+  return "info";
+}
+
 namespace detail {
 
 void Emit(LogLevel level, const char* tag, const char* file, int line,

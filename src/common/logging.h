@@ -34,6 +34,15 @@ void SetLogLevel(LogLevel level);
 /** Returns the current global log level. */
 LogLevel GetLogLevel();
 
+/**
+ * Parses a `--log-level` value: debug|info|warn|error|silent.
+ * Unknown names are a user error (HT_FATAL).
+ */
+LogLevel ParseLogLevel(const std::string& name);
+
+/** Canonical name of `level` (the ParseLogLevel spelling). */
+const char* LogLevelName(LogLevel level);
+
 namespace detail {
 
 /** Concatenates a pack of streamable values into one string. */
@@ -69,23 +78,32 @@ void Emit(LogLevel level, const char* tag, const char* file, int line,
   ::hybridtier::detail::FatalImpl(__FILE__, __LINE__,      \
                                   ::hybridtier::detail::StrCat(__VA_ARGS__))
 
+/**
+ * Level-filtered log statement. The level check happens *before* the
+ * argument pack is evaluated, so a filtered-out message costs one load
+ * and a branch — not an ostringstream build (HT_DEBUG in hot loops was
+ * paying full formatting cost even at the default kInform level).
+ */
+#define HT_LOG_AT(level_, tag_, ...)                                      \
+  do {                                                                    \
+    if ((level_) >= ::hybridtier::GetLogLevel()) {                        \
+      ::hybridtier::detail::Emit(                                         \
+          (level_), (tag_), __FILE__, __LINE__,                           \
+          ::hybridtier::detail::StrCat(__VA_ARGS__));                     \
+    }                                                                     \
+  } while (false)
+
 /** Continuable warning. */
-#define HT_WARN(...)                                                     \
-  ::hybridtier::detail::Emit(::hybridtier::LogLevel::kWarn, "warn",      \
-                             __FILE__, __LINE__,                         \
-                             ::hybridtier::detail::StrCat(__VA_ARGS__))
+#define HT_WARN(...) \
+  HT_LOG_AT(::hybridtier::LogLevel::kWarn, "warn", __VA_ARGS__)
 
 /** Informational status message. */
-#define HT_INFORM(...)                                                   \
-  ::hybridtier::detail::Emit(::hybridtier::LogLevel::kInform, "info",    \
-                             __FILE__, __LINE__,                         \
-                             ::hybridtier::detail::StrCat(__VA_ARGS__))
+#define HT_INFORM(...) \
+  HT_LOG_AT(::hybridtier::LogLevel::kInform, "info", __VA_ARGS__)
 
 /** Debug-level trace message. */
-#define HT_DEBUG(...)                                                    \
-  ::hybridtier::detail::Emit(::hybridtier::LogLevel::kDebug, "debug",    \
-                             __FILE__, __LINE__,                         \
-                             ::hybridtier::detail::StrCat(__VA_ARGS__))
+#define HT_DEBUG(...) \
+  HT_LOG_AT(::hybridtier::LogLevel::kDebug, "debug", __VA_ARGS__)
 
 /** Invariant check; violations are HybridTier bugs and panic. */
 #define HT_ASSERT(cond, ...)                                              \

@@ -84,6 +84,10 @@ void HybridTierPolicy::Bind(const PolicyContext& context) {
   // marks live in a flat PageId-indexed array instead of a hash map.
   second_chance_.assign(context.footprint_units, SecondChanceMark{});
   second_chance_pending_ = 0;
+
+  if (context.trace != nullptr) {
+    cooling_track_ = context.trace->Track("policy/HybridTier");
+  }
 }
 
 void HybridTierPolicy::UpdateThreshold() {
@@ -122,6 +126,11 @@ void HybridTierPolicy::OnSample(const SampleRecord& sample) {
   const uint32_t new_freq = freq_->RecordAccess(unit, sink(), &old_freq);
   if (freq_->cooled_on_last_record()) {
     histogram_->CoolByHalving();
+    if (context().trace != nullptr) {
+      context().trace->Instant(
+          cooling_track_, "cooling", sample.time_ns,
+          {{"coolings", static_cast<double>(freq_->coolings())}});
+    }
     // The halved histogram carries this unit at old_freq/2 — the
     // increment that triggered the cooling never reached it. Re-seat the
     // unit at its post-cooling estimate so the increment is not lost.

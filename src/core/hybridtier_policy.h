@@ -174,6 +174,7 @@ class HybridTierPolicy : public TieringPolicy {
   uint64_t momentum_promotions_ = 0;
   uint64_t second_chance_demotions_ = 0;
   PageId scan_cursor_ = 0;
+  TraceEmitter::TrackId cooling_track_ = 0;  //!< Cooling-event track.
 };
 
 }  // namespace hybridtier

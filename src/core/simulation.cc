@@ -48,10 +48,22 @@ Simulation::Simulation(const SimulationConfig& config, Workload* workload,
   // only counted, matching the legacy NullTrafficSink.
   metadata_counter_.SetRecording(config.measure_metadata_traffic);
 
+  // Resolve the telemetry sinks before Bind: the migration engine's
+  // track registers first (stable tid), and the policy sees the trace
+  // through its context so it can register its own tracks in Bind.
+  metrics_ = config.telemetry.metrics;
+  trace_ = config.telemetry.trace;
+  stages_ = config.telemetry.stages;
+  if (trace_ != nullptr) {
+    migration_->SetTrace(trace_, trace_->Track("migration"));
+    sampler_track_ = trace_->Track("sampler");
+  }
+
   PolicyContext context;
   context.memory = memory_.get();
   context.migration = migration_.get();
   context.metadata_sink = &metadata_counter_;
+  context.trace = trace_;
   context.mode = config.mode;
   context.footprint_units = footprint_units_;
   context.fast_capacity_units = fast_capacity_units_;
@@ -102,6 +114,140 @@ Simulation::Simulation(const SimulationConfig& config, Workload* workload,
   if (budgeted_sampler_ == nullptr) {
     sampler_ = std::make_unique<AccessSampler>(
         config.sample_period, config.sample_buffer, config.seed);
+  }
+  quota_stats_ = dynamic_cast<const TenantQuotaStatsSource*>(policy_);
+  SetupTelemetry();
+}
+
+void Simulation::SetupTelemetry() {
+  if (trace_ != nullptr && budgeted_sampler_ != nullptr) {
+    last_periods_.resize(tenant_source_->tenant_count());
+    for (uint32_t t = 0; t < last_periods_.size(); ++t) {
+      last_periods_[t] = budgeted_sampler_->period(t);
+    }
+  }
+  if (metrics_ == nullptr) return;
+  MetricRegistry& m = *metrics_;
+
+  // Engine volume and memory-system counters: probes read the live run
+  // state the simulation already maintains — no double bookkeeping on
+  // the hot path, one read per stats interval.
+  m.AddProbe("sim/ops", [this] { return static_cast<double>(ops_); });
+  m.AddProbe("sim/accesses",
+             [this] { return static_cast<double>(accesses_); });
+  m.AddProbe("mem/fast_fill_accesses", [this] {
+    return static_cast<double>(result_.fast_mem_accesses);
+  });
+  m.AddProbe("mem/slow_fill_accesses", [this] {
+    return static_cast<double>(result_.slow_mem_accesses);
+  });
+  m.AddProbe("mem/hint_faults",
+             [this] { return static_cast<double>(result_.hint_faults); });
+  m.AddProbe("mem/fast_used_units", [this] {
+    return static_cast<double>(memory_->UsedPages(Tier::kFast));
+  });
+
+  m.AddProbe("migration/promotion_batches", [this] {
+    return static_cast<double>(migration_->stats().promotion_batches);
+  });
+  m.AddProbe("migration/promoted_pages", [this] {
+    return static_cast<double>(migration_->stats().promoted_pages);
+  });
+  m.AddProbe("migration/demotion_batches", [this] {
+    return static_cast<double>(migration_->stats().demotion_batches);
+  });
+  m.AddProbe("migration/demoted_pages", [this] {
+    return static_cast<double>(migration_->stats().demoted_pages);
+  });
+  m.AddProbe("migration/failed_promotions", [this] {
+    return static_cast<double>(migration_->stats().failed_promotions);
+  });
+  m.AddProbe("migration/time_ns", [this] {
+    return static_cast<double>(migration_->stats().migration_time_ns);
+  });
+
+  m.AddProbe("cache/l1_app_misses", [this] {
+    return static_cast<double>(hierarchy_->L1Misses(AccessOwner::kApp));
+  });
+  m.AddProbe("cache/l1_tiering_misses", [this] {
+    return static_cast<double>(hierarchy_->L1Misses(AccessOwner::kTiering));
+  });
+  m.AddProbe("cache/llc_app_misses", [this] {
+    return static_cast<double>(hierarchy_->LlcMisses(AccessOwner::kApp));
+  });
+  m.AddProbe("cache/llc_tiering_misses", [this] {
+    return static_cast<double>(
+        hierarchy_->LlcMisses(AccessOwner::kTiering));
+  });
+
+  m.AddProbe("sampler/samples_taken", [this] {
+    return static_cast<double>(budgeted_sampler_ != nullptr
+                                   ? budgeted_sampler_->samples_taken()
+                                   : sampler_->samples_taken());
+  });
+  m.AddProbe("sampler/samples_dropped", [this] {
+    return static_cast<double>(budgeted_sampler_ != nullptr
+                                   ? budgeted_sampler_->samples_dropped()
+                                   : sampler_->samples_dropped());
+  });
+  m.AddProbe("policy/metadata_touches", [this] {
+    return static_cast<double>(metadata_counter_.touches());
+  });
+  m.AddProbe("policy/metadata_bytes", [this] {
+    return static_cast<double>(policy_->MetadataBytes());
+  });
+
+  if (tenant_source_ != nullptr) {
+    for (uint32_t t = 0; t < tenant_source_->tenant_count(); ++t) {
+      const std::string prefix =
+          "tenant/" + std::string(tenant_source_->tenant_name(t)) + "/";
+      m.AddProbe(prefix + "fast_units", [this, t] {
+        return static_cast<double>(memory_->RegionResident(t, Tier::kFast));
+      });
+      m.AddProbe(prefix + "accesses", [this, t] {
+        return static_cast<double>(tenant_states_[t].accesses);
+      });
+      if (budgeted_sampler_ != nullptr) {
+        m.AddProbe(prefix + "sample_period", [this, t] {
+          return static_cast<double>(budgeted_sampler_->period(t));
+        });
+      }
+      if (quota_stats_ != nullptr) {
+        m.AddProbe(prefix + "quota_units", [this, t] {
+          TenantQuotaStats stats;
+          return quota_stats_->GetTenantQuotaStats(t, &stats)
+                     ? static_cast<double>(stats.quota_units)
+                     : 0.0;
+        });
+        m.AddProbe(prefix + "marginal_utility", [this, t] {
+          TenantQuotaStats stats;
+          return quota_stats_->GetTenantQuotaStats(t, &stats)
+                     ? stats.marginal_utility
+                     : 0.0;
+        });
+        m.AddProbe(prefix + "shadow_samples", [this, t] {
+          TenantQuotaStats stats;
+          return quota_stats_->GetTenantQuotaStats(t, &stats)
+                     ? static_cast<double>(stats.shadow_samples)
+                     : 0.0;
+        });
+      }
+    }
+  }
+
+  op_latency_hist_ = m.AddHistogram("sim/op_latency_ns");
+}
+
+void Simulation::EmitSamplerAdaptEvents(TimeNs at) {
+  if (budgeted_sampler_ == nullptr) return;
+  for (uint32_t t = 0; t < last_periods_.size(); ++t) {
+    const uint64_t period = budgeted_sampler_->period(t);
+    if (period != last_periods_[t]) {
+      trace_->Instant(sampler_track_, "period_adapt", at,
+                      {{"tenant", static_cast<double>(t)},
+                       {"period", static_cast<double>(period)}});
+      last_periods_[t] = period;
+    }
   }
 }
 
@@ -169,6 +315,9 @@ void Simulation::RecordTimelinePoint(TimeNs at, bool idle) {
     result_.weighted_fairness_timeline.Add(
         at, WeightedJainFairnessIndex(shares, weights));
   }
+
+  if (trace_ != nullptr) EmitSamplerAdaptEvents(at);
+  if (metrics_ != nullptr) metrics_->Snapshot(at);
 }
 
 void Simulation::FlushMetadataTraffic() {
@@ -179,7 +328,15 @@ void Simulation::FlushMetadataTraffic() {
   metadata_counter_.Clear();
 }
 
-void Simulation::RunOp(const OpTrace& op, TenantState* tenant) {
+template <bool kProfiled>
+void Simulation::RunOpImpl(const OpTrace& op, TenantState* tenant) {
+  // Per-stage wall accumulators; the whole block folds away in the
+  // unprofiled instantiation (the common case — profiling samples one
+  // op in N, everything else runs this function with zero clock reads).
+  [[maybe_unused]] uint64_t cache_wall = 0;
+  [[maybe_unused]] uint64_t policy_wall = 0;
+  [[maybe_unused]] uint64_t sampler_wall = 0;
+
   now_ += op.think_time_ns;  // Idle stall preceding the accesses.
   TimeNs op_latency = config_.op_overhead_ns;
   now_ += config_.op_overhead_ns;
@@ -191,6 +348,9 @@ void Simulation::RunOp(const OpTrace& op, TenantState* tenant) {
   const bool batch_policy = access_interest_ == AccessInterest::kBatched;
 
   for (size_t i = 0; i < count; ++i) {
+    [[maybe_unused]] uint64_t t0 = 0, t1 = 0, t2 = 0;
+    if constexpr (kProfiled) t0 = StageProfiler::NowNs();
+
     const MemoryAccess& access = accesses[i];
     const PageId unit = TrackingUnitOfAddr(access.addr, mode);
     const TouchResult touch = memory_->Touch(unit, now_);
@@ -215,6 +375,10 @@ void Simulation::RunOp(const OpTrace& op, TenantState* tenant) {
       latency += perf_->HintFaultLatency();
       ++result_.hint_faults;
     }
+    if constexpr (kProfiled) {
+      t1 = StageProfiler::NowNs();
+      cache_wall += t1 - t0;
+    }
 
     if (inline_policy) {
       // Legacy-exact dispatch: the policy may migrate or touch metadata
@@ -226,6 +390,10 @@ void Simulation::RunOp(const OpTrace& op, TenantState* tenant) {
     }
     // Policies with no access interest (the sample-driven designs) pay
     // nothing here at all.
+    if constexpr (kProfiled) {
+      t2 = StageProfiler::NowNs();
+      policy_wall += t2 - t1;
+    }
 
     if (budgeted_sampler_ != nullptr) {
       budgeted_sampler_->OnAccess(tenant_source_->last_tenant(), unit,
@@ -233,6 +401,7 @@ void Simulation::RunOp(const OpTrace& op, TenantState* tenant) {
     } else {
       sampler_->OnAccess(unit, touch.tier, now_);
     }
+    if constexpr (kProfiled) sampler_wall += StageProfiler::NowNs() - t2;
 
     now_ += latency;
     op_latency += latency;
@@ -242,22 +411,38 @@ void Simulation::RunOp(const OpTrace& op, TenantState* tenant) {
   if (batch_policy) {
     // One virtual dispatch for the whole op; events carry the same
     // (unit, touch, now) triples the per-access path would have seen.
+    [[maybe_unused]] uint64_t t = 0;
+    if constexpr (kProfiled) t = StageProfiler::NowNs();
     policy_->OnAccessBatch(access_events_);
     access_events_.clear();
     FlushMetadataTraffic();
+    if constexpr (kProfiled) policy_wall += StageProfiler::NowNs() - t;
   }
 
-  // Drain the PEBS buffer to the policy (the tiering thread's loop).
-  sample_buffer_.clear();
-  if (budgeted_sampler_ != nullptr) {
-    budgeted_sampler_->Drain(&sample_buffer_, sample_buffer_.capacity());
-  } else {
-    sampler_->Drain(&sample_buffer_, sample_buffer_.capacity());
+  {
+    // Drain the PEBS buffer to the policy (the tiering thread's loop).
+    [[maybe_unused]] uint64_t t = 0;
+    if constexpr (kProfiled) t = StageProfiler::NowNs();
+    sample_buffer_.clear();
+    if (budgeted_sampler_ != nullptr) {
+      budgeted_sampler_->Drain(&sample_buffer_, sample_buffer_.capacity());
+    } else {
+      sampler_->Drain(&sample_buffer_, sample_buffer_.capacity());
+    }
+    if constexpr (kProfiled) {
+      const uint64_t drained = StageProfiler::NowNs();
+      sampler_wall += drained - t;
+      t = drained;
+    }
+    for (const SampleRecord& sample : sample_buffer_) {
+      policy_->OnSample(sample);
+    }
+    FlushMetadataTraffic();
+    if constexpr (kProfiled) policy_wall += StageProfiler::NowNs() - t;
   }
-  for (const SampleRecord& sample : sample_buffer_) {
-    policy_->OnSample(sample);
-  }
-  FlushMetadataTraffic();
+
+  [[maybe_unused]] uint64_t t_maint = 0;
+  if constexpr (kProfiled) t_maint = StageProfiler::NowNs();
 
   // Periodic policy maintenance.
   while (now_ >= next_tick_) {
@@ -284,6 +469,12 @@ void Simulation::RunOp(const OpTrace& op, TenantState* tenant) {
     last_migration_pages_ = pages;
   }
 
+  [[maybe_unused]] uint64_t t_account = 0;
+  if constexpr (kProfiled) {
+    t_account = StageProfiler::NowNs();
+    stages_->Record(Stage::kMigration, t_account - t_maint);
+  }
+
   ++ops_;
   window_.Add(static_cast<double>(op_latency));
   reservoir_.Add(static_cast<double>(op_latency));
@@ -292,6 +483,14 @@ void Simulation::RunOp(const OpTrace& op, TenantState* tenant) {
     tenant->accesses += count;
     tenant->reservoir.Add(static_cast<double>(op_latency));
     tenant->window.Add(static_cast<double>(op_latency));
+  }
+  if (op_latency_hist_ != nullptr) op_latency_hist_->Observe(op_latency);
+
+  if constexpr (kProfiled) {
+    stages_->Record(Stage::kCache, cache_wall);
+    stages_->Record(Stage::kPolicy, policy_wall);
+    stages_->Record(Stage::kSampler, sampler_wall);
+    stages_->Record(Stage::kAccounting, StageProfiler::NowNs() - t_account);
   }
 }
 
@@ -325,7 +524,19 @@ SimulationResult Simulation::Run() {
   while (accesses_ < config_.max_accesses) {
     if (config_.max_ops != 0 && ops_ >= config_.max_ops) break;
     if (config_.max_time_ns != 0 && now_ >= config_.max_time_ns) break;
+
+    // Sampled wall-clock profiling: decide before generation so NextOp
+    // (live draw or trace replay) is attributed too. A null profiler
+    // costs a single predictable branch per op.
+    const bool profile_op = stages_ != nullptr && stages_->BeginOp();
+    const uint64_t op_start =
+        profile_op ? StageProfiler::NowNs() : 0;
+
     if (!workload_->NextOp(now_, &op)) break;
+    if (profile_op) {
+      stages_->Record(Stage::kGeneration,
+                      StageProfiler::NowNs() - op_start);
+    }
 
     if (op.accesses.empty()) {
       // Pure idle gap (no tenant runnable before the next arrival):
@@ -387,7 +598,13 @@ SimulationResult Simulation::Run() {
             ? nullptr
             : &tenant_states_[tenant_source_->last_tenant()];
 
-    RunOp(op, tenant);
+    if (profile_op) [[unlikely]] {
+      RunOpImpl<true>(op, tenant);
+      stages_->RecordOp(StageProfiler::NowNs() - op_start,
+                        op.accesses.size());
+    } else {
+      RunOpImpl<false>(op, tenant);
+    }
 
     while (now_ >= next_stats_) {
       RecordTimelinePoint(next_stats_);
@@ -439,15 +656,18 @@ SimulationResult Simulation::Run() {
   result_.samples_dropped = budgeted_sampler_ != nullptr
                                 ? budgeted_sampler_->samples_dropped()
                                 : sampler_->samples_dropped();
+  // Close the metric series at the final virtual timestamp (a no-op
+  // when the run ended exactly on a stats boundary).
+  if (metrics_ != nullptr) metrics_->Snapshot(now_);
   FinalizeTenantResults();
   return result_;
 }
 
 void Simulation::FinalizeTenantResults() {
   if (tenant_source_ == nullptr) return;
-  // The quota controller's per-tenant view, when the policy has one.
-  const auto* quota_stats =
-      dynamic_cast<const TenantQuotaStatsSource*>(policy_);
+  // The quota controller's per-tenant view, when the policy has one
+  // (resolved once at construction).
+  const TenantQuotaStatsSource* quota_stats = quota_stats_;
   std::vector<double> occupancies;
   std::vector<double> present_occupancies;
   std::vector<double> present_weights;

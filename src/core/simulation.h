@@ -28,6 +28,7 @@
 #include "mem/page.h"
 #include "mem/perf_model.h"
 #include "mem/tiered_memory.h"
+#include "obs/telemetry.h"
 #include "policies/policy.h"
 #include "sampling/budgeted_sampler.h"
 #include "sampling/sampler.h"
@@ -35,6 +36,8 @@
 #include "workloads/workload.h"
 
 namespace hybridtier {
+
+class TenantQuotaStatsSource;
 
 /** All knobs of one simulation run. */
 struct SimulationConfig {
@@ -93,6 +96,14 @@ struct SimulationConfig {
    */
   bool prefault_at_start = true;
   uint64_t seed = 1;                    //!< Sampler jitter seed.
+  /**
+   * Optional telemetry sinks (metrics registry, trace emitter, stage
+   * profiler), all non-owning and null by default. Metric and trace
+   * content is keyed to virtual time and stays bit-identical across
+   * dispatch engines and sweep `--jobs` values; the stage profiler is
+   * the one wall-clock exception (bench reporting only).
+   */
+  Telemetry telemetry;
 };
 
 /**
@@ -290,8 +301,20 @@ class Simulation {
    * probes, timing, sampling) as a tight inlined loop, policy dispatch
    * per `access_interest_`, the sample drain, due maintenance ticks,
    * migration-stall charging, and the op's latency accounting.
+   *
+   * Instantiated on a compile-time profiling flag so the common
+   * (unprofiled) instantiation contains no wall-clock reads at all;
+   * the profiled one runs only for the stage profiler's sampled ops.
    */
-  void RunOp(const OpTrace& op, TenantState* tenant);
+  template <bool kProfiled>
+  void RunOpImpl(const OpTrace& op, TenantState* tenant);
+
+  /** Registers metric probes and trace tracks from config_.telemetry. */
+  void SetupTelemetry();
+
+  /** Emits period_adapt instants for tenants whose budgeted-sampler
+   *  period changed since the last stats interval. */
+  void EmitSamplerAdaptEvents(TimeNs at);
 
   /**
    * Replays metadata lines buffered in `metadata_counter_` into the
@@ -344,6 +367,17 @@ class Simulation {
   uint64_t last_l1_tiering_misses_ = 0;
   uint64_t last_llc_app_misses_ = 0;
   uint64_t last_llc_tiering_misses_ = 0;
+
+  // Telemetry (all null/empty when disabled; see SetupTelemetry).
+  MetricRegistry* metrics_ = nullptr;
+  TraceEmitter* trace_ = nullptr;
+  StageProfiler* stages_ = nullptr;
+  HistogramMetric* op_latency_hist_ = nullptr;  //!< Owned by metrics_.
+  /** Quota-stats view of policy_, resolved once (also used by
+   *  FinalizeTenantResults). */
+  const TenantQuotaStatsSource* quota_stats_ = nullptr;
+  TraceEmitter::TrackId sampler_track_ = 0;
+  std::vector<uint64_t> last_periods_;  //!< Per-tenant, for adapt events.
 };
 
 /** Convenience wrapper: construct, run, return. */

@@ -1,6 +1,107 @@
 #include "exec/sweep.h"
 
+#include <fstream>
+#include <unordered_map>
+
+#include "obs/trace.h"
+
 namespace hybridtier {
+
+namespace {
+
+/** "axis=value axis=value ..." label of one cell, in axis order. */
+std::string CellLabel(const SweepGrid& grid, size_t cell_index) {
+  std::string label;
+  for (size_t a = 0; a < grid.axes().size(); ++a) {
+    const SweepAxis& axis = grid.axes()[a];
+    if (!label.empty()) label += ' ';
+    label += axis.name;
+    label += '=';
+    label += axis.values[grid.ValueIndexAt(cell_index, a)];
+  }
+  return label;
+}
+
+/**
+ * Numbers distinct executing threads by the first cell index each one
+ * ran, so worker-track ids depend only on the observed schedule.
+ */
+std::vector<uint32_t> WorkerOfCell(
+    const std::vector<SweepCellTiming>& timings) {
+  std::vector<uint32_t> worker(timings.size(), 0);
+  std::unordered_map<size_t, uint32_t> by_hash;
+  for (size_t i = 0; i < timings.size(); ++i) {
+    const auto [it, inserted] = by_hash.emplace(
+        timings[i].thread_hash, static_cast<uint32_t>(by_hash.size()));
+    worker[i] = it->second;
+  }
+  return worker;
+}
+
+}  // namespace
+
+void WriteSweepTelemetry(const SweepGrid& grid, const SweepOptions& options,
+                         unsigned jobs, double wall_seconds,
+                         const std::vector<SweepCellTiming>& timings) {
+  const std::vector<uint32_t> worker = WorkerOfCell(timings);
+  uint32_t workers = 0;
+  for (const uint32_t w : worker) workers = std::max(workers, w + 1);
+
+  if (!options.trace_out.empty()) {
+    TraceEmitter emitter(1, "sweep:" + options.name);
+    std::vector<TraceEmitter::TrackId> worker_track(workers);
+    for (uint32_t w = 0; w < workers; ++w) {
+      worker_track[w] = emitter.Track("worker " + std::to_string(w));
+    }
+    emitter.Reserve(timings.size());
+    for (size_t i = 0; i < timings.size(); ++i) {
+      emitter.Span(worker_track[worker[i]],
+                   emitter.Intern(CellLabel(grid, i)), timings[i].start_ns,
+                   timings[i].end_ns,
+                   {{"cell", static_cast<double>(i)},
+                    {"seed", static_cast<double>(
+                                 DeriveCellSeed(options.base_seed, i))}});
+    }
+    std::ofstream out(options.trace_out);
+    if (!out) {
+      HT_WARN("[sweep] cannot open trace file '", options.trace_out, "'");
+    } else {
+      emitter.WriteJson(out);
+    }
+  }
+
+  if (!options.metrics_out.empty()) {
+    std::ofstream out(options.metrics_out);
+    if (!out) {
+      HT_WARN("[sweep] cannot open metrics file '", options.metrics_out,
+              "'");
+      return;
+    }
+    char buf[64];
+    out << "{\n  \"sweep\": \"" << options.name << "\",\n";
+    out << "  \"cells\": " << timings.size() << ",\n";
+    out << "  \"jobs\": " << jobs << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.6f", wall_seconds);
+    out << "  \"wall_s\": " << buf << ",\n";
+    out << "  \"cell_wall_ms\": [";
+    for (size_t i = 0; i < timings.size(); ++i) {
+      const double ms = static_cast<double>(timings[i].end_ns -
+                                            timings[i].start_ns) /
+                        1e6;
+      std::snprintf(buf, sizeof(buf), "%.3f", ms);
+      out << (i == 0 ? "" : ", ") << buf;
+    }
+    out << "],\n  \"cell_workers\": [";
+    for (size_t i = 0; i < worker.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << worker[i];
+    }
+    out << "],\n  \"cell_labels\": [";
+    for (size_t i = 0; i < timings.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << '"' << CellLabel(grid, i) << '"';
+    }
+    out << "]\n}\n";
+  }
+}
 
 SweepGrid::SweepGrid(std::vector<SweepAxis> axes) {
   for (SweepAxis& axis : axes) {

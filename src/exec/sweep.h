@@ -32,7 +32,9 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -123,9 +125,36 @@ struct SweepOptions {
   uint64_t base_seed = 42;
   /** Label used in progress/wall-time lines. */
   std::string name = "sweep";
-  /** Print the cells/jobs/wall-time summary line to stdout. */
+  /** Log the cells/jobs/wall-time summary line after the run. */
   bool report_wall_time = true;
+  /**
+   * When non-empty, write a Perfetto trace of per-cell *wall-clock*
+   * spans here after the run. Unlike the per-cell simulated-time
+   * telemetry, sweep-level traces are measurements of this machine —
+   * they are deliberately exempt from the jobs-invariance byte-identity
+   * contract (they change with thread count by construction).
+   */
+  std::string trace_out;
+  /** When non-empty, write a sweep-level wall-time JSON summary here. */
+  std::string metrics_out;
 };
+
+/** Wall-clock timing of one executed sweep cell (sweep telemetry). */
+struct SweepCellTiming {
+  uint64_t start_ns = 0;   //!< Nanoseconds after sweep start.
+  uint64_t end_ns = 0;     //!< Nanoseconds after sweep start.
+  size_t thread_hash = 0;  //!< Hash of the executing thread's id.
+};
+
+/**
+ * Writes the sweep-level wall-clock trace (`options.trace_out`) and/or
+ * wall-time summary JSON (`options.metrics_out`) for one finished run.
+ * Worker tracks are numbered by the first cell index each distinct
+ * thread executed, so track numbering is stable for a given schedule.
+ */
+void WriteSweepTelemetry(const SweepGrid& grid, const SweepOptions& options,
+                         unsigned jobs, double wall_seconds,
+                         const std::vector<SweepCellTiming>& timings);
 
 /**
  * Expands a grid into cells and runs them, possibly in parallel.
@@ -167,13 +196,26 @@ class SweepRunner {
     const unsigned jobs = EffectiveJobs(cells);
     HT_INFORM("[sweep] ", options_.name, ": ", cells, " cells on ", jobs,
               jobs == 1 ? " worker" : " workers");
+    // Per-cell wall-clock spans are only captured when a telemetry sink
+    // was requested — the default sweep pays zero extra clock reads.
+    const bool telemetry =
+        !options_.trace_out.empty() || !options_.metrics_out.empty();
+    std::vector<SweepCellTiming> timings(telemetry ? cells : 0);
     const auto start = std::chrono::steady_clock::now();
+    const auto elapsed_ns = [start] {
+      return static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    };
 
     if (jobs <= 1) {
       // Inline path: no pool, cells run in index order on this thread.
       for (size_t i = 0; i < cells; ++i) {
+        if (telemetry) timings[i].start_ns = elapsed_ns();
         results[i] = fn(SweepCell(&grid, i,
                                   DeriveCellSeed(options_.base_seed, i)));
+        if (telemetry) timings[i].end_ns = elapsed_ns();
       }
     } else {
       ThreadPool pool(jobs);
@@ -181,10 +223,17 @@ class SweepRunner {
       // ~8 progress lines per sweep, however large the grid is.
       const size_t progress_every = std::max<size_t>(1, cells / 8);
       for (size_t i = 0; i < cells; ++i) {
-        pool.Submit([this, &grid, &fn, &results, &completed, cells,
-                     progress_every, i] {
+        pool.Submit([this, &grid, &fn, &results, &completed, &timings,
+                     &elapsed_ns, telemetry, cells, progress_every, i] {
+          if (telemetry) {
+            // Each task writes only its own timing slot: no race.
+            timings[i].start_ns = elapsed_ns();
+            timings[i].thread_hash =
+                std::hash<std::thread::id>{}(std::this_thread::get_id());
+          }
           results[i] =
               fn(SweepCell(&grid, i, DeriveCellSeed(options_.base_seed, i)));
+          if (telemetry) timings[i].end_ns = elapsed_ns();
           const size_t done = completed.fetch_add(1) + 1;
           if (done % progress_every == 0 && done != cells) {
             HT_INFORM("[sweep] ", options_.name, ": ", done, "/", cells,
@@ -200,12 +249,17 @@ class SweepRunner {
                                       start)
             .count();
     if (options_.report_wall_time) {
-      // Wall time goes to stdout for trajectory tracking, never into a
-      // CSV — byte-identical CSV output across thread counts is the
-      // subsystem's contract.
-      std::printf("[sweep] %s: %zu cells, jobs=%u, wall %.2f s\n",
-                  options_.name.c_str(), cells, jobs, last_wall_seconds_);
-      std::fflush(stdout);
+      // Wall time goes through the logging layer (stderr) — never into
+      // a CSV, since byte-identical CSV output across thread counts is
+      // the subsystem's contract.
+      char wall[32];
+      std::snprintf(wall, sizeof(wall), "%.2f", last_wall_seconds_);
+      HT_INFORM("[sweep] ", options_.name, ": ", cells, " cells, jobs=",
+                jobs, ", wall ", wall, " s");
+    }
+    if (telemetry) {
+      WriteSweepTelemetry(grid, options_, jobs, last_wall_seconds_,
+                          timings);
     }
     return results;
   }

@@ -37,6 +37,13 @@ TimeNs MigrationEngine::ExecuteBatch(std::span<const PageId> pages, Tier dst,
   const TimeNs cost =
       perf_model_->MigrationCost(moved, PageBytes(mode_), now);
   stats_.migration_time_ns += cost;
+  if (trace_ != nullptr) [[unlikely]] {
+    trace_->Span(trace_track_,
+                 dst == Tier::kFast ? "promote_batch" : "demote_batch",
+                 now, now + cost,
+                 {{"pages", static_cast<double>(moved)},
+                  {"requested", static_cast<double>(pages.size())}});
+  }
   return cost;
 }
 

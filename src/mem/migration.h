@@ -20,6 +20,7 @@
 #include "mem/page.h"
 #include "mem/perf_model.h"
 #include "mem/tiered_memory.h"
+#include "obs/trace.h"
 
 namespace hybridtier {
 
@@ -72,6 +73,18 @@ class MigrationEngine {
   /** Timing model charged for copies (not owned). */
   PerfModel* perf_model() const { return perf_model_; }
 
+  /**
+   * Attaches a trace sink: every executed batch emits a span on
+   * `track` covering its modeled duration. Hooked on the *real* engine
+   * (the one the simulation owns), so batches filtered through a
+   * decorator such as the fair-share quota gate are still traced when
+   * they reach execution.
+   */
+  void SetTrace(TraceEmitter* trace, TraceEmitter::TrackId track) {
+    trace_ = trace;
+    trace_track_ = track;
+  }
+
  private:
   TimeNs ExecuteBatch(std::span<const PageId> pages, Tier dst, TimeNs now);
 
@@ -79,6 +92,8 @@ class MigrationEngine {
   PerfModel* perf_model_;
   PageMode mode_;
   MigrationStats stats_;
+  TraceEmitter* trace_ = nullptr;
+  TraceEmitter::TrackId trace_track_ = 0;
 };
 
 }  // namespace hybridtier

@@ -101,6 +101,20 @@ void FairSharePolicy::Bind(const PolicyContext& context) {
   occupancy_ready_ = false;
   next_rebalance_ns_ = config_.rebalance_interval_ns;
 
+  // Trace tracks: one controller track for rebalance decisions, one
+  // track per tenant for churn edges and quota awards. Registration
+  // order is the fixed tenant order, so tids are deterministic.
+  trace_ = context.trace;
+  tenant_track_.assign(n, 0);
+  drain_start_ns_.assign(n, 0);
+  if (trace_ != nullptr) {
+    controller_track_ = trace_->Track("quota/controller");
+    for (uint32_t t = 0; t < n; ++t) {
+      tenant_track_[t] =
+          trace_->Track("quota/" + directory_.regions[t].name);
+    }
+  }
+
   // The shadow MRC estimate exists only when the marginal controller
   // can use it: density runs keep their metadata footprint unchanged.
   ghost_.clear();
@@ -193,6 +207,10 @@ void FairSharePolicy::ApplyChurn(TimeNs now) {
         if (now < window.arrival_ns) break;
         churn_state_[t] = kChurnActive;
         changed = true;
+        if (trace_ != nullptr) {
+          trace_->Instant(tenant_track_[t], "arrival", now,
+                          {{"window", static_cast<double>(window_index_[t])}});
+        }
         if (config_.arrival_grace > 0.0) {
           // Warm-up grace: the newcomer has no demand history, so the
           // first rebalance would drop it to the min_share floor (the
@@ -222,7 +240,13 @@ void FairSharePolicy::ApplyChurn(TimeNs now) {
       churn_state_[t] = kChurnDraining;
       drain_cursor_[t] =
           directory_.regions[t].UnitRange(context().mode).begin;
+      drain_start_ns_[t] = now;
       changed = true;
+      if (trace_ != nullptr) {
+        trace_->Instant(tenant_track_[t], "departure", now,
+                        {{"fast_units",
+                          static_cast<double>(fast_units_[t])}});
+      }
     }
   }
   if (changed) {
@@ -268,7 +292,7 @@ void FairSharePolicy::DrainDeparting(TimeNs now) {
                 fast_units_[t], " fast units unaccounted");
       if (!victims_.empty()) TrackedDemote(victims_, now);
     }
-    if (fast_units_[t] == 0) FinishRelease(t);
+    if (fast_units_[t] == 0) FinishRelease(t, now);
   }
 }
 
@@ -283,10 +307,10 @@ void FairSharePolicy::ForceFinishDrain(uint32_t tenant, TimeNs now) {
                           victims_.push_back(unit);
                         });
   if (!victims_.empty()) TrackedDemote(victims_, now);
-  FinishRelease(tenant);
+  FinishRelease(tenant, now);
 }
 
-void FairSharePolicy::FinishRelease(uint32_t tenant) {
+void FairSharePolicy::FinishRelease(uint32_t tenant, TimeNs now) {
   HT_ASSERT(fast_units_[tenant] == 0, "tenant ", tenant, " still holds ",
             fast_units_[tenant], " fast units at release");
   // The region returns to the free pools, as exit reclaim would free a
@@ -294,7 +318,13 @@ void FairSharePolicy::FinishRelease(uint32_t tenant) {
   // from scratch via first touches.
   const PageRange range =
       directory_.regions[tenant].UnitRange(context().mode);
-  released_units_[tenant] += memory().Release(range);
+  const uint64_t released = memory().Release(range);
+  released_units_[tenant] += released;
+  if (trace_ != nullptr) {
+    // The reclaim-drain window: departure edge to region release.
+    trace_->Span(tenant_track_[tenant], "drain", drain_start_ns_[tenant],
+                 now, {{"released", static_cast<double>(released)}});
+  }
   window_fast_samples_[tenant] = 0;
   window_slow_samples_[tenant] = 0;
   demand_ema_[tenant] = 0.0;
@@ -443,6 +473,22 @@ void FairSharePolicy::Rebalance(TimeNs now) {
     window_slow_samples_[t] = 0;
   }
 
+  if (trace_ != nullptr) {
+    // The re-division decision: one controller instant, plus each
+    // active tenant's awarded quota (and its water-filling bid in
+    // marginal mode) on its own track.
+    trace_->Instant(controller_track_, "rebalance", now,
+                    {{"fast_capacity",
+                      static_cast<double>(context().fast_capacity_units)}});
+    for (uint32_t t = 0; t < n; ++t) {
+      if (churn_state_[t] != kChurnActive) continue;
+      trace_->Instant(tenant_track_[t], "quota", now,
+                      {{"quota_units", static_cast<double>(quota_[t])},
+                       {"fast_units", static_cast<double>(fast_units_[t])},
+                       {"marginal_utility", marginal_utility_[t]}});
+    }
+  }
+
   // Rotate tenants whose placement is visibly bad: most of their
   // sampled accesses missed the fast tier even though they sit at (or
   // above) their fill limit, so the resident mix — not the quota — is
@@ -452,6 +498,10 @@ void FairSharePolicy::Rebalance(TimeNs now) {
   for (uint32_t t = 0; t < n; ++t) {
     if (churn_state_[t] != kChurnActive) continue;
     if (fast_fraction[t] < config_.rotate_below) {
+      if (trace_ != nullptr) {
+        trace_->Instant(tenant_track_[t], "rotate", now,
+                        {{"fast_fraction", fast_fraction[t]}});
+      }
       DemoteToTarget(t, FillLimit(t), now);
     }
   }

@@ -283,8 +283,9 @@ class FairSharePolicy : public TieringPolicy,
   /**
    * Frees a fully drained tenant's region, resets its demand state, and
    * advances it to its next residency window (or retires it for good).
+   * `now` stamps the end of the drain-window trace span.
    */
-  void FinishRelease(uint32_t tenant);
+  void FinishRelease(uint32_t tenant, TimeNs now);
 
   /**
    * Counts fast-resident units per tenant once, lazily, at the first
@@ -365,6 +366,14 @@ class FairSharePolicy : public TieringPolicy,
   std::vector<uint64_t> shadow_samples_;   //!< Samples fed to ghost_.
   std::vector<double> marginal_utility_;   //!< At last rebalance.
   std::vector<TimeNs> grace_until_ns_;     //!< Arrival-grace deadline.
+
+  // Trace emission (all inert when the bound context has no trace):
+  // quota decisions land on a controller track, churn and per-tenant
+  // quota awards on one track per tenant.
+  TraceEmitter* trace_ = nullptr;
+  TraceEmitter::TrackId controller_track_ = 0;
+  std::vector<TraceEmitter::TrackId> tenant_track_;
+  std::vector<TimeNs> drain_start_ns_;  //!< Departure time, per tenant.
 
   // Scratch (avoids per-batch allocation).
   std::vector<PageId> admitted_;

@@ -28,6 +28,9 @@ void MemtisPolicy::Bind(const PolicyContext& context) {
   counters_ = std::make_unique<ExactCounterTable>(context.footprint_units);
   histogram_ = std::make_unique<Histogram>(config_.hist_max);
   hot_threshold_ = 1;
+  if (context.trace != nullptr) {
+    cooling_track_ = context.trace->Track("policy/Memtis");
+  }
 }
 
 void MemtisPolicy::TouchSampleMetadata(PageId unit, uint32_t bucket) {
@@ -77,6 +80,11 @@ void MemtisPolicy::OnSample(const SampleRecord& sample) {
     counters_->CoolByHalving();
     histogram_->CoolByHalving();
     ++coolings_;
+    if (context().trace != nullptr) {
+      context().trace->Instant(
+          cooling_track_, "cooling", sample.time_ns,
+          {{"coolings", static_cast<double>(coolings_)}});
+    }
     // Cooling rewrites every metadata record: a full sweep of the
     // counter array plus the histogram.
     const uint64_t meta_lines = counters_->memory_bytes() / kCacheLineSize;

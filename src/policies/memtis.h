@@ -100,6 +100,7 @@ class MemtisPolicy : public TieringPolicy {
   uint32_t hot_threshold_ = 1;
   uint64_t coolings_ = 0;
   PageId scan_cursor_ = 0;
+  TraceEmitter::TrackId cooling_track_ = 0;  //!< Cooling-event track.
 };
 
 }  // namespace hybridtier

@@ -107,6 +107,14 @@ struct PolicyContext {
   TieredMemory* memory = nullptr;
   MigrationEngine* migration = nullptr;
   MetadataTrafficCounter* metadata_sink = nullptr;
+  /**
+   * Optional trace sink (null = tracing off). Policies that emit
+   * decision events (quota rebalances, cooling) register their tracks
+   * in Bind and guard every emission on this pointer; virtual-time
+   * event content must stay a pure function of the simulated stream so
+   * traces keep the engine's bit-identity guarantees.
+   */
+  TraceEmitter* trace = nullptr;
   PageMode mode = PageMode::kRegular;
   uint64_t footprint_units = 0;      //!< Address-space size in units.
   uint64_t fast_capacity_units = 0;  //!< Fast-tier size in units.

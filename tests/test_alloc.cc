@@ -18,6 +18,10 @@
 #include <memory>
 #include <new>
 
+#include "core/policy_factory.h"
+#include "core/simulation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workloads/factory.h"
 #include "workloads/trace.h"
 
@@ -95,6 +99,58 @@ TEST(SteadyStateAllocation, TraceReplayIsAllocationFree) {
   const uint64_t before = AllocationCount();
   Generate(replay, op, 8192);
   EXPECT_EQ(AllocationCount() - before, 0u);
+}
+
+TEST(SteadyStateAllocation, MetricHandlesAreAllocationFree) {
+  // Registration allocates; pushing values through the resolved handles
+  // afterwards must not — that is the whole point of handle resolution.
+  MetricRegistry registry;
+  Counter* counter = registry.AddCounter("c");
+  Gauge* gauge = registry.AddGauge("g");
+  HistogramMetric* hist = registry.AddHistogram("h");
+  const uint64_t before = AllocationCount();
+  for (uint64_t i = 0; i < 100000; ++i) {
+    counter->Inc();
+    gauge->Set(static_cast<double>(i));
+    hist->Observe(i);
+  }
+  EXPECT_EQ(AllocationCount() - before, 0u);
+}
+
+TEST(SteadyStateAllocation, TraceEmissionIsAllocationFreeAfterReserve) {
+  TraceEmitter emitter(1, "cell");
+  const TraceEmitter::TrackId track = emitter.Track("t");
+  const char* name = emitter.Intern("steady-event");
+  emitter.Reserve(4096);
+  emitter.set_max_events(2048);  // The drop path must not allocate either.
+  const uint64_t before = AllocationCount();
+  for (uint64_t i = 0; i < 4096; ++i) {
+    emitter.Instant(track, name, i, {{"v", 1.0}});
+    emitter.Span(track, name, i, i + 10, {{"v", 2.0}});
+  }
+  EXPECT_EQ(AllocationCount() - before, 0u);
+  EXPECT_EQ(emitter.event_count(), 2048u);
+  EXPECT_EQ(emitter.dropped_events(), 8192u - 2048u);
+}
+
+TEST(SteadyStateAllocation, DisabledTelemetryRunAllocatesDeterministically) {
+  // With telemetry disabled (the default null pointers), the engine's
+  // telemetry branches are dead `if (ptr)` checks. Two identical runs
+  // must allocate the identical amount — a nondeterministic or growing
+  // count here would mean a hidden per-access telemetry allocation.
+  const auto measure = [] {
+    auto workload = MakeWorkload("zipf", 0.1, 42);
+    auto policy = MakePolicy("HybridTier");
+    SimulationConfig config;
+    config.max_accesses = 100000;
+    config.seed = 42;
+    const uint64_t before = AllocationCount();
+    RunSimulation(config, workload.get(), policy.get());
+    return AllocationCount() - before;
+  };
+  const uint64_t first = measure();
+  const uint64_t second = measure();
+  EXPECT_EQ(first, second);
 }
 
 }  // namespace

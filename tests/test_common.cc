@@ -378,6 +378,45 @@ TEST(Logging, AssertPassesOnTrue) {
   SUCCEED();
 }
 
+TEST(Logging, FilteredMessagesDoNotEvaluateArguments) {
+  // The macros must check the level *before* StrCat runs: a debug line
+  // on a hot path may format expensive arguments, and filtering it out
+  // has to cost one branch, not a string build plus side effects.
+  const LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kWarn);
+  int evaluations = 0;
+  const auto expensive = [&evaluations] {
+    ++evaluations;
+    return "payload";
+  };
+  HT_DEBUG("dropped: ", expensive());
+  HT_INFORM("also dropped: ", expensive());
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(LogLevel::kSilent);
+  HT_WARN("dropped too: ", expensive());
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(old_level);
+}
+
+TEST(Logging, ParseLogLevelRoundTrips) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInform);
+  EXPECT_EQ(ParseLogLevel("inform"), LogLevel::kInform);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("silent"), LogLevel::kSilent);
+  for (const LogLevel level :
+       {LogLevel::kDebug, LogLevel::kInform, LogLevel::kWarn,
+        LogLevel::kError}) {
+    EXPECT_EQ(ParseLogLevel(LogLevelName(level)), level);
+  }
+}
+
+TEST(LoggingDeathTest, ParseLogLevelRejectsUnknownNames) {
+  EXPECT_DEATH(ParseLogLevel("loud"), "log level");
+}
+
 TEST(LoggingDeathTest, AssertAbortsOnFalse) {
   EXPECT_DEATH(HT_ASSERT(false, "boom"), "assertion failed");
 }

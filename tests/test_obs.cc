@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Telemetry subsystem tests (src/obs/): metric registry semantics,
+ * trace-event JSON structure, stage-profiler accounting, and — the part
+ * CI actually leans on — the determinism contract: telemetry keyed to
+ * simulated time must serialize byte-identically across dispatch
+ * engines (batched vs legacy), generation modes (live vs replay), and
+ * sweep thread counts, and enabling it must not perturb the simulation
+ * itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "core/simulation.h"
+#include "exec/sweep.h"
+#include "multitenant/fair_share_policy.h"
+#include "multitenant/mux_workload.h"
+#include "obs/metrics.h"
+#include "obs/stage_profiler.h"
+#include "obs/trace.h"
+#include "workloads/factory.h"
+#include "workloads/trace.h"
+
+namespace hybridtier {
+namespace {
+
+// ------------------------------------------------------------ Metrics --
+
+TEST(Metrics, CounterGaugeProbeSeries) {
+  MetricRegistry registry;
+  Counter* counter = registry.AddCounter("a/count");
+  Gauge* gauge = registry.AddGauge("a/level");
+  double probed = 1.5;
+  registry.AddProbe("a/probe", [&probed] { return probed; });
+  EXPECT_EQ(registry.series_count(), 3u);
+
+  counter->Inc();
+  counter->Inc(2);
+  gauge->Set(7.0);
+  registry.Snapshot(1000);
+  probed = 2.5;
+  gauge->Set(-1.0);
+  registry.Snapshot(2000);
+  registry.Snapshot(2000);  // Duplicate timestamp is ignored.
+  EXPECT_EQ(registry.snapshot_count(), 2u);
+
+  std::ostringstream csv;
+  registry.WriteCsv(csv);
+  const std::string text = csv.str();
+  EXPECT_NE(text.find("time_ns,a/count,a/level,a/probe"),
+            std::string::npos);
+  EXPECT_NE(text.find("1000,3,7,1.5"), std::string::npos);
+  EXPECT_NE(text.find("2000,3,-1,2.5"), std::string::npos);
+}
+
+TEST(Metrics, ReRegistrationReturnsTheSameHandle) {
+  MetricRegistry registry;
+  Counter* first = registry.AddCounter("dup");
+  Counter* second = registry.AddCounter("dup");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(registry.series_count(), 1u);
+  HistogramMetric* h1 = registry.AddHistogram("hist");
+  HistogramMetric* h2 = registry.AddHistogram("hist");
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(Metrics, FinalSectionUsesLastSnapshotNotLiveProbes) {
+  // Probes may capture objects destroyed before serialization; the
+  // writer must read the recorded series, never call the probe again.
+  MetricRegistry registry;
+  int live_reads = 0;
+  registry.AddProbe("p", [&live_reads] {
+    ++live_reads;
+    return 42.0;
+  });
+  registry.Snapshot(10);
+  const int reads_at_snapshot = live_reads;
+  std::ostringstream out;
+  registry.WriteJson(out);
+  EXPECT_EQ(live_reads, reads_at_snapshot);
+  EXPECT_NE(out.str().find("\"p\": 42"), std::string::npos);
+}
+
+TEST(Metrics, HistogramPowerOfTwoBuckets) {
+  EXPECT_EQ(HistogramMetric::BucketOf(0), 0u);
+  EXPECT_EQ(HistogramMetric::BucketOf(1), 0u);
+  EXPECT_EQ(HistogramMetric::BucketOf(2), 1u);
+  EXPECT_EQ(HistogramMetric::BucketOf(3), 2u);
+  EXPECT_EQ(HistogramMetric::BucketOf(4), 2u);
+  EXPECT_EQ(HistogramMetric::BucketOf(5), 3u);
+  EXPECT_EQ(HistogramMetric::BucketOf(1024), 10u);
+  EXPECT_EQ(HistogramMetric::BucketOf(1025), 11u);
+  // BucketFloor(i) is the smallest value BucketOf maps to bucket i.
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(HistogramMetric::BucketOf(HistogramMetric::BucketFloor(i)),
+              i)
+        << "bucket " << i;
+  }
+
+  HistogramMetric hist;
+  hist.Observe(1);
+  hist.Observe(100);
+  hist.Observe(100);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.sum(), 201u);
+  EXPECT_EQ(hist.bucket(0), 1u);
+  EXPECT_EQ(hist.bucket(HistogramMetric::BucketOf(100)), 2u);
+  EXPECT_EQ(hist.MaxBucket(), HistogramMetric::BucketOf(100));
+}
+
+// -------------------------------------------------------------- Trace --
+
+TEST(Trace, JsonStructureAndTimestampFormatting) {
+  TraceEmitter emitter(3, "cell");
+  const TraceEmitter::TrackId track = emitter.Track("tenant-a");
+  EXPECT_EQ(emitter.Track("tenant-a"), track);  // Idempotent lookup.
+  emitter.Instant(track, "arrival", 1, {{"w", 2.0}});
+  emitter.Span(track, "drain", 1000, 4500, {{"released", 12.0}});
+  emitter.Span(track, "empty", 500, 400);  // end < start clamps to 0.
+
+  std::ostringstream out;
+  emitter.WriteJson(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+  // Process/track metadata records.
+  EXPECT_NE(text.find("\"process_name\",\"args\":{\"name\":\"cell\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"thread_name\",\"args\":{\"name\":\"tenant-a\"}"),
+            std::string::npos);
+  // ts is micros with fixed 3-digit ns remainder: 1 ns -> 0.001.
+  EXPECT_NE(text.find("\"ts\":0.001"), std::string::npos);
+  // Span: 1000 ns -> ts 1.000, 3500 ns duration -> dur 3.500.
+  EXPECT_NE(text.find("\"ts\":1.000,\"dur\":3.500"), std::string::npos);
+  EXPECT_NE(text.find("\"dur\":0.000"), std::string::npos);
+  EXPECT_NE(text.find("\"released\":12"), std::string::npos);
+  EXPECT_NE(text.find("\"pid\":3"), std::string::npos);
+}
+
+TEST(Trace, MaxEventsCapDropsDeterministically) {
+  TraceEmitter emitter;
+  const TraceEmitter::TrackId track = emitter.Track("t");
+  emitter.set_max_events(2);
+  emitter.Instant(track, "one", 1);
+  emitter.Instant(track, "two", 2);
+  emitter.Instant(track, "three", 3);
+  EXPECT_EQ(emitter.event_count(), 2u);
+  EXPECT_EQ(emitter.dropped_events(), 1u);
+  std::ostringstream out;
+  emitter.WriteJson(out);
+  EXPECT_EQ(out.str().find("three"), std::string::npos);
+}
+
+TEST(Trace, InternedNamesAreStable) {
+  TraceEmitter emitter;
+  const char* first = emitter.Intern("tenant/alpha");
+  const std::string copy = first;
+  // Interning more strings must not invalidate earlier pointers.
+  for (int i = 0; i < 100; ++i) emitter.Intern("x" + std::to_string(i));
+  EXPECT_EQ(copy, first);
+}
+
+TEST(Trace, MergedEmittersKeepCellOrder) {
+  TraceEmitter a(1, "cell-0");
+  TraceEmitter b(2, "cell-1");
+  a.Instant(a.Track("t"), "ev_a", 5);
+  b.Instant(b.Track("t"), "ev_b", 5);
+  const TraceEmitter* emitters[] = {&a, &b};
+  std::ostringstream out;
+  WriteTraceJson(out, emitters);
+  const std::string text = out.str();
+  const size_t pos_a = text.find("ev_a");
+  const size_t pos_b = text.find("ev_b");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);
+}
+
+// ------------------------------------------------------ StageProfiler --
+
+TEST(StageProfilerTest, SamplesFirstOpThenEveryNth) {
+  StageProfiler profiler(/*sample_every=*/4);
+  std::vector<bool> sampled;
+  for (int i = 0; i < 9; ++i) sampled.push_back(profiler.BeginOp());
+  const std::vector<bool> expected = {true,  false, false, false, true,
+                                      false, false, false, true};
+  EXPECT_EQ(sampled, expected);
+}
+
+TEST(StageProfilerTest, RecordsAndMerges) {
+  StageProfiler a;
+  a.Record(Stage::kCache, 100);
+  a.Record(Stage::kPolicy, 50);
+  a.RecordOp(200, 10);
+  StageProfiler b;
+  b.Record(Stage::kCache, 300);
+  b.RecordOp(400, 30);
+  a.Merge(b);
+  EXPECT_EQ(a.totals(Stage::kCache).wall_ns, 400u);
+  EXPECT_EQ(a.totals(Stage::kCache).events, 2u);
+  EXPECT_EQ(a.sampled_ops(), 2u);
+  EXPECT_EQ(a.sampled_accesses(), 40u);
+  EXPECT_DOUBLE_EQ(a.NsPerAccess(Stage::kCache), 10.0);
+  // Unattributed remainder: 600 total - 450 attributed.
+  EXPECT_EQ(a.OtherNs(), 150u);
+  const std::string report = a.Report();
+  EXPECT_NE(report.find("cache"), std::string::npos);
+  EXPECT_NE(report.find("other"), std::string::npos);
+}
+
+// ---------------------------------------------- Simulation integration --
+
+struct TelemetryCapture {
+  std::string trace_json;
+  std::string metrics_json;
+  SimulationResult result;
+};
+
+/** Runs a multi-tenant churn cell with full telemetry attached. */
+TelemetryCapture RunTelemetryChurnCell(bool batch_execution) {
+  std::vector<TenantSpec> specs =
+      ParseTenantList("zipf,cdn:2@0-5e7,zipf@3e7");
+  for (TenantSpec& spec : specs) spec.scale = 0.05;
+  auto mux = MakeMuxWorkload(specs, 11);
+  auto fair = std::make_unique<FairSharePolicy>(MakePolicy("HybridTier"),
+                                                mux->directory());
+  MetricRegistry metrics;
+  TraceEmitter trace(1, "test-cell");
+  SimulationConfig config;
+  config.max_accesses = 30000000;
+  config.max_time_ns = 90 * kMillisecond;
+  config.seed = 11;
+  config.batch_execution = batch_execution;
+  config.telemetry.metrics = &metrics;
+  config.telemetry.trace = &trace;
+
+  TelemetryCapture capture;
+  capture.result = RunSimulation(config, mux.get(), fair.get());
+
+  std::ostringstream trace_out;
+  trace.WriteJson(trace_out);
+  capture.trace_json = trace_out.str();
+  std::ostringstream metrics_out;
+  metrics.WriteJson(metrics_out);
+  capture.metrics_json = metrics_out.str();
+  return capture;
+}
+
+TEST(ObsDeterminism, TraceAndMetricsIdenticalAcrossEngines) {
+  const TelemetryCapture batched = RunTelemetryChurnCell(true);
+  const TelemetryCapture legacy = RunTelemetryChurnCell(false);
+  EXPECT_EQ(batched.trace_json, legacy.trace_json);
+  EXPECT_EQ(batched.metrics_json, legacy.metrics_json);
+  EXPECT_EQ(batched.result.accesses, legacy.result.accesses);
+  // The churn cell actually exercises the interesting tracks.
+  EXPECT_NE(batched.trace_json.find("promote_batch"), std::string::npos);
+  EXPECT_NE(batched.trace_json.find("arrival"), std::string::npos);
+  EXPECT_NE(batched.trace_json.find("quota/controller"),
+            std::string::npos);
+}
+
+TEST(ObsDeterminism, TraceAndMetricsIdenticalLiveVsReplay) {
+  SimulationConfig config;
+  config.max_accesses = 300000;
+  config.seed = 29;
+
+  const auto run = [&config](Workload* workload) {
+    MetricRegistry metrics;
+    TraceEmitter trace(1, "cell");
+    auto policy = MakePolicy("HybridTier");
+    SimulationConfig cell_config = config;
+    cell_config.telemetry.metrics = &metrics;
+    cell_config.telemetry.trace = &trace;
+    RunSimulation(cell_config, workload, policy.get());
+    std::ostringstream trace_out;
+    trace.WriteJson(trace_out);
+    std::ostringstream metrics_out;
+    metrics.WriteJson(metrics_out);
+    return std::pair<std::string, std::string>(trace_out.str(),
+                                               metrics_out.str());
+  };
+
+  auto live_workload = MakeWorkload("zipf", 0.25, 29);
+  const auto live = run(live_workload.get());
+
+  auto recorded_workload = MakeWorkload("zipf", 0.25, 29);
+  auto trace = std::make_shared<const RecordedTrace>(
+      RecordTrace(*recorded_workload, config.max_accesses));
+  ReplayWorkload replay(trace);
+  const auto replayed = run(&replay);
+
+  EXPECT_EQ(live.first, replayed.first);
+  EXPECT_EQ(live.second, replayed.second);
+}
+
+TEST(ObsDeterminism, TelemetryDoesNotPerturbTheSimulation) {
+  const auto run = [](bool with_telemetry) {
+    MetricRegistry metrics;
+    TraceEmitter trace;
+    StageProfiler stages;
+    auto workload = MakeWorkload("zipf", 0.25, 17);
+    auto policy = MakePolicy("HybridTier");
+    SimulationConfig config;
+    config.max_accesses = 300000;
+    config.seed = 17;
+    if (with_telemetry) {
+      config.telemetry.metrics = &metrics;
+      config.telemetry.trace = &trace;
+      config.telemetry.stages = &stages;
+    }
+    return RunSimulation(config, workload.get(), policy.get());
+  };
+  const SimulationResult plain = run(false);
+  const SimulationResult instrumented = run(true);
+  EXPECT_EQ(plain.ops, instrumented.ops);
+  EXPECT_EQ(plain.accesses, instrumented.accesses);
+  EXPECT_EQ(plain.duration_ns, instrumented.duration_ns);
+  EXPECT_EQ(plain.fast_mem_accesses, instrumented.fast_mem_accesses);
+  EXPECT_EQ(plain.migration.promoted_pages,
+            instrumented.migration.promoted_pages);
+  EXPECT_EQ(plain.migration.demoted_pages,
+            instrumented.migration.demoted_pages);
+  EXPECT_EQ(plain.median_latency_ns, instrumented.median_latency_ns);
+  EXPECT_EQ(plain.p99_latency_ns, instrumented.p99_latency_ns);
+}
+
+TEST(ObsDeterminism, SweepMergedTelemetryIsJobsInvariant) {
+  // The ht_run --ratio pattern: preallocated per-cell emitters indexed
+  // by flat cell index, merged in index order after the run.
+  const auto run_sweep = [](unsigned jobs) {
+    SweepGrid grid;
+    grid.AddAxis("seed", {"3", "5", "7", "9"});
+    std::vector<std::unique_ptr<TraceEmitter>> traces(grid.cell_count());
+    std::vector<std::unique_ptr<MetricRegistry>> metrics(
+        grid.cell_count());
+    SweepOptions options;
+    options.jobs = jobs;
+    options.report_wall_time = false;
+    SweepRunner runner(options);
+    runner.Run(grid, [&](const SweepCell& cell) -> int {
+      traces[cell.index()] = std::make_unique<TraceEmitter>(
+          static_cast<uint32_t>(cell.index() + 1),
+          "seed=" + cell.Get("seed"));
+      metrics[cell.index()] = std::make_unique<MetricRegistry>();
+      auto workload = MakeWorkload(
+          "zipf", 0.1, std::stoull(cell.Get("seed")));
+      auto policy = MakePolicy("HybridTier");
+      SimulationConfig config;
+      config.max_accesses = 100000;
+      config.seed = std::stoull(cell.Get("seed"));
+      config.telemetry.trace = traces[cell.index()].get();
+      config.telemetry.metrics = metrics[cell.index()].get();
+      RunSimulation(config, workload.get(), policy.get());
+      return 0;
+    });
+    std::vector<const TraceEmitter*> emitters;
+    for (const auto& trace : traces) emitters.push_back(trace.get());
+    std::ostringstream trace_out;
+    WriteTraceJson(trace_out, emitters);
+    std::ostringstream metrics_out;
+    for (const auto& registry : metrics) {
+      registry->WriteJson(metrics_out);
+    }
+    return std::pair<std::string, std::string>(trace_out.str(),
+                                               metrics_out.str());
+  };
+  const auto serial = run_sweep(1);
+  const auto parallel = run_sweep(4);
+  EXPECT_EQ(serial.first, parallel.first);
+  EXPECT_EQ(serial.second, parallel.second);
+}
+
+TEST(ObsIntegration, SimulationRegistersTheMetricCatalog) {
+  MetricRegistry metrics;
+  auto workload = MakeWorkload("zipf", 0.1, 7);
+  auto policy = MakePolicy("Memtis");
+  SimulationConfig config;
+  config.max_accesses = 300000;  // Long enough for interval snapshots.
+  config.seed = 7;
+  config.telemetry.metrics = &metrics;
+  const SimulationResult result =
+      RunSimulation(config, workload.get(), policy.get());
+
+  std::ostringstream out;
+  metrics.WriteJson(out);
+  const std::string text = out.str();
+  for (const char* name :
+       {"sim/ops", "sim/accesses", "mem/fast_used_units",
+        "migration/promoted_pages", "migration/demoted_pages",
+        "cache/llc_app_misses", "cache/llc_tiering_misses",
+        "sampler/samples_taken", "policy/metadata_bytes",
+        "sim/op_latency_ns"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  // The final section mirrors the result struct for pushed counters.
+  std::ostringstream expected;
+  expected << "\"sim/accesses\": " << result.accesses;
+  EXPECT_NE(text.find(expected.str()), std::string::npos);
+  EXPECT_GE(metrics.snapshot_count(), 2u);
+}
+
+}  // namespace
+}  // namespace hybridtier
