@@ -68,6 +68,16 @@ ChurnRun Run() {
   return run;
 }
 
+/** Series value at the last sample at or before `t` (0 if none). */
+double ValueAt(const TimeSeries& series, TimeNs t) {
+  double value = 0.0;
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (series.times_ns[i] > t) break;
+    value = series.values[i];
+  }
+  return value;
+}
+
 /** Mean of the series values inside [begin, end); 0 when empty. */
 double WindowMean(const TimeSeries& series, TimeNs begin, TimeNs end) {
   double sum = 0.0;
@@ -198,9 +208,10 @@ int main(int argc, char** argv) {
     std::vector<std::string> row;
     row.push_back(std::to_string(fairness.times_ns[i]));
     for (size_t t = 0; t < result.tenants.size(); ++t) {
+      // Per-tenant series are sparse (points only while the tenant is
+      // present or draining); look up by the fairness timestamp.
       const TimeSeries& occ = result.tenants[t].occupancy_timeline;
-      row.push_back(i < occ.size() ? FormatDouble(occ.values[i], 4)
-                                   : "0");
+      row.push_back(FormatDouble(ValueAt(occ, fairness.times_ns[i]), 4));
     }
     row.push_back(FormatDouble(fairness.values[i], 4));
     timeline.AddRow(row);

@@ -65,7 +65,11 @@ void PrintUsage() {
          "                    optional @arrival[-departure] residency\n"
          "                    window in virtual ns (e.g.\n"
          "                    cdn@0-3e8,bfs-k:2@1e8,silo); also accepts\n"
-         "                    the synthetic \"zipf\" hot-set tenant\n"
+         "                    the synthetic \"zipf\" hot-set tenant, or\n"
+         "                    a fleet generator spec\n"
+         "                    (fleet:1000,zipf=0.9,churn=poisson,...)\n"
+         "                    expanding to N tenants with Zipf weights/\n"
+         "                    footprints under Poisson or diurnal churn\n"
          "  --fair [mode]     wrap the policy in the per-tenant\n"
          "                    fair-share quota enforcer; mode is the\n"
          "                    rebalance demand signal: marginal\n"

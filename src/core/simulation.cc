@@ -106,8 +106,32 @@ Simulation::Simulation(const SimulationConfig& config, Workload* workload,
       // seeds, so no reservoir ever replays a tenant's access RNG.
       uint64_t state = config.seed ^ (0xc2b2ae3d27d4eb4fULL * (t + 1));
       tenant_states_.emplace_back(SplitMix64Next(state),
-                                  config.latency_window);
+                                  config.latency_window,
+                                  std::max<size_t>(16,
+                                                   config.tenant_reservoir));
     }
+    // Presence schedule for O(active) interval accounting: windowless
+    // tenants are present for the whole run; everyone else enters and
+    // leaves `present_` as the stats clock crosses their window edges.
+    for (uint32_t t = 0; t < tenants; ++t) {
+      const auto windows = tenant_source_->tenant_windows(t);
+      if (windows.empty()) {
+        present_.push_back(t);
+        continue;
+      }
+      for (const auto& [arrival_ns, departure_ns] : windows) {
+        presence_edges_.push_back(
+            PresenceEdge{arrival_ns, t, /*arrival=*/true});
+        if (departure_ns != 0) {
+          presence_edges_.push_back(
+              PresenceEdge{departure_ns, t, /*arrival=*/false});
+        }
+      }
+    }
+    std::sort(presence_edges_.begin(), presence_edges_.end(),
+              [](const PresenceEdge& a, const PresenceEdge& b) {
+                return a.at != b.at ? a.at < b.at : a.tenant < b.tenant;
+              });
   }
   // Exactly one sampler exists per run: the per-tenant budgeted one
   // when enabled (tenant runs), otherwise the global-period sampler.
@@ -198,7 +222,29 @@ void Simulation::SetupTelemetry() {
   });
 
   if (tenant_source_ != nullptr) {
-    for (uint32_t t = 0; t < tenant_source_->tenant_count(); ++t) {
+    // Fleet-scale telemetry cap: per-tenant probe sets only for the K
+    // heaviest tenants (ties by admission order), everyone else rolled
+    // up into one "tenant/other/" aggregate. Results and timelines are
+    // unaffected — this caps only the metric surface.
+    const uint32_t count = tenant_source_->tenant_count();
+    std::vector<uint32_t> order(count);
+    for (uint32_t t = 0; t < count; ++t) order[t] = t;
+    const uint32_t top_k =
+        config_.tenant_metrics_top_k == 0
+            ? count
+            : std::min(count, config_.tenant_metrics_top_k);
+    std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+      const double wa = tenant_source_->tenant_weight(a);
+      const double wb = tenant_source_->tenant_weight(b);
+      return wa != wb ? wa > wb : a < b;
+    });
+    std::vector<uint32_t> selected(order.begin(), order.begin() + top_k);
+    std::vector<uint32_t> other(order.begin() + top_k, order.end());
+    // Register in admission order so metric columns stay stable when K
+    // covers the whole fleet (the historical layout).
+    std::sort(selected.begin(), selected.end());
+    std::sort(other.begin(), other.end());
+    for (const uint32_t t : selected) {
       const std::string prefix =
           "tenant/" + std::string(tenant_source_->tenant_name(t)) + "/";
       m.AddProbe(prefix + "fast_units", [this, t] {
@@ -233,6 +279,35 @@ void Simulation::SetupTelemetry() {
         });
       }
     }
+    if (!other.empty()) {
+      m.AddProbe("tenant/other/count", [other] {
+        return static_cast<double>(other.size());
+      });
+      m.AddProbe("tenant/other/fast_units", [this, other] {
+        uint64_t total = 0;
+        for (const uint32_t t : other) {
+          total += memory_->RegionResident(t, Tier::kFast);
+        }
+        return static_cast<double>(total);
+      });
+      m.AddProbe("tenant/other/accesses", [this, other] {
+        uint64_t total = 0;
+        for (const uint32_t t : other) total += tenant_states_[t].accesses;
+        return static_cast<double>(total);
+      });
+      if (quota_stats_ != nullptr) {
+        m.AddProbe("tenant/other/quota_units", [this, other] {
+          uint64_t total = 0;
+          for (const uint32_t t : other) {
+            TenantQuotaStats stats;
+            if (quota_stats_->GetTenantQuotaStats(t, &stats)) {
+              total += stats.quota_units;
+            }
+          }
+          return static_cast<double>(total);
+        });
+      }
+    }
   }
 
   op_latency_hist_ = m.AddHistogram("sim/op_latency_ns");
@@ -252,6 +327,36 @@ void Simulation::EmitSamplerAdaptEvents(TimeNs at) {
 }
 
 Simulation::~Simulation() = default;
+
+namespace {
+/** Inserts `value` into ascending `set` (no-op if already there). */
+void InsertSorted(std::vector<uint32_t>* set, uint32_t value) {
+  const auto it = std::lower_bound(set->begin(), set->end(), value);
+  if (it == set->end() || *it != value) set->insert(it, value);
+}
+
+/** Removes `value` from ascending `set` (no-op if absent). */
+void EraseSorted(std::vector<uint32_t>* set, uint32_t value) {
+  const auto it = std::lower_bound(set->begin(), set->end(), value);
+  if (it != set->end() && *it == value) set->erase(it);
+}
+}  // namespace
+
+void Simulation::AdvancePresence(TimeNs at) {
+  while (presence_cursor_ < presence_edges_.size() &&
+         presence_edges_[presence_cursor_].at <= at) {
+    const PresenceEdge& edge = presence_edges_[presence_cursor_++];
+    if (edge.arrival) {
+      // A re-arrival may land while the previous window's pages are
+      // still draining; the tenant rejoins the present walk either way.
+      EraseSorted(&draining_, edge.tenant);
+      InsertSorted(&present_, edge.tenant);
+    } else {
+      EraseSorted(&present_, edge.tenant);
+      InsertSorted(&draining_, edge.tenant);
+    }
+  }
+}
 
 void Simulation::RecordTimelinePoint(TimeNs at, bool idle) {
   // A point inside an all-idle churn gap has no op latency; carrying
@@ -292,28 +397,48 @@ void Simulation::RecordTimelinePoint(TimeNs at, bool idle) {
     // Per-tenant adaptation series: fast-tier occupancy share and the
     // recent-window latency median, plus the weighted fairness index
     // over the tenants present right now (absent tenants hold nothing
-    // and would misread as unfairness).
-    std::vector<double> shares;
-    std::vector<double> weights;
-    for (uint32_t t = 0; t < tenant_source_->tenant_count(); ++t) {
+    // and would misread as unfairness). The walk covers only present
+    // and still-draining tenants — O(active), not O(fleet) — so the
+    // timelines are sparse: a tenant has no points before its first
+    // arrival or after its drain completes (absence == nothing
+    // resident, which time-indexed readers already treat as zero).
+    AdvancePresence(at);
+    const double capacity =
+        static_cast<double>(std::max<uint64_t>(1, fast_capacity_units_));
+    scratch_shares_.clear();
+    scratch_weights_.clear();
+    for (const uint32_t t : present_) {
       TenantState& state = tenant_states_[t];
-      const uint64_t fast_resident = memory_->RegionResident(t, Tier::kFast);
       const double share =
-          static_cast<double>(fast_resident) /
-          static_cast<double>(std::max<uint64_t>(1, fast_capacity_units_));
-      const bool present = tenant_source_->tenant_active_at(t, at);
+          static_cast<double>(memory_->RegionResident(t, Tier::kFast)) /
+          capacity;
       state.occupancy_timeline.Add(at, share);
-      // A departed or idle tenant serves no ops; carrying its last
-      // window median forward would plot it as still running.
-      state.latency_timeline.Add(
-          at, present && !idle ? state.window.Median() : 0.0);
-      if (present) {
-        shares.push_back(share);
-        weights.push_back(tenant_source_->tenant_weight(t));
+      // An idle tenant serves no ops; carrying its last window median
+      // forward would plot it as still running.
+      state.latency_timeline.Add(at, idle ? 0.0 : state.window.Median());
+      scratch_shares_.push_back(share);
+      scratch_weights_.push_back(tenant_source_->tenant_weight(t));
+    }
+    result_.stats_tenant_visits += present_.size() + draining_.size();
+    // Departed tenants keep reporting occupancy while the policy drains
+    // their region, then leave the walk after one explicit zero point
+    // (benches detect "drained by t" from that point).
+    for (size_t i = 0; i < draining_.size();) {
+      const uint32_t t = draining_[i];
+      TenantState& state = tenant_states_[t];
+      const uint64_t fast_resident =
+          memory_->RegionResident(t, Tier::kFast);
+      state.occupancy_timeline.Add(
+          at, static_cast<double>(fast_resident) / capacity);
+      state.latency_timeline.Add(at, 0.0);
+      if (fast_resident == 0) {
+        draining_.erase(draining_.begin() + static_cast<ptrdiff_t>(i));
+      } else {
+        ++i;
       }
     }
     result_.weighted_fairness_timeline.Add(
-        at, WeightedJainFairnessIndex(shares, weights));
+        at, WeightedJainFairnessIndex(scratch_shares_, scratch_weights_));
   }
 
   if (trace_ != nullptr) EmitSamplerAdaptEvents(at);

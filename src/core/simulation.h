@@ -74,6 +74,21 @@ struct SimulationConfig {
   TimeNs tick_interval_ns = 1 * kMillisecond;   //!< Policy maintenance.
   TimeNs stats_interval_ns = 20 * kMillisecond; //!< Timeline sampling.
   size_t latency_window = 4096;         //!< Window for timeline medians.
+  /**
+   * Capacity of each tenant's latency reservoir (whole-run percentile
+   * estimate). The default matches the historical fixed size; fleet
+   * benches shrink it — per-tenant state must stay a few KB when a
+   * thousand tenants share one cell.
+   */
+  size_t tenant_reservoir = 16384;
+  /**
+   * Per-tenant metric probes are registered only for the K heaviest
+   * tenants (ties broken by admission order); the rest roll up into a
+   * single "tenant/other/" aggregate so `--metrics-out` stays readable
+   * at fleet scale. 0 = no cap (a probe set per tenant, the historical
+   * behavior). Only affects telemetry, never results or timelines.
+   */
+  uint32_t tenant_metrics_top_k = 16;
   HierarchyConfig cache;                //!< Cache geometry.
   PerfModelConfig perf;                 //!< Timing constants.
   bool measure_metadata_traffic = true; //!< Replay metadata lines in LLC.
@@ -195,6 +210,14 @@ struct SimulationResult {
   uint64_t samples_taken = 0;
   uint64_t samples_dropped = 0;
 
+  /**
+   * Tenants visited by per-interval timeline accounting over the whole
+   * run: present tenants plus departed ones still draining. The
+   * O(active) guard test asserts this scales with the tenants actually
+   * present, not the fleet size.
+   */
+  uint64_t stats_tenant_visits = 0;
+
   // Multi-tenant attribution (empty unless the workload is a
   // TenantTagSource).
   std::vector<TenantResult> tenants;
@@ -283,9 +306,25 @@ class Simulation {
     TimeSeries occupancy_timeline;  //!< Fast units / fast capacity.
     TimeSeries latency_timeline;    //!< Windowed median op latency.
 
-    TenantState(uint64_t seed, size_t latency_window)
-        : reservoir(16384, seed), window(latency_window) {}
+    TenantState(uint64_t seed, size_t latency_window,
+                size_t reservoir_capacity)
+        : reservoir(reservoir_capacity, seed), window(latency_window) {}
   };
+
+  /** One scheduled presence change (from TenantTagSource windows). */
+  struct PresenceEdge {
+    TimeNs at = 0;
+    uint32_t tenant = 0;
+    bool arrival = false;
+  };
+
+  /**
+   * Applies presence edges up to `at`: arrivals join `present_`,
+   * departures move to `draining_` (their occupancy is still reported
+   * until the policy finishes releasing the region). O(1) when no edge
+   * is due, so per-interval accounting never scans the whole fleet.
+   */
+  void AdvancePresence(TimeNs at);
 
   /**
    * Captures one timeline point stamped at scheduled sample time `at`.
@@ -357,6 +396,17 @@ class Simulation {
   std::vector<SampleRecord> sample_buffer_; //!< Per-op drain buffer.
   TimeNs next_tick_ = 0;
   TimeNs next_stats_ = 0;
+
+  // O(active) per-tenant accounting: the presence schedule derived from
+  // the workload's residency windows, the tenants currently present
+  // (sorted by id, so floating-point reductions keep the historical
+  // id-order evaluation), and departed tenants still draining.
+  std::vector<PresenceEdge> presence_edges_;
+  size_t presence_cursor_ = 0;
+  std::vector<uint32_t> present_;   //!< Present tenant ids, ascending.
+  std::vector<uint32_t> draining_;  //!< Departed, region not yet empty.
+  std::vector<double> scratch_shares_;   //!< Per-interval, present-sized.
+  std::vector<double> scratch_weights_;
 
   // Migration-stall accounting (TLB shootdowns hit the app cores).
   uint64_t last_migration_batches_ = 0;

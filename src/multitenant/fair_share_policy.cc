@@ -117,23 +117,55 @@ void FairSharePolicy::Bind(const PolicyContext& context) {
 
   // The shadow MRC estimate exists only when the marginal controller
   // can use it: density runs keep their metadata footprint unchanged.
+  // Tenants whose span exceeds the sample budget get SHARDS spatial
+  // sampling at the smallest rate that fits, so a fleet of million-unit
+  // tenants carries kilobytes of ghost state each, not megabytes.
   ghost_.clear();
   if (config_.rebalance && config_.quota_mode == QuotaMode::kMarginal) {
     ghost_.reserve(n);
     for (uint32_t t = 0; t < n; ++t) {
+      const uint64_t span =
+          directory_.regions[t].UnitRange(context.mode).size();
       ghost_.emplace_back(
-          directory_.regions[t].UnitRange(context.mode).size());
+          span, GhostMrc::SampleShiftFor(span, config_.ghost_sample_budget));
     }
   }
 
   // Residency-window state at t=0; later edges apply at the tick that
-  // crosses them (ApplyChurn).
+  // crosses them (ApplyChurn). The full edge schedule is precomputed
+  // here — sorted by time, consumed by a cursor — so churn bookkeeping
+  // never rescans the fleet.
   churn_state_.assign(n, kChurnPending);
   window_index_.assign(n, 0);
   drain_cursor_.assign(n, 0);
+  active_.clear();
+  active_index_.assign(n, kNoSlot);
+  draining_.clear();
+  draining_index_.assign(n, kNoSlot);
+  churn_edges_.clear();
+  churn_cursor_ = 0;
+  churn_edge_visits_ = 0;
+  rebalance_tenant_visits_ = 0;
+  enforce_tenant_visits_ = 0;
+  fill_tenant_visits_ = 0;
   for (uint32_t t = 0; t < n; ++t) {
-    if (directory_.regions[t].ActiveAt(0)) churn_state_[t] = kChurnActive;
+    if (directory_.regions[t].ActiveAt(0)) {
+      churn_state_[t] = kChurnActive;
+      AddActive(t);
+    }
+    for (const ResidencyWindow& window : directory_.regions[t].windows) {
+      if (window.arrival_ns > 0) {
+        churn_edges_.push_back(ChurnEdge{window.arrival_ns, t});
+      }
+      if (window.departure_ns > 0) {
+        churn_edges_.push_back(ChurnEdge{window.departure_ns, t});
+      }
+    }
   }
+  std::sort(churn_edges_.begin(), churn_edges_.end(),
+            [](const ChurnEdge& a, const ChurnEdge& b) {
+              return a.at != b.at ? a.at < b.at : a.tenant < b.tenant;
+            });
 
   ComputeStaticQuotas();
   quota_ = static_quota_;
@@ -159,95 +191,150 @@ bool FairSharePolicy::EnsureOccupancy() {
   return true;
 }
 
+void FairSharePolicy::AddActive(uint32_t tenant) {
+  if (active_index_[tenant] != kNoSlot) return;
+  active_index_[tenant] = static_cast<uint32_t>(active_.size());
+  active_.push_back(tenant);
+}
+
+void FairSharePolicy::RemoveActive(uint32_t tenant) {
+  const uint32_t slot = active_index_[tenant];
+  if (slot == kNoSlot) return;
+  const uint32_t moved = active_.back();
+  active_[slot] = moved;
+  active_index_[moved] = slot;
+  active_.pop_back();
+  active_index_[tenant] = kNoSlot;
+}
+
+void FairSharePolicy::AddDraining(uint32_t tenant) {
+  if (draining_index_[tenant] != kNoSlot) return;
+  draining_index_[tenant] = static_cast<uint32_t>(draining_.size());
+  draining_.push_back(tenant);
+}
+
+void FairSharePolicy::RemoveDraining(uint32_t tenant) {
+  const uint32_t slot = draining_index_[tenant];
+  if (slot == kNoSlot) return;
+  const uint32_t moved = draining_.back();
+  draining_[slot] = moved;
+  draining_index_[moved] = slot;
+  draining_.pop_back();
+  draining_index_[tenant] = kNoSlot;
+}
+
 void FairSharePolicy::ComputeStaticQuotas() {
-  const uint32_t n = directory_.size();
-  std::vector<double> weights(n);
-  std::vector<uint64_t> caps(n);
-  for (uint32_t t = 0; t < n; ++t) {
-    // Pending and departed tenants hold no capacity: their weight drops
-    // out of the division, so the active tenants absorb the whole tier.
-    weights[t] = churn_state_[t] == kChurnActive
-                     ? directory_.regions[t].weight
-                     : 0.0;
-    caps[t] = churn_state_[t] == kChurnActive
-                  ? directory_.regions[t].UnitRange(context().mode).size()
-                  : 0;
+  // Pending and departed tenants hold no capacity: their weight drops
+  // out of the division, so the active tenants absorb the whole tier.
+  // Their static_quota_ entries were zeroed at the state transition, so
+  // the division runs over the compact active set only.
+  const size_t m = active_.size();
+  scratch_demand_.assign(m, 0.0);
+  scratch_caps_.assign(m, 0);
+  for (size_t i = 0; i < m; ++i) {
+    const uint32_t t = active_[i];
+    scratch_demand_[i] = directory_.regions[t].weight;
+    scratch_caps_[i] = directory_.regions[t].UnitRange(context().mode).size();
   }
-  static_quota_ =
-      DivideProportional(weights, caps, context().fast_capacity_units);
+  const std::vector<uint64_t> shares = DivideProportional(
+      scratch_demand_, scratch_caps_, context().fast_capacity_units);
+  for (size_t i = 0; i < m; ++i) static_quota_[active_[i]] = shares[i];
+}
+
+bool FairSharePolicy::AdvanceTenantWindows(uint32_t t, TimeNs now) {
+  const std::vector<ResidencyWindow>& windows = directory_.regions[t].windows;
+  if (windows.empty()) return false;  // Resident for the whole run.
+  bool changed = false;
+  // A clock jump can cross several of a tenant's window edges at once;
+  // walk its window list until the next edge is still ahead. A draining
+  // tenant normally blocks here — its next window cannot open until the
+  // paced reclaim has released the region (DrainDeparting advances it).
+  while (churn_state_[t] != kChurnDeparted) {
+    if (churn_state_[t] == kChurnDraining) {
+      // The pace yields when it must: if the tenant's next window has
+      // already opened, flush the remainder now (the legacy one-shot
+      // teardown) so re-admission never runs against a half-released
+      // region the drain is still demoting.
+      const size_t next = window_index_[t] + 1;
+      if (next >= windows.size() || now < windows[next].arrival_ns) {
+        break;
+      }
+      ForceFinishDrain(t, now);
+      changed = true;
+      continue;  // Now kChurnPending at the next window.
+    }
+    const ResidencyWindow& window = windows[window_index_[t]];
+    if (churn_state_[t] == kChurnPending) {
+      if (now < window.arrival_ns) break;
+      churn_state_[t] = kChurnActive;
+      AddActive(t);
+      changed = true;
+      if (trace_ != nullptr) {
+        trace_->Instant(tenant_track_[t], "arrival", now,
+                        {{"window", static_cast<double>(window_index_[t])}});
+      }
+      if (config_.arrival_grace > 0.0) {
+        // Warm-up grace: the newcomer has no demand history, so the
+        // first rebalance would drop it to the min_share floor (the
+        // post-arrival fairness dip fig_tenant_churn measures). Raise
+        // its floor for one window and seed its demand EMA from the
+        // incumbents' weighted average, so it bids as an average
+        // tenant until its own samples arrive. Re-arrivals get the
+        // same grace: their demand state was reset at release.
+        grace_until_ns_[t] = now + config_.rebalance_interval_ns;
+        double sum_weight = 0.0;
+        double sum_weighted_ema = 0.0;
+        for (const uint32_t s : active_) {
+          if (s == t) continue;
+          const double w = directory_.regions[s].weight;
+          sum_weight += w;
+          sum_weighted_ema += w * demand_ema_[s];
+        }
+        if (sum_weight > 0.0) {
+          demand_ema_[t] = sum_weighted_ema / sum_weight;
+        }
+      }
+    }
+    if (window.departure_ns == 0 || now < window.departure_ns) break;
+    // Departure: the tenant stops holding quota immediately (the
+    // survivors absorb its capacity this tick) and enters the paced
+    // reclaim drain; the region is released when the drain finishes.
+    churn_state_[t] = kChurnDraining;
+    RemoveActive(t);
+    AddDraining(t);
+    quota_[t] = 0;
+    static_quota_[t] = 0;
+    marginal_utility_[t] = 0.0;
+    window_fast_samples_[t] = 0;
+    window_slow_samples_[t] = 0;
+    drain_cursor_[t] = directory_.regions[t].UnitRange(context().mode).begin;
+    drain_start_ns_[t] = now;
+    changed = true;
+    if (trace_ != nullptr) {
+      trace_->Instant(tenant_track_[t], "departure", now,
+                      {{"fast_units", static_cast<double>(fast_units_[t])}});
+    }
+  }
+  return changed;
 }
 
 void FairSharePolicy::ApplyChurn(TimeNs now) {
+  // O(1) when no edge is due: the schedule is sorted and the cursor
+  // only moves forward.
+  if (churn_cursor_ >= churn_edges_.size() ||
+      now < churn_edges_[churn_cursor_].at) {
+    return;
+  }
   bool changed = false;
-  for (uint32_t t = 0; t < directory_.size(); ++t) {
-    const std::vector<ResidencyWindow>& windows =
-        directory_.regions[t].windows;
-    if (windows.empty()) continue;  // Resident for the whole run.
-    // A clock jump can cross several of a tenant's window edges at
-    // once; walk its window list until the next edge is still ahead. A
-    // draining tenant normally blocks here — its next window cannot
-    // open until the paced reclaim has released the region
-    // (DrainDeparting advances it).
-    while (churn_state_[t] != kChurnDeparted) {
-      if (churn_state_[t] == kChurnDraining) {
-        // The pace yields when it must: if the tenant's next window has
-        // already opened, flush the remainder now (the legacy one-shot
-        // teardown) so re-admission never runs against a half-released
-        // region the drain is still demoting.
-        const size_t next = window_index_[t] + 1;
-        if (next >= windows.size() || now < windows[next].arrival_ns) {
-          break;
-        }
-        ForceFinishDrain(t, now);
-        changed = true;
-        continue;  // Now kChurnPending at the next window.
-      }
-      const ResidencyWindow& window = windows[window_index_[t]];
-      if (churn_state_[t] == kChurnPending) {
-        if (now < window.arrival_ns) break;
-        churn_state_[t] = kChurnActive;
-        changed = true;
-        if (trace_ != nullptr) {
-          trace_->Instant(tenant_track_[t], "arrival", now,
-                          {{"window", static_cast<double>(window_index_[t])}});
-        }
-        if (config_.arrival_grace > 0.0) {
-          // Warm-up grace: the newcomer has no demand history, so the
-          // first rebalance would drop it to the min_share floor (the
-          // post-arrival fairness dip fig_tenant_churn measures). Raise
-          // its floor for one window and seed its demand EMA from the
-          // incumbents' weighted average, so it bids as an average
-          // tenant until its own samples arrive. Re-arrivals get the
-          // same grace: their demand state was reset at release.
-          grace_until_ns_[t] = now + config_.rebalance_interval_ns;
-          double sum_weight = 0.0;
-          double sum_weighted_ema = 0.0;
-          for (uint32_t s = 0; s < directory_.size(); ++s) {
-            if (s == t || churn_state_[s] != kChurnActive) continue;
-            const double w = directory_.regions[s].weight;
-            sum_weight += w;
-            sum_weighted_ema += w * demand_ema_[s];
-          }
-          if (sum_weight > 0.0) {
-            demand_ema_[t] = sum_weighted_ema / sum_weight;
-          }
-        }
-      }
-      if (window.departure_ns == 0 || now < window.departure_ns) break;
-      // Departure: the tenant stops holding quota immediately (the
-      // survivors absorb its capacity this tick) and enters the paced
-      // reclaim drain; the region is released when the drain finishes.
-      churn_state_[t] = kChurnDraining;
-      drain_cursor_[t] =
-          directory_.regions[t].UnitRange(context().mode).begin;
-      drain_start_ns_[t] = now;
-      changed = true;
-      if (trace_ != nullptr) {
-        trace_->Instant(tenant_track_[t], "departure", now,
-                        {{"fast_units",
-                          static_cast<double>(fast_units_[t])}});
-      }
-    }
+  while (churn_cursor_ < churn_edges_.size() &&
+         churn_edges_[churn_cursor_].at <= now) {
+    const uint32_t t = churn_edges_[churn_cursor_].tenant;
+    ++churn_cursor_;
+    ++churn_edge_visits_;
+    // A tenant whose earlier edge already advanced it past this one
+    // makes this pop a no-op (AdvanceTenantWindows walks every crossed
+    // edge at once after a clock jump).
+    changed = AdvanceTenantWindows(t, now) || changed;
   }
   if (changed) {
     // Re-divide the tier over the tenants now present. Jumping straight
@@ -255,13 +342,16 @@ void FairSharePolicy::ApplyChurn(TimeNs now) {
     // survivors this tick; the scheduled rebalance then re-applies the
     // surviving tenants' demand EMAs on top.
     ComputeStaticQuotas();
-    quota_ = static_quota_;
+    for (const uint32_t t : active_) quota_[t] = static_quota_[t];
   }
 }
 
 void FairSharePolicy::DrainDeparting(TimeNs now) {
-  for (uint32_t t = 0; t < directory_.size(); ++t) {
-    if (churn_state_[t] != kChurnDraining) continue;
+  // Walk the dense draining list; FinishRelease removes the tenant by
+  // swapping the back into its slot, so the index only advances when
+  // the slot's occupant survived the visit.
+  for (size_t i = 0; i < draining_.size();) {
+    const uint32_t t = draining_[i];
     if (fast_units_[t] > 0) {
       // Reclaim writeback, paced: demote up to release_batch fast
       // units per tick (0 = the legacy whole-share flush), in address
@@ -292,7 +382,11 @@ void FairSharePolicy::DrainDeparting(TimeNs now) {
                 fast_units_[t], " fast units unaccounted");
       if (!victims_.empty()) TrackedDemote(victims_, now);
     }
-    if (fast_units_[t] == 0) FinishRelease(t, now);
+    if (fast_units_[t] == 0) {
+      FinishRelease(t, now);  // Removes t from draining_.
+    } else {
+      ++i;
+    }
   }
 }
 
@@ -340,6 +434,7 @@ void FairSharePolicy::FinishRelease(uint32_t tenant, TimeNs now) {
   // quota re-division here: the tenant already lost its quota at the
   // departure tick, and finishing the drain changes nothing for the
   // survivors.
+  RemoveDraining(tenant);
   ++window_index_[tenant];
   churn_state_[tenant] =
       window_index_[tenant] < directory_.regions[tenant].windows.size()
@@ -360,7 +455,6 @@ uint64_t FairSharePolicy::RebalanceFloor(uint32_t tenant,
 }
 
 void FairSharePolicy::RebalanceDensity(TimeNs now) {
-  const uint32_t n = directory_.size();
   // Hit density: sampled fast-tier hits per resident unit, smoothed by
   // a halving EMA over rebalance windows (the cooling idiom the paper's
   // trackers use: responsive to shifts, stable against one noisy
@@ -370,9 +464,9 @@ void FairSharePolicy::RebalanceDensity(TimeNs now) {
   // still blind to *marginal* value: a streamer's few resident pages
   // can look dense while extra capacity would gain it nothing — the
   // case the marginal mode handles.)
+  const size_t m = active_.size();
   double total_demand = 0.0;
-  for (uint32_t t = 0; t < n; ++t) {
-    if (churn_state_[t] != kChurnActive) continue;
+  for (const uint32_t t : active_) {
     const double density =
         static_cast<double>(window_fast_samples_[t]) /
         static_cast<double>(std::max<uint64_t>(1, fast_units_[t]));
@@ -383,61 +477,58 @@ void FairSharePolicy::RebalanceDensity(TimeNs now) {
   if (total_demand <= 0.0) return;
 
   // Guaranteed floor first, then the rest in proportion to
-  // weight-scaled hit density.
-  std::vector<double> demand(n);
-  std::vector<uint64_t> caps(n);
+  // weight-scaled hit density. Inactive tenants' quotas were zeroed at
+  // their departure transition; the division is over the active set.
+  scratch_demand_.assign(m, 0.0);
+  scratch_caps_.assign(m, 0);
   uint64_t floor_total = 0;
-  for (uint32_t t = 0; t < n; ++t) {
-    if (churn_state_[t] != kChurnActive) {
-      quota_[t] = 0;
-      caps[t] = 0;
-      demand[t] = 0.0;
-      continue;
-    }
+  for (size_t i = 0; i < m; ++i) {
+    const uint32_t t = active_[i];
     const uint64_t span =
         directory_.regions[t].UnitRange(context().mode).size();
     const uint64_t floor_units = std::min(span, RebalanceFloor(t, now));
     quota_[t] = floor_units;
     floor_total += floor_units;
-    caps[t] = span - floor_units;
-    demand[t] = directory_.regions[t].weight * demand_ema_[t];
+    scratch_caps_[i] = span - floor_units;
+    scratch_demand_[i] = directory_.regions[t].weight * demand_ema_[t];
   }
   const uint64_t fast_cap = context().fast_capacity_units;
   const std::vector<uint64_t> extra = DivideProportional(
-      demand, caps, fast_cap - std::min(fast_cap, floor_total));
-  for (uint32_t t = 0; t < n; ++t) quota_[t] += extra[t];
+      scratch_demand_, scratch_caps_,
+      fast_cap - std::min(fast_cap, floor_total));
+  for (size_t i = 0; i < m; ++i) quota_[active_[i]] += extra[i];
 }
 
 void FairSharePolicy::RebalanceMarginal(TimeNs now) {
-  const uint32_t n = directory_.size();
   // Water-filling on the ghost estimates: each tenant bids its shadow
   // demand curve ("my q-th hottest unit would contribute v sampled hits
   // per window") and capacity flows to the highest weighted marginal
   // utility above the guaranteed floors. Unlike hit density, the bid of
   // a streaming tenant collapses past its tiny reuse set — its curve is
   // flat at 1 — so it cannot out-bid a hot set for capacity it would
-  // waste, however many accesses it issues.
-  std::vector<std::vector<GhostDemandStep>> curves(n);
-  std::vector<double> weights(n, 0.0);
-  std::vector<uint64_t> floors(n, 0);
-  std::vector<uint64_t> caps(n, 0);
-  for (uint32_t t = 0; t < n; ++t) {
-    if (churn_state_[t] != kChurnActive) continue;
+  // waste, however many accesses it issues. The division runs over the
+  // compact active set: inactive tenants' quotas are already zero.
+  const size_t m = active_.size();
+  std::vector<std::vector<GhostDemandStep>> curves(m);
+  scratch_demand_.assign(m, 0.0);
+  scratch_floors_.assign(m, 0);
+  scratch_caps_.assign(m, 0);
+  for (size_t i = 0; i < m; ++i) {
+    const uint32_t t = active_[i];
     const uint64_t span =
         directory_.regions[t].UnitRange(context().mode).size();
-    weights[t] = directory_.regions[t].weight;
-    caps[t] = span;
-    floors[t] = std::min(span, RebalanceFloor(t, now));
-    ghost_[t].AppendDemandSteps(&curves[t]);
+    scratch_demand_[i] = directory_.regions[t].weight;
+    scratch_caps_[i] = span;
+    scratch_floors_[i] = std::min(span, RebalanceFloor(t, now));
+    ghost_[t].AppendDemandSteps(&curves[i]);
     sink().Touch(kQuotaTableBase + (t / 2) * kCacheLineSize);
   }
-  quota_ = MarginalUtilityQuotas(curves, weights, floors, caps,
-                                 context().fast_capacity_units);
-  for (uint32_t t = 0; t < n; ++t) {
-    if (churn_state_[t] != kChurnActive) {
-      marginal_utility_[t] = 0.0;
-      continue;
-    }
+  const std::vector<uint64_t> shares =
+      MarginalUtilityQuotas(curves, scratch_demand_, scratch_floors_,
+                            scratch_caps_, context().fast_capacity_units);
+  for (size_t i = 0; i < m; ++i) {
+    const uint32_t t = active_[i];
+    quota_[t] = shares[i];
     // The water level this tenant bid at: hits/window of its next unit
     // past the awarded quota. Then cool — the ghost is a halving EMA
     // over rebalance windows, like the density EMA it replaces.
@@ -448,16 +539,20 @@ void FairSharePolicy::RebalanceMarginal(TimeNs now) {
 }
 
 void FairSharePolicy::Rebalance(TimeNs now) {
-  const uint32_t n = directory_.size();
-  // Sampled fast-tier fraction this window, for rotation (both modes).
-  std::vector<double> fast_fraction(n, 1.0);
-  for (uint32_t t = 0; t < n; ++t) {
-    if (churn_state_[t] != kChurnActive) continue;
+  // Every loop below walks the dense active set — one rebalance costs
+  // O(active tenants), whatever the fleet size.
+  const size_t m = active_.size();
+  rebalance_tenant_visits_ += m;
+  // Sampled fast-tier fraction this window, for rotation (both modes);
+  // indexed by active-set position.
+  scratch_fraction_.assign(m, 1.0);
+  for (size_t i = 0; i < m; ++i) {
+    const uint32_t t = active_[i];
     const uint64_t window_total =
         window_fast_samples_[t] + window_slow_samples_[t];
     if (window_total > 0) {
-      fast_fraction[t] = static_cast<double>(window_fast_samples_[t]) /
-                         static_cast<double>(window_total);
+      scratch_fraction_[i] = static_cast<double>(window_fast_samples_[t]) /
+                             static_cast<double>(window_total);
     }
   }
 
@@ -466,9 +561,10 @@ void FairSharePolicy::Rebalance(TimeNs now) {
   } else {
     RebalanceDensity(now);
   }
-  // Windows are per-rebalance; absent tenants' stay clean so a
-  // t=0-departed slot never skews a later division.
-  for (uint32_t t = 0; t < n; ++t) {
+  // Windows are per-rebalance; absent tenants' were zeroed at their
+  // departure transition, so a t=0-departed slot never skews a later
+  // division.
+  for (const uint32_t t : active_) {
     window_fast_samples_[t] = 0;
     window_slow_samples_[t] = 0;
   }
@@ -480,8 +576,7 @@ void FairSharePolicy::Rebalance(TimeNs now) {
     trace_->Instant(controller_track_, "rebalance", now,
                     {{"fast_capacity",
                       static_cast<double>(context().fast_capacity_units)}});
-    for (uint32_t t = 0; t < n; ++t) {
-      if (churn_state_[t] != kChurnActive) continue;
+    for (const uint32_t t : active_) {
       trace_->Instant(tenant_track_[t], "quota", now,
                       {{"quota_units", static_cast<double>(quota_[t])},
                        {"fast_units", static_cast<double>(fast_units_[t])},
@@ -495,12 +590,12 @@ void FairSharePolicy::Rebalance(TimeNs now) {
   // the problem. Demoting to the fill limit gives the filler room to
   // swap the sampled-hot pages in; a tenant with a good mix is left
   // alone (no churn).
-  for (uint32_t t = 0; t < n; ++t) {
-    if (churn_state_[t] != kChurnActive) continue;
-    if (fast_fraction[t] < config_.rotate_below) {
+  for (size_t i = 0; i < m; ++i) {
+    const uint32_t t = active_[i];
+    if (scratch_fraction_[i] < config_.rotate_below) {
       if (trace_ != nullptr) {
         trace_->Instant(tenant_track_[t], "rotate", now,
-                        {{"fast_fraction", fast_fraction[t]}});
+                        {{"fast_fraction", scratch_fraction_[i]}});
       }
       DemoteToTarget(t, FillLimit(t), now);
     }
@@ -557,10 +652,12 @@ void FairSharePolicy::DemoteToTarget(uint32_t t, uint64_t target,
 }
 
 void FairSharePolicy::EnforceQuotas(TimeNs now) {
-  for (uint32_t t = 0; t < directory_.size(); ++t) {
-    // Draining tenants are reclaimed by DrainDeparting at the paced
-    // release_batch rate, not by enforcement-sized bites.
-    if (churn_state_[t] == kChurnDraining) continue;
+  // Only active tenants can sit over quota: pending/departed tenants
+  // hold no fast units (their drain released everything), and draining
+  // tenants are reclaimed by DrainDeparting at the paced release_batch
+  // rate, not by enforcement-sized bites.
+  enforce_tenant_visits_ += active_.size();
+  for (const uint32_t t : active_) {
     DemoteToTarget(t, quota_[t], now);
   }
 }
@@ -658,7 +755,11 @@ TimeNs FairSharePolicy::TrackedDemote(std::span<const PageId> pages,
 void FairSharePolicy::FillQuotas(TimeNs now) {
   if (!config_.fill_to_quota) return;
   uint64_t free_fast = memory().FreePages(Tier::kFast);
-  for (uint32_t t = 0; t < directory_.size(); ++t) {
+  // Only active tenants accumulate candidates (OnSample feeds them from
+  // the access stream); a departed tenant's leftovers are cleared at
+  // release, so the fill pass never scans the fleet.
+  fill_tenant_visits_ += active_.size();
+  for (const uint32_t t : active_) {
     std::vector<PageId>& candidates = candidates_[t];
     if (candidates.empty()) continue;
     // The filler stops short of the quota: the reserved margin belongs
@@ -734,13 +835,19 @@ void FairSharePolicy::OnSample(const SampleRecord& sample) {
   sink().Touch(kQuotaTableBase + (t / 2) * kCacheLineSize);
   if (!ghost_.empty() && churn_state_[t] == kChurnActive) {
     // Shadow-sample the access into the tenant's ghost MRC estimate.
+    // Under SHARDS sampling most units are rejected by the spatial hash
+    // before touching any counter — those updates cost no metadata
+    // traffic, which is the point of sampling.
     const PageRange range =
         directory_.regions[t].UnitRange(context().mode);
     const uint64_t local = sample.page - range.begin;
-    ghost_[t].Increment(local);
+    const int64_t slot = ghost_[t].Increment(local);
     ++shadow_samples_[t];
-    sink().Touch(kGhostTableBase + t * kGhostTenantStride +
-                 ghost_[t].CacheLineOf(local) * kCacheLineSize);
+    if (slot >= 0) {
+      sink().Touch(kGhostTableBase + t * kGhostTenantStride +
+                   ghost_[t].CacheLineOfSlot(static_cast<uint64_t>(slot)) *
+                       kCacheLineSize);
+    }
   }
   if (sample.tier == Tier::kSlow &&
       candidates_[t].size() < config_.candidate_buffer) {

@@ -145,6 +145,15 @@ struct FairShareConfig {
    * demoted in one uncapped batch at the departure tick.
    */
   uint64_t release_batch = 4096;
+  /**
+   * Target sampled-unit count of each tenant's ghost MRC estimate
+   * (marginal mode). A tenant whose region span exceeds the budget gets
+   * SHARDS spatial sampling at the smallest power-of-two rate that fits
+   * (`GhostMrc::SampleShiftFor`), shrinking its counter memory by the
+   * same factor; smaller tenants stay exact. 0 disables sampling (every
+   * tenant exact, the pre-fleet behavior).
+   */
+  uint64_t ghost_sample_budget = 1024;
 };
 
 /** Per-tenant quota enforcement as a `TieringPolicy` decorator. */
@@ -233,6 +242,30 @@ class FairSharePolicy : public TieringPolicy,
     return shadow_samples_[tenant];
   }
 
+  /** SHARDS sampling shift of `tenant`'s ghost estimate (0 = exact). */
+  uint32_t ghost_sample_shift(uint32_t tenant) const {
+    return ghost_.empty() ? 0 : ghost_[tenant].sample_shift();
+  }
+
+  /** Tenants currently inside a residency window. */
+  uint32_t active_tenants() const {
+    return static_cast<uint32_t>(active_.size());
+  }
+
+  // O(active) work counters, for complexity guard tests: each counts
+  // tenant visits (not wall time), so a test can assert the maintenance
+  // paths scale with the *active* tenant count, not the fleet size.
+  /** Residency-window edges popped off the churn schedule. */
+  uint64_t churn_edge_visits() const { return churn_edge_visits_; }
+  /** Tenants visited across all rebalance passes. */
+  uint64_t rebalance_tenant_visits() const {
+    return rebalance_tenant_visits_;
+  }
+  /** Tenants visited across all quota-enforcement passes. */
+  uint64_t enforce_tenant_visits() const { return enforce_tenant_visits_; }
+  /** Tenants visited across all fill-to-quota passes. */
+  uint64_t fill_tenant_visits() const { return fill_tenant_visits_; }
+
   /** True if `tenant`'s residency window was open at the last tick. */
   bool tenant_active(uint32_t tenant) const {
     return churn_state_[tenant] == kChurnActive;
@@ -257,12 +290,38 @@ class FairSharePolicy : public TieringPolicy,
     kChurnDraining = 3, //!< Departed; paced reclaim still demoting.
   };
 
+  /** One precomputed residency-window edge of the churn schedule. */
+  struct ChurnEdge {
+    TimeNs at;        //!< Arrival or departure instant.
+    uint32_t tenant;  //!< Whose window list to advance.
+  };
+
   /**
-   * Applies arrival/departure window edges crossed by `now`: a
-   * departure moves the tenant into the paced drain, and any edge
-   * re-divides quotas over the remaining active tenants.
+   * Applies arrival/departure window edges crossed by `now` and, when
+   * any tenant changed state, re-divides quotas over the tenants now
+   * active. Edges come off a schedule precomputed at Bind and sorted by
+   * time, so a tick inside a quiet stretch costs O(1) and a tick that
+   * crosses edges costs O(edges crossed) — never O(fleet).
    */
   void ApplyChurn(TimeNs now);
+
+  /**
+   * Walks `tenant`'s residency windows forward to `now` (the per-edge
+   * body of ApplyChurn): arrivals activate, departures start the paced
+   * drain, and a drain overtaken by the next window is force-finished.
+   * Returns true when the tenant's churn state changed.
+   */
+  bool AdvanceTenantWindows(uint32_t tenant, TimeNs now);
+
+  // Dense active/draining sets: `active_` lists the tenant ids inside a
+  // residency window, `active_index_[t]` is t's slot in it (kNoSlot when
+  // absent); removal swaps with the back. Every maintenance pass
+  // (rebalance, enforcement, fill, drain) walks these lists, so steady-
+  // state work is O(active tenants), not O(fleet).
+  void AddActive(uint32_t tenant);
+  void RemoveActive(uint32_t tenant);
+  void AddDraining(uint32_t tenant);
+  void RemoveDraining(uint32_t tenant);
 
   /**
    * Paced departure reclaim: demotes up to `release_batch` fast units
@@ -340,6 +399,31 @@ class FairSharePolicy : public TieringPolicy,
   std::unique_ptr<QuotaGate> gate_;
   bool occupancy_ready_ = false;
   TimeNs next_rebalance_ns_ = 0;
+
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+
+  // Churn schedule (Bind-time, sorted by time then tenant) + cursor.
+  std::vector<ChurnEdge> churn_edges_;
+  size_t churn_cursor_ = 0;
+
+  // Dense membership sets (see AddActive above).
+  std::vector<uint32_t> active_;
+  std::vector<uint32_t> active_index_;
+  std::vector<uint32_t> draining_;
+  std::vector<uint32_t> draining_index_;
+
+  // O(active) work counters (see the public accessors).
+  uint64_t churn_edge_visits_ = 0;
+  uint64_t rebalance_tenant_visits_ = 0;
+  uint64_t enforce_tenant_visits_ = 0;
+  uint64_t fill_tenant_visits_ = 0;
+
+  // Compact per-active-tenant scratch for the re-division calls
+  // (avoids per-rebalance fleet-sized allocations).
+  std::vector<double> scratch_demand_;
+  std::vector<uint64_t> scratch_caps_;
+  std::vector<uint64_t> scratch_floors_;
+  std::vector<double> scratch_fraction_;
 
   // Per-tenant state, all indexed by tenant id.
   std::vector<uint64_t> quota_;         //!< Fast-tier quota, units.

@@ -1,0 +1,250 @@
+#include "multitenant/fleet.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "workloads/factory.h"
+#include "workloads/workload.h"
+
+namespace hybridtier {
+
+namespace {
+
+constexpr char kPrefix[] = "fleet:";
+
+/** Parses a positive double like "0.9" or "1e8"; fatal with context. */
+double ParseNumber(const std::string& text, const std::string& key,
+                   const std::string& spec) {
+  size_t parsed = 0;
+  double value = -1.0;
+  try {
+    value = std::stod(text, &parsed);
+  } catch (const std::exception&) {
+    parsed = 0;
+  }
+  if (parsed != text.size() || std::isnan(value)) {
+    HT_FATAL("bad value '", text, "' for fleet key '", key,
+             "' in spec '", spec, "'");
+  }
+  return value;
+}
+
+/** Formats a double with enough digits to round-trip typical knobs. */
+std::string FormatNumber(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+void Validate(const FleetSpec& spec, const std::string& text) {
+  if (spec.tenants == 0) {
+    HT_FATAL("fleet spec '", text, "' needs a positive tenant count");
+  }
+  if (!IsWorkloadId(spec.workload_id)) {
+    HT_FATAL("unknown workload id '", spec.workload_id,
+             "' in fleet spec '", text, "'");
+  }
+  if (spec.weight_skew < 0.0 || spec.footprint_skew < 0.0) {
+    HT_FATAL("fleet skews must be >= 0 in spec '", text, "'");
+  }
+  if (spec.footprint_pages == 0) {
+    HT_FATAL("fleet footprint must be positive in spec '", text, "'");
+  }
+  if (spec.churn != "none" && spec.churn != "poisson" &&
+      spec.churn != "diurnal") {
+    HT_FATAL("fleet churn must be none|poisson|diurnal, got '",
+             spec.churn, "' in spec '", text, "'");
+  }
+  if (!(spec.duty > 0.0 && spec.duty < 1.0)) {
+    HT_FATAL("fleet duty must be in (0,1) in spec '", text, "'");
+  }
+  if (spec.period_ns == 0 || spec.horizon_ns < spec.period_ns) {
+    HT_FATAL("fleet needs period > 0 and horizon >= period in spec '",
+             text, "'");
+  }
+}
+
+/**
+ * Memoryless on/off residency: exponential dwell times with means
+ * duty*period (on) and (1-duty)*period (off). The tenant starts
+ * resident with probability `duty`, so the expected present fraction
+ * is `duty` from t=0, not only in steady state.
+ */
+std::vector<ResidencyWindow> PoissonWindows(const FleetSpec& spec,
+                                            uint32_t rank, Rng* rng) {
+  (void)rank;
+  const double on_mean =
+      spec.duty * static_cast<double>(spec.period_ns);
+  const double off_mean =
+      (1.0 - spec.duty) * static_cast<double>(spec.period_ns);
+  std::vector<ResidencyWindow> windows;
+  TimeNs t = 0;
+  if (!rng->Bernoulli(spec.duty)) {
+    t = std::max<TimeNs>(1, static_cast<TimeNs>(rng->Exponential(off_mean)));
+  }
+  while (t < spec.horizon_ns) {
+    const TimeNs arrival = t;
+    const TimeNs on =
+        std::max<TimeNs>(1, static_cast<TimeNs>(rng->Exponential(on_mean)));
+    const TimeNs departure = arrival + on;
+    if (departure >= spec.horizon_ns) {
+      windows.push_back(ResidencyWindow{arrival, 0});
+      break;
+    }
+    windows.push_back(ResidencyWindow{arrival, departure});
+    const TimeNs off =
+        std::max<TimeNs>(1, static_cast<TimeNs>(rng->Exponential(off_mean)));
+    t = departure + off;
+  }
+  // Every draw landed past the horizon: the tenant sits out the
+  // observed run but still needs a window (none = always resident).
+  if (windows.empty()) windows.push_back(ResidencyWindow{t, 0});
+  return windows;
+}
+
+/**
+ * Recurring residency: on for duty*period out of every period, phases
+ * spread evenly across the fleet so arrivals and departures tile the
+ * cycle instead of stampeding together.
+ */
+std::vector<ResidencyWindow> DiurnalWindows(const FleetSpec& spec,
+                                            uint32_t rank) {
+  const TimeNs phase =
+      (spec.period_ns * static_cast<TimeNs>(rank - 1)) / spec.tenants;
+  const TimeNs on = std::max<TimeNs>(
+      1, static_cast<TimeNs>(spec.duty *
+                             static_cast<double>(spec.period_ns)));
+  std::vector<ResidencyWindow> windows;
+  for (TimeNs start = phase; start < spec.horizon_ns;
+       start += spec.period_ns) {
+    const TimeNs departure = start + on;
+    if (departure >= spec.horizon_ns) {
+      windows.push_back(ResidencyWindow{start, 0});
+      break;
+    }
+    windows.push_back(ResidencyWindow{start, departure});
+  }
+  return windows;
+}
+
+}  // namespace
+
+bool IsFleetSpec(const std::string& text) {
+  return text.rfind(kPrefix, 0) == 0;
+}
+
+FleetSpec ParseFleetSpec(const std::string& text) {
+  HT_ASSERT(IsFleetSpec(text), "not a fleet spec: '", text, "'");
+  FleetSpec spec;
+  std::string body = text.substr(sizeof(kPrefix) - 1);
+  bool first = true;
+  size_t start = 0;
+  while (start <= body.size()) {
+    size_t comma = body.find(',', start);
+    if (comma == std::string::npos) comma = body.size();
+    const std::string token = body.substr(start, comma - start);
+    start = comma + 1;
+    if (token.empty()) HT_FATAL("empty token in fleet spec '", text, "'");
+    if (first) {
+      const double count = ParseNumber(token, "tenants", text);
+      if (!(count >= 1.0 && count <= 1e6) ||
+          count != std::floor(count)) {
+        HT_FATAL("fleet tenant count '", token,
+                 "' must be an integer in [1, 1e6]");
+      }
+      spec.tenants = static_cast<uint32_t>(count);
+      first = false;
+    } else {
+      const size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        HT_FATAL("fleet token '", token, "' in spec '", text,
+                 "' is not key=value");
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "wl") {
+        spec.workload_id = value;
+      } else if (key == "zipf") {
+        spec.weight_skew = ParseNumber(value, key, text);
+      } else if (key == "fp") {
+        spec.footprint_pages =
+            static_cast<uint64_t>(ParseNumber(value, key, text));
+      } else if (key == "fpskew") {
+        spec.footprint_skew = ParseNumber(value, key, text);
+      } else if (key == "churn") {
+        spec.churn = value;
+      } else if (key == "duty") {
+        spec.duty = ParseNumber(value, key, text);
+      } else if (key == "period") {
+        spec.period_ns =
+            static_cast<TimeNs>(ParseNumber(value, key, text));
+      } else if (key == "horizon") {
+        spec.horizon_ns =
+            static_cast<TimeNs>(ParseNumber(value, key, text));
+      } else if (key == "seed") {
+        spec.seed = static_cast<uint64_t>(ParseNumber(value, key, text));
+      } else {
+        HT_FATAL("unknown fleet key '", key, "' in spec '", text, "'");
+      }
+    }
+    if (comma == body.size()) break;
+  }
+  Validate(spec, text);
+  return spec;
+}
+
+std::string FormatFleetSpec(const FleetSpec& spec) {
+  std::string out = kPrefix + std::to_string(spec.tenants);
+  out += ",wl=" + spec.workload_id;
+  out += ",zipf=" + FormatNumber(spec.weight_skew);
+  out += ",fp=" + std::to_string(spec.footprint_pages);
+  out += ",fpskew=" + FormatNumber(spec.footprint_skew);
+  out += ",churn=" + spec.churn;
+  out += ",duty=" + FormatNumber(spec.duty);
+  out += ",period=" + std::to_string(spec.period_ns);
+  out += ",horizon=" + std::to_string(spec.horizon_ns);
+  out += ",seed=" + std::to_string(spec.seed);
+  return out;
+}
+
+std::vector<TenantSpec> MakeFleetSpecs(const FleetSpec& spec) {
+  Validate(spec, FormatFleetSpec(spec));
+  // Footprint scales are relative to the workload family's base
+  // footprint, probed once at scale 1.0 (cheap for the synthetic
+  // generators a fleet multiplexes).
+  const double base_pages = static_cast<double>(
+      MakeWorkload(spec.workload_id, 1.0, 1)->footprint_pages());
+  std::vector<TenantSpec> specs;
+  specs.reserve(spec.tenants);
+  for (uint32_t rank = 1; rank <= spec.tenants; ++rank) {
+    TenantSpec tenant;
+    tenant.workload_id = spec.workload_id;
+    tenant.weight =
+        spec.weight_skew == 0.0
+            ? 1.0
+            : std::pow(static_cast<double>(rank), -spec.weight_skew);
+    const double pages = std::max(
+        64.0, static_cast<double>(spec.footprint_pages) *
+                  (spec.footprint_skew == 0.0
+                       ? 1.0
+                       : std::pow(static_cast<double>(rank),
+                                  -spec.footprint_skew)));
+    tenant.scale = pages / base_pages;
+    // seed stays 0: MakeMuxWorkload derives per-tenant access-stream
+    // seeds from the run seed; only the churn schedule is pinned to the
+    // fleet seed (same fleet, different runs => same windows).
+    if (spec.churn == "poisson") {
+      uint64_t state = spec.seed ^ (0x9e3779b97f4a7c15ULL * rank);
+      Rng rng(SplitMix64Next(state));
+      tenant.windows = PoissonWindows(spec, rank, &rng);
+    } else if (spec.churn == "diurnal") {
+      tenant.windows = DiurnalWindows(spec, rank);
+    }
+    specs.push_back(std::move(tenant));
+  }
+  return specs;
+}
+
+}  // namespace hybridtier

@@ -17,6 +17,9 @@ MuxWorkload::MuxWorkload(std::vector<Tenant> tenants)
 
   // Lay tenants out back to back, each span rounded up to a 2 MiB
   // boundary so huge-page tracking units never straddle two tenants.
+  // Fleet-sized muxes get an abridged display name; the per-tenant
+  // region names stay exact (metrics and results key on those).
+  const bool abridge_name = tenants_.size() > 8;
   std::map<std::string, uint32_t> name_uses;
   uint64_t base = 0;
   name_ = "mux(";
@@ -48,12 +51,15 @@ MuxWorkload::MuxWorkload(std::vector<Tenant> tenants)
       }
     }
     base += region.span_pages;
-    if (i > 0) name_ += "+";
-    name_ += region.name;
+    if (!abridge_name || i < 4) {
+      if (i > 0) name_ += "+";
+      name_ += region.name;
+    }
     // Tenants whose first window opens at t=0 (or who have no windows)
     // start in the rotation; the rest join when the clock reaches their
-    // next window's arrival. Every remaining window edge is counted so
-    // the hot path can skip the window scan once all have fired.
+    // next window's arrival. Every remaining window edge goes into the
+    // chronological schedule so the hot path compares the clock against
+    // one cursor, never a per-tenant window scan.
     window_.push_back(0);
     if (region.windows.empty() || region.windows[0].arrival_ns == 0) {
       status_.push_back(Status::kActive);
@@ -63,14 +69,26 @@ MuxWorkload::MuxWorkload(std::vector<Tenant> tenants)
     }
     for (size_t w = 0; w < region.windows.size(); ++w) {
       if (!(w == 0 && region.windows[w].arrival_ns == 0)) {
-        ++unapplied_edges_;  // Arrival edge still ahead.
+        window_edges_.push_back(
+            WindowEdge{region.windows[w].arrival_ns, i, /*arrival=*/true});
       }
-      if (region.windows[w].departure_ns != 0) ++unapplied_edges_;
+      if (region.windows[w].departure_ns != 0) {
+        window_edges_.push_back(WindowEdge{region.windows[w].departure_ns,
+                                           i, /*arrival=*/false});
+      }
     }
     directory_.regions.push_back(std::move(region));
   }
+  if (abridge_name) {
+    name_ += "+...x" + std::to_string(tenants_.size());
+  }
   name_ += ")";
   total_span_pages_ = base;
+  std::sort(window_edges_.begin(), window_edges_.end(),
+            [](const WindowEdge& a, const WindowEdge& b) {
+              return std::tie(a.at, a.tenant, a.arrival) <
+                     std::tie(b.at, b.tenant, b.arrival);
+            });
 }
 
 void MuxWorkload::RemoveFromRotation(uint32_t tenant) {
@@ -81,43 +99,52 @@ void MuxWorkload::RemoveFromRotation(uint32_t tenant) {
   if (rr_next_ > slot) --rr_next_;
 }
 
-void MuxWorkload::UpdateActivation(TimeNs now) {
-  // Keep the multiplexer's hottest path free of the window scan once
-  // every configured edge has fired (always, for windowless runs).
-  if (unapplied_edges_ == 0) return;
-  const size_t first_new = churn_events_.size();
-  for (uint32_t t = 0; t < tenants_.size(); ++t) {
-    const std::vector<ResidencyWindow>& windows =
-        directory_.regions[t].windows;
-    // One pass may cross several edges of the same tenant (a clock jump
-    // over a whole window): walk its window list until the next edge is
-    // still ahead of `now`.
-    while (status_[t] != Status::kDeparted && !windows.empty()) {
-      const ResidencyWindow& window = windows[window_[t]];
-      if (status_[t] == Status::kPending) {
-        if (now < window.arrival_ns) break;
-        // Re-arrivals resume the suspended op stream; a stream that
-        // already ran dry is dropped again on its first NextOp.
-        status_[t] = Status::kActive;
-        rotation_.push_back(t);
-        churn_events_.push_back(
-            TenantChurnEvent{window.arrival_ns, t, /*arrival=*/true});
-        --unapplied_edges_;
-      }
-      // A departure ends the window whether the tenant is mid-stream
-      // (process killed) or already finished (its pages lingered).
-      if (window.departure_ns == 0 || now < window.departure_ns) break;
-      if (status_[t] == Status::kActive) RemoveFromRotation(t);
+void MuxWorkload::AdvanceTenant(uint32_t tenant, TimeNs now) {
+  const std::vector<ResidencyWindow>& windows =
+      directory_.regions[tenant].windows;
+  // One pass may cross several edges of the same tenant (a clock jump
+  // over a whole window): walk its window list until the next edge is
+  // still ahead of `now`.
+  while (status_[tenant] != Status::kDeparted && !windows.empty()) {
+    const ResidencyWindow& window = windows[window_[tenant]];
+    if (status_[tenant] == Status::kPending) {
+      if (now < window.arrival_ns) break;
+      // Re-arrivals resume the suspended op stream; a stream that
+      // already ran dry is dropped again on its first NextOp.
+      status_[tenant] = Status::kActive;
+      rotation_.push_back(tenant);
       churn_events_.push_back(
-          TenantChurnEvent{window.departure_ns, t, /*arrival=*/false});
-      --unapplied_edges_;
-      ++window_[t];
-      status_[t] = window_[t] < windows.size() ? Status::kPending
-                                               : Status::kDeparted;
+          TenantChurnEvent{window.arrival_ns, tenant, /*arrival=*/true});
     }
+    // A departure ends the window whether the tenant is mid-stream
+    // (process killed) or already finished (its pages lingered).
+    if (window.departure_ns == 0 || now < window.departure_ns) break;
+    if (status_[tenant] == Status::kActive) RemoveFromRotation(tenant);
+    churn_events_.push_back(
+        TenantChurnEvent{window.departure_ns, tenant, /*arrival=*/false});
+    ++window_[tenant];
+    status_[tenant] = window_[tenant] < windows.size() ? Status::kPending
+                                                       : Status::kDeparted;
   }
-  // One pass can apply several edges with different scheduled times (a
-  // clock jump across an idle gap); keep the log chronological.
+}
+
+void MuxWorkload::UpdateActivation(TimeNs now) {
+  // Keep the multiplexer's hottest path down to one comparison when no
+  // edge is due (always, for windowless runs and after the last edge).
+  if (edge_cursor_ >= window_edges_.size() ||
+      now < window_edges_[edge_cursor_].at) {
+    return;
+  }
+  const size_t first_new = churn_events_.size();
+  while (edge_cursor_ < window_edges_.size() &&
+         window_edges_[edge_cursor_].at <= now) {
+    // A tenant whose later edges were already applied by an earlier pop
+    // of this batch advances past them; its stale edges no-op here.
+    AdvanceTenant(window_edges_[edge_cursor_].tenant, now);
+    ++edge_cursor_;
+  }
+  // One batch can apply several edges of one tenant ahead of another
+  // tenant's earlier edge; keep the log chronological.
   std::sort(churn_events_.begin() +
                 static_cast<ptrdiff_t>(first_new),
             churn_events_.end(),
@@ -156,15 +183,19 @@ bool MuxWorkload::NextOp(TimeNs now, OpTrace* op) {
   }
 
   // Nobody is runnable. If an arrival is still ahead, emit a pure idle
-  // gap that carries the clock to it; otherwise the mux is done.
+  // gap that carries the clock to it; otherwise the mux is done. Every
+  // pending tenant's next arrival is an unconsumed edge, and edges are
+  // chronological, so the first pending arrival at/after the cursor is
+  // the earliest one — no fleet-wide scan.
   TimeNs next_arrival = 0;
   bool have_pending = false;
-  for (uint32_t t = 0; t < tenants_.size(); ++t) {
-    if (status_[t] != Status::kPending) continue;
-    const TimeNs arrival =
-        directory_.regions[t].windows[window_[t]].arrival_ns;
-    if (!have_pending || arrival < next_arrival) next_arrival = arrival;
-    have_pending = true;
+  for (size_t e = edge_cursor_; e < window_edges_.size(); ++e) {
+    const WindowEdge& edge = window_edges_[e];
+    if (edge.arrival && status_[edge.tenant] == Status::kPending) {
+      next_arrival = edge.at;
+      have_pending = true;
+      break;
+    }
   }
   if (!have_pending) return false;
   op->Clear();

@@ -81,6 +81,15 @@ class MuxWorkload : public Workload, public TenantTagSource {
   double tenant_weight(uint32_t tenant) const override {
     return directory_.regions[tenant].weight;
   }
+  std::vector<std::pair<TimeNs, TimeNs>> tenant_windows(
+      uint32_t tenant) const override {
+    std::vector<std::pair<TimeNs, TimeNs>> windows;
+    windows.reserve(directory_.regions[tenant].windows.size());
+    for (const ResidencyWindow& window : directory_.regions[tenant].windows) {
+      windows.emplace_back(window.arrival_ns, window.departure_ns);
+    }
+    return windows;
+  }
 
   /** The shared-tier layout (regions in admission order). */
   const TenantDirectory& directory() const { return directory_; }
@@ -99,8 +108,24 @@ class MuxWorkload : public Workload, public TenantTagSource {
     kDeparted,  //!< Every window closed; removed for good.
   };
 
+  /**
+   * One scheduled window edge. The constructor sorts every tenant's
+   * remaining edges into one chronological schedule so the hot path
+   * compares the clock against a single cursor instead of scanning all
+   * tenants' window lists — O(1) when nothing is due, O(edges crossed)
+   * when something is, regardless of fleet size.
+   */
+  struct WindowEdge {
+    TimeNs at = 0;
+    uint32_t tenant = 0;
+    bool arrival = false;
+  };
+
   /** Applies window edges the clock has crossed by `now`. */
   void UpdateActivation(TimeNs now);
+
+  /** Walks `tenant`'s window list up to `now` (arrivals + departures). */
+  void AdvanceTenant(uint32_t tenant, TimeNs now);
 
   /** Drops `tenant` from the rotation, fixing up the rotation cursor. */
   void RemoveFromRotation(uint32_t tenant);
@@ -111,7 +136,8 @@ class MuxWorkload : public Workload, public TenantTagSource {
   std::vector<size_t> window_;      //!< Current/next window per tenant.
   std::vector<uint32_t> rotation_;  //!< Runnable tenants, rotation order.
   std::vector<TenantChurnEvent> churn_events_;
-  uint32_t unapplied_edges_ = 0;    //!< Window edges still ahead.
+  std::vector<WindowEdge> window_edges_;  //!< All edges, chronological.
+  size_t edge_cursor_ = 0;          //!< First edge still ahead.
   size_t rr_next_ = 0;              //!< Next rotation slot to serve.
   uint32_t last_tenant_ = 0;
   uint64_t total_span_pages_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "multitenant/fleet.h"
 #include "workloads/factory.h"
 
 namespace hybridtier {
@@ -31,6 +32,9 @@ TimeNs ParseTimeNs(const std::string& text, const std::string& entry) {
 }  // namespace
 
 std::vector<TenantSpec> ParseTenantList(const std::string& list) {
+  // A generator spec ("fleet:1000,zipf=0.9,...") expands to the whole
+  // tenant population; it is never mixed with explicit entries.
+  if (IsFleetSpec(list)) return MakeFleetSpecs(ParseFleetSpec(list));
   std::vector<TenantSpec> specs;
   size_t start = 0;
   while (start <= list.size()) {

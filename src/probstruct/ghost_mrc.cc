@@ -11,25 +11,74 @@ namespace {
 // uses: units pinned at the cap all belong in the fast tier, so finer
 // resolution would not change the allocation.
 constexpr uint32_t kGhostCounterBits = 4;
+
+// Sample-table slots per expected sampled unit. The sampled count is a
+// binomial with mean span/2^shift; doubling the mean (plus a fixed
+// floor) puts the table many standard deviations past any realizable
+// load factor, so linear probing stays short and inserts cannot fail.
+uint64_t SampleTableCapacity(uint64_t units, uint32_t shift) {
+  const uint64_t expected = (units >> shift) + 1;
+  return std::max<uint64_t>(32, 2 * expected + 16);
+}
 }  // namespace
 
-GhostMrc::GhostMrc(uint64_t units)
-    : counters_(units, kGhostCounterBits) {
-  HT_ASSERT(units > 0, "ghost MRC needs a non-empty region");
-  HT_ASSERT(counters_.max_value() < hist_.size(),
-            "ghost histogram too small for counter width");
-  hist_.fill(0);
-  hist_[0] = units;
+uint32_t GhostMrc::SampleShiftFor(uint64_t units, uint64_t budget) {
+  if (budget == 0 || units <= budget) return 0;
+  uint32_t shift = 0;
+  while ((units >> shift) > budget) ++shift;
+  return shift;
 }
 
-void GhostMrc::Increment(uint64_t unit) {
-  const uint32_t prev = counters_.Get(unit);
-  if (prev == counters_.max_value()) return;  // Saturated: no change.
-  const uint32_t now = counters_.SaturatingIncrement(unit);
+GhostMrc::GhostMrc(uint64_t units, uint32_t sample_shift)
+    : units_(units),
+      sample_shift_(sample_shift),
+      counters_(sample_shift == 0 ? units
+                                  : SampleTableCapacity(units, sample_shift),
+                kGhostCounterBits) {
+  HT_ASSERT(units > 0, "ghost MRC needs a non-empty region");
+  HT_ASSERT(sample_shift < 32, "ghost sample shift out of range");
+  HT_ASSERT(counters_.max_value() < hist_.size(),
+            "ghost histogram too small for counter width");
+  if (sample_shift_ > 0) {
+    HT_ASSERT(units < kEmptyKey,
+              "sampled ghost MRC keys are 32-bit region-local unit ids");
+    keys_.assign(counters_.size(), kEmptyKey);
+  }
+  hist_.fill(0);
+  hist_[0] = counters_.size();
+}
+
+uint64_t GhostMrc::SlotOf(uint64_t unit) {
+  const uint64_t capacity = counters_.size();
+  uint64_t slot = ReduceRange(Mix64(unit * 0x9e3779b97f4a7c15ULL), capacity);
+  for (uint64_t probes = 0; probes < capacity; ++probes) {
+    const uint32_t key = keys_[slot];
+    if (key == static_cast<uint32_t>(unit)) return slot;
+    if (key == kEmptyKey) {
+      keys_[slot] = static_cast<uint32_t>(unit);
+      return slot;
+    }
+    slot = slot + 1 == capacity ? 0 : slot + 1;
+  }
+  HT_FATAL("ghost MRC sample table overflow (capacity ", capacity, ")");
+}
+
+int64_t GhostMrc::Increment(uint64_t unit) {
+  uint64_t slot = unit;
+  if (sample_shift_ > 0) {
+    if (!Admits(unit)) return -1;  // Outside the SHARDS sampled set.
+    slot = SlotOf(unit);
+  }
+  const uint32_t prev = counters_.Get(slot);
+  if (prev == counters_.max_value()) {
+    return static_cast<int64_t>(slot);  // Saturated: no change.
+  }
+  const uint32_t now = counters_.SaturatingIncrement(slot);
   --hist_[prev];
   ++hist_[now];
   if (prev == 0) ++demand_units_;
   ++total_hits_;
+  return static_cast<int64_t>(slot);
 }
 
 void GhostMrc::CoolByHalving() {
@@ -47,6 +96,7 @@ void GhostMrc::CoolByHalving() {
 
 void GhostMrc::Reset() {
   counters_.Reset();
+  if (sample_shift_ > 0) keys_.assign(keys_.size(), kEmptyKey);
   hist_.fill(0);
   hist_[0] = counters_.size();
   demand_units_ = 0;
@@ -56,7 +106,7 @@ void GhostMrc::Reset() {
 uint32_t GhostMrc::RankValue(uint64_t rank) const {
   uint64_t seen = 0;
   for (uint32_t v = counters_.max_value(); v > 0; --v) {
-    seen += hist_[v];
+    seen += hist_[v] << sample_shift_;
     if (seen > rank) return v;
   }
   return 0;
@@ -66,7 +116,8 @@ uint64_t GhostMrc::CumulativeHits(uint64_t q) const {
   uint64_t hits = 0;
   uint64_t taken = 0;
   for (uint32_t v = counters_.max_value(); v > 0 && taken < q; --v) {
-    const uint64_t take = std::min<uint64_t>(hist_[v], q - taken);
+    const uint64_t at_v = hist_[v] << sample_shift_;
+    const uint64_t take = std::min<uint64_t>(at_v, q - taken);
     hits += take * v;
     taken += take;
   }
@@ -76,7 +127,8 @@ uint64_t GhostMrc::CumulativeHits(uint64_t q) const {
 void GhostMrc::AppendDemandSteps(std::vector<GhostDemandStep>* out) const {
   for (uint32_t v = counters_.max_value(); v > 0; --v) {
     if (hist_[v] == 0) continue;
-    out->push_back(GhostDemandStep{.value = v, .units = hist_[v]});
+    out->push_back(
+        GhostDemandStep{.value = v, .units = hist_[v] << sample_shift_});
   }
 }
 

@@ -7,18 +7,35 @@
  *
  * A `GhostMrc` is the ghost structure behind the marginal-utility quota
  * controller: it consumes the tenant's sampled accesses (the shadow of
- * the real access stream) into a dense array of 4-bit saturating
- * counters — the same packed-counter substrate HybridTier's trackers
- * use — plus an incrementally maintained histogram of counter values.
- * Because the counters survive cooling as a halving EMA, the value
- * distribution approximates "sampled hits per window" of each unit, and
- * reading it off in rank order answers the allocator's question: if this
- * tenant held its q hottest units in the fast tier, how many sampled
- * hits per window would the q-th unit contribute (`RankValue`), and how
- * many would the whole allocation capture (`CumulativeHits`)? A
- * streaming tenant whose pages are touched once concentrates its mass at
- * counter value 1, so its curve flattens immediately — exactly the
- * signal per-unit hit *density* gets wrong.
+ * the real access stream) into 4-bit saturating counters — the same
+ * packed-counter substrate HybridTier's trackers use — plus an
+ * incrementally maintained histogram of counter values. Because the
+ * counters survive cooling as a halving EMA, the value distribution
+ * approximates "sampled hits per window" of each unit, and reading it
+ * off in rank order answers the allocator's question: if this tenant
+ * held its q hottest units in the fast tier, how many sampled hits per
+ * window would the q-th unit contribute (`RankValue`), and how many
+ * would the whole allocation capture (`CumulativeHits`)? A streaming
+ * tenant whose pages are touched once concentrates its mass at counter
+ * value 1, so its curve flattens immediately — exactly the signal
+ * per-unit hit *density* gets wrong.
+ *
+ * Two storage modes share that read interface:
+ *
+ *  - **Exact** (`sample_shift == 0`): one dense counter per unit of the
+ *    region, as in the original structure. Memory is O(span).
+ *  - **SHARDS-sampled** (`sample_shift > 0`): spatial hash sampling in
+ *    the style of SHARDS — a unit is admitted iff the top `sample_shift`
+ *    bits of a fixed 64-bit mix of its id are zero, i.e. with
+ *    probability 2^-shift under a *fixed* threshold, so the sampled set
+ *    is a deterministic function of the region alone (bit-identical
+ *    runs regardless of timing or thread count). Admitted units live in
+ *    a small open-addressing table keyed by unit id; every access to an
+ *    admitted unit is counted (per-unit values stay unscaled), and the
+ *    curve readers scale *unit counts* by 2^shift so demand curves,
+ *    rank values, and cumulative hits are estimates over the full
+ *    region. Memory is O(span >> shift) — about 100x smaller at
+ *    shift 7, ~1000x at shift 10.
  *
  * The histogram is maintained in O(1) per update and O(max_count) per
  * cooling pass, so rebalance reads never rescan the counter array.
@@ -28,6 +45,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "probstruct/hash.h"
 #include "probstruct/packed_counters.h"
 
 namespace hybridtier {
@@ -41,65 +59,112 @@ struct GhostDemandStep {
 /** Shadow-sampled per-unit hotness ranking with EMA cooling. */
 class GhostMrc {
  public:
-  /** @param units tracked units (the tenant's region span). */
-  explicit GhostMrc(uint64_t units);
+  /**
+   * @param units        tracked units (the tenant's region span).
+   * @param sample_shift SHARDS sampling rate exponent: 0 = exact dense
+   *                     counters; k > 0 admits units with probability
+   *                     2^-k under a fixed spatial hash threshold.
+   */
+  explicit GhostMrc(uint64_t units, uint32_t sample_shift = 0);
 
-  /** Records one sampled access to local unit `unit` (region-relative). */
-  void Increment(uint64_t unit);
+  /**
+   * Smallest shift that keeps the expected sampled-unit count of a
+   * `units`-sized region within `budget` (0 when the region already
+   * fits, i.e. small tenants stay exact).
+   */
+  static uint32_t SampleShiftFor(uint64_t units, uint64_t budget);
+
+  /**
+   * Records one sampled access to local unit `unit` (region-relative).
+   * Returns the storage index whose counter was touched, or -1 when the
+   * unit is outside the sampled set (SHARDS rejection) — callers model
+   * metadata traffic only for accepted updates via `CacheLineOfSlot`.
+   */
+  int64_t Increment(uint64_t unit);
+
+  /** True iff `unit` falls in the sampled set (always true when exact). */
+  bool Admits(uint64_t unit) const {
+    return sample_shift_ == 0 ||
+           (Mix64(unit ^ kShardsSeed) >> (64 - sample_shift_)) == 0;
+  }
 
   /** Halves every counter (EMA cooling across rebalance windows). */
   void CoolByHalving();
 
-  /** Clears all counters and the histogram. */
+  /** Clears all counters, the sample table, and the histogram. */
   void Reset();
 
   /**
-   * Sampled hits per window contributed by the `rank`-th hottest unit
+   * Estimated hits per window contributed by the `rank`-th hottest unit
    * (0-based); 0 when fewer than `rank+1` units were ever sampled. This
-   * is the marginal utility of the (rank+1)-th fast unit.
+   * is the marginal utility of the (rank+1)-th fast unit. Under SHARDS
+   * sampling each admitted unit stands for 2^shift units of its value.
    */
   uint32_t RankValue(uint64_t rank) const;
 
-  /** Total sampled hits captured by holding the `q` hottest units. */
+  /** Estimated hits captured by holding the `q` hottest units. */
   uint64_t CumulativeHits(uint64_t q) const;
 
-  /** Units with a nonzero counter (the sampled working set). */
-  uint64_t demand_units() const { return demand_units_; }
+  /** Estimated units with a nonzero counter (the sampled working set). */
+  uint64_t demand_units() const { return demand_units_ << sample_shift_; }
 
-  /** Sum of all counter values (sampled hits represented). */
-  uint64_t total_hits() const { return total_hits_; }
+  /** Estimated total hits represented (scaled under sampling). */
+  uint64_t total_hits() const { return total_hits_ << sample_shift_; }
 
   /**
    * The demand curve as descending steps: for each counter value v from
-   * the maximum down to 1, how many units sit at exactly v. Appends to
-   * `out`; steps with zero units are skipped.
+   * the maximum down to 1, how many (estimated) units sit at exactly v.
+   * Appends to `out`; steps with zero units are skipped.
    */
   void AppendDemandSteps(std::vector<GhostDemandStep>* out) const;
 
-  /** Tracked units. */
-  uint64_t units() const { return counters_.size(); }
+  /** Tracked units (the region span, not the table capacity). */
+  uint64_t units() const { return units_; }
 
-  /** Bytes of backing storage. */
-  size_t memory_bytes() const { return counters_.memory_bytes(); }
+  /** SHARDS sampling rate exponent (0 = exact). */
+  uint32_t sample_shift() const { return sample_shift_; }
+
+  /** Counter slots actually backed by storage. */
+  uint64_t capacity() const { return counters_.size(); }
+
+  /** Bytes of backing storage (counters + sample-table keys). */
+  size_t memory_bytes() const {
+    return counters_.memory_bytes() + keys_.capacity() * sizeof(uint32_t);
+  }
 
   /** Largest representable per-unit value. */
   uint32_t max_value() const { return counters_.max_value(); }
 
   /**
    * Index of the 64-byte cache line (relative to this structure's
-   * storage base) an update of `unit` touches, for metadata-traffic
-   * accounting.
+   * storage base) that the counter at storage index `slot` lives in,
+   * for metadata-traffic accounting. `slot` is a value returned by
+   * `Increment` (in exact mode it equals the unit id).
    */
-  uint64_t CacheLineOf(uint64_t unit) const {
-    return counters_.CacheLineOf(unit);
+  uint64_t CacheLineOfSlot(uint64_t slot) const {
+    return counters_.CacheLineOf(slot);
   }
 
  private:
+  /** Fixed SHARDS admission seed: sampling is a pure function of unit id. */
+  static constexpr uint64_t kShardsSeed = 0x51ab7158c9f1d0a3ULL;
+
+  /** Sentinel for an empty sample-table slot. */
+  static constexpr uint32_t kEmptyKey = 0xffffffffu;
+
+  /** Storage slot of an admitted `unit` (finds or inserts); fatal on
+   *  table overflow, which the 2x capacity margin makes unreachable. */
+  uint64_t SlotOf(uint64_t unit);
+
+  uint64_t units_;
+  uint32_t sample_shift_;
   PackedCounterArray counters_;
-  /** hist_[v] = units whose counter currently equals v. */
+  /** Sampled mode only: open-addressing unit-id keys, kEmptyKey = free. */
+  std::vector<uint32_t> keys_;
+  /** hist_[v] = storage slots whose counter currently equals v. */
   std::array<uint64_t, 17> hist_;
-  uint64_t demand_units_ = 0;
-  uint64_t total_hits_ = 0;
+  uint64_t demand_units_ = 0;  //!< Raw (unscaled) nonzero slots.
+  uint64_t total_hits_ = 0;    //!< Raw (unscaled) counter-value sum.
 };
 
 }  // namespace hybridtier

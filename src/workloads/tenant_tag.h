@@ -16,6 +16,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/units.h"
 #include "mem/page.h"
@@ -59,6 +61,21 @@ class TenantTagSource {
   virtual double tenant_weight(uint32_t tenant) const {
     (void)tenant;
     return 1.0;
+  }
+
+  /**
+   * Residency windows of tenant `tenant` as (arrival_ns, departure_ns)
+   * pairs in ascending order; departure 0 = open-ended, an empty list =
+   * present for the whole run. Must agree with `tenant_active_at`:
+   * `tenant_active_at(t, now)` iff some window contains `now`. The
+   * harness precomputes a churn-edge schedule from the windows so its
+   * per-interval accounting walks only the tenants actually present,
+   * never the whole fleet. Called once at construction (not hot).
+   */
+  virtual std::vector<std::pair<TimeNs, TimeNs>> tenant_windows(
+      uint32_t tenant) const {
+    (void)tenant;
+    return {};
   }
 };
 

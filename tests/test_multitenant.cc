@@ -17,6 +17,7 @@
 #include "mem/perf_model.h"
 #include "mem/tiered_memory.h"
 #include "multitenant/fair_share_policy.h"
+#include "multitenant/fleet.h"
 #include "multitenant/mux_workload.h"
 #include "multitenant/quota_controller.h"
 #include "policies/policy.h"
@@ -972,21 +973,26 @@ TEST(MultiTenantSimulation, RecurringTenantReacquiresCapacity) {
   EXPECT_GT(fair->quota_units(1), 0u);
   EXPECT_GT(result.tenants[1].fast_resident_units, 0u);
 
-  // Occupancy timeline: zero between drain completion and the return.
+  // Occupancy timeline: the tenant drained to an explicit zero point
+  // after departing, and nothing stayed resident between the drain
+  // deadline and the return. The series is sparse — once drained the
+  // tenant leaves the accounting walk until its next arrival, so
+  // absence of points in the gap also means nothing resident.
   const TimeSeries& occupancy = result.tenants[1].occupancy_timeline;
   const FairShareConfig defaults;
   const TimeNs drain_deadline =
       kDeparture + defaults.rebalance_interval_ns;
-  bool saw_gap_point = false;
+  bool drained_to_zero = false;
   for (size_t i = 0; i < occupancy.size(); ++i) {
-    if (occupancy.times_ns[i] >= drain_deadline &&
-        occupancy.times_ns[i] < kReturn) {
-      saw_gap_point = true;
+    const TimeNs at = occupancy.times_ns[i];
+    if (at < kDeparture || at >= kReturn) continue;
+    if (at >= drain_deadline) {
       EXPECT_EQ(occupancy.values[i], 0.0)
-          << "departed tenant resident at t=" << occupancy.times_ns[i];
+          << "departed tenant resident at t=" << at;
     }
+    if (occupancy.values[i] == 0.0) drained_to_zero = true;
   }
-  EXPECT_TRUE(saw_gap_point);
+  EXPECT_TRUE(drained_to_zero);
 }
 
 // ------------------------------------------------- arrival warm-up dip --
@@ -1299,6 +1305,183 @@ TEST(MultiTenantSimulation, ArrivalGraceLiftsPostArrivalFairness) {
   const double without_grace = run_mean_after_arrival(0.0);
   EXPECT_GE(with_grace, without_grace);
   EXPECT_GT(with_grace, 0.0);
+}
+
+// ---------------------------------------------------------- FleetSpec --
+
+TEST(FleetSpec, FormatParseRoundTrips) {
+  FleetSpec spec;
+  spec.tenants = 137;
+  spec.workload_id = "cdn";
+  spec.weight_skew = 1.25;
+  spec.footprint_pages = 4096;
+  spec.footprint_skew = 0.5;
+  spec.churn = "poisson";
+  spec.duty = 0.125;
+  spec.period_ns = 250000000;
+  spec.horizon_ns = 2000000000;
+  spec.seed = 99;
+  EXPECT_TRUE(IsFleetSpec(FormatFleetSpec(spec)));
+  EXPECT_EQ(ParseFleetSpec(FormatFleetSpec(spec)), spec);
+
+  // A count-only spec round-trips through its defaults.
+  const FleetSpec defaults = ParseFleetSpec("fleet:10");
+  EXPECT_EQ(defaults.tenants, 10u);
+  EXPECT_EQ(ParseFleetSpec(FormatFleetSpec(defaults)), defaults);
+
+  // Ordinary tenant lists never look like fleet specs.
+  EXPECT_FALSE(IsFleetSpec("zipf,cdn:2,silo@0-1e8"));
+  EXPECT_FALSE(IsFleetSpec(""));
+}
+
+TEST(ParseTenantList, FleetSpecExpandsToPopulation) {
+  const std::string spec =
+      "fleet:40,zipf=0.9,fp=1024,fpskew=0.3,churn=poisson,duty=0.25,"
+      "period=1e8,horizon=1e9,seed=7";
+  const std::vector<TenantSpec> specs = ParseTenantList(spec);
+  ASSERT_EQ(specs.size(), 40u);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].workload_id, "zipf");
+    EXPECT_EQ(specs[i].seed, 0u);  // Stream seeds come from the run seed.
+    if (i > 0) {
+      EXPECT_LT(specs[i].weight, specs[i - 1].weight);  // Zipf ranks.
+      EXPECT_LE(specs[i].scale, specs[i - 1].scale);    // fpskew.
+    }
+    // Poisson windows are chronological, disjoint, and only the last
+    // may be open-ended.
+    ASSERT_FALSE(specs[i].windows.empty());
+    for (size_t w = 0; w < specs[i].windows.size(); ++w) {
+      const ResidencyWindow& window = specs[i].windows[w];
+      if (window.departure_ns != 0) {
+        EXPECT_GT(window.departure_ns, window.arrival_ns);
+      } else {
+        EXPECT_EQ(w + 1, specs[i].windows.size());
+      }
+      if (w > 0) {
+        EXPECT_GT(window.arrival_ns, specs[i].windows[w - 1].departure_ns);
+      }
+    }
+  }
+
+  // Expansion is a pure function of the spec: a second parse yields the
+  // identical fleet, churn schedule included.
+  const std::vector<TenantSpec> again = ParseTenantList(spec);
+  ASSERT_EQ(again.size(), specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(again[i].weight, specs[i].weight);
+    EXPECT_EQ(again[i].scale, specs[i].scale);
+    ASSERT_EQ(again[i].windows.size(), specs[i].windows.size());
+    for (size_t w = 0; w < specs[i].windows.size(); ++w) {
+      EXPECT_EQ(again[i].windows[w].arrival_ns,
+                specs[i].windows[w].arrival_ns);
+      EXPECT_EQ(again[i].windows[w].departure_ns,
+                specs[i].windows[w].departure_ns);
+    }
+  }
+}
+
+TEST(ParseTenantList, FleetDiurnalPhasesTileThePeriod) {
+  const std::vector<TenantSpec> specs = ParseTenantList(
+      "fleet:10,churn=diurnal,duty=0.3,period=1e8,horizon=3e8");
+  ASSERT_EQ(specs.size(), 10u);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_FALSE(specs[i].windows.empty());
+    // Rank r starts at phase (r-1)/N of the period and recurs exactly.
+    EXPECT_EQ(specs[i].windows[0].arrival_ns, i * 10000000u);
+    for (size_t w = 1; w < specs[i].windows.size(); ++w) {
+      EXPECT_EQ(specs[i].windows[w].arrival_ns,
+                specs[i].windows[w - 1].arrival_ns + 100000000u);
+    }
+  }
+}
+
+// The O(active) complexity guard: a 1000-tenant fleet at 10% duty must
+// be book-kept in time proportional to the ~100 tenants actually
+// present, not the fleet size. The work counters count tenant *visits*
+// (not wall time), so the bound is robust to machine speed.
+TEST(MultiTenantSimulation, FleetBookkeepingScalesWithActiveTenants) {
+  constexpr uint32_t kFleet = 1000;
+  // ~100 expected present; several sigmas of headroom, still far under
+  // the fleet size a naive full-scan would visit.
+  constexpr uint64_t kActiveCeiling = 400;
+  auto mux = MakeMuxWorkload(
+      ParseTenantList("fleet:1000,zipf=0.9,fp=64,churn=poisson,duty=0.1,"
+                      "period=2e8,horizon=1e9,seed=3"),
+      7);
+  ASSERT_EQ(mux->tenant_count(), kFleet);
+  FairShareConfig fair_config;
+  auto fair = std::make_unique<FairSharePolicy>(
+      MakePolicy("HybridTier"), mux->directory(), fair_config);
+  SimulationConfig config;
+  config.seed = 7;
+  config.max_accesses = 1000000;
+  config.max_time_ns = 200 * kMillisecond;
+  config.tenant_reservoir = 256;
+  const SimulationResult result =
+      RunSimulation(config, mux.get(), fair.get());
+  ASSERT_GT(result.accesses, 0u);
+  EXPECT_GT(result.weighted_jain_fairness, 0.0);
+  EXPECT_LE(result.weighted_jain_fairness, 1.0);
+
+  EXPECT_LT(fair->active_tenants(), kActiveCeiling);
+
+  // Timeline accounting: visits = present + (departed tenants still
+  // draining their fast pages) per interval — both O(active).
+  const uint64_t intervals = result.weighted_fairness_timeline.size();
+  ASSERT_GT(intervals, 0u);
+  EXPECT_LE(result.stats_tenant_visits, intervals * kActiveCeiling);
+
+  // Policy maintenance walks only the active set. Rebalance runs every
+  // rebalance interval; enforcement and quota fill run every policy
+  // tick, so each gets its own pass count.
+  const uint64_t rebalances =
+      result.duration_ns / fair_config.rebalance_interval_ns + 2;
+  const uint64_t ticks = result.duration_ns / config.tick_interval_ns + 2;
+  EXPECT_LE(fair->rebalance_tenant_visits(), rebalances * kActiveCeiling);
+  EXPECT_LE(fair->fill_tenant_visits(), ticks * kActiveCeiling);
+  EXPECT_LE(fair->enforce_tenant_visits(), ticks * kActiveCeiling);
+
+  // Churn is edge-driven: the policy crosses each arrival/departure
+  // edge at most once, so edge visits are bounded by the schedule size.
+  uint64_t total_edges = 0;
+  for (uint32_t t = 0; t < mux->tenant_count(); ++t) {
+    for (const auto& window : mux->tenant_windows(t)) {
+      total_edges += window.second == 0 ? 1 : 2;
+    }
+  }
+  EXPECT_LE(fair->churn_edge_visits(), total_edges);
+}
+
+TEST(MultiTenantSimulation, FleetRunsAreDeterministicAcrossReruns) {
+  std::vector<uint64_t> quotas[2];
+  std::vector<double> fairness_timeline[2];
+  uint64_t ops[2] = {0, 0};
+  uint64_t visits[2] = {0, 0};
+  for (int run = 0; run < 2; ++run) {
+    auto mux = MakeMuxWorkload(
+        ParseTenantList("fleet:1000,zipf=0.9,fp=64,churn=poisson,"
+                        "duty=0.1,period=5e7,horizon=1e9,seed=3"),
+        7);
+    auto fair = std::make_unique<FairSharePolicy>(
+        MakePolicy("HybridTier"), mux->directory());
+    SimulationConfig config;
+    config.seed = 7;
+    config.max_accesses = 300000;
+    config.max_time_ns = 150 * kMillisecond;
+    config.tenant_reservoir = 256;
+    const SimulationResult result =
+        RunSimulation(config, mux.get(), fair.get());
+    for (uint32_t t = 0; t < 32; ++t) {
+      quotas[run].push_back(fair->quota_units(t));
+    }
+    fairness_timeline[run] = result.weighted_fairness_timeline.values;
+    ops[run] = result.ops;
+    visits[run] = result.stats_tenant_visits;
+  }
+  EXPECT_EQ(quotas[0], quotas[1]);
+  EXPECT_EQ(fairness_timeline[0], fairness_timeline[1]);
+  EXPECT_EQ(ops[0], ops[1]);
+  EXPECT_EQ(visits[0], visits[1]);
 }
 
 TEST(MultiTenantSimulation, HugePageModeAttributesCleanly) {

@@ -501,5 +501,106 @@ TEST(GhostMrc, SaturatesAtCounterMax) {
   EXPECT_EQ(ghost.demand_units(), 1u);
 }
 
+// ---------------------------------------------------- GhostMrc/SHARDS --
+
+TEST(GhostMrc, ShardsSampleShiftMatchesBudget) {
+  // Small tenants stay exact; past the budget the shift is the smallest
+  // power of two that brings the expected sampled count back under it.
+  EXPECT_EQ(GhostMrc::SampleShiftFor(512, 1024), 0u);
+  EXPECT_EQ(GhostMrc::SampleShiftFor(1024, 1024), 0u);
+  EXPECT_EQ(GhostMrc::SampleShiftFor(1025, 1024), 1u);
+  EXPECT_EQ(GhostMrc::SampleShiftFor(4096, 1024), 2u);
+  EXPECT_EQ(GhostMrc::SampleShiftFor(uint64_t{1} << 20, 1024), 10u);
+  EXPECT_EQ(GhostMrc::SampleShiftFor(uint64_t{1} << 20, 0), 0u);
+}
+
+TEST(GhostMrc, ShardsMemoryFiftyTimesSmallerAtMillionUnits) {
+  // The fleet acceptance bar: a million-unit tenant's sampled curve
+  // costs at most 1/50 of the exact dense counters.
+  const uint64_t units = uint64_t{1} << 20;
+  GhostMrc exact(units);
+  GhostMrc sampled(units, GhostMrc::SampleShiftFor(units, 1024));
+  EXPECT_EQ(sampled.sample_shift(), 10u);
+  EXPECT_LE(sampled.memory_bytes() * 50, exact.memory_bytes());
+}
+
+TEST(GhostMrc, ShardsAdmissionIsPureAndMatchesIncrement) {
+  GhostMrc sampled(1 << 12, 3);
+  uint64_t admitted = 0;
+  for (uint64_t u = 0; u < (1 << 12); ++u) {
+    const bool admits = sampled.Admits(u);
+    EXPECT_EQ(admits, sampled.Admits(u));  // Pure function of the id.
+    EXPECT_EQ(admits, sampled.Increment(u) >= 0);
+    admitted += admits ? 1 : 0;
+  }
+  // The fixed-threshold hash admits ~2^-3 of the ids.
+  EXPECT_GT(admitted, (1u << 12) / 8 / 2);
+  EXPECT_LT(admitted, (1u << 12) / 8 * 2);
+  // Every accepted access was counted, scaled by the sampling rate.
+  EXPECT_EQ(sampled.total_hits(), admitted << 3);
+  EXPECT_EQ(sampled.demand_units(), admitted << 3);
+}
+
+TEST(GhostMrc, ShardsCurveIsOrderIndependent) {
+  // The sampled curve is a function of the access multiset, not its
+  // order: forward and reverse feeds of the same stream agree exactly.
+  const uint64_t units = 1 << 12;
+  GhostMrc forward(units, 3);
+  GhostMrc reverse(units, 3);
+  const auto hits_for = [](uint64_t u) -> uint64_t {
+    return u % 7 == 0 ? 4 : 1;
+  };
+  for (uint64_t u = 0; u < units; ++u) {
+    for (uint64_t h = 0; h < hits_for(u); ++h) forward.Increment(u);
+  }
+  for (uint64_t u = units; u-- > 0;) {
+    for (uint64_t h = 0; h < hits_for(u); ++h) reverse.Increment(u);
+  }
+  EXPECT_EQ(forward.demand_units(), reverse.demand_units());
+  EXPECT_EQ(forward.total_hits(), reverse.total_hits());
+  for (uint64_t rank : {0u, 1u, 100u, 1000u}) {
+    EXPECT_EQ(forward.RankValue(rank), reverse.RankValue(rank));
+  }
+  for (uint64_t q : {64u, 512u, 4096u}) {
+    EXPECT_EQ(forward.CumulativeHits(q), reverse.CumulativeHits(q));
+  }
+}
+
+TEST(GhostMrc, ShardsCurveTracksExactCurveWithinBoundedError) {
+  // A two-level demand curve — a reused hot set over a streaming tail —
+  // estimated at 1/16 sampling must stay within 15% of the exact curve
+  // at the reads the water-filler makes.
+  const uint64_t units = 1 << 16;
+  const uint64_t hot = 1 << 12;
+  GhostMrc exact(units);
+  GhostMrc sampled(units, 4);
+  for (uint64_t u = 0; u < units; ++u) {
+    const int hits = u < hot ? 4 : 1;
+    for (int h = 0; h < hits; ++h) {
+      exact.Increment(u);
+      sampled.Increment(u);
+    }
+  }
+  const auto close = [](uint64_t estimate, uint64_t truth) {
+    const double rel =
+        std::abs(static_cast<double>(estimate) - static_cast<double>(truth)) /
+        static_cast<double>(truth);
+    EXPECT_LE(rel, 0.15) << "estimate " << estimate << " vs " << truth;
+  };
+  close(sampled.demand_units(), exact.demand_units());
+  close(sampled.total_hits(), exact.total_hits());
+  close(sampled.CumulativeHits(hot), exact.CumulativeHits(hot));
+  close(sampled.CumulativeHits(units), exact.CumulativeHits(units));
+  // Both curves agree on the shape: the hot plateau then the tail.
+  EXPECT_EQ(sampled.RankValue(0), exact.RankValue(0));
+  EXPECT_EQ(sampled.RankValue(hot + hot / 2), exact.RankValue(hot + hot / 2));
+
+  // Cooling preserves the estimate relationship (4 -> 2, 1 -> 0).
+  exact.CoolByHalving();
+  sampled.CoolByHalving();
+  close(sampled.demand_units(), exact.demand_units());
+  close(sampled.total_hits(), exact.total_hits());
+}
+
 }  // namespace
 }  // namespace hybridtier
