@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "mem/topology.h"
 
 namespace hybridtier::bench {
 
@@ -46,7 +47,7 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       std::printf(
           "usage: %s [--jobs N] [--log-level LEVEL] [--trace-out FILE]\n"
-          "          [--metrics-out FILE]\n"
+          "          [--metrics-out FILE] [--topology SPEC]\n"
           "  --jobs N           sweep worker threads (default: all\n"
           "                     hardware threads); CSV output is\n"
           "                     identical for every N\n"
@@ -55,7 +56,11 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
           "  --trace-out FILE   write a sweep-level wall-clock Perfetto\n"
           "                     trace (one span per cell)\n"
           "  --metrics-out FILE write a sweep-level wall-time JSON\n"
-          "                     summary\n",
+          "                     summary\n"
+          "  --topology SPEC    slow-tier device layout, e.g.\n"
+          "                     'cxl:(1,(2,3)),lat=124:180:180' (see\n"
+          "                     mem/topology.h; default: the bench's\n"
+          "                     own layout)\n",
           argv[0]);
       std::exit(0);
     }
@@ -69,6 +74,12 @@ BenchOptions ParseBenchArgs(int argc, char** argv) {
     }
     if (std::strcmp(arg, "--metrics-out") == 0) {
       options.metrics_out = flag_value(&i);
+      continue;
+    }
+    if (std::strcmp(arg, "--topology") == 0) {
+      options.topology = flag_value(&i);
+      // Fail malformed specs here, before any cell runs.
+      (void)ParseTopologySpec(options.topology);
       continue;
     }
     if (std::strcmp(arg, "--jobs") == 0) {

@@ -47,6 +47,13 @@ struct BenchOptions {
   std::string trace_out;
   /** Sweep-level wall-time JSON summary path ("" = off). */
   std::string metrics_out;
+  /**
+   * Slow-tier topology spec override ("" = each bench's own default,
+   * usually the single-endpoint legacy layout). Validated eagerly at
+   * parse time so a typo fails before any cell runs; see
+   * mem/topology.h for the `cxl:(...)` grammar.
+   */
+  std::string topology;
 };
 
 /**
@@ -54,7 +61,8 @@ struct BenchOptions {
  * default hardware_concurrency), `--log-level LEVEL` (debug | info |
  * warn | error | silent; applied immediately via SetLogLevel),
  * `--trace-out FILE` / `--metrics-out FILE` (sweep-level wall-clock
- * telemetry), and `--help`. Exits with usage on unknown flags, so
+ * telemetry), `--topology SPEC` (slow-tier device layout, see
+ * mem/topology.h), and `--help`. Exits with usage on unknown flags, so
  * every matrix driver rejects typos the same way.
  */
 BenchOptions ParseBenchArgs(int argc, char** argv);

@@ -29,6 +29,7 @@
 #include "core/policy_factory.h"
 #include "core/simulation.h"
 #include "exec/sweep.h"
+#include "mem/topology.h"
 #include "multitenant/fair_share_policy.h"
 #include "multitenant/mux_workload.h"
 #include "obs/metrics.h"
@@ -83,6 +84,16 @@ void PrintUsage() {
          "                    showed adaptation time is unhurt)\n"
          "  --no-sampler-budget  revert to one global sample period\n"
          "                    shared by all tenants\n"
+         "  --topology <spec> slow-tier device layout, e.g.\n"
+         "                    'cxl:(1,(2,3)),lat=124:180:180,bw=\n"
+         "                    34:17:17,link=20' (see src/mem/topology.h\n"
+         "                    for the grammar; default: one endpoint\n"
+         "                    with the paper's emulated-CXL timings)\n"
+         "  --endpoint-aware  fair-share: weigh hotness against each\n"
+         "                    unit's home-endpoint cost (idle latency +\n"
+         "                    queue backlog) in victim selection and\n"
+         "                    fill-to-quota (needs --fair and a\n"
+         "                    multi-endpoint --topology)\n"
          "  --trace-out <f>   write a Perfetto/chrome://tracing JSON\n"
          "                    trace of the run (virtual-time migration,\n"
          "                    rebalance, churn, cooling, and sampler\n"
@@ -175,6 +186,8 @@ int main(int argc, char** argv) {
   bool sampler_budget = true;
   bool workload_set = false;
   QuotaMode quota_mode = FairShareConfig{}.quota_mode;
+  std::string topology;
+  bool endpoint_aware = false;
   std::string trace_out;
   std::string metrics_out;
 
@@ -269,6 +282,12 @@ int main(int argc, char** argv) {
                            std::strcmp(argv[i + 1], "marginal") == 0)) {
         quota_mode = ParseQuotaMode(argv[++i]);
       }
+    } else if (arg == "--topology") {
+      topology = next();
+      // Validate eagerly so a typo fails before the run starts.
+      (void)ParseTopologySpec(topology);
+    } else if (arg == "--endpoint-aware") {
+      endpoint_aware = true;
     } else if (arg == "--no-rebalance") {
       rebalance = false;
     } else if (arg == "--sampler-budget") {
@@ -302,6 +321,10 @@ int main(int argc, char** argv) {
     std::cerr << "--no-rebalance requires --fair\n";
     return 1;
   }
+  if (endpoint_aware && !fair) {
+    std::cerr << "--endpoint-aware requires --fair\n";
+    return 1;
+  }
   if (tenants.empty()) {
     // Single-tenant runs have no per-tenant budgets; the config flag is
     // ignored there, so just clear it for accurate banner output.
@@ -332,6 +355,7 @@ int main(int argc, char** argv) {
       FairShareConfig fair_config;
       fair_config.rebalance = rebalance;
       fair_config.quota_mode = quota_mode;
+      fair_config.endpoint_aware = endpoint_aware;
       auto wrapped = std::make_unique<FairSharePolicy>(
           std::move(policy), mux->directory(), fair_config);
       fair_policy = wrapped.get();
@@ -344,6 +368,7 @@ int main(int argc, char** argv) {
     config.max_accesses = accesses;
     config.mode = huge ? PageMode::kHuge : PageMode::kRegular;
     config.seed = seed;
+    config.topology = topology;
     config.tenant_sample_budget = sampler_budget;
 
     MetricRegistry metrics;
@@ -435,6 +460,7 @@ int main(int argc, char** argv) {
           config.max_accesses = accesses;
           config.mode = huge ? PageMode::kHuge : PageMode::kRegular;
           config.seed = seed;
+          config.topology = topology;
           if (!trace_out.empty()) {
             cell_traces[cell.index()] = std::make_unique<TraceEmitter>(
                 static_cast<uint32_t>(cell.index() + 1),
@@ -499,6 +525,7 @@ int main(int argc, char** argv) {
   config.max_accesses = accesses;
   config.mode = huge ? PageMode::kHuge : PageMode::kRegular;
   config.seed = seed;
+  config.topology = topology;
 
   MetricRegistry metrics;
   TraceEmitter trace(1, std::string("ht_run:") + workload->name());

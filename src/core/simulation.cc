@@ -33,12 +33,26 @@ Simulation::Simulation(const SimulationConfig& config, Workload* workload,
                                 static_cast<double>(footprint_units_)));
   fast_capacity_units_ = std::min(fast_capacity_units_, footprint_units_);
 
-  memory_ = std::make_unique<TieredMemory>(
-      footprint_units_, fast_capacity_units_, footprint_units_,
-      config.allocation);
-  perf_ = std::make_unique<PerfModel>(
-      config.perf, DefaultFastTier(fast_capacity_units_),
-      DefaultSlowTier(footprint_units_));
+  if (config.topology.empty()) {
+    // No topology configured: the exact legacy construction path (one
+    // endpoint from the default slow tier), pinned bit-identical by
+    // the golden determinism tests.
+    memory_ = std::make_unique<TieredMemory>(
+        footprint_units_, fast_capacity_units_, footprint_units_,
+        config.allocation);
+    perf_ = std::make_unique<PerfModel>(
+        config.perf, DefaultFastTier(fast_capacity_units_),
+        DefaultSlowTier(footprint_units_));
+  } else {
+    const Topology topology = ParseTopologySpec(config.topology);
+    memory_ = std::make_unique<TieredMemory>(
+        footprint_units_, fast_capacity_units_, footprint_units_,
+        config.allocation, topology.endpoint_count(),
+        topology.interleave_units);
+    perf_ = std::make_unique<PerfModel>(
+        config.perf, DefaultFastTier(fast_capacity_units_),
+        DefaultSlowTier(footprint_units_), topology);
+  }
   hierarchy_ = std::make_unique<CacheHierarchy>(config.cache);
   migration_ =
       std::make_unique<MigrationEngine>(memory_.get(), perf_.get(),
@@ -63,6 +77,7 @@ Simulation::Simulation(const SimulationConfig& config, Workload* workload,
   context.memory = memory_.get();
   context.migration = migration_.get();
   context.metadata_sink = &metadata_counter_;
+  context.perf = perf_.get();
   context.trace = trace_;
   context.mode = config.mode;
   context.footprint_units = footprint_units_;
@@ -170,6 +185,27 @@ void Simulation::SetupTelemetry() {
   m.AddProbe("mem/fast_used_units", [this] {
     return static_cast<double>(memory_->UsedPages(Tier::kFast));
   });
+
+  // Per-endpoint device counters: traffic and residency probes plus a
+  // queue-delay histogram per slow endpoint (observed on slow demand
+  // fills in the hot loop). Registered for every layout — the default
+  // single-endpoint run reports its one device as endpoint 0.
+  endpoint_queue_hist_.reserve(perf_->EndpointCount());
+  for (uint32_t e = 0; e < perf_->EndpointCount(); ++e) {
+    const std::string prefix =
+        "mem/endpoint" + std::to_string(e) + "/";
+    m.AddProbe(prefix + "bytes", [this, e] {
+      return static_cast<double>(perf_->EndpointBytes(e));
+    });
+    m.AddProbe(prefix + "accesses", [this, e] {
+      return static_cast<double>(perf_->EndpointAccesses(e));
+    });
+    m.AddProbe(prefix + "resident_units", [this, e] {
+      return static_cast<double>(memory_->EndpointResident(e));
+    });
+    endpoint_queue_hist_.push_back(
+        m.AddHistogram(prefix + "queue_delay_ns"));
+  }
 
   m.AddProbe("migration/promotion_batches", [this] {
     return static_cast<double>(migration_->stats().promotion_batches);
@@ -484,13 +520,19 @@ void Simulation::RunOpImpl(const OpTrace& op, TenantState* tenant) {
     const HitLevel level =
         hierarchy_->Access(access.addr, AccessOwner::kApp);
     if (level == HitLevel::kMemory) {
-      latency = perf_->MemoryAccess(touch.tier, now_);
+      latency = perf_->MemoryAccess(touch.tier, touch.endpoint, now_);
       if (touch.tier == Tier::kFast) {
         ++result_.fast_mem_accesses;
         if (tenant != nullptr) ++tenant->fast_mem_accesses;
       } else {
         ++result_.slow_mem_accesses;
         if (tenant != nullptr) ++tenant->slow_mem_accesses;
+        if (!endpoint_queue_hist_.empty()) [[unlikely]] {
+          // Queue delay = modeled latency minus the device's idle
+          // latency; pure observation, never fed back into the run.
+          endpoint_queue_hist_[touch.endpoint]->Observe(
+              latency - perf_->EndpointIdleLatency(touch.endpoint));
+        }
       }
     } else {
       latency = level == HitLevel::kL1 ? perf_->L1Latency()

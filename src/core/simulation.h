@@ -91,6 +91,14 @@ struct SimulationConfig {
   uint32_t tenant_metrics_top_k = 16;
   HierarchyConfig cache;                //!< Cache geometry.
   PerfModelConfig perf;                 //!< Timing constants.
+  /**
+   * Slow-tier device topology spec (see mem/topology.h), e.g.
+   * "cxl:(1,(2,3)),lat=124:180:180,bw=34:17:17,link=20". Empty (the
+   * default) keeps the historical single-endpoint model on the exact
+   * legacy construction path — bit-identical results, gated by the
+   * golden determinism tests.
+   */
+  std::string topology;
   bool measure_metadata_traffic = true; //!< Replay metadata lines in LLC.
   /**
    * Batched access execution (default): policies that declare no
@@ -288,6 +296,9 @@ class Simulation {
   /** Tiered memory view (valid during and after Run). */
   const TieredMemory& memory() const { return *memory_; }
 
+  /** Timing-model view: per-endpoint traffic and backlog counters. */
+  const PerfModel& perf_model() const { return *perf_; }
+
   /** Fast-tier capacity in tracking units for this run. */
   uint64_t fast_capacity_units() const { return fast_capacity_units_; }
 
@@ -423,6 +434,9 @@ class Simulation {
   TraceEmitter* trace_ = nullptr;
   StageProfiler* stages_ = nullptr;
   HistogramMetric* op_latency_hist_ = nullptr;  //!< Owned by metrics_.
+  /** Per-endpoint slow-fill queue-delay histograms (owned by metrics_;
+   *  empty when telemetry is off — one emptiness check per slow fill). */
+  std::vector<HistogramMetric*> endpoint_queue_hist_;
   /** Quota-stats view of policy_, resolved once (also used by
    *  FinalizeTenantResults). */
   const TenantQuotaStatsSource* quota_stats_ = nullptr;

@@ -14,11 +14,19 @@ MigrationEngine::MigrationEngine(TieredMemory* memory, PerfModel* perf_model,
 TimeNs MigrationEngine::ExecuteBatch(std::span<const PageId> pages, Tier dst,
                                      TimeNs now) {
   if (pages.empty()) return 0;
+  // With several endpoints, each moved page's copy leg runs on its
+  // static home device (HDM decode), so the batch is costed per
+  // endpoint; the single-endpoint path stays on the legacy call.
+  const bool split = memory_->endpoint_count() > 1;
+  if (split) {
+    endpoint_pages_.assign(memory_->endpoint_count(), 0);
+  }
   uint64_t moved = 0;
   for (const PageId page : pages) {
     const bool ok = memory_->IsResident(page) && memory_->Migrate(page, dst);
     if (ok) {
       ++moved;
+      if (split) ++endpoint_pages_[memory_->EndpointOf(page)];
     } else if (dst == Tier::kFast) {
       ++stats_.failed_promotions;
     } else {
@@ -35,7 +43,9 @@ TimeNs MigrationEngine::ExecuteBatch(std::span<const PageId> pages, Tier dst,
   }
 
   const TimeNs cost =
-      perf_model_->MigrationCost(moved, PageBytes(mode_), now);
+      split ? perf_model_->MigrationCostSplit(endpoint_pages_,
+                                              PageBytes(mode_), now)
+            : perf_model_->MigrationCost(moved, PageBytes(mode_), now);
   stats_.migration_time_ns += cost;
   if (trace_ != nullptr) [[unlikely]] {
     trace_->Span(trace_track_,

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "common/units.h"
 #include "mem/page.h"
@@ -92,6 +93,7 @@ class MigrationEngine {
   PerfModel* perf_model_;
   PageMode mode_;
   MigrationStats stats_;
+  std::vector<uint64_t> endpoint_pages_;  //!< Per-endpoint batch scratch.
   TraceEmitter* trace_ = nullptr;
   TraceEmitter::TrackId trace_track_ = 0;
 };

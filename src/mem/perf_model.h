@@ -5,23 +5,37 @@
  * @file
  * Memory-system timing model.
  *
- * Each tier is modeled as a single channel server: an access or migration
- * transfer occupies the channel for `bytes / bandwidth` of virtual time,
- * and an access arriving while the channel is busy queues behind it. This
- * reproduces the two first-order effects the paper's results depend on:
- *  - slow-tier accesses cost ~50-100 ns more than fast-tier accesses, and
- *  - migrations consume bandwidth that delays demand accesses.
+ * The fast tier is a single channel server; the slow tier is a set of
+ * CXL endpoints, each its own channel server, optionally behind
+ * switches whose uplinks are shared channels (see mem/topology.h). An
+ * access or migration transfer occupies its channel(s) for
+ * `bytes / bandwidth` of virtual time, and an access arriving while a
+ * channel is busy queues behind it. This reproduces the first-order
+ * effects the paper's results depend on:
+ *  - slow-tier accesses cost ~50-100 ns more than fast-tier accesses,
+ *  - migrations consume bandwidth that delays demand accesses, and
+ *  - with several endpoints, congestion is per-device: traffic to one
+ *    expander does not delay accesses served by another unless they
+ *    share a saturated switch uplink.
  *
  * The configured `threads` factor inflates per-access channel occupancy
  * to approximate the paper's 16 application threads sharing the channel
  * while the simulator models a single serialized access stream.
+ *
+ * The legacy three-argument constructor builds a single-endpoint
+ * topology from the slow `TierConfig`; every arithmetic step on that
+ * path is identical to the historical two-tier model, which the golden
+ * determinism tests gate bit-exactly.
  */
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/units.h"
 #include "mem/tier.h"
+#include "mem/topology.h"
 
 namespace hybridtier {
 
@@ -43,49 +57,109 @@ struct PerfModelConfig {
   TimeNs tlb_page_stall_ns = 150;
   uint32_t threads = 16;               //!< Modeled application threads.
   double max_queue_delay_ns = 2000.0;  //!< Cap on queueing delay per access.
+  /**
+   * Clamp channel backlog (`busy_until`) at `max_queue_delay_ns` too,
+   * not just the reported delay. Historically the cap truncated only
+   * what an access *pays* while the channel's busy horizon kept growing
+   * unboundedly under saturation — so a channel could owe minutes of
+   * backlog that no access would ever observe beyond the cap, and the
+   * backlog never drained. With the knob on, backlog beyond the cap is
+   * shed (a bounded queue: the excess models requests the real fabric
+   * would have back-pressured at issue). Default off: the unclamped
+   * accounting is pinned bit-exactly by the golden determinism suite,
+   * so the fix is opt-in until the goldens are re-baselined.
+   */
+  bool bounded_queue = false;
 };
 
-/** Channel-occupancy timing model over the two tiers. */
+/** Channel-occupancy timing model over the fast tier + CXL endpoints. */
 class PerfModel {
  public:
+  /** Single-endpoint model from the slow tier's latency/bandwidth —
+   *  bit-identical to the historical two-tier model. */
   PerfModel(const PerfModelConfig& config, const TierConfig& fast,
             const TierConfig& slow);
 
+  /** Multi-endpoint model: the slow tier is `topology`'s device tree
+   *  (the slow TierConfig contributes only capacity accounting). */
+  PerfModel(const PerfModelConfig& config, const TierConfig& fast,
+            const TierConfig& slow, const Topology& topology);
+
+  /** Legacy entry point: slow-tier accesses hit endpoint 0. */
+  TimeNs MemoryAccess(Tier tier, TimeNs now) {
+    return MemoryAccess(tier, 0, now);
+  }
+
   /**
    * Returns the latency of a demand access of one cache line served by
-   * `tier` at virtual time `now`, including any queueing delay, and
-   * occupies the channel accordingly.
+   * `tier` (endpoint `endpoint` when slow) at virtual time `now`,
+   * including any queueing delay, and occupies the channel(s)
+   * accordingly. An access through a switch occupies both the endpoint
+   * port and the shared uplink, and queues behind whichever is more
+   * backlogged.
    *
    * Inlined with the per-access channel occupancy precomputed at
-   * construction (its operands — line size, thread factor, tier
+   * construction (its operands — line size, thread factor, channel
    * bandwidth — are run constants), so the hot loop pays no floating
    * division.
    */
-  TimeNs MemoryAccess(Tier tier, TimeNs now) {
-    const size_t t = static_cast<size_t>(tier);
-    TimeNs queue_delay = 0;
-    if (busy_until_[t] > now) {
-      queue_delay = std::min<TimeNs>(busy_until_[t] - now,
-                                     max_queue_delay_ns_);
+  TimeNs MemoryAccess(Tier tier, uint32_t endpoint, TimeNs now) {
+    if (tier == Tier::kFast) {
+      TimeNs queue_delay = 0;
+      if (fast_.busy_until > now) {
+        queue_delay = std::min<TimeNs>(fast_.busy_until - now,
+                                       max_queue_delay_ns_);
+      }
+      Advance(&fast_.busy_until, fast_.access_service, now);
+      fast_.bytes += access_bytes_;
+      ++fast_.accesses;
+      return fast_idle_latency_ns_ + queue_delay;
     }
-    busy_until_[t] = std::max(busy_until_[t], now) + access_service_[t];
-    bytes_transferred_[t] += access_bytes_;
-    return tiers_[t].idle_latency_ns + queue_delay;
+    Endpoint& e = endpoints_[endpoint];
+    TimeNs backlog = e.busy_until > now ? e.busy_until - now : 0;
+    if (e.link >= 0) [[unlikely]] {
+      Channel& link = links_[static_cast<size_t>(e.link)];
+      if (link.busy_until > now) {
+        backlog = std::max(backlog, link.busy_until - now);
+      }
+      Advance(&link.busy_until, link.access_service, now);
+    }
+    const TimeNs queue_delay =
+        std::min<TimeNs>(backlog, max_queue_delay_ns_);
+    Advance(&e.busy_until, e.access_service, now);
+    e.bytes += access_bytes_;
+    ++e.accesses;
+    return e.idle_latency_ns + queue_delay;
   }
 
   /**
    * Accounts a bulk transfer of `bytes` on `tier`'s channel starting at
    * `now` (used for page migrations: the source is read and the
-   * destination written). Returns the transfer duration.
+   * destination written). Slow-tier transfers hit endpoint 0; see
+   * OccupyEndpoint for explicit endpoint routing. Returns the transfer
+   * duration.
    */
   TimeNs OccupyChannel(Tier tier, uint64_t bytes, TimeNs now);
+
+  /** Bulk transfer on one slow endpoint's port (and its switch link). */
+  TimeNs OccupyEndpoint(uint32_t endpoint, uint64_t bytes, TimeNs now);
 
   /**
    * Full cost of migrating `num_pages` pages of `page_bytes` each in one
    * batch at time `now`: syscall overhead + per-page kernel cost, with
-   * both tiers' channels occupied by the copy traffic.
+   * the fast channel and slow endpoint 0 occupied by the copy traffic.
    */
   TimeNs MigrationCost(uint64_t num_pages, uint64_t page_bytes, TimeNs now);
+
+  /**
+   * Multi-endpoint migration cost: `pages_per_endpoint[i]` pages move
+   * between the fast tier and endpoint `i` in one batch. The fast
+   * channel carries the total; each endpoint carries its own share; the
+   * batch's copy phase ends when the slowest leg finishes. With a
+   * single endpoint this is exactly MigrationCost.
+   */
+  TimeNs MigrationCostSplit(std::span<const uint64_t> pages_per_endpoint,
+                            uint64_t page_bytes, TimeNs now);
 
   /** Service latency of an L1 hit. */
   TimeNs L1Latency() const { return config_.l1_latency_ns; }
@@ -96,31 +170,113 @@ class PerfModel {
   /** Cost of taking a hint fault (AutoNUMA/TPP promotion path). */
   TimeNs HintFaultLatency() const { return config_.hint_fault_ns; }
 
-  /** Idle (unloaded) latency of `tier`. */
+  /** Idle (unloaded) latency of `tier` (slow = endpoint 0). */
   TimeNs IdleLatency(Tier tier) const {
-    return tiers_[static_cast<size_t>(tier)].idle_latency_ns;
+    return tier == Tier::kFast ? fast_idle_latency_ns_
+                               : endpoints_[0].idle_latency_ns;
   }
 
-  /** Cumulative bytes transferred on `tier`. */
+  /** Cumulative bytes transferred on `tier` (slow = all endpoints). */
   uint64_t BytesTransferred(Tier tier) const {
-    return bytes_transferred_[static_cast<size_t>(tier)];
+    if (tier == Tier::kFast) return fast_.bytes;
+    uint64_t total = 0;
+    for (const Endpoint& e : endpoints_) total += e.bytes;
+    return total;
+  }
+
+  /** Number of slow-tier endpoints. */
+  uint32_t EndpointCount() const {
+    return static_cast<uint32_t>(endpoints_.size());
+  }
+
+  /** Idle latency of slow endpoint `endpoint`. */
+  TimeNs EndpointIdleLatency(uint32_t endpoint) const {
+    return endpoints_[endpoint].idle_latency_ns;
+  }
+
+  /** Cumulative bytes transferred through endpoint `endpoint`. */
+  uint64_t EndpointBytes(uint32_t endpoint) const {
+    return endpoints_[endpoint].bytes;
+  }
+
+  /** Demand accesses served by endpoint `endpoint`. */
+  uint64_t EndpointAccesses(uint32_t endpoint) const {
+    return endpoints_[endpoint].accesses;
+  }
+
+  /**
+   * Backlog an access to `endpoint` would queue behind at `now`, capped
+   * at the configured queue-delay cap: the max of the endpoint port's
+   * and its switch uplink's busy horizon. Read-only — placement
+   * policies use `EndpointIdleLatency + EndpointBacklog` as the current
+   * cost of landing traffic on the endpoint.
+   */
+  TimeNs EndpointBacklog(uint32_t endpoint, TimeNs now) const {
+    const Endpoint& e = endpoints_[endpoint];
+    TimeNs backlog = e.busy_until > now ? e.busy_until - now : 0;
+    if (e.link >= 0) {
+      const Channel& link = links_[static_cast<size_t>(e.link)];
+      if (link.busy_until > now) {
+        backlog = std::max(backlog, link.busy_until - now);
+      }
+    }
+    return std::min<TimeNs>(backlog, max_queue_delay_ns_);
   }
 
   /** Configuration in use. */
   const PerfModelConfig& config() const { return config_; }
 
+  /** The slow-tier device tree in use. */
+  const Topology& topology() const { return topology_; }
+
  private:
-  /** ns the channel is busy transferring `bytes` on `tier`. */
-  TimeNs TransferTime(Tier tier, uint64_t bytes) const;
+  /** One shared channel (the fast tier or a switch uplink). */
+  struct Channel {
+    TimeNs busy_until = 0;
+    TimeNs access_service = 0;  //!< Occupancy of one demand access.
+    uint64_t bytes = 0;
+    uint64_t accesses = 0;
+  };
+
+  /** One CXL endpoint's port channel + static properties. */
+  struct Endpoint {
+    TimeNs busy_until = 0;
+    TimeNs access_service = 0;
+    TimeNs idle_latency_ns = 0;
+    double bandwidth_gbps = 0.0;
+    int32_t link = -1;  //!< Index into links_, or -1 (direct).
+    uint64_t bytes = 0;
+    uint64_t accesses = 0;
+  };
+
+  /**
+   * Advances a channel's busy horizon by `duration` of occupancy
+   * starting at `now`. With `bounded_queue`, backlog beyond the
+   * queue-delay cap is shed first, so the horizon can never run away
+   * from the clock by more than cap + the new transfer.
+   */
+  void Advance(TimeNs* busy_until, TimeNs duration, TimeNs now) {
+    TimeNs base = std::max(*busy_until, now);
+    if (bounded_queue_ && base > now + max_queue_delay_ns_) {
+      base = now + max_queue_delay_ns_;
+    }
+    *busy_until = base + duration;
+  }
+
+  /** ns a channel of `gbps` is busy transferring `bytes`. */
+  static TimeNs TransferTime(double gbps, uint64_t bytes);
 
   PerfModelConfig config_;
-  TierConfig tiers_[kNumTiers];
-  TimeNs busy_until_[kNumTiers] = {0, 0};
-  uint64_t bytes_transferred_[kNumTiers] = {0, 0};
+  Topology topology_;
+  TimeNs fast_idle_latency_ns_ = 0;
+  double fast_bandwidth_gbps_ = 0.0;
+  Channel fast_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<Channel> links_;  //!< One per topology switch.
   // Hot-path constants derived from the config at construction.
-  uint64_t access_bytes_ = 0;                    //!< Line * thread factor.
-  TimeNs access_service_[kNumTiers] = {0, 0};    //!< Channel occupancy.
+  uint64_t access_bytes_ = 0;  //!< Line * thread factor.
   TimeNs max_queue_delay_ns_ = 0;
+  bool bounded_queue_ = false;
 };
 
 }  // namespace hybridtier

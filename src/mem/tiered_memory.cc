@@ -8,15 +8,23 @@ namespace hybridtier {
 
 TieredMemory::TieredMemory(uint64_t total_pages, uint64_t fast_capacity,
                            uint64_t slow_capacity,
-                           AllocationPolicy allocation_policy)
+                           AllocationPolicy allocation_policy,
+                           uint32_t endpoint_count,
+                           uint64_t interleave_units)
     : flags_(total_pages, 0),
       protect_time_(total_pages, 0),
       capacity_{fast_capacity, slow_capacity},
-      allocation_policy_(allocation_policy) {
+      allocation_policy_(allocation_policy),
+      endpoint_count_(endpoint_count),
+      interleave_units_(interleave_units),
+      endpoint_resident_(endpoint_count, 0) {
   HT_ASSERT(total_pages > 0, "address space must not be empty");
   HT_ASSERT(fast_capacity + slow_capacity >= total_pages,
             "tiers too small for the footprint: ", fast_capacity, "+",
             slow_capacity, " < ", total_pages);
+  HT_ASSERT(endpoint_count >= 1 && interleave_units >= 1,
+            "endpoint layout needs >= 1 endpoint and a positive "
+            "interleave granularity");
 }
 
 TouchResult TieredMemory::TouchSlowPath(PageId page, TimeNs now) {
@@ -34,6 +42,8 @@ TouchResult TieredMemory::TouchSlowPath(PageId page, TimeNs now) {
     f |= kResident;
     if (tier == Tier::kSlow) {
       f |= kTierSlow;
+      AccountEndpoint(page, +1);
+      result.endpoint = EndpointOf(page);
     } else {
       f &= static_cast<uint8_t>(~kTierSlow);
     }
@@ -44,7 +54,12 @@ TouchResult TieredMemory::TouchSlowPath(PageId page, TimeNs now) {
     return result;
   }
 
-  result.tier = (f & kTierSlow) ? Tier::kSlow : Tier::kFast;
+  if (f & kTierSlow) {
+    result.tier = Tier::kSlow;
+    result.endpoint = EndpointOf(page);
+  } else {
+    result.tier = Tier::kFast;
+  }
   if (f & kProtected) {
     // NUMA hint fault: the access re-maps the page and reports how long
     // the page sat unmapped (AutoNUMA's "hint fault latency").
@@ -95,8 +110,10 @@ bool TieredMemory::Migrate(PageId page, Tier dst) {
   if (FreePages(dst) == 0) return false;
   if (dst == Tier::kSlow) {
     f |= kTierSlow;
+    AccountEndpoint(page, +1);
   } else {
     f &= static_cast<uint8_t>(~kTierSlow);
+    AccountEndpoint(page, -1);
   }
   --used_[static_cast<size_t>(src)];
   ++used_[static_cast<size_t>(dst)];
@@ -114,6 +131,7 @@ uint64_t TieredMemory::Release(PageRange range) {
     const Tier tier = (f & kTierSlow) ? Tier::kSlow : Tier::kFast;
     --used_[static_cast<size_t>(tier)];
     AccountRegion(page, tier, -1);
+    if (tier == Tier::kSlow) AccountEndpoint(page, -1);
     f = 0;
     ++released;
   }

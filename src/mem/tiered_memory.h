@@ -38,6 +38,10 @@ enum class AllocationPolicy : uint8_t {
 /** Outcome of touching (accessing) a page. */
 struct TouchResult {
   Tier tier = Tier::kSlow;     //!< Tier that served the access.
+  /** Slow-tier endpoint that served (or would serve) the access — the
+   *  page's static HDM-decoded home device. 0 when tier == kFast or
+   *  with a single-endpoint layout. */
+  uint32_t endpoint = 0;
   bool first_touch = false;    //!< Page was allocated by this access.
   bool hint_fault = false;     //!< Access hit a protected page (NUMA hint).
   TimeNs fault_latency_ns = 0; //!< now - protect time, when hint_fault.
@@ -52,10 +56,17 @@ class TieredMemory {
    * @param slow_capacity     slow-tier capacity in tracking units.
    * @param allocation_policy first-touch placement rule.
    */
+  /**
+   * @param endpoint_count    slow-tier CXL endpoints (HDM interleave
+   *                          targets); 1 = the historical single device.
+   * @param interleave_units  tracking units per interleave stripe.
+   */
   TieredMemory(uint64_t total_pages, uint64_t fast_capacity,
                uint64_t slow_capacity,
                AllocationPolicy allocation_policy =
-                   AllocationPolicy::kFastFirst);
+                   AllocationPolicy::kFastFirst,
+               uint32_t endpoint_count = 1,
+               uint64_t interleave_units = 1);
 
   /**
    * Records a demand access to `page` at time `now`. Allocates the page
@@ -71,10 +82,37 @@ class TieredMemory {
     const uint8_t f = flags_[page];
     if ((f & (kResident | kProtected)) == kResident) [[likely]] {
       TouchResult result;
-      result.tier = (f & kTierSlow) ? Tier::kSlow : Tier::kFast;
+      if (f & kTierSlow) {
+        result.tier = Tier::kSlow;
+        result.endpoint = EndpointOf(page);
+      } else {
+        result.tier = Tier::kFast;
+      }
       return result;
     }
     return TouchSlowPath(page, now);
+  }
+
+  /**
+   * HDM decode: the slow-tier endpoint backing `page`. A page's home
+   * endpoint is static — interleaving is by address, as a hardware HDM
+   * decoder does — so it is the device a slow-resident page is served
+   * from and the device a demotion would copy into.
+   */
+  uint32_t EndpointOf(PageId page) const {
+    if (endpoint_count_ == 1) return 0;
+    return static_cast<uint32_t>((page / interleave_units_) %
+                                 endpoint_count_);
+  }
+
+  /** Number of slow-tier endpoints in the layout. */
+  uint32_t endpoint_count() const { return endpoint_count_; }
+
+  /** Tracking units resident on slow endpoint `endpoint` right now. */
+  uint64_t EndpointResident(uint32_t endpoint) const {
+    HT_ASSERT(endpoint < endpoint_count_, "endpoint ", endpoint,
+              " outside the layout");
+    return endpoint_resident_[endpoint];
   }
 
 
@@ -188,11 +226,20 @@ class TieredMemory {
   static constexpr uint8_t kTierSlow = 1u << 1;  // Set => slow tier.
   static constexpr uint8_t kProtected = 1u << 2;
 
+  /** Adjusts the per-endpoint slow-residency counter for `page`. */
+  void AccountEndpoint(PageId page, int64_t delta) {
+    endpoint_resident_[EndpointOf(page)] +=
+        static_cast<uint64_t>(delta);
+  }
+
   std::vector<uint8_t> flags_;
   std::vector<TimeNs> protect_time_;  //!< Valid while kProtected is set.
   uint64_t capacity_[kNumTiers];
   uint64_t used_[kNumTiers] = {0, 0};
   AllocationPolicy allocation_policy_;
+  uint32_t endpoint_count_ = 1;
+  uint64_t interleave_units_ = 1;
+  std::vector<uint64_t> endpoint_resident_;  //!< Slow units per endpoint.
 
   // Per-region residency accounting (empty until DefineRegions).
   std::vector<uint32_t> region_of_;  //!< Region id per page, or kNoRegion.

@@ -1,0 +1,362 @@
+#include "mem/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace hybridtier {
+
+namespace {
+
+constexpr char kPrefix[] = "cxl:";
+
+/** Parses a positive double like "0.9" or "1e8"; fatal with context. */
+double ParseNumber(const std::string& text, const std::string& key,
+                   const std::string& spec) {
+  size_t parsed = 0;
+  double value = -1.0;
+  try {
+    value = std::stod(text, &parsed);
+  } catch (const std::exception&) {
+    parsed = 0;
+  }
+  if (parsed != text.size() || std::isnan(value)) {
+    HT_FATAL("bad value '", text, "' for topology key '", key,
+             "' in spec '", spec, "'");
+  }
+  return value;
+}
+
+/** Formats a double with enough digits to round-trip typical knobs. */
+std::string FormatNumber(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+/** Splits a ':'-separated list into per-element doubles. */
+std::vector<double> ParseList(const std::string& text,
+                              const std::string& key,
+                              const std::string& spec) {
+  std::vector<double> values;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t colon = text.find(':', start);
+    if (colon == std::string::npos) colon = text.size();
+    values.push_back(
+        ParseNumber(text.substr(start, colon - start), key, spec));
+    if (colon == text.size()) break;
+    start = colon + 1;
+  }
+  return values;
+}
+
+/**
+ * Parses the device tree `(child,child,...)` where a child is an
+ * endpoint id or a one-level switch `(id,id,...)`. Fills endpoint
+ * slots (indexed by id-1) and the switch list in order of appearance.
+ */
+void ParseTree(const std::string& tree, const std::string& spec,
+               Topology* out) {
+  if (tree.size() < 3 || tree.front() != '(' || tree.back() != ')') {
+    HT_FATAL("topology tree '", tree, "' in spec '", spec,
+             "' must be a parenthesized child list");
+  }
+  std::vector<bool> seen;
+  const auto add_endpoint = [&](const std::string& token,
+                                int32_t switch_id) -> uint32_t {
+    const double value = ParseNumber(token, "tree", spec);
+    if (!(value >= 1.0 && value <= kMaxTopologyEndpoints) ||
+        value != std::floor(value)) {
+      HT_FATAL("endpoint id '", token, "' in topology spec '", spec,
+               "' must be an integer in [1, ", kMaxTopologyEndpoints,
+               "]");
+    }
+    const uint32_t id = static_cast<uint32_t>(value);
+    if (seen.size() < id) seen.resize(id, false);
+    if (seen[id - 1]) {
+      HT_FATAL("endpoint id ", id, " repeats in topology spec '", spec,
+               "'");
+    }
+    seen[id - 1] = true;
+    if (out->endpoints.size() < id) out->endpoints.resize(id);
+    out->endpoints[id - 1].switch_id = switch_id;
+    return id - 1;
+  };
+
+  const std::string body = tree.substr(1, tree.size() - 2);
+  size_t pos = 0;
+  while (pos <= body.size()) {
+    if (pos == body.size()) {
+      HT_FATAL("empty child in topology tree '", tree, "' of spec '",
+               spec, "'");
+    }
+    if (body[pos] == '(') {
+      // A switch: a flat id list (nested switches are not modeled).
+      const size_t close = body.find(')', pos);
+      const size_t inner_open = body.find('(', pos + 1);
+      if (close == std::string::npos) {
+        HT_FATAL("unbalanced '(' in topology tree '", tree,
+                 "' of spec '", spec, "'");
+      }
+      if (inner_open != std::string::npos && inner_open < close) {
+        HT_FATAL("topology spec '", spec,
+                 "' nests a switch inside a switch; only one switch "
+                 "level is modeled");
+      }
+      const int32_t switch_id =
+          static_cast<int32_t>(out->switches.size());
+      out->switches.emplace_back();
+      std::string member = body.substr(pos + 1, close - pos - 1);
+      size_t mstart = 0;
+      while (mstart <= member.size()) {
+        size_t mcomma = member.find(',', mstart);
+        if (mcomma == std::string::npos) mcomma = member.size();
+        const std::string token =
+            member.substr(mstart, mcomma - mstart);
+        if (token.empty()) {
+          HT_FATAL("empty member in switch of topology spec '", spec,
+                   "'");
+        }
+        out->switches.back().members.push_back(
+            add_endpoint(token, switch_id));
+        if (mcomma == member.size()) break;
+        mstart = mcomma + 1;
+      }
+      pos = close + 1;
+    } else {
+      size_t comma = body.find(',', pos);
+      if (comma == std::string::npos) comma = body.size();
+      add_endpoint(body.substr(pos, comma - pos), /*switch_id=*/-1);
+      pos = comma;
+    }
+    if (pos == body.size()) break;
+    if (body[pos] != ',') {
+      HT_FATAL("expected ',' after child in topology tree '", tree,
+               "' of spec '", spec, "'");
+    }
+    ++pos;
+  }
+  for (size_t i = 0; i < out->endpoints.size(); ++i) {
+    if (i >= seen.size() || !seen[i]) {
+      HT_FATAL("topology spec '", spec, "' names ",
+               out->endpoints.size(),
+               " endpoints but is missing id ", i + 1,
+               " (ids must be exactly 1..N)");
+    }
+  }
+}
+
+void Validate(const Topology& topology, const std::string& text) {
+  if (topology.endpoints.empty()) {
+    HT_FATAL("topology spec '", text, "' has no endpoints");
+  }
+  if (topology.endpoints.size() > kMaxTopologyEndpoints) {
+    HT_FATAL("topology spec '", text, "' exceeds ",
+             kMaxTopologyEndpoints, " endpoints");
+  }
+  for (const TopologyEndpoint& endpoint : topology.endpoints) {
+    if (endpoint.bandwidth_gbps <= 0.0) {
+      HT_FATAL("endpoint bandwidth must be positive in topology spec '",
+               text, "'");
+    }
+    if (endpoint.switch_id >= 0 &&
+        static_cast<size_t>(endpoint.switch_id) >=
+            topology.switches.size()) {
+      HT_FATAL("endpoint references missing switch in topology spec '",
+               text, "'");
+    }
+  }
+  for (const TopologySwitch& sw : topology.switches) {
+    if (sw.link_gbps <= 0.0) {
+      HT_FATAL("switch link bandwidth must be positive in topology "
+               "spec '", text, "'");
+    }
+    if (sw.members.empty()) {
+      HT_FATAL("switch with no members in topology spec '", text, "'");
+    }
+  }
+  if (topology.interleave_units == 0) {
+    HT_FATAL("topology interleave granularity must be positive in "
+             "spec '", text, "'");
+  }
+}
+
+}  // namespace
+
+Topology DefaultTopology() {
+  Topology topology;
+  topology.endpoints.emplace_back();
+  return topology;
+}
+
+bool IsTopologySpec(const std::string& text) {
+  return text.rfind(kPrefix, 0) == 0;
+}
+
+Topology ParseTopologySpec(const std::string& text) {
+  HT_ASSERT(IsTopologySpec(text), "not a topology spec: '", text, "'");
+  Topology topology;
+  const std::string body = text.substr(sizeof(kPrefix) - 1);
+  if (body.empty() || body.front() != '(') {
+    HT_FATAL("topology spec '", text,
+             "' must start with a device tree '(...)'");
+  }
+  // The tree is the prefix up to its matching close paren; everything
+  // after is the comma-separated key=value list.
+  size_t depth = 0;
+  size_t tree_end = std::string::npos;
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (body[i] == '(') ++depth;
+    if (body[i] == ')' && --depth == 0) {
+      tree_end = i;
+      break;
+    }
+  }
+  if (tree_end == std::string::npos) {
+    HT_FATAL("unbalanced parentheses in topology spec '", text, "'");
+  }
+  ParseTree(body.substr(0, tree_end + 1), text, &topology);
+
+  std::vector<double> link_list;
+  bool have_links = false;
+  std::string rest = body.substr(tree_end + 1);
+  if (!rest.empty() && rest.front() != ',') {
+    HT_FATAL("expected ',' after device tree in topology spec '", text,
+             "'");
+  }
+  size_t start = 1;
+  while (!rest.empty() && start <= rest.size()) {
+    size_t comma = rest.find(',', start);
+    if (comma == std::string::npos) comma = rest.size();
+    const std::string token = rest.substr(start, comma - start);
+    start = comma + 1;
+    if (token.empty()) {
+      HT_FATAL("empty token in topology spec '", text, "'");
+    }
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      HT_FATAL("topology token '", token, "' in spec '", text,
+               "' is not key=value");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "lat") {
+      const std::vector<double> lat = ParseList(value, key, text);
+      if (lat.size() != topology.endpoints.size()) {
+        HT_FATAL("topology spec '", text, "' lists ", lat.size(),
+                 " latencies for ", topology.endpoints.size(),
+                 " endpoints");
+      }
+      for (size_t i = 0; i < lat.size(); ++i) {
+        if (lat[i] < 0.0) {
+          HT_FATAL("endpoint latency must be >= 0 in topology spec '",
+                   text, "'");
+        }
+        topology.endpoints[i].idle_latency_ns =
+            static_cast<TimeNs>(lat[i]);
+      }
+    } else if (key == "bw") {
+      const std::vector<double> bw = ParseList(value, key, text);
+      if (bw.size() != topology.endpoints.size()) {
+        HT_FATAL("topology spec '", text, "' lists ", bw.size(),
+                 " bandwidths for ", topology.endpoints.size(),
+                 " endpoints");
+      }
+      for (size_t i = 0; i < bw.size(); ++i) {
+        topology.endpoints[i].bandwidth_gbps = bw[i];
+      }
+    } else if (key == "link") {
+      link_list = ParseList(value, key, text);
+      have_links = true;
+    } else if (key == "gran") {
+      const double gran = ParseNumber(value, key, text);
+      if (!(gran >= 1.0) || gran != std::floor(gran)) {
+        HT_FATAL("topology gran '", value, "' in spec '", text,
+                 "' must be a positive integer");
+      }
+      topology.interleave_units = static_cast<uint64_t>(gran);
+    } else {
+      HT_FATAL("unknown topology key '", key, "' in spec '", text,
+               "'");
+    }
+    if (comma == rest.size()) break;
+  }
+
+  if (have_links && link_list.size() != topology.switches.size()) {
+    HT_FATAL("topology spec '", text, "' lists ", link_list.size(),
+             " switch links for ", topology.switches.size(),
+             " switches");
+  }
+  for (size_t s = 0; s < topology.switches.size(); ++s) {
+    if (have_links) {
+      topology.switches[s].link_gbps = link_list[s];
+    } else {
+      // Default: a non-saturating uplink — the sum of the member
+      // ports, so the switch never queues unless configured to.
+      double sum = 0.0;
+      for (const uint32_t member : topology.switches[s].members) {
+        sum += topology.endpoints[member].bandwidth_gbps;
+      }
+      topology.switches[s].link_gbps = sum;
+    }
+  }
+  Validate(topology, text);
+  return topology;
+}
+
+std::string FormatTopologySpec(const Topology& topology) {
+  Validate(topology, "<unformatted topology>");
+  // Canonical tree: children in endpoint-id order, each switch emitted
+  // once at its smallest member id's position, members in stored order.
+  std::string tree = "(";
+  bool first_child = true;
+  for (size_t i = 0; i < topology.endpoints.size(); ++i) {
+    const int32_t sw = topology.endpoints[i].switch_id;
+    std::string child;
+    if (sw < 0) {
+      child = std::to_string(i + 1);
+    } else {
+      const TopologySwitch& s =
+          topology.switches[static_cast<size_t>(sw)];
+      const uint32_t smallest =
+          *std::min_element(s.members.begin(), s.members.end());
+      if (smallest != i) continue;  // Emitted at the smallest member.
+      child = "(";
+      for (size_t m = 0; m < s.members.size(); ++m) {
+        if (m != 0) child += ",";
+        child += std::to_string(s.members[m] + 1);
+      }
+      child += ")";
+    }
+    if (!first_child) tree += ",";
+    tree += child;
+    first_child = false;
+  }
+  tree += ")";
+
+  std::string out = kPrefix + tree;
+  out += ",lat=";
+  for (size_t i = 0; i < topology.endpoints.size(); ++i) {
+    if (i != 0) out += ":";
+    out += std::to_string(topology.endpoints[i].idle_latency_ns);
+  }
+  out += ",bw=";
+  for (size_t i = 0; i < topology.endpoints.size(); ++i) {
+    if (i != 0) out += ":";
+    out += FormatNumber(topology.endpoints[i].bandwidth_gbps);
+  }
+  if (!topology.switches.empty()) {
+    out += ",link=";
+    for (size_t s = 0; s < topology.switches.size(); ++s) {
+      if (s != 0) out += ":";
+      out += FormatNumber(topology.switches[s].link_gbps);
+    }
+  }
+  out += ",gran=" + std::to_string(topology.interleave_units);
+  return out;
+}
+
+}  // namespace hybridtier

@@ -99,6 +99,12 @@ void FairSharePolicy::Bind(const PolicyContext& context) {
   marginal_utility_.assign(n, 0.0);
   grace_until_ns_.assign(n, 0);
   occupancy_ready_ = false;
+  // Endpoint awareness needs a timing model to read and more than one
+  // endpoint to distinguish; otherwise every unit costs the same and
+  // the cost-scaled rankings would just be the blind ones.
+  endpoint_aware_active_ = config_.endpoint_aware &&
+                           context.perf != nullptr &&
+                           context.memory->endpoint_count() > 1;
   next_rebalance_ns_ = config_.rebalance_interval_ns;
 
   // Trace tracks: one controller track for rebalance decisions, one
@@ -608,6 +614,13 @@ uint64_t FairSharePolicy::FillLimit(uint32_t tenant) const {
   return quota_[tenant] - std::min(quota_[tenant], margin);
 }
 
+uint64_t FairSharePolicy::EndpointCostOf(PageId unit, TimeNs now) const {
+  if (!endpoint_aware_active_) return 1;
+  const uint32_t endpoint = memory().EndpointOf(unit);
+  return static_cast<uint64_t>(context().perf->EndpointIdleLatency(endpoint)) +
+         static_cast<uint64_t>(context().perf->EndpointBacklog(endpoint, now));
+}
+
 void FairSharePolicy::DemoteToTarget(uint32_t t, uint64_t target,
                                      TimeNs now) {
   if (fast_units_[t] <= target) return;
@@ -636,7 +649,23 @@ void FairSharePolicy::DemoteToTarget(uint32_t t, uint64_t target,
     victim_rank_.clear();
     victim_rank_.reserve(victims_.size());
     for (const PageId unit : victims_) {
-      victim_rank_.emplace_back(base_->HotnessOf(unit), unit);
+      const uint64_t hotness = base_->HotnessOf(unit);
+      // Endpoint-aware: hotness stays the primary key (demoting a
+      // strictly hotter unit to spare a colder one always loses more
+      // hits than any endpoint gap saves), with the cost of the
+      // endpoint the unit would land on (idle latency + backlog) as
+      // the tie-breaker — among equally-hot units, the one bound for a
+      // cheap device leaves first and the one bound for a congested or
+      // distant one is the last out of the fast tier. Hotness is
+      // bucketed coarsely, so ties are the common case and the
+      // steering bite is real. Blind mode keeps the exact legacy
+      // hotness key.
+      victim_rank_.emplace_back(
+          endpoint_aware_active_
+              ? (hotness << 16) +
+                    std::min<uint64_t>(EndpointCostOf(unit, now), 0xffff)
+              : hotness,
+          unit);
     }
     // Only the coldest `take` need ordering; the rest stay resident.
     std::partial_sort(victim_rank_.begin(), victim_rank_.begin() + take,
@@ -670,11 +699,39 @@ TimeNs FairSharePolicy::GatedPromote(std::span<const PageId> pages,
   batch_seen_.clear();
   std::fill(batch_admits_.begin(), batch_admits_.end(), 0);
 
+  // Endpoint-aware: when the quota truncates this batch, which pages
+  // get admitted is decided by batch order — so order the batch by
+  // home-endpoint cost, most expensive device first. Every page in a
+  // promotion batch already cleared the base policy's hotness bar, so
+  // within the batch the endpoint gap is the dominant term; the sort
+  // is stable, keeping the base policy's (hotness-descending) order
+  // within each cost class. Blind mode admits in batch order exactly
+  // as before.
+  std::span<const PageId> ordered = pages;
+  if (endpoint_aware_active_) {
+    admit_order_.clear();
+    admit_order_.reserve(pages.size());
+    for (const PageId page : pages) {
+      admit_order_.emplace_back(EndpointCostOf(page, now), page);
+    }
+    std::stable_sort(admit_order_.begin(), admit_order_.end(),
+                     [](const std::pair<uint64_t, PageId>& a,
+                        const std::pair<uint64_t, PageId>& b) {
+                       return a.first > b.first;
+                     });
+    admit_pages_.clear();
+    admit_pages_.reserve(admit_order_.size());
+    for (const auto& [cost, page] : admit_order_) {
+      admit_pages_.push_back(page);
+    }
+    ordered = admit_pages_;
+  }
+
   // Per-page admission states within one batch.
   constexpr uint8_t kWasSlow = 0;      //!< Slow-resident; engine moves it.
   constexpr uint8_t kNonResident = 1;  //!< First touch will allocate it.
 
-  for (const PageId page : pages) {
+  for (const PageId page : ordered) {
     // Dedup within the batch: a repeated page would be a no-op for the
     // engine but would double-count in the occupancy accounting below.
     if (!batch_seen_.insert(page).second) continue;
@@ -785,7 +842,20 @@ void FairSharePolicy::FillQuotas(TimeNs now) {
       while (j < candidates.size() && candidates[j] == candidates[i]) ++j;
       if (memory().IsResident(candidates[i]) &&
           memory().TierOf(candidates[i]) == Tier::kSlow) {
-        ranked.emplace_back(j - i, candidates[i]);
+        // Endpoint-aware: sample count stays the primary key, with the
+        // cost of the endpoint the unit currently lives on as the
+        // tie-breaker, so equally-sampled units are promoted off the
+        // expensive device first (that is where each avoided slow
+        // access buys the most latency). Blind mode ranks by raw count
+        // exactly as before.
+        const uint64_t count = j - i;
+        ranked.emplace_back(
+            endpoint_aware_active_
+                ? (count << 16) + std::min<uint64_t>(
+                                      EndpointCostOf(candidates[i], now),
+                                      0xffff)
+                : count,
+            candidates[i]);
       }
       i = j;
     }

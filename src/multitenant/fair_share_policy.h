@@ -146,6 +146,19 @@ struct FairShareConfig {
    */
   uint64_t release_batch = 4096;
   /**
+   * Endpoint-aware placement: weigh hotness against the cost of the
+   * slow-tier endpoint a unit is homed on (idle latency + current
+   * capped backlog, read from the bound PerfModel). Victim selection
+   * breaks hotness ties by demoting units bound for cheap endpoints
+   * first — a hot unit homed on a distant or congested device is the
+   * *last* to leave the fast tier — fill-to-quota promotes
+   * equally-sampled units off expensive endpoints first, and
+   * quota-truncated promotion batches admit the expensive-endpoint
+   * pages first. No effect on single-endpoint layouts (every unit
+   * costs the same), so the default two-tier behavior is unchanged.
+   */
+  bool endpoint_aware = false;
+  /**
    * Target sampled-unit count of each tenant's ghost MRC estimate
    * (marginal mode). A tenant whose region span exceeds the budget gets
    * SHARDS spatial sampling at the smallest power-of-two rate that fits
@@ -376,6 +389,15 @@ class FairSharePolicy : public TieringPolicy,
   /** Fill-limit for `tenant`: its quota minus the reserved margin. */
   uint64_t FillLimit(uint32_t tenant) const;
 
+  /**
+   * Cost of landing slow-tier traffic on `unit`'s home endpoint right
+   * now: idle latency + capped backlog. 1 when endpoint awareness is
+   * inactive (single endpoint, knob off, or no bound perf model), so
+   * cost-scaled rankings reduce to their endpoint-blind forms. A
+   * simulator-internal read (like HotnessOf): no metadata traffic.
+   */
+  uint64_t EndpointCostOf(PageId unit, TimeNs now) const;
+
   /** Demotes tenant `t` down to `target` fast units (one batch). */
   void DemoteToTarget(uint32_t t, uint64_t target, TimeNs now);
 
@@ -398,6 +420,9 @@ class FairSharePolicy : public TieringPolicy,
 
   std::unique_ptr<QuotaGate> gate_;
   bool occupancy_ready_ = false;
+  /** endpoint_aware resolved against the bound context (see
+   *  EndpointCostOf); false whenever awareness could change nothing. */
+  bool endpoint_aware_active_ = false;
   TimeNs next_rebalance_ns_ = 0;
 
   static constexpr uint32_t kNoSlot = 0xffffffffu;
@@ -466,8 +491,14 @@ class FairSharePolicy : public TieringPolicy,
   std::vector<uint8_t> batch_marks_;
   std::vector<uint64_t> batch_admits_;
   std::vector<PageId> victims_;
-  /** (hotness, unit) pairs for coldest-first victim ordering. */
-  std::vector<std::pair<uint32_t, PageId>> victim_rank_;
+  /** (score, unit) pairs for cheapest-first victim ordering: the score
+   *  is the hotness estimate, with the home-endpoint cost packed into
+   *  the low bits as a tie-breaker in endpoint-aware mode. */
+  std::vector<std::pair<uint64_t, PageId>> victim_rank_;
+  /** (cost, page) scratch for endpoint-aware admission ordering. */
+  std::vector<std::pair<uint64_t, PageId>> admit_order_;
+  /** Reordered promotion batch fed to the admission loop. */
+  std::vector<PageId> admit_pages_;
   std::unordered_set<PageId> batch_seen_;  //!< In-batch dedup.
 };
 

@@ -108,6 +108,14 @@ struct PolicyContext {
   MigrationEngine* migration = nullptr;
   MetadataTrafficCounter* metadata_sink = nullptr;
   /**
+   * Read-only timing-model view, for endpoint-aware placement: a
+   * policy may weigh hotness against `EndpointIdleLatency` +
+   * `EndpointBacklog` (distance + congestion). Both reads are pure
+   * functions of the simulated stream, so consulting them keeps runs
+   * deterministic. Null in minimal unit-test contexts.
+   */
+  const PerfModel* perf = nullptr;
+  /**
    * Optional trace sink (null = tracing off). Policies that emit
    * decision events (quota rebalances, cooling) register their tracks
    * in Bind and guard every emission on this pointer; virtual-time

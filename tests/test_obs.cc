@@ -395,7 +395,9 @@ TEST(ObsIntegration, SimulationRegistersTheMetricCatalog) {
         "migration/promoted_pages", "migration/demoted_pages",
         "cache/llc_app_misses", "cache/llc_tiering_misses",
         "sampler/samples_taken", "policy/metadata_bytes",
-        "sim/op_latency_ns"}) {
+        "sim/op_latency_ns", "mem/endpoint0/bytes",
+        "mem/endpoint0/accesses", "mem/endpoint0/resident_units",
+        "mem/endpoint0/queue_delay_ns"}) {
     EXPECT_NE(text.find(name), std::string::npos) << name;
   }
   // The final section mirrors the result struct for pushed counters.
