@@ -4,9 +4,11 @@
  *
  * For PageRank (graph analytics) and XGBoost (ML training), measure the
  * fraction of initially hot pages that remain hot as time advances. The
- * paper reports that in both workloads most pages are no longer hot
- * within ~5 minutes; our virtual timeline is compressed, so the X axis
- * is windows of the access stream (each window ~ a "minutes analogue").
+ * two decay series are independent sweep cells, so they run in parallel
+ * under --jobs. The paper reports that in both workloads most pages are
+ * no longer hot within ~5 minutes; our virtual timeline is compressed,
+ * so the X axis is windows of the access stream (each window ~ a
+ * "minutes analogue").
  */
 
 #include <algorithm>
@@ -67,16 +69,25 @@ std::vector<double> DecaySeries(const std::string& workload_id) {
 }  // namespace
 }  // namespace hybridtier::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybridtier;
   using namespace hybridtier::bench;
+  const BenchOptions options = ParseBenchArgs(argc, argv);
   Banner("fig02", "hotness decay of initially hot pages (PR, XGBoost)");
+
+  SweepGrid grid;
+  grid.AddAxis("workload", {"pr-k", "xgboost"});
+  SweepRunner runner = MakeSweepRunner(options, "fig02");
+  const std::vector<std::vector<double>> series =
+      runner.Run(grid, [](const SweepCell& cell) {
+        return DecaySeries(cell.Get("workload"));
+      });
+  const std::vector<double>& pr = series[0];
+  const std::vector<double>& xgb = series[1];
 
   TablePrinter table({"window", "pr-kron % still hot", "xgboost % still hot"});
   table.SetTitle(
       "Figure 2: fraction of window-0 hot pages still hot per window");
-  const std::vector<double> pr = DecaySeries("pr-k");
-  const std::vector<double> xgb = DecaySeries("xgboost");
   for (size_t w = 0; w < pr.size(); ++w) {
     table.AddRow({std::to_string(w), FormatDouble(pr[w] * 100, 1),
                   FormatDouble(xgb[w] * 100, 1)});

@@ -7,6 +7,8 @@
  * hot / warm / cold by their final counter value. C = inf is the target
  * distribution; as C shrinks, hot and warm pages lose counts to
  * premature halving and the measured hot/warm share collapses.
+ * Each C is an independent sweep cell (every cell regenerates the same
+ * seeded stream), so the sweep parallelizes under --jobs.
  * (Paper sweeps C in {inf, 25M, 10M, 5M, 2M} samples; ours is the
  * time-compressed equivalent.)
  */
@@ -80,9 +82,10 @@ Shares MeasureShares(uint64_t cooling_period) {
 }  // namespace
 }  // namespace hybridtier::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybridtier;
   using namespace hybridtier::bench;
+  const BenchOptions options = ParseBenchArgs(argc, argv);
   Banner("fig03b", "hot/warm/cold classification vs cooling period C");
 
   struct Point {
@@ -95,15 +98,25 @@ int main() {
                                     {"200k", 200000},
                                     {"80k", 80000}};
 
+  std::vector<std::string> labels;
+  for (const Point& point : sweep) labels.push_back(point.label);
+  SweepGrid grid;
+  grid.AddAxis("C", labels);
+  SweepRunner runner = MakeSweepRunner(options, "fig03b");
+  const std::vector<Shares> measured =
+      runner.Run(grid, [&sweep](const SweepCell& cell) {
+        return MeasureShares(sweep[cell.ValueIndex("C")].period);
+      });
+
   TablePrinter table({"C (samples)", "% hot", "% warm", "% cold"});
   table.SetTitle(
       "Figure 3b: hotness classification under different cooling periods");
   double hot_at_inf = 0.0, hot_at_min = 0.0;
-  for (const Point& point : sweep) {
-    const Shares shares = MeasureShares(point.period);
-    if (point.period == 0) hot_at_inf = shares.hot + shares.warm;
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const Shares& shares = measured[i];
+    if (sweep[i].period == 0) hot_at_inf = shares.hot + shares.warm;
     hot_at_min = shares.hot + shares.warm;
-    table.AddRow({point.label, FormatDouble(shares.hot * 100, 1),
+    table.AddRow({sweep[i].label, FormatDouble(shares.hot * 100, 1),
                   FormatDouble(shares.warm * 100, 1),
                   FormatDouble(shares.cold * 100, 1)});
   }

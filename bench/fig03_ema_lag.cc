@@ -15,9 +15,12 @@
 #include "common/ema.h"
 #include "common/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybridtier;
   using namespace hybridtier::bench;
+  // Analytic single-series bench: no sweep cells, but the shared flag
+  // parser still wires --log-level and uniform flag rejection.
+  ParseBenchArgs(argc, argv);
   Banner("fig03a", "EMA lag: access trace vs EMA score");
 
   EmaCounter ema(2 * kMinute);

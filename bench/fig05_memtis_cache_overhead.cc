@@ -2,7 +2,8 @@
  * @file
  * Figure 5 — cache misses due to Memtis tiering activities as a share
  * of the system total, over time, for regular (4 KiB) and huge (2 MiB)
- * pages, CacheLib at 1:4.
+ * pages, CacheLib at 1:4. The two page modes are independent sweep
+ * cells.
  *
  * Shape target: tiering contributes a substantial share of both L1 and
  * LLC misses (paper: ~9%/18% for regular pages, 13%/18% for huge).
@@ -56,14 +57,23 @@ void PrintTimeline(const char* label, const SimulationResult& result,
 }  // namespace
 }  // namespace hybridtier::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybridtier;
   using namespace hybridtier::bench;
+  const BenchOptions options = ParseBenchArgs(argc, argv);
   Banner("fig05", "Memtis tiering cache-miss share over time (1:4)");
 
-  const SimulationResult regular = RunMode(PageMode::kRegular);
-  PrintTimeline("4KiB pages", regular, "fig05_memtis_cache_overhead_4k");
-  const SimulationResult huge = RunMode(PageMode::kHuge);
-  PrintTimeline("huge pages", huge, "fig05_memtis_cache_overhead_huge");
+  SweepGrid grid;
+  grid.AddAxis("pages", {"4KiB", "huge"});
+  SweepRunner runner = MakeSweepRunner(options, "fig05");
+  const std::vector<SimulationResult> results =
+      runner.Run(grid, [](const SweepCell& cell) {
+        return RunMode(cell.Get("pages") == "4KiB" ? PageMode::kRegular
+                                                   : PageMode::kHuge);
+      });
+
+  PrintTimeline("4KiB pages", results[0], "fig05_memtis_cache_overhead_4k");
+  PrintTimeline("huge pages", results[1],
+                "fig05_memtis_cache_overhead_huge");
   return 0;
 }

@@ -3,6 +3,10 @@
  * Figure 9 — CacheLib CDN and social-graph: median op latency and
  * throughput for all six tiering systems at 1:16 / 1:8 / 1:4.
  *
+ * The (workload x policy x ratio) matrix runs as one parallel sweep;
+ * every cell pins the shared bench seed so all systems see the same
+ * access stream per (workload, ratio) point.
+ *
  * Shape targets: HybridTier best or tied in nearly all cells; its 1:16
  * configuration competitive with other systems' 1:8.
  */
@@ -36,22 +40,37 @@ SimulationResult RunPoint(const std::string& workload_id,
 }  // namespace
 }  // namespace hybridtier::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybridtier;
   using namespace hybridtier::bench;
+  const BenchOptions options = ParseBenchArgs(argc, argv);
   Banner("fig09", "CacheLib CDN + social-graph across 6 systems");
 
-  for (const char* workload : {"cdn", "social"}) {
+  const std::vector<std::string> workloads = {"cdn", "social"};
+  SweepGrid grid;
+  grid.AddAxis("workload", workloads);
+  grid.AddAxis("policy", StandardPolicyNames());
+  grid.AddAxis("ratio", PaperRatioLabels());
+
+  SweepRunner runner = MakeSweepRunner(options, "fig09");
+  const std::vector<SimulationResult> results =
+      runner.Run(grid, [](const SweepCell& cell) {
+        return RunPoint(cell.Get("workload"), cell.Get("policy"),
+                        RatioFraction(cell.Get("ratio")));
+      });
+
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    const std::string& workload = workloads[w];
     TablePrinter table({"system", "1:16 p50(ns)", "1:16 Mop/s",
                         "1:8 p50(ns)", "1:8 Mop/s", "1:4 p50(ns)",
                         "1:4 Mop/s"});
     table.SetTitle(std::string("Figure 9: CacheLib ") + workload);
     std::map<std::string, std::vector<double>> p50s;
-    for (const std::string& policy : StandardPolicyNames()) {
+    for (size_t p = 0; p < StandardPolicyNames().size(); ++p) {
+      const std::string& policy = StandardPolicyNames()[p];
       std::vector<std::string> row = {policy};
-      for (const RatioPoint& ratio : PaperRatios()) {
-        const SimulationResult result =
-            RunPoint(workload, policy, ratio.fraction);
+      for (size_t r = 0; r < PaperRatios().size(); ++r) {
+        const SimulationResult& result = results[grid.FlatIndex({w, p, r})];
         row.push_back(FormatDouble(result.median_latency_ns, 0));
         row.push_back(FormatDouble(result.throughput_mops, 3));
         p50s[policy].push_back(result.median_latency_ns);

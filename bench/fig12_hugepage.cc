@@ -4,6 +4,10 @@
  * Memtis for all 12 workloads at 1:16 / 1:8 / 1:4 with tracking and
  * migration at huge-page granularity.
  *
+ * The (workload x ratio x system) matrix runs as one parallel sweep;
+ * cells pin the shared bench seed because each speedup compares the two
+ * systems on the same access stream.
+ *
  * Shape target: HybridTier ~on par at 1:16 and ahead on average at
  * 1:8 / 1:4 (paper: +9% and +11%).
  */
@@ -37,10 +41,23 @@ uint64_t RunDuration(const std::string& workload_id,
 }  // namespace
 }  // namespace hybridtier::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybridtier;
   using namespace hybridtier::bench;
+  const BenchOptions options = ParseBenchArgs(argc, argv);
   Banner("fig12", "huge-page HybridTier speedup over Memtis");
+
+  SweepGrid grid;
+  grid.AddAxis("workload", AllWorkloadIds());
+  grid.AddAxis("ratio", PaperRatioLabels());
+  grid.AddAxis("system", {"Memtis", "HybridTier"});
+
+  SweepRunner runner = MakeSweepRunner(options, "fig12");
+  const std::vector<uint64_t> durations =
+      runner.Run(grid, [](const SweepCell& cell) {
+        return RunDuration(cell.Get("workload"), cell.Get("system"),
+                           RatioFraction(cell.Get("ratio")));
+      });
 
   TablePrinter table({"workload", "1:16", "1:8", "1:4"});
   table.SetTitle(
@@ -48,13 +65,11 @@ int main() {
       "(>1 = HybridTier faster)");
   std::vector<std::vector<double>> per_ratio(PaperRatios().size());
 
-  for (const std::string& workload : AllWorkloadIds()) {
-    std::vector<std::string> row = {workload};
+  for (size_t w = 0; w < AllWorkloadIds().size(); ++w) {
+    std::vector<std::string> row = {AllWorkloadIds()[w]};
     for (size_t r = 0; r < PaperRatios().size(); ++r) {
-      const double fraction = PaperRatios()[r].fraction;
-      const uint64_t memtis_ns = RunDuration(workload, "Memtis", fraction);
-      const uint64_t hybrid_ns =
-          RunDuration(workload, "HybridTier", fraction);
+      const uint64_t memtis_ns = durations[grid.FlatIndex({w, r, 0})];
+      const uint64_t hybrid_ns = durations[grid.FlatIndex({w, r, 1})];
       const double speedup =
           hybrid_ns == 0 ? 0.0
                          : static_cast<double>(memtis_ns) /

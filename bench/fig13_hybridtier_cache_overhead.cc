@@ -2,7 +2,9 @@
  * @file
  * Figure 13 — cache misses due to HybridTier tiering activities as a
  * share of the system total, over time, for regular and huge pages,
- * CacheLib at 1:4 (the HybridTier counterpart of Fig 5).
+ * CacheLib at 1:4 (the HybridTier counterpart of Fig 5). The
+ * (page mode x system) matrix runs as one parallel sweep; the Memtis
+ * cells feed the side-by-side reduction lines.
  *
  * Shape target: HybridTier's tiering share is a small fraction of
  * Memtis's (paper: ~5% regular / ~4% huge of total misses, vs 9-18%).
@@ -34,17 +36,31 @@ SimulationResult RunMode(const std::string& policy, PageMode mode) {
 }  // namespace
 }  // namespace hybridtier::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybridtier;
   using namespace hybridtier::bench;
+  const BenchOptions options = ParseBenchArgs(argc, argv);
   Banner("fig13", "HybridTier tiering cache-miss share over time (1:4)");
 
-  for (const auto& [label, mode, csv] :
-       {std::tuple{"4KiB pages", PageMode::kRegular,
-                   "fig13_hybridtier_cache_overhead_4k"},
-        std::tuple{"huge pages", PageMode::kHuge,
-                   "fig13_hybridtier_cache_overhead_huge"}}) {
-    const SimulationResult result = RunMode("HybridTier", mode);
+  const std::vector<std::string> modes = {"4KiB pages", "huge pages"};
+  SweepGrid grid;
+  grid.AddAxis("pages", modes);
+  grid.AddAxis("system", {"HybridTier", "Memtis"});
+  SweepRunner runner = MakeSweepRunner(options, "fig13");
+  const std::vector<SimulationResult> results =
+      runner.Run(grid, [](const SweepCell& cell) {
+        return RunMode(cell.Get("system"),
+                       cell.Get("pages") == "4KiB pages"
+                           ? PageMode::kRegular
+                           : PageMode::kHuge);
+      });
+
+  const std::vector<const char*> csvs = {
+      "fig13_hybridtier_cache_overhead_4k",
+      "fig13_hybridtier_cache_overhead_huge"};
+  for (size_t m = 0; m < modes.size(); ++m) {
+    const std::string& label = modes[m];
+    const SimulationResult& result = results[grid.FlatIndex({m, 0})];
     TablePrinter table({"t (ms)", "tiering L1 miss share",
                         "tiering LLC miss share"});
     table.SetTitle(std::string("Figure 13 (") + label +
@@ -57,7 +73,7 @@ int main() {
                     FormatDouble(llc.values[i] * 100, 1) + "%"});
     }
     table.Print(std::cout);
-    table.WriteCsv(CsvPath(csv));
+    table.WriteCsv(CsvPath(csvs[m]));
     std::cout << label << " overall: tiering L1 share "
               << FormatDouble(result.TieringL1MissShare() * 100, 1)
               << "%, LLC share "
@@ -65,7 +81,7 @@ int main() {
               << "% (paper: ~5% / ~4% of total)\n";
 
     // Side-by-side reduction vs Memtis (paper: 1.7-3.5x fewer misses).
-    const SimulationResult memtis = RunMode("Memtis", mode);
+    const SimulationResult& memtis = results[grid.FlatIndex({m, 1})];
     const double l1_reduction =
         memtis.l1_tiering_misses > 0 && result.l1_tiering_misses > 0
             ? static_cast<double>(memtis.l1_tiering_misses) /

@@ -4,7 +4,8 @@
  *
  * Compares tiering-attributed L1 and LLC misses of Memtis, HybridTier
  * with a *standard* CBF, and HybridTier with the *blocked* CBF, on
- * CacheLib at 1:4, normalized to Memtis.
+ * CacheLib at 1:4, normalized to Memtis. The three systems are
+ * independent sweep cells over the same seeded stream.
  *
  * Shape target: standard CBF already beats Memtis (compactness, fewer
  * dereferences); blocked CBF provides the larger additional reduction
@@ -36,14 +37,22 @@ SimulationResult RunPolicy(const std::string& policy_name) {
 }  // namespace
 }  // namespace hybridtier::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybridtier;
   using namespace hybridtier::bench;
+  const BenchOptions options = ParseBenchArgs(argc, argv);
   Banner("fig14", "tiering cache misses: Memtis vs CBF vs blocked CBF");
 
-  const SimulationResult memtis = RunPolicy("Memtis");
-  const SimulationResult standard = RunPolicy("HybridTier-CBF");
-  const SimulationResult blocked = RunPolicy("HybridTier");
+  SweepGrid grid;
+  grid.AddAxis("system", {"Memtis", "HybridTier-CBF", "HybridTier"});
+  SweepRunner runner = MakeSweepRunner(options, "fig14");
+  const std::vector<SimulationResult> results =
+      runner.Run(grid, [](const SweepCell& cell) {
+        return RunPolicy(cell.Get("system"));
+      });
+  const SimulationResult& memtis = results[0];
+  const SimulationResult& standard = results[1];
+  const SimulationResult& blocked = results[2];
 
   auto rel = [](uint64_t value, uint64_t base) {
     return base == 0 ? 0.0

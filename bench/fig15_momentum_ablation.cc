@@ -3,6 +3,10 @@
  * Figure 15 — ablation: HybridTier vs HybridTier with only the
  * frequency tracker (no momentum), all workloads at 1:8.
  *
+ * The (workload x variant) matrix runs as one parallel sweep; cells pin
+ * the shared bench seed because each row compares the two variants on
+ * the same access stream.
+ *
  * Shape target: momentum helps most on CacheLib and XGBoost (paper:
  * +8.5% average on those); BFS/CC/PR are ~flat because their hot sets
  * fit in the fast tier.
@@ -43,10 +47,21 @@ uint64_t RunDuration(const std::string& workload_id,
 }  // namespace
 }  // namespace hybridtier::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybridtier;
   using namespace hybridtier::bench;
+  const BenchOptions options = ParseBenchArgs(argc, argv);
   Banner("fig15", "frequency+momentum vs frequency-only (1:8)");
+
+  SweepGrid grid;
+  grid.AddAxis("workload", AllWorkloadIds());
+  grid.AddAxis("variant", {"HybridTier-onlyFreq", "HybridTier"});
+
+  SweepRunner runner = MakeSweepRunner(options, "fig15");
+  const std::vector<uint64_t> durations =
+      runner.Run(grid, [](const SweepCell& cell) {
+        return RunDuration(cell.Get("workload"), cell.Get("variant"));
+      });
 
   TablePrinter table(
       {"workload", "onlyFreq runtime (ms)", "HybridTier runtime (ms)",
@@ -54,14 +69,14 @@ int main() {
   table.SetTitle(
       "Figure 15: performance of HybridTier vs HybridTier-onlyFreq "
       "(>1 = momentum tracker helps)");
-  for (const std::string& workload : AllWorkloadIds()) {
-    const uint64_t only_freq = RunDuration(workload, "HybridTier-onlyFreq");
-    const uint64_t full = RunDuration(workload, "HybridTier");
+  for (size_t w = 0; w < AllWorkloadIds().size(); ++w) {
+    const uint64_t only_freq = durations[grid.FlatIndex({w, 0})];
+    const uint64_t full = durations[grid.FlatIndex({w, 1})];
     const double relative =
         full == 0 ? 0.0
                   : static_cast<double>(only_freq) /
                         static_cast<double>(full);
-    table.AddRow({workload,
+    table.AddRow({AllWorkloadIds()[w],
                   FormatDouble(static_cast<double>(only_freq) / 1e6, 1),
                   FormatDouble(static_cast<double>(full) / 1e6, 1),
                   FormatDouble(relative, 3)});

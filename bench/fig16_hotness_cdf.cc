@@ -4,6 +4,8 @@
  *
  * Cumulative distribution of per-page 4-bit-capped access-frequency
  * counts over a fixed sampled window, for every workload/input pair.
+ * Each workload's measurement is an independent sweep cell (the twelve
+ * streams share nothing), so the table fills in parallel under --jobs.
  * Paper shape targets: GAP-on-Kronecker has >=94% zero-access pages;
  * CacheLib social-graph has the largest fraction of pages at the
  * counter cap (15).
@@ -86,10 +88,20 @@ std::vector<double> MeasureCdf(const std::string& workload_id) {
 }  // namespace
 }  // namespace hybridtier::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybridtier;
   using namespace hybridtier::bench;
+  const BenchOptions options = ParseBenchArgs(argc, argv);
   Banner("fig16", "per-page access-frequency CDF of all 12 workloads");
+
+  SweepGrid grid;
+  grid.AddAxis("workload", AllWorkloadIds());
+
+  SweepRunner runner = MakeSweepRunner(options, "fig16");
+  const std::vector<std::vector<double>> cdfs =
+      runner.Run(grid, [](const SweepCell& cell) {
+        return MeasureCdf(cell.Get("workload"));
+      });
 
   TablePrinter table({"workload", "0", "1-3", "4-6", "7-9", "10-12",
                       "13-14", "15"});
@@ -99,8 +111,9 @@ int main() {
   double kron_zero_share = 1.0;
   double social_cap_share = 0.0;
   double max_other_cap_share = 0.0;
-  for (const std::string& id : AllWorkloadIds()) {
-    const std::vector<double> cdf = MeasureCdf(id);
+  for (size_t w = 0; w < AllWorkloadIds().size(); ++w) {
+    const std::string& id = AllWorkloadIds()[w];
+    const std::vector<double>& cdf = cdfs[w];
     std::vector<std::string> row = {id};
     for (const double value : cdf) row.push_back(FormatDouble(value, 3));
     table.AddRow(row);

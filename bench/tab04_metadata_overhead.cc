@@ -8,7 +8,8 @@
  * shrinks as the fast tier does. Reported two ways:
  *  - analytic, at the paper's machine scale (512 GB slow tier), where
  *    the exact 2.0-7.8x reductions should reproduce; and
- *  - measured, from policies bound in the simulator at bench scale.
+ *  - measured, from policies bound in the simulator at bench scale
+ *    (the (ratio x policy) cells run as one parallel sweep).
  */
 
 #include <iostream>
@@ -29,13 +30,37 @@ double HybridTierAnalyticBytes(uint64_t fast_pages) {
          4.0 / 8.0;
 }
 
+/** Measured metadata bytes of one (ratio, policy) simulator cell. */
+uint64_t MeasuredMetadataBytes(double fraction,
+                               const std::string& policy_name) {
+  RunSpec spec;
+  spec.workload_id = "cdn";
+  spec.workload_scale = DefaultScaleFor("cdn");
+  spec.fast_fraction = fraction;
+  spec.max_accesses = 400000;
+  spec.warmup_accesses = 0;
+  spec.policy_name = policy_name;
+  return RunCell(spec).metadata_bytes;
+}
+
 }  // namespace
 }  // namespace hybridtier::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybridtier;
   using namespace hybridtier::bench;
+  const BenchOptions options = ParseBenchArgs(argc, argv);
   Banner("tab04", "metadata size relative to total memory capacity");
+
+  SweepGrid grid;
+  grid.AddAxis("ratio", PaperRatioLabels());
+  grid.AddAxis("policy", {"HybridTier", "Memtis"});
+  SweepRunner runner = MakeSweepRunner(options, "tab04");
+  const std::vector<uint64_t> measured =
+      runner.Run(grid, [](const SweepCell& cell) {
+        return MeasuredMetadataBytes(RatioFraction(cell.Get("ratio")),
+                                     cell.Get("policy"));
+      });
 
   // Paper configuration: slow tier fixed at 512 GB; fast = slow / N.
   const double slow_bytes = 512.0 * static_cast<double>(kGiB);
@@ -44,7 +69,8 @@ int main() {
                       "reduction", "HybridTier (measured, sim scale)"});
   table.SetTitle("Table 4: metadata size / total memory capacity");
 
-  for (const RatioPoint& ratio : PaperRatios()) {
+  for (size_t r = 0; r < PaperRatios().size(); ++r) {
+    const RatioPoint& ratio = PaperRatios()[r];
     const double fast_bytes = slow_bytes * ratio.fraction;
     const double total_bytes = slow_bytes + fast_bytes;
     const uint64_t fast_pages =
@@ -58,19 +84,11 @@ int main() {
     const double hybrid_pct = hybrid_bytes / total_bytes * 100.0;
 
     // Measured at simulator scale, as a sanity cross-check.
-    RunSpec spec;
-    spec.workload_id = "cdn";
-    spec.workload_scale = DefaultScaleFor("cdn");
-    spec.fast_fraction = ratio.fraction;
-    spec.max_accesses = 400000;
-    spec.warmup_accesses = 0;
-    spec.policy_name = "HybridTier";
-    const SimulationResult hybrid_run = RunCell(spec);
-    spec.policy_name = "Memtis";
-    const SimulationResult memtis_run = RunCell(spec);
+    const uint64_t hybrid_measured = measured[grid.FlatIndex({r, 0})];
+    const uint64_t memtis_measured = measured[grid.FlatIndex({r, 1})];
     const double measured_reduction =
-        static_cast<double>(memtis_run.metadata_bytes) /
-        static_cast<double>(hybrid_run.metadata_bytes);
+        static_cast<double>(memtis_measured) /
+        static_cast<double>(hybrid_measured);
 
     table.AddRow({ratio.label, FormatDouble(memtis_pct, 3) + "%",
                   FormatDouble(hybrid_pct, 3) + "%",

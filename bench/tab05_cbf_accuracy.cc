@@ -6,9 +6,11 @@
  * Ground truth is an exact per-page counter table fed the identical
  * CacheLib sample stream. A migration decision "agrees" when the CBF
  * and the exact table classify a page on the same side of the hotness
- * threshold. The paper reports >= 99.4% agreement until the filter is
- * severely undersized (its 8 MB point drops to 96.9%); our sizes are
- * the x1000-scaled equivalents of the paper's {256,128,64,32,8} MB.
+ * threshold. Each filter size is an independent sweep cell over the
+ * same seeded stream. The paper reports >= 99.4% agreement until the
+ * filter is severely undersized (its 8 MB point drops to 96.9%); our
+ * sizes are the x1000-scaled equivalents of the paper's
+ * {256,128,64,32,8} MB.
  */
 
 #include <iostream>
@@ -70,22 +72,35 @@ double MeasureAgreement(size_t cbf_bytes) {
 }  // namespace
 }  // namespace hybridtier::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybridtier;
   using namespace hybridtier::bench;
+  const BenchOptions options = ParseBenchArgs(argc, argv);
   Banner("tab05", "CBF migration-decision accuracy vs filter size");
 
   // Scaled analogues of the paper's 256/128/64/32/8 MB sweep.
   const std::vector<size_t> sizes_kib = {256, 128, 64, 32, 8};
+  std::vector<std::string> labels;
+  for (const size_t size : sizes_kib) {
+    labels.push_back(std::to_string(size));
+  }
+  SweepGrid grid;
+  grid.AddAxis("size_kib", labels);
+  SweepRunner runner = MakeSweepRunner(options, "tab05");
+  const std::vector<double> agreements =
+      runner.Run(grid, [&sizes_kib](const SweepCell& cell) {
+        return MeasureAgreement(sizes_kib[cell.ValueIndex("size_kib")] *
+                                1024);
+      });
+
   TablePrinter table({"CBF size (KiB)", "decision agreement"});
   table.SetTitle("Table 5: CBF vs exact-table migration agreement");
   double first = 0.0, last = 0.0;
-  for (const size_t size : sizes_kib) {
-    const double agreement = MeasureAgreement(size * 1024);
+  for (size_t i = 0; i < sizes_kib.size(); ++i) {
+    const double agreement = agreements[i];
     if (first == 0.0) first = agreement;
     last = agreement;
-    table.AddRow({std::to_string(size),
-                  FormatDouble(agreement * 100, 2) + "%"});
+    table.AddRow({labels[i], FormatDouble(agreement * 100, 2) + "%"});
   }
   table.Print(std::cout);
   table.WriteCsv(CsvPath("tab05_cbf_accuracy"));

@@ -32,7 +32,10 @@
 #include "mem/topology.h"
 #include "multitenant/fair_share_policy.h"
 #include "multitenant/mux_workload.h"
+#include "obs/attribution.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
+#include "obs/stage_profiler.h"
 #include "obs/trace.h"
 #include "workloads/factory.h"
 
@@ -102,6 +105,16 @@ void PrintUsage() {
          "  --metrics-out <f> write the metric registry's time series;\n"
          "                    a .csv suffix selects CSV (single runs),\n"
          "                    anything else JSON\n"
+         "  --diagnose        attach the latency-attribution and\n"
+         "                    decision-audit sinks and print the exact\n"
+         "                    per-component latency decomposition plus\n"
+         "                    the migration reason/mis-tiering audit\n"
+         "                    after the run (see README \"Diagnosis\")\n"
+         "  --profile-stages [wall|virtual]\n"
+         "                    per-stage engine profile; wall samples\n"
+         "                    the real clock (default, measurement),\n"
+         "                    virtual buckets simulated ns for every op\n"
+         "                    (deterministic, byte-identical)\n"
          "  --log-level <l>   debug | info | warn | error | silent\n"
          "                    (default info)\n";
 }
@@ -132,6 +145,27 @@ void WriteTraceFile(const std::string& path,
     std::exit(1);
   }
   WriteTraceJson(out, emitters);
+}
+
+/** Prints the post-run diagnosis blocks for the attached sinks. */
+void PrintDiagnosis(bool diagnose, bool profile_stages,
+                    bool profile_virtual,
+                    const LatencyAttribution& attribution,
+                    const DecisionAudit& audit,
+                    const StageProfiler& stages) {
+  if (diagnose) {
+    std::cout << "latency decomposition (" << attribution.ops()
+              << " ops):\n"
+              << attribution.Report() << "decision audit:\n"
+              << audit.Report();
+  }
+  if (profile_stages) {
+    std::cout << "stage profile ("
+              << (profile_virtual ? "virtual ns, deterministic"
+                                  : "wall ns, measurement")
+              << "):\n"
+              << stages.Report();
+  }
 }
 
 /** Prints the per-tenant table and fairness index of a tenants run. */
@@ -190,6 +224,9 @@ int main(int argc, char** argv) {
   bool endpoint_aware = false;
   std::string trace_out;
   std::string metrics_out;
+  bool diagnose = false;
+  bool profile_stages = false;
+  bool profile_virtual = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -298,6 +335,17 @@ int main(int argc, char** argv) {
       trace_out = next();
     } else if (arg == "--metrics-out") {
       metrics_out = next();
+    } else if (arg == "--diagnose") {
+      diagnose = true;
+    } else if (arg == "--profile-stages") {
+      profile_stages = true;
+      // Optional mode operand: --profile-stages wall | virtual.
+      if (i + 1 < argc && std::strcmp(argv[i + 1], "virtual") == 0) {
+        profile_virtual = true;
+        ++i;
+      } else if (i + 1 < argc && std::strcmp(argv[i + 1], "wall") == 0) {
+        ++i;
+      }
     } else if (arg == "--log-level") {
       SetLogLevel(ParseLogLevel(next()));
     } else {
@@ -333,6 +381,11 @@ int main(int argc, char** argv) {
   if (ratios.size() > 1 && !tenants.empty()) {
     std::cerr << "--ratio lists are single-workload sweeps; pick one "
                  "ratio for --tenants runs\n";
+    return 1;
+  }
+  if ((diagnose || profile_stages) && ratios.size() > 1) {
+    std::cerr << "--diagnose/--profile-stages report one cell; pick a "
+                 "single --ratio\n";
     return 1;
   }
 
@@ -375,6 +428,14 @@ int main(int argc, char** argv) {
     TraceEmitter trace(1, std::string("ht_run:") + mux->name());
     if (!metrics_out.empty()) config.telemetry.metrics = &metrics;
     if (!trace_out.empty()) config.telemetry.trace = &trace;
+    LatencyAttribution attribution;
+    DecisionAudit audit;
+    StageProfiler stages(profile_virtual ? 1 : 64, profile_virtual);
+    if (diagnose) {
+      config.telemetry.attribution = &attribution;
+      config.telemetry.audit = &audit;
+    }
+    if (profile_stages) config.telemetry.stages = &stages;
 
     Simulation simulation(config, mux.get(), policy.get());
     const SimulationResult result = simulation.Run();
@@ -419,6 +480,8 @@ int main(int argc, char** argv) {
                   << mux->tenant_name(event.tenant) << "\n";
       }
     }
+    PrintDiagnosis(diagnose, profile_stages, profile_virtual,
+                   attribution, audit, stages);
     return 0;
   }
 
@@ -531,6 +594,14 @@ int main(int argc, char** argv) {
   TraceEmitter trace(1, std::string("ht_run:") + workload->name());
   if (!metrics_out.empty()) config.telemetry.metrics = &metrics;
   if (!trace_out.empty()) config.telemetry.trace = &trace;
+  LatencyAttribution attribution;
+  DecisionAudit audit;
+  StageProfiler stages(profile_virtual ? 1 : 64, profile_virtual);
+  if (diagnose) {
+    config.telemetry.attribution = &attribution;
+    config.telemetry.audit = &audit;
+  }
+  if (profile_stages) config.telemetry.stages = &stages;
 
   Simulation simulation(config, workload.get(), policy.get());
   const SimulationResult result = simulation.Run();
@@ -562,5 +633,7 @@ int main(int argc, char** argv) {
             << "tiering LLC share: "
             << FormatDouble(result.TieringLlcMissShare() * 100, 1)
             << " % of misses\n";
+  PrintDiagnosis(diagnose, profile_stages, profile_virtual, attribution,
+                 audit, stages);
   return 0;
 }

@@ -108,10 +108,12 @@ void HybridTierPolicy::FlushPromotions(TimeNs now) {
   // demotion path does when the fast tier is under allocation pressure.
   const uint64_t free_pages = memory().FreePages(Tier::kFast);
   if (free_pages < pending_promotions_.size()) {
-    DemoteColdPages(pending_promotions_.size() - free_pages, now);
+    DemoteColdPages(pending_promotions_.size() - free_pages, now,
+                    MigrationReason::kCapacityDemand);
   }
   // One batched move_pages syscall for the whole batch (paper §4.3).
-  migration().Promote(pending_promotions_, now);
+  migration().Promote(pending_promotions_, now,
+                      MigrationReason::kHotnessRank);
   pending_promotions_.clear();
 }
 
@@ -126,6 +128,7 @@ void HybridTierPolicy::OnSample(const SampleRecord& sample) {
   const uint32_t new_freq = freq_->RecordAccess(unit, sink(), &old_freq);
   if (freq_->cooled_on_last_record()) {
     histogram_->CoolByHalving();
+    if (DecisionAudit* audit = migration().audit()) audit->RecordCooling();
     if (context().trace != nullptr) {
       context().trace->Instant(
           cooling_track_, "cooling", sample.time_ns,
@@ -192,10 +195,11 @@ void HybridTierPolicy::WatermarkDemotion(TimeNs now) {
                               ? target_free - mem.FreePages(Tier::kFast)
                               : 0;
   if (needed == 0) return;
-  DemoteColdPages(needed, now);
+  DemoteColdPages(needed, now, MigrationReason::kWatermark);
 }
 
-uint64_t HybridTierPolicy::DemoteColdPages(uint64_t needed, TimeNs now) {
+uint64_t HybridTierPolicy::DemoteColdPages(uint64_t needed, TimeNs now,
+                                           MigrationReason reason) {
   TieredMemory& mem = memory();
   std::vector<PageId> victims;
   const uint64_t footprint = context().footprint_units;
@@ -273,7 +277,7 @@ uint64_t HybridTierPolicy::DemoteColdPages(uint64_t needed, TimeNs now) {
   std::sort(victims.begin(), victims.end());
   victims.erase(std::unique(victims.begin(), victims.end()),
                 victims.end());
-  if (!victims.empty()) migration().Demote(victims, now);
+  if (!victims.empty()) migration().Demote(victims, now, reason);
   return victims.size();
 }
 

@@ -150,9 +150,12 @@ class HybridTierPolicy : public TieringPolicy {
   /**
    * Scans the fast tier applying the Table-1 demotion rules until
    * `needed` victims were demoted or the scan budget is exhausted.
-   * Returns the number of pages demoted.
+   * The demotion batch carries `reason` (watermark scan vs. demand
+   * demotion for a promotion batch). Returns the number of pages
+   * demoted.
    */
-  uint64_t DemoteColdPages(uint64_t needed, TimeNs now);
+  uint64_t DemoteColdPages(uint64_t needed, TimeNs now,
+                           MigrationReason reason);
 
   HybridTierConfig config_;
   std::unique_ptr<AccessTracker> freq_;

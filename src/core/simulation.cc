@@ -68,6 +68,15 @@ Simulation::Simulation(const SimulationConfig& config, Workload* workload,
   metrics_ = config.telemetry.metrics;
   trace_ = config.telemetry.trace;
   stages_ = config.telemetry.stages;
+  attr_ = config.telemetry.attribution;
+  audit_ = config.telemetry.audit;
+  if (audit_ != nullptr) {
+    // The audit hangs off the migration engine so policies reach it
+    // through migration().audit() without a new context field; the
+    // labeler's per-unit stamps are sized to the footprint here.
+    audit_->Configure(footprint_units_);
+    migration_->SetAudit(audit_);
+  }
   if (trace_ != nullptr) {
     migration_->SetTrace(trace_, trace_->Track("migration"));
     sampler_track_ = trace_->Track("sampler");
@@ -155,6 +164,12 @@ Simulation::Simulation(const SimulationConfig& config, Workload* workload,
         config.sample_period, config.sample_buffer, config.seed);
   }
   quota_stats_ = dynamic_cast<const TenantQuotaStatsSource*>(policy_);
+  if (attr_ != nullptr) {
+    attr_->Configure(perf_->EndpointCount(),
+                     tenant_source_ != nullptr
+                         ? tenant_source_->tenant_count()
+                         : 1);
+  }
   SetupTelemetry();
 }
 
@@ -256,6 +271,81 @@ void Simulation::SetupTelemetry() {
   m.AddProbe("policy/metadata_bytes", [this] {
     return static_cast<double>(policy_->MetadataBytes());
   });
+  if (trace_ != nullptr) {
+    // The trace cap drops deterministically; surfacing the count as a
+    // metric lets sweeps assert nothing silently fell off the record.
+    m.AddProbe("obs/trace/dropped_events", [this] {
+      return static_cast<double>(trace_->dropped_events());
+    });
+  }
+
+  if (attr_ != nullptr) {
+    // Latency decomposition: one cumulative-ns series per component
+    // plus the total they must sum to. All counters are uint64 ns well
+    // below 2^53, so the identity holds exactly in the double-valued
+    // metric series too (tests EXPECT_EQ on snapshot values).
+    for (uint32_t c = 0;
+         c < static_cast<uint32_t>(LatencyComponent::kCount); ++c) {
+      const LatencyComponent component = static_cast<LatencyComponent>(c);
+      m.AddProbe(
+          std::string("attr/") + LatencyComponentName(component) + "_ns",
+          [this, component] {
+            return static_cast<double>(attr_->component_ns(component));
+          });
+    }
+    m.AddProbe("attr/total_op_latency_ns", [this] {
+      return static_cast<double>(attr_->op_latency_ns());
+    });
+    for (uint32_t e = 0; e < perf_->EndpointCount(); ++e) {
+      const std::string prefix =
+          "attr/endpoint" + std::to_string(e) + "/";
+      m.AddProbe(prefix + "slow_idle_ns", [this, e] {
+        return static_cast<double>(attr_->endpoint_slow_idle_ns(e));
+      });
+      m.AddProbe(prefix + "slow_queue_ns", [this, e] {
+        return static_cast<double>(attr_->endpoint_slow_queue_ns(e));
+      });
+    }
+  }
+
+  if (audit_ != nullptr) {
+    m.AddProbe("audit/total_batches", [this] {
+      return static_cast<double>(audit_->total_batches());
+    });
+    m.AddProbe("audit/premature_demotions", [this] {
+      return static_cast<double>(audit_->premature_demotions());
+    });
+    m.AddProbe("audit/late_promotions", [this] {
+      return static_cast<double>(audit_->late_promotions());
+    });
+    m.AddProbe("audit/quota_truncated_pages", [this] {
+      return static_cast<double>(audit_->quota_truncated_pages());
+    });
+    m.AddProbe("audit/cooling_epochs", [this] {
+      return static_cast<double>(audit_->cooling_epochs());
+    });
+    m.AddProbe("audit/endpoint_reorders", [this] {
+      return static_cast<double>(audit_->endpoint_reorders());
+    });
+    m.AddProbe("audit/dropped_records", [this] {
+      return static_cast<double>(audit_->dropped_records());
+    });
+    for (uint32_t r = 1;
+         r < static_cast<uint32_t>(MigrationReason::kCount); ++r) {
+      const MigrationReason reason = static_cast<MigrationReason>(r);
+      const std::string prefix =
+          std::string("audit/reason/") + MigrationReasonName(reason) + "/";
+      m.AddProbe(prefix + "batches", [this, reason] {
+        return static_cast<double>(audit_->batches(reason));
+      });
+      m.AddProbe(prefix + "promoted_pages", [this, reason] {
+        return static_cast<double>(audit_->promoted_pages(reason));
+      });
+      m.AddProbe(prefix + "demoted_pages", [this, reason] {
+        return static_cast<double>(audit_->demoted_pages(reason));
+      });
+    }
+  }
 
   if (tenant_source_ != nullptr) {
     // Fleet-scale telemetry cap: per-tenant probe sets only for the K
@@ -477,6 +567,9 @@ void Simulation::RecordTimelinePoint(TimeNs at, bool idle) {
         at, WeightedJainFairnessIndex(scratch_shares_, scratch_weights_));
   }
 
+  // Close the labeler's interval before the metric snapshot so the
+  // mis-tiering counters a snapshot reads reflect this interval.
+  if (audit_ != nullptr) audit_->AdvanceInterval(at);
   if (trace_ != nullptr) EmitSamplerAdaptEvents(at);
   if (metrics_ != nullptr) metrics_->Snapshot(at);
 }
@@ -498,9 +591,20 @@ void Simulation::RunOpImpl(const OpTrace& op, TenantState* tenant) {
   [[maybe_unused]] uint64_t policy_wall = 0;
   [[maybe_unused]] uint64_t sampler_wall = 0;
 
+  // Diagnosis feeds are guarded per site: a null attribution/audit
+  // pointer (the default) costs one predicted branch and changes no
+  // modeled quantity, so the disabled path stays bit-identical.
+  const uint32_t attr_tenant =
+      attr_ != nullptr && tenant_source_ != nullptr
+          ? tenant_source_->last_tenant()
+          : 0;
+
   now_ += op.think_time_ns;  // Idle stall preceding the accesses.
   TimeNs op_latency = config_.op_overhead_ns;
   now_ += config_.op_overhead_ns;
+  if (attr_ != nullptr) [[unlikely]] {
+    attr_->AddOpOverhead(attr_tenant, config_.op_overhead_ns);
+  }
 
   const MemoryAccess* accesses = op.accesses.data();
   const size_t count = op.accesses.size();
@@ -524,6 +628,10 @@ void Simulation::RunOpImpl(const OpTrace& op, TenantState* tenant) {
       if (touch.tier == Tier::kFast) {
         ++result_.fast_mem_accesses;
         if (tenant != nullptr) ++tenant->fast_mem_accesses;
+        if (attr_ != nullptr) [[unlikely]] {
+          const TimeNs idle = perf_->IdleLatency(Tier::kFast);
+          attr_->AddFastFill(attr_tenant, idle, latency - idle);
+        }
       } else {
         ++result_.slow_mem_accesses;
         if (tenant != nullptr) ++tenant->slow_mem_accesses;
@@ -533,14 +641,34 @@ void Simulation::RunOpImpl(const OpTrace& op, TenantState* tenant) {
           endpoint_queue_hist_[touch.endpoint]->Observe(
               latency - perf_->EndpointIdleLatency(touch.endpoint));
         }
+        if (attr_ != nullptr) [[unlikely]] {
+          // Same exact recovery: idle + queue partitions the modeled
+          // latency with no remainder (integer subtraction).
+          const TimeNs idle = perf_->EndpointIdleLatency(touch.endpoint);
+          attr_->AddSlowFill(attr_tenant, touch.endpoint, idle,
+                             latency - idle);
+        }
+        if (audit_ != nullptr) [[unlikely]] {
+          audit_->OnSlowFill(unit, now_);
+        }
       }
     } else {
       latency = level == HitLevel::kL1 ? perf_->L1Latency()
                                        : perf_->LlcLatency();
+      if (attr_ != nullptr) [[unlikely]] {
+        if (level == HitLevel::kL1) {
+          attr_->AddL1Hit(attr_tenant, latency);
+        } else {
+          attr_->AddLlcHit(attr_tenant, latency);
+        }
+      }
     }
     if (touch.hint_fault) [[unlikely]] {
       latency += perf_->HintFaultLatency();
       ++result_.hint_faults;
+      if (attr_ != nullptr) {
+        attr_->AddHintFault(attr_tenant, perf_->HintFaultLatency());
+      }
     }
     if constexpr (kProfiled) {
       t1 = StageProfiler::NowNs();
@@ -574,6 +702,10 @@ void Simulation::RunOpImpl(const OpTrace& op, TenantState* tenant) {
     op_latency += latency;
   }
   accesses_ += count;
+  // Memory-service ns of this op (everything but overhead and stalls);
+  // the virtual-time stage profile's kCache bucket.
+  [[maybe_unused]] const TimeNs access_ns =
+      op_latency - config_.op_overhead_ns;
 
   if (batch_policy) {
     // One virtual dispatch for the whole op; events carry the same
@@ -624,6 +756,7 @@ void Simulation::RunOpImpl(const OpTrace& op, TenantState* tenant) {
   const MigrationStats& mig = migration_->stats();
   const uint64_t batches = mig.promotion_batches + mig.demotion_batches;
   const uint64_t pages = mig.promoted_pages + mig.demoted_pages;
+  TimeNs stall_charged = 0;
   if (batches != last_migration_batches_ ||
       pages != last_migration_pages_) {
     const TimeNs stall =
@@ -632,6 +765,10 @@ void Simulation::RunOpImpl(const OpTrace& op, TenantState* tenant) {
         (pages - last_migration_pages_) * config_.perf.tlb_page_stall_ns;
     now_ += stall;
     op_latency += stall;
+    stall_charged = stall;
+    if (attr_ != nullptr) [[unlikely]] {
+      attr_->AddMigrationStall(attr_tenant, stall);
+    }
     last_migration_batches_ = batches;
     last_migration_pages_ = pages;
   }
@@ -652,12 +789,27 @@ void Simulation::RunOpImpl(const OpTrace& op, TenantState* tenant) {
     tenant->window.Add(static_cast<double>(op_latency));
   }
   if (op_latency_hist_ != nullptr) op_latency_hist_->Observe(op_latency);
+  if (attr_ != nullptr) [[unlikely]] {
+    attr_->CloseOp(attr_tenant, op_latency);
+  }
 
   if constexpr (kProfiled) {
     stages_->Record(Stage::kCache, cache_wall);
     stages_->Record(Stage::kPolicy, policy_wall);
     stages_->Record(Stage::kSampler, sampler_wall);
     stages_->Record(Stage::kAccounting, StageProfiler::NowNs() - t_account);
+  }
+  if (profile_virtual_op_) [[unlikely]] {
+    // Virtual-time stage sample: every bucket is a simulated quantity
+    // this function already computed, so the profile is a pure function
+    // of the event stream (zero clock reads, byte-identical across
+    // engines and --jobs). kPolicy/kSampler have no simulated cost —
+    // their time is modeled as metadata cache pollution, not latency.
+    stages_->Record(Stage::kGeneration, op.think_time_ns);
+    stages_->Record(Stage::kCache, access_ns);
+    stages_->Record(Stage::kMigration, stall_charged);
+    stages_->Record(Stage::kAccounting, config_.op_overhead_ns);
+    stages_->RecordOp(op.think_time_ns + op_latency, count);
   }
 }
 
@@ -692,15 +844,18 @@ SimulationResult Simulation::Run() {
     if (config_.max_ops != 0 && ops_ >= config_.max_ops) break;
     if (config_.max_time_ns != 0 && now_ >= config_.max_time_ns) break;
 
-    // Sampled wall-clock profiling: decide before generation so NextOp
+    // Sampled stage profiling: decide before generation so NextOp
     // (live draw or trace replay) is attributed too. A null profiler
-    // costs a single predictable branch per op.
+    // costs a single predictable branch per op. In virtual-time mode
+    // the clock is never read — generation is attributed the op's
+    // think time inside RunOpImpl instead.
     const bool profile_op = stages_ != nullptr && stages_->BeginOp();
+    const bool wall_profile = profile_op && !stages_->virtual_time();
     const uint64_t op_start =
-        profile_op ? StageProfiler::NowNs() : 0;
+        wall_profile ? StageProfiler::NowNs() : 0;
 
     if (!workload_->NextOp(now_, &op)) break;
-    if (profile_op) {
+    if (wall_profile) {
       stages_->Record(Stage::kGeneration,
                       StageProfiler::NowNs() - op_start);
     }
@@ -766,9 +921,17 @@ SimulationResult Simulation::Run() {
             : &tenant_states_[tenant_source_->last_tenant()];
 
     if (profile_op) [[unlikely]] {
-      RunOpImpl<true>(op, tenant);
-      stages_->RecordOp(StageProfiler::NowNs() - op_start,
-                        op.accesses.size());
+      if (wall_profile) {
+        RunOpImpl<true>(op, tenant);
+        stages_->RecordOp(StageProfiler::NowNs() - op_start,
+                          op.accesses.size());
+      } else {
+        // Virtual-time sample: the unprofiled instantiation (no clock
+        // reads) with the simulated-bucket recording switched on.
+        profile_virtual_op_ = true;
+        RunOpImpl<false>(op, tenant);
+        profile_virtual_op_ = false;
+      }
     } else {
       RunOpImpl<false>(op, tenant);
     }
@@ -823,8 +986,10 @@ SimulationResult Simulation::Run() {
   result_.samples_dropped = budgeted_sampler_ != nullptr
                                 ? budgeted_sampler_->samples_dropped()
                                 : sampler_->samples_dropped();
-  // Close the metric series at the final virtual timestamp (a no-op
-  // when the run ended exactly on a stats boundary).
+  // Close the labeler's trailing partial interval, then the metric
+  // series, at the final virtual timestamp (a no-op when the run ended
+  // exactly on a stats boundary).
+  if (audit_ != nullptr) audit_->AdvanceInterval(now_);
   if (metrics_ != nullptr) metrics_->Snapshot(now_);
   FinalizeTenantResults();
   return result_;

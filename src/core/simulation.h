@@ -121,10 +121,12 @@ struct SimulationConfig {
   uint64_t seed = 1;                    //!< Sampler jitter seed.
   /**
    * Optional telemetry sinks (metrics registry, trace emitter, stage
-   * profiler), all non-owning and null by default. Metric and trace
-   * content is keyed to virtual time and stays bit-identical across
-   * dispatch engines and sweep `--jobs` values; the stage profiler is
-   * the one wall-clock exception (bench reporting only).
+   * profiler, latency attribution, decision audit), all non-owning and
+   * null by default. Metric and trace content is keyed to virtual time
+   * and stays bit-identical across dispatch engines and sweep `--jobs`
+   * values; the stage profiler is the one wall-clock exception (bench
+   * reporting only) unless constructed in virtual-time mode, which
+   * rejoins the deterministic set.
    */
   Telemetry telemetry;
 };
@@ -355,6 +357,9 @@ class Simulation {
    * Instantiated on a compile-time profiling flag so the common
    * (unprofiled) instantiation contains no wall-clock reads at all;
    * the profiled one runs only for the stage profiler's sampled ops.
+   * Virtual-time stage profiling reuses the unprofiled instantiation:
+   * the buckets are filled from already-computed simulated quantities
+   * behind one predictable branch per op (see profile_virtual_op_).
    */
   template <bool kProfiled>
   void RunOpImpl(const OpTrace& op, TenantState* tenant);
@@ -433,6 +438,13 @@ class Simulation {
   MetricRegistry* metrics_ = nullptr;
   TraceEmitter* trace_ = nullptr;
   StageProfiler* stages_ = nullptr;
+  LatencyAttribution* attr_ = nullptr;
+  DecisionAudit* audit_ = nullptr;
+  /** True while the current op is a virtual-time profiling sample:
+   *  RunOpImpl fills the stage buckets from simulated quantities it has
+   *  already computed (think time, access latencies, TLB stalls, op
+   *  overhead) instead of wall-clock reads. */
+  bool profile_virtual_op_ = false;
   HistogramMetric* op_latency_hist_ = nullptr;  //!< Owned by metrics_.
   /** Per-endpoint slow-fill queue-delay histograms (owned by metrics_;
    *  empty when telemetry is off — one emptiness check per slow fill). */

@@ -12,7 +12,7 @@ MigrationEngine::MigrationEngine(TieredMemory* memory, PerfModel* perf_model,
 }
 
 TimeNs MigrationEngine::ExecuteBatch(std::span<const PageId> pages, Tier dst,
-                                     TimeNs now) {
+                                     TimeNs now, MigrationReason reason) {
   if (pages.empty()) return 0;
   // With several endpoints, each moved page's copy leg runs on its
   // static home device (HDM decode), so the batch is costed per
@@ -27,6 +27,13 @@ TimeNs MigrationEngine::ExecuteBatch(std::span<const PageId> pages, Tier dst,
     if (ok) {
       ++moved;
       if (split) ++endpoint_pages_[memory_->EndpointOf(page)];
+      if (audit_ != nullptr) [[unlikely]] {
+        if (dst == Tier::kFast) {
+          audit_->OnPromoted(page, now);
+        } else {
+          audit_->OnDemoted(page, now);
+        }
+      }
     } else if (dst == Tier::kFast) {
       ++stats_.failed_promotions;
     } else {
@@ -47,22 +54,30 @@ TimeNs MigrationEngine::ExecuteBatch(std::span<const PageId> pages, Tier dst,
                                               PageBytes(mode_), now)
             : perf_model_->MigrationCost(moved, PageBytes(mode_), now);
   stats_.migration_time_ns += cost;
+  if (audit_ != nullptr) [[unlikely]] {
+    audit_->RecordBatch(dst == Tier::kFast, reason, now,
+                        static_cast<uint32_t>(moved),
+                        static_cast<uint32_t>(pages.size()));
+  }
   if (trace_ != nullptr) [[unlikely]] {
     trace_->Span(trace_track_,
                  dst == Tier::kFast ? "promote_batch" : "demote_batch",
                  now, now + cost,
                  {{"pages", static_cast<double>(moved)},
-                  {"requested", static_cast<double>(pages.size())}});
+                  {"requested", static_cast<double>(pages.size())},
+                  {"reason", static_cast<double>(reason)}});
   }
   return cost;
 }
 
-TimeNs MigrationEngine::Promote(std::span<const PageId> pages, TimeNs now) {
-  return ExecuteBatch(pages, Tier::kFast, now);
+TimeNs MigrationEngine::Promote(std::span<const PageId> pages, TimeNs now,
+                                MigrationReason reason) {
+  return ExecuteBatch(pages, Tier::kFast, now, reason);
 }
 
-TimeNs MigrationEngine::Demote(std::span<const PageId> pages, TimeNs now) {
-  return ExecuteBatch(pages, Tier::kSlow, now);
+TimeNs MigrationEngine::Demote(std::span<const PageId> pages, TimeNs now,
+                               MigrationReason reason) {
+  return ExecuteBatch(pages, Tier::kSlow, now, reason);
 }
 
 }  // namespace hybridtier

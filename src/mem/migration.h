@@ -21,6 +21,7 @@
 #include "mem/page.h"
 #include "mem/perf_model.h"
 #include "mem/tiered_memory.h"
+#include "obs/audit.h"
 #include "obs/trace.h"
 
 namespace hybridtier {
@@ -50,17 +51,29 @@ class MigrationEngine {
   virtual ~MigrationEngine() = default;
 
   /**
-   * Promotes `pages` (slow -> fast) as one batch at time `now`. Pages
-   * that are not in the slow tier or do not fit are skipped and counted
-   * as failed. Returns the modeled batch duration.
+   * Promotes `pages` (slow -> fast) as one batch at time `now`,
+   * stamped with the policy's `reason` code. Pages that are not in the
+   * slow tier or do not fit are skipped and counted as failed. Returns
+   * the modeled batch duration.
    *
    * Virtual so decorators (e.g. the multi-tenant fair-share gate) can
-   * filter or veto a policy's decisions before they execute.
+   * filter or veto a policy's decisions before they execute; decorators
+   * must forward the reason so the audit sees the originating cause.
    */
-  virtual TimeNs Promote(std::span<const PageId> pages, TimeNs now);
+  virtual TimeNs Promote(std::span<const PageId> pages, TimeNs now,
+                         MigrationReason reason);
 
   /** Demotes `pages` (fast -> slow) as one batch at time `now`. */
-  virtual TimeNs Demote(std::span<const PageId> pages, TimeNs now);
+  virtual TimeNs Demote(std::span<const PageId> pages, TimeNs now,
+                        MigrationReason reason);
+
+  /** Legacy unstamped call sites record kUnspecified. */
+  TimeNs Promote(std::span<const PageId> pages, TimeNs now) {
+    return Promote(pages, now, MigrationReason::kUnspecified);
+  }
+  TimeNs Demote(std::span<const PageId> pages, TimeNs now) {
+    return Demote(pages, now, MigrationReason::kUnspecified);
+  }
 
   /** Cumulative statistics. */
   const MigrationStats& stats() const { return stats_; }
@@ -86,8 +99,23 @@ class MigrationEngine {
     trace_track_ = track;
   }
 
+  /**
+   * Attaches the decision audit. Like SetTrace, hooked on the *real*
+   * engine so every executed batch is recorded regardless of which
+   * decorator routed it here.
+   */
+  void SetAudit(DecisionAudit* audit) { audit_ = audit; }
+
+  /**
+   * The attached audit, if any. Virtual so decorators can forward to
+   * the engine they wrap — policies reach the audit uniformly via
+   * `migration().audit()` whether or not a gate sits in between.
+   */
+  virtual DecisionAudit* audit() const { return audit_; }
+
  private:
-  TimeNs ExecuteBatch(std::span<const PageId> pages, Tier dst, TimeNs now);
+  TimeNs ExecuteBatch(std::span<const PageId> pages, Tier dst, TimeNs now,
+                      MigrationReason reason);
 
   TieredMemory* memory_;
   PerfModel* perf_model_;
@@ -96,6 +124,7 @@ class MigrationEngine {
   std::vector<uint64_t> endpoint_pages_;  //!< Per-endpoint batch scratch.
   TraceEmitter* trace_ = nullptr;
   TraceEmitter::TrackId trace_track_ = 0;
+  DecisionAudit* audit_ = nullptr;
 };
 
 }  // namespace hybridtier

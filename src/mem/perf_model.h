@@ -26,6 +26,16 @@
  * topology from the slow `TierConfig`; every arithmetic step on that
  * path is identical to the historical two-tier model, which the golden
  * determinism tests gate bit-exactly.
+ *
+ * **Decomposition contract** (relied on by `obs/attribution.h` and the
+ * per-endpoint queue-delay histograms): every demand-access latency
+ * this model returns is exactly `idle latency + queue delay`, both
+ * integer ns, so observers recover the queue component with the
+ * subtraction `latency - IdleLatency(tier)` (fast) or
+ * `latency - EndpointIdleLatency(endpoint)` (slow) with no remainder.
+ * Any new latency term added here must either fold into one of those
+ * two parts or get its own `LatencyComponent`, or the accounting
+ * identity test (`Σ components == Σ op latency`, EXPECT_EQ) fails.
  */
 
 #include <algorithm>

@@ -41,17 +41,25 @@ class FairSharePolicy::QuotaGate : public MigrationEngine {
  public:
   QuotaGate(MigrationEngine* inner, FairSharePolicy* owner)
       : MigrationEngine(inner->memory(), inner->perf_model(), inner->mode()),
+        inner_(inner),
         owner_(owner) {}
 
-  TimeNs Promote(std::span<const PageId> pages, TimeNs now) override {
-    return owner_->GatedPromote(pages, now);
+  TimeNs Promote(std::span<const PageId> pages, TimeNs now,
+                 MigrationReason reason) override {
+    return owner_->GatedPromote(pages, now, reason);
   }
 
-  TimeNs Demote(std::span<const PageId> pages, TimeNs now) override {
-    return owner_->TrackedDemote(pages, now);
+  TimeNs Demote(std::span<const PageId> pages, TimeNs now,
+                MigrationReason reason) override {
+    return owner_->TrackedDemote(pages, now, reason);
   }
+
+  /** The audit lives on the real engine; the base policy reaches it
+   *  through the gate (e.g. for cooling-epoch stamps). */
+  DecisionAudit* audit() const override { return inner_->audit(); }
 
  private:
+  MigrationEngine* inner_;
   FairSharePolicy* owner_;
 };
 
@@ -386,7 +394,9 @@ void FairSharePolicy::DrainDeparting(TimeNs now) {
                     unit < range.end,
                 "drain cursor passed tenant ", t, "'s region with ",
                 fast_units_[t], " fast units unaccounted");
-      if (!victims_.empty()) TrackedDemote(victims_, now);
+      if (!victims_.empty()) {
+        TrackedDemote(victims_, now, MigrationReason::kChurnDrain);
+      }
     }
     if (fast_units_[t] == 0) {
       FinishRelease(t, now);  // Removes t from draining_.
@@ -406,7 +416,9 @@ void FairSharePolicy::ForceFinishDrain(uint32_t tenant, TimeNs now) {
                                        (unit / 8) * kCacheLineSize);
                           victims_.push_back(unit);
                         });
-  if (!victims_.empty()) TrackedDemote(victims_, now);
+  if (!victims_.empty()) {
+    TrackedDemote(victims_, now, MigrationReason::kChurnDrain);
+  }
   FinishRelease(tenant, now);
 }
 
@@ -603,7 +615,7 @@ void FairSharePolicy::Rebalance(TimeNs now) {
         trace_->Instant(tenant_track_[t], "rotate", now,
                         {{"fast_fraction", scratch_fraction_[i]}});
       }
-      DemoteToTarget(t, FillLimit(t), now);
+      DemoteToTarget(t, FillLimit(t), now, MigrationReason::kQuotaRotation);
     }
   }
 }
@@ -622,7 +634,7 @@ uint64_t FairSharePolicy::EndpointCostOf(PageId unit, TimeNs now) const {
 }
 
 void FairSharePolicy::DemoteToTarget(uint32_t t, uint64_t target,
-                                     TimeNs now) {
+                                     TimeNs now, MigrationReason reason) {
   if (fast_units_[t] <= target) return;
   const uint64_t excess =
       std::min(fast_units_[t] - target, config_.max_enforce_batch);
@@ -676,7 +688,7 @@ void FairSharePolicy::DemoteToTarget(uint32_t t, uint64_t target,
     }
   }
   const uint64_t before = fast_units_[t];
-  TrackedDemote(std::span<const PageId>(victims_).first(take), now);
+  TrackedDemote(std::span<const PageId>(victims_).first(take), now, reason);
   enforced_demotions_[t] += before - fast_units_[t];
 }
 
@@ -687,12 +699,12 @@ void FairSharePolicy::EnforceQuotas(TimeNs now) {
   // rate, not by enforcement-sized bites.
   enforce_tenant_visits_ += active_.size();
   for (const uint32_t t : active_) {
-    DemoteToTarget(t, quota_[t], now);
+    DemoteToTarget(t, quota_[t], now, MigrationReason::kQuotaEnforce);
   }
 }
 
 TimeNs FairSharePolicy::GatedPromote(std::span<const PageId> pages,
-                                     TimeNs now) {
+                                     TimeNs now, MigrationReason reason) {
   EnsureOccupancy();
   admitted_.clear();
   batch_marks_.clear();
@@ -708,6 +720,11 @@ TimeNs FairSharePolicy::GatedPromote(std::span<const PageId> pages,
   // within each cost class. Blind mode admits in batch order exactly
   // as before.
   std::span<const PageId> ordered = pages;
+  if (endpoint_aware_active_ && !pages.empty()) {
+    if (DecisionAudit* audit = migration().audit()) {
+      audit->RecordEndpointReorder();
+    }
+  }
   if (endpoint_aware_active_) {
     admit_order_.clear();
     admit_order_.reserve(pages.size());
@@ -731,6 +748,7 @@ TimeNs FairSharePolicy::GatedPromote(std::span<const PageId> pages,
   constexpr uint8_t kWasSlow = 0;      //!< Slow-resident; engine moves it.
   constexpr uint8_t kNonResident = 1;  //!< First touch will allocate it.
 
+  uint64_t batch_gated = 0;
   for (const PageId page : ordered) {
     // Dedup within the batch: a repeated page would be a no-op for the
     // engine but would double-count in the occupancy accounting below.
@@ -748,6 +766,7 @@ TimeNs FairSharePolicy::GatedPromote(std::span<const PageId> pages,
     if (fast_units_[t] + pending_pages_[t].size() + batch_admits_[t] >=
         quota_[t]) {
       ++gated_promotions_[t];
+      ++batch_gated;
       continue;
     }
     // Charge every admitted page — each could end up fast-resident:
@@ -760,10 +779,15 @@ TimeNs FairSharePolicy::GatedPromote(std::span<const PageId> pages,
     batch_marks_.push_back(resident ? kWasSlow : kNonResident);
     ++batch_admits_[t];
   }
+  if (batch_gated > 0) {
+    if (DecisionAudit* audit = migration().audit()) {
+      audit->RecordQuotaTruncation(batch_gated);
+    }
+  }
   // An entirely gated batch issues no syscall at all.
   if (admitted_.empty()) return 0;
 
-  const TimeNs cost = migration().Promote(admitted_, now);
+  const TimeNs cost = migration().Promote(admitted_, now, reason);
   for (size_t i = 0; i < admitted_.size(); ++i) {
     const PageId page = admitted_[i];
     const uint32_t t = directory_.TenantOfUnit(page, context().mode);
@@ -786,7 +810,7 @@ TimeNs FairSharePolicy::GatedPromote(std::span<const PageId> pages,
 }
 
 TimeNs FairSharePolicy::TrackedDemote(std::span<const PageId> pages,
-                                      TimeNs now) {
+                                      TimeNs now, MigrationReason reason) {
   EnsureOccupancy();
   batch_marks_.clear();  // Reused as "was fast" marks here.
   batch_seen_.clear();
@@ -798,7 +822,7 @@ TimeNs FairSharePolicy::TrackedDemote(std::span<const PageId> pages,
                          batch_seen_.insert(page).second;
     batch_marks_.push_back(counted ? 1 : 0);
   }
-  const TimeNs cost = migration().Demote(pages, now);
+  const TimeNs cost = migration().Demote(pages, now, reason);
   for (size_t i = 0; i < pages.size(); ++i) {
     if (!batch_marks_[i]) continue;
     const PageId page = pages[i];
@@ -873,7 +897,7 @@ void FairSharePolicy::FillQuotas(TimeNs now) {
     for (uint64_t i = 0; i < take; ++i) victims_.push_back(ranked[i].second);
 
     const uint64_t before = fast_units_[t];
-    GatedPromote(victims_, now);
+    GatedPromote(victims_, now, MigrationReason::kQuotaFill);
     fill_promotions_[t] += fast_units_[t] - before;
     free_fast -= std::min(free_fast, fast_units_[t] - before);
   }

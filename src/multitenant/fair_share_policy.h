@@ -398,8 +398,10 @@ class FairSharePolicy : public TieringPolicy,
    */
   uint64_t EndpointCostOf(PageId unit, TimeNs now) const;
 
-  /** Demotes tenant `t` down to `target` fast units (one batch). */
-  void DemoteToTarget(uint32_t t, uint64_t target, TimeNs now);
+  /** Demotes tenant `t` down to `target` fast units (one batch),
+   *  stamped with `reason` (enforcement vs. rotation). */
+  void DemoteToTarget(uint32_t t, uint64_t target, TimeNs now,
+                      MigrationReason reason);
 
   /** Demotes over-quota tenants' pages down to their quotas. */
   void EnforceQuotas(TimeNs now);
@@ -407,11 +409,14 @@ class FairSharePolicy : public TieringPolicy,
   /** Promotes under-quota tenants' sampled slow pages into headroom. */
   void FillQuotas(TimeNs now);
 
-  /** Gate path: promotion batch filtered by per-tenant headroom. */
-  TimeNs GatedPromote(std::span<const PageId> pages, TimeNs now);
+  /** Gate path: promotion batch filtered by per-tenant headroom. The
+   *  base policy's reason passes through to the executed batch. */
+  TimeNs GatedPromote(std::span<const PageId> pages, TimeNs now,
+                      MigrationReason reason);
 
   /** Gate path: demotion batch with occupancy tracking. */
-  TimeNs TrackedDemote(std::span<const PageId> pages, TimeNs now);
+  TimeNs TrackedDemote(std::span<const PageId> pages, TimeNs now,
+                       MigrationReason reason);
 
   std::unique_ptr<TieringPolicy> base_;
   TenantDirectory directory_;

@@ -1,0 +1,97 @@
+#include "obs/attribution.h"
+
+#include <cstdio>
+
+namespace hybridtier {
+
+const char* LatencyComponentName(LatencyComponent component) {
+  switch (component) {
+    case LatencyComponent::kOpOverhead:
+      return "op_overhead";
+    case LatencyComponent::kL1Hit:
+      return "l1_hit";
+    case LatencyComponent::kLlcHit:
+      return "llc_hit";
+    case LatencyComponent::kFastIdle:
+      return "fast_idle";
+    case LatencyComponent::kFastQueue:
+      return "fast_queue";
+    case LatencyComponent::kSlowIdle:
+      return "slow_idle";
+    case LatencyComponent::kSlowQueue:
+      return "slow_queue";
+    case LatencyComponent::kHintFault:
+      return "hint_fault";
+    case LatencyComponent::kMigrationStall:
+      return "migration_stall";
+    case LatencyComponent::kCount:
+      break;
+  }
+  return "?";
+}
+
+void LatencyAttribution::Configure(uint32_t endpoint_count,
+                                   uint32_t tenant_count) {
+  if (endpoint_count == 0) endpoint_count = 1;
+  if (tenant_count == 0) tenant_count = 1;
+  for (size_t c = 0; c < kComponents; ++c) total_ns_[c] = 0;
+  tenant_ns_.assign(static_cast<size_t>(tenant_count) * kComponents, 0);
+  endpoint_idle_ns_.assign(endpoint_count, 0);
+  endpoint_queue_ns_.assign(endpoint_count, 0);
+  tenant_op_latency_ns_.assign(tenant_count, 0);
+  op_latency_ns_ = 0;
+  ops_ = 0;
+}
+
+uint64_t LatencyAttribution::ComponentSumNs() const {
+  uint64_t sum = 0;
+  for (size_t c = 0; c < kComponents; ++c) sum += total_ns_[c];
+  return sum;
+}
+
+uint64_t LatencyAttribution::TenantComponentSumNs(uint32_t tenant) const {
+  uint64_t sum = 0;
+  const size_t base = static_cast<size_t>(tenant) * kComponents;
+  for (size_t c = 0; c < kComponents; ++c) sum += tenant_ns_[base + c];
+  return sum;
+}
+
+std::string LatencyAttribution::Report() const {
+  std::string report;
+  char line[160];
+  const uint64_t total = op_latency_ns();
+  std::snprintf(line, sizeof(line), "  %-16s %16s %8s %10s\n", "component",
+                "ns", "share", "ns/op");
+  report += line;
+  for (size_t c = 0; c < kComponents; ++c) {
+    const uint64_t ns = total_ns_[c];
+    const double share = total > 0 ? 100.0 * static_cast<double>(ns) /
+                                         static_cast<double>(total)
+                                   : 0.0;
+    const double per_op =
+        ops_ > 0 ? static_cast<double>(ns) / static_cast<double>(ops_) : 0.0;
+    std::snprintf(line, sizeof(line), "  %-16s %16llu %7.2f%% %10.1f\n",
+                  LatencyComponentName(static_cast<LatencyComponent>(c)),
+                  static_cast<unsigned long long>(ns), share, per_op);
+    report += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "  %-16s %16llu %7s%% %10.1f  (%llu ops)\n", "total",
+                static_cast<unsigned long long>(total), "100.00",
+                ops_ > 0 ? static_cast<double>(total) /
+                               static_cast<double>(ops_)
+                         : 0.0,
+                static_cast<unsigned long long>(ops_));
+  report += line;
+  for (size_t e = 0; e < endpoint_idle_ns_.size(); ++e) {
+    if (endpoint_idle_ns_[e] == 0 && endpoint_queue_ns_[e] == 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "  endpoint%zu: slow idle %llu ns, slow queue %llu ns\n",
+                  e, static_cast<unsigned long long>(endpoint_idle_ns_[e]),
+                  static_cast<unsigned long long>(endpoint_queue_ns_[e]));
+    report += line;
+  }
+  return report;
+}
+
+}  // namespace hybridtier

@@ -57,6 +57,29 @@ MetricRegistry::Scalar* MetricRegistry::FindScalar(const std::string& name) {
   return nullptr;
 }
 
+const std::vector<double>* MetricRegistry::Series(
+    const std::string& name) const {
+  for (const Scalar& scalar : scalars_) {
+    if (scalar.name == name) return &scalar.series;
+  }
+  return nullptr;
+}
+
+const HistogramMetric* MetricRegistry::FindHistogram(
+    const std::string& name) const {
+  for (const Histogram& histogram : histograms_) {
+    if (histogram.name == name) return histogram.histogram.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> MetricRegistry::ScalarNames() const {
+  std::vector<std::string> names;
+  names.reserve(scalars_.size());
+  for (const Scalar& scalar : scalars_) names.push_back(scalar.name);
+  return names;
+}
+
 Counter* MetricRegistry::AddCounter(const std::string& name) {
   if (Scalar* existing = FindScalar(name)) {
     HT_ASSERT(existing->counter != nullptr,

@@ -134,6 +134,19 @@ class MetricRegistry {
   /** Scalar metrics registered (series columns). */
   size_t series_count() const { return scalars_.size(); }
 
+  /** Snapshot timestamps, one per Snapshot call. */
+  const std::vector<TimeNs>& times() const { return times_ns_; }
+
+  /** Time series of a scalar metric, or nullptr if `name` is not
+   *  registered. One value per snapshot, same order as times(). */
+  const std::vector<double>* Series(const std::string& name) const;
+
+  /** Registered histogram, or nullptr. */
+  const HistogramMetric* FindHistogram(const std::string& name) const;
+
+  /** Names of all scalar metrics, in registration order. */
+  std::vector<std::string> ScalarNames() const;
+
   /**
    * Writes the registry as a standalone JSON document:
    * `{"times_ns": [...], "series": {name: [...]}, "final": {...},

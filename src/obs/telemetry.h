@@ -5,8 +5,9 @@
  * @file
  * The telemetry bundle a simulation is configured with.
  *
- * `Telemetry` is three optional pointers — metrics, trace, stage
- * profiler — carried by value in `SimulationConfig`. The simulation
+ * `Telemetry` is five optional pointers — metrics, trace, stage
+ * profiler, latency attribution, decision audit — carried by value in
+ * `SimulationConfig`. The simulation
  * does not own any of them: the driver (ht_run, a bench, a test)
  * creates whichever sinks it wants, points the config at them, runs,
  * and serializes afterwards. All-null (the default) is the disabled
@@ -15,6 +16,8 @@
  * path.
  */
 
+#include "obs/attribution.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/stage_profiler.h"
 #include "obs/trace.h"
@@ -26,10 +29,13 @@ struct Telemetry {
   MetricRegistry* metrics = nullptr;
   TraceEmitter* trace = nullptr;
   StageProfiler* stages = nullptr;
+  LatencyAttribution* attribution = nullptr;
+  DecisionAudit* audit = nullptr;
 
   /** True when any sink is attached. */
   bool enabled() const {
-    return metrics != nullptr || trace != nullptr || stages != nullptr;
+    return metrics != nullptr || trace != nullptr || stages != nullptr ||
+           attribution != nullptr || audit != nullptr;
   }
 };
 

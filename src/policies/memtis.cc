@@ -80,6 +80,7 @@ void MemtisPolicy::OnSample(const SampleRecord& sample) {
     counters_->CoolByHalving();
     histogram_->CoolByHalving();
     ++coolings_;
+    if (DecisionAudit* audit = migration().audit()) audit->RecordCooling();
     if (context().trace != nullptr) {
       context().trace->Instant(
           cooling_track_, "cooling", sample.time_ns,
@@ -110,9 +111,10 @@ void MemtisPolicy::OnSample(const SampleRecord& sample) {
       const uint64_t free_pages = memory().FreePages(Tier::kFast);
       if (free_pages < pending_promotions_.size()) {
         DemoteColdPages(pending_promotions_.size() - free_pages,
-                        sample.time_ns);
+                        sample.time_ns, MigrationReason::kCapacityDemand);
       }
-      migration().Promote(pending_promotions_, sample.time_ns);
+      migration().Promote(pending_promotions_, sample.time_ns,
+                          MigrationReason::kHotnessRank);
       pending_promotions_.clear();
     }
   }
@@ -132,10 +134,11 @@ void MemtisPolicy::WatermarkDemotion(TimeNs now) {
   const uint64_t needed = target_free > mem.FreePages(Tier::kFast)
                               ? target_free - mem.FreePages(Tier::kFast)
                               : 0;
-  if (needed > 0) DemoteColdPages(needed, now);
+  if (needed > 0) DemoteColdPages(needed, now, MigrationReason::kWatermark);
 }
 
-uint64_t MemtisPolicy::DemoteColdPages(uint64_t needed, TimeNs now) {
+uint64_t MemtisPolicy::DemoteColdPages(uint64_t needed, TimeNs now,
+                                       MigrationReason reason) {
   TieredMemory& mem = memory();
   std::vector<PageId> victims;
   const uint64_t footprint = context().footprint_units;
@@ -167,7 +170,7 @@ uint64_t MemtisPolicy::DemoteColdPages(uint64_t needed, TimeNs now) {
   victims.erase(std::unique(victims.begin(), victims.end()),
                 victims.end());
   if (!victims.empty()) {
-    migration().Demote(victims, now);
+    migration().Demote(victims, now, reason);
   }
   return victims.size();
 }

@@ -81,8 +81,10 @@ class MemtisPolicy : public TieringPolicy {
   /** Recomputes the hotness threshold from the histogram. */
   void UpdateThreshold();
 
-  /** Demotes up to `needed` sub-threshold fast pages; returns count. */
-  uint64_t DemoteColdPages(uint64_t needed, TimeNs now);
+  /** Demotes up to `needed` sub-threshold fast pages, stamping the
+   *  batch with `reason`; returns the count. */
+  uint64_t DemoteColdPages(uint64_t needed, TimeNs now,
+                           MigrationReason reason);
 
   /** Emits the metadata lines one sampled update touches. */
   void TouchSampleMetadata(PageId unit, uint32_t bucket);

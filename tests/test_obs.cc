@@ -11,16 +11,20 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/hybridtier_policy.h"
 #include "core/policy_factory.h"
 #include "core/simulation.h"
 #include "exec/sweep.h"
 #include "multitenant/fair_share_policy.h"
 #include "multitenant/mux_workload.h"
+#include "obs/attribution.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/stage_profiler.h"
 #include "obs/trace.h"
@@ -405,6 +409,510 @@ TEST(ObsIntegration, SimulationRegistersTheMetricCatalog) {
   expected << "\"sim/accesses\": " << result.accesses;
   EXPECT_NE(text.find(expected.str()), std::string::npos);
   EXPECT_GE(metrics.snapshot_count(), 2u);
+}
+
+// -------------------------------------------------------- Attribution --
+
+/** Asymmetric 3-endpoint slow tier used by the diagnosis tests. */
+constexpr const char* kAsymTopology =
+    "cxl:(1,(2,3)),lat=124:250:250,bw=34:8:8,link=10,gran=64";
+
+TEST(Attribution, ComponentNamesAreStableAndDistinct) {
+  std::vector<std::string> names;
+  for (uint32_t c = 0; c < static_cast<uint32_t>(LatencyComponent::kCount);
+       ++c) {
+    names.push_back(LatencyComponentName(static_cast<LatencyComponent>(c)));
+  }
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_FALSE(names[i].empty());
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+  EXPECT_EQ(std::string(LatencyComponentName(LatencyComponent::kSlowQueue)),
+            "slow_queue");
+}
+
+// The tentpole contract: Σ components == Σ op latency, to the
+// nanosecond, with EXPECT_EQ — globally, per endpoint, and at every
+// metric snapshot (cumulative identity at each snapshot implies the
+// per-interval identity, since an interval is a difference of
+// cumulative sums; all values stay far below 2^53, so the double-typed
+// metric series are exact).
+TEST(Attribution, DecompositionIdentityExactOnAsymmetricTopology) {
+  LatencyAttribution attr;
+  MetricRegistry metrics;
+  auto workload = MakeWorkload("zipf", 0.1, 13);
+  auto policy = MakePolicy("HybridTier");
+  SimulationConfig config;
+  config.max_accesses = 400000;
+  config.seed = 13;
+  config.topology = kAsymTopology;
+  config.telemetry.attribution = &attr;
+  config.telemetry.metrics = &metrics;
+  RunSimulation(config, workload.get(), policy.get());
+
+  ASSERT_GT(attr.ops(), 0u);
+  ASSERT_GT(attr.op_latency_ns(), 0u);
+  EXPECT_EQ(attr.ComponentSumNs(), attr.op_latency_ns());
+  EXPECT_EQ(attr.TenantComponentSumNs(0), attr.tenant_op_latency_ns(0));
+
+  // Per-endpoint slow-tier splits partition the slow components.
+  ASSERT_EQ(attr.endpoint_count(), 3u);
+  uint64_t idle_sum = 0;
+  uint64_t queue_sum = 0;
+  for (uint32_t e = 0; e < attr.endpoint_count(); ++e) {
+    idle_sum += attr.endpoint_slow_idle_ns(e);
+    queue_sum += attr.endpoint_slow_queue_ns(e);
+  }
+  EXPECT_EQ(idle_sum, attr.component_ns(LatencyComponent::kSlowIdle));
+  EXPECT_EQ(queue_sum, attr.component_ns(LatencyComponent::kSlowQueue));
+  // The asymmetric cell actually exercises the slow path.
+  EXPECT_GT(attr.component_ns(LatencyComponent::kSlowIdle), 0u);
+
+  // Snapshot-level identity on the registered metric series.
+  const std::vector<double>* total =
+      metrics.Series("attr/total_op_latency_ns");
+  ASSERT_NE(total, nullptr);
+  ASSERT_GE(metrics.snapshot_count(), 2u);
+  for (size_t i = 0; i < metrics.snapshot_count(); ++i) {
+    double component_sum = 0.0;
+    for (uint32_t c = 0;
+         c < static_cast<uint32_t>(LatencyComponent::kCount); ++c) {
+      const std::string name =
+          std::string("attr/") +
+          LatencyComponentName(static_cast<LatencyComponent>(c)) + "_ns";
+      const std::vector<double>* series = metrics.Series(name);
+      ASSERT_NE(series, nullptr) << name;
+      component_sum += (*series)[i];
+    }
+    EXPECT_EQ(component_sum, (*total)[i]) << "snapshot " << i;
+  }
+  // The cumulative identity holding at consecutive snapshots implies
+  // the per-interval identity; spell one interval out anyway.
+  const size_t last = metrics.snapshot_count() - 1;
+  double interval_components = 0.0;
+  for (uint32_t c = 0; c < static_cast<uint32_t>(LatencyComponent::kCount);
+       ++c) {
+    const std::string name =
+        std::string("attr/") +
+        LatencyComponentName(static_cast<LatencyComponent>(c)) + "_ns";
+    const std::vector<double>& series = *metrics.Series(name);
+    interval_components += series[last] - series[0];
+  }
+  EXPECT_EQ(interval_components, (*total)[last] - (*total)[0]);
+}
+
+TEST(Attribution, PerTenantIdentityExactUnderFairShare) {
+  std::vector<TenantSpec> specs = ParseTenantList("zipf,cdn:2,zipf:3");
+  for (TenantSpec& spec : specs) spec.scale = 0.05;
+  auto mux = MakeMuxWorkload(specs, 19);
+  auto fair = std::make_unique<FairSharePolicy>(MakePolicy("HybridTier"),
+                                                mux->directory());
+  LatencyAttribution attr;
+  SimulationConfig config;
+  config.max_accesses = 400000;
+  config.seed = 19;
+  config.telemetry.attribution = &attr;
+  RunSimulation(config, mux.get(), fair.get());
+
+  ASSERT_EQ(attr.tenant_count(), 3u);
+  uint64_t tenant_latency_sum = 0;
+  for (uint32_t t = 0; t < attr.tenant_count(); ++t) {
+    EXPECT_EQ(attr.TenantComponentSumNs(t), attr.tenant_op_latency_ns(t))
+        << "tenant " << t;
+    EXPECT_GT(attr.tenant_op_latency_ns(t), 0u) << "tenant " << t;
+    tenant_latency_sum += attr.tenant_op_latency_ns(t);
+  }
+  EXPECT_EQ(tenant_latency_sum, attr.op_latency_ns());
+  EXPECT_EQ(attr.ComponentSumNs(), attr.op_latency_ns());
+}
+
+// ------------------------------------------------------ DecisionAudit --
+
+TEST(DecisionAuditTest, PrematureDemotionCountedOncePerEpisode) {
+  DecisionAuditConfig config;
+  config.premature_window_ns = 1000;
+  DecisionAudit audit(config);
+  audit.Configure(16);
+
+  audit.OnDemoted(5, 100);
+  audit.OnSlowFill(5, 1099);  // Inside the window: premature.
+  EXPECT_EQ(audit.premature_demotions(), 1u);
+  audit.OnSlowFill(5, 1100);  // Stamp cleared: no double count.
+  EXPECT_EQ(audit.premature_demotions(), 1u);
+
+  audit.OnDemoted(5, 2000);
+  audit.OnSlowFill(5, 3000);  // Exactly at the window edge: not premature.
+  EXPECT_EQ(audit.premature_demotions(), 1u);
+
+  audit.OnDemoted(7, 5000);
+  audit.OnPromoted(7, 5500);  // Promotion clears the stamp.
+  audit.OnSlowFill(7, 5600);
+  EXPECT_EQ(audit.premature_demotions(), 1u);
+}
+
+TEST(DecisionAuditTest, LatePromotionLatchesUntilPromoted) {
+  DecisionAuditConfig config;
+  config.late_promotion_intervals = 2;
+  config.hot_touch_min = 2;
+  DecisionAudit audit(config);
+  audit.Configure(8);
+
+  // Interval 1: unit 3 hot (2 touches), unit 4 cold (1 touch).
+  audit.OnSlowFill(3, 10);
+  audit.OnSlowFill(3, 20);
+  audit.OnSlowFill(4, 30);
+  audit.AdvanceInterval(1000);
+  EXPECT_EQ(audit.late_promotions(), 0u);
+
+  // Interval 2: unit 3 hot again -> streak 2 -> late.
+  audit.OnSlowFill(3, 1010);
+  audit.OnSlowFill(3, 1020);
+  audit.AdvanceInterval(2000);
+  EXPECT_EQ(audit.late_promotions(), 1u);
+
+  // Interval 3: still hot, but latched — no re-count.
+  audit.OnSlowFill(3, 2010);
+  audit.OnSlowFill(3, 2020);
+  audit.AdvanceInterval(3000);
+  EXPECT_EQ(audit.late_promotions(), 1u);
+
+  // Promotion clears the latch; a fresh 2-interval streak counts again.
+  audit.OnPromoted(3, 3500);
+  audit.OnDemoted(3, 3600);
+  audit.OnSlowFill(3, 20000);
+  audit.OnSlowFill(3, 20010);
+  audit.AdvanceInterval(21000);
+  audit.OnSlowFill(3, 21010);
+  audit.OnSlowFill(3, 21020);
+  audit.AdvanceInterval(22000);
+  EXPECT_EQ(audit.late_promotions(), 2u);
+}
+
+TEST(DecisionAuditTest, ColdIntervalResetsTheHotStreak) {
+  DecisionAuditConfig config;
+  config.late_promotion_intervals = 2;
+  config.hot_touch_min = 1;
+  DecisionAudit audit(config);
+  audit.Configure(4);
+
+  audit.OnSlowFill(0, 10);
+  audit.AdvanceInterval(1000);   // Hot interval 1.
+  audit.AdvanceInterval(2000);   // Untouched interval: streak broken.
+  audit.OnSlowFill(0, 2010);
+  audit.AdvanceInterval(3000);   // Hot again, but streak restarts at 1.
+  EXPECT_EQ(audit.late_promotions(), 0u);
+  audit.OnSlowFill(0, 3010);
+  audit.AdvanceInterval(4000);   // Back-to-back hot: streak 2 -> late.
+  EXPECT_EQ(audit.late_promotions(), 1u);
+}
+
+TEST(DecisionAuditTest, RingIsBoundedOldestFirstAndCountsDrops) {
+  DecisionAuditConfig config;
+  config.ring_capacity = 4;
+  DecisionAudit audit(config);
+  audit.Configure(1);
+
+  for (uint32_t i = 0; i < 6; ++i) {
+    audit.RecordBatch(/*promotion=*/i % 2 == 0,
+                      MigrationReason::kHotnessRank,
+                      /*now=*/100 * (i + 1), /*pages_moved=*/i + 1,
+                      /*pages_requested=*/i + 2);
+  }
+  EXPECT_EQ(audit.total_batches(), 6u);
+  EXPECT_EQ(audit.dropped_records(), 2u);
+  const std::vector<AuditRecord> ring = audit.RingSnapshot();
+  ASSERT_EQ(ring.size(), 4u);
+  // Oldest surviving record first; the first two were overwritten.
+  EXPECT_EQ(ring.front().time_ns, 300u);
+  EXPECT_EQ(ring.back().time_ns, 600u);
+  for (size_t i = 1; i < ring.size(); ++i) {
+    EXPECT_LT(ring[i - 1].time_ns, ring[i].time_ns);
+  }
+  EXPECT_EQ(ring.back().pages_moved, 6u);
+  EXPECT_EQ(ring.back().pages_requested, 7u);
+}
+
+TEST(DecisionAuditTest, PerReasonCountersSplitPromotionsAndDemotions) {
+  DecisionAudit audit;
+  audit.Configure(1);
+  audit.RecordBatch(true, MigrationReason::kHotnessRank, 10, 32, 32);
+  audit.RecordBatch(true, MigrationReason::kQuotaFill, 20, 8, 16);
+  audit.RecordBatch(false, MigrationReason::kCapacityDemand, 30, 32, 32);
+  audit.RecordBatch(false, MigrationReason::kWatermark, 40, 5, 5);
+  audit.RecordQuotaTruncation(9);
+  audit.RecordCooling();
+  audit.RecordEndpointReorder();
+
+  EXPECT_EQ(audit.batches(MigrationReason::kHotnessRank), 1u);
+  EXPECT_EQ(audit.promoted_pages(MigrationReason::kHotnessRank), 32u);
+  EXPECT_EQ(audit.demoted_pages(MigrationReason::kHotnessRank), 0u);
+  EXPECT_EQ(audit.promoted_pages(MigrationReason::kQuotaFill), 8u);
+  EXPECT_EQ(audit.demoted_pages(MigrationReason::kCapacityDemand), 32u);
+  EXPECT_EQ(audit.demoted_pages(MigrationReason::kWatermark), 5u);
+  EXPECT_EQ(audit.quota_truncated_pages(), 9u);
+  EXPECT_EQ(audit.cooling_epochs(), 1u);
+  EXPECT_EQ(audit.endpoint_reorders(), 1u);
+  EXPECT_EQ(audit.batches(MigrationReason::kUnspecified), 0u);
+  const std::string report = audit.Report();
+  EXPECT_NE(report.find("hotness_rank"), std::string::npos);
+  EXPECT_NE(report.find("quota_fill"), std::string::npos);
+}
+
+TEST(DecisionAuditIntegration, EveryEngineBatchCarriesAReason) {
+  DecisionAudit audit;
+  auto workload = MakeWorkload("zipf", 0.1, 23);
+  // Default cooling (600k samples at a 61-access PEBS period) never fires
+  // inside a unit-test-sized run; shrink the period so the cooling reason
+  // code is exercised too.
+  HybridTierConfig policy_config;
+  policy_config.freq_cooling_samples = 2000;
+  HybridTierPolicy policy(policy_config);
+  SimulationConfig config;
+  config.max_accesses = 400000;
+  config.seed = 23;
+  config.telemetry.audit = &audit;
+  const SimulationResult result =
+      RunSimulation(config, workload.get(), &policy);
+
+  ASSERT_GT(audit.total_batches(), 0u);
+  // No call site falls through to the legacy no-reason path.
+  EXPECT_EQ(audit.batches(MigrationReason::kUnspecified), 0u);
+  EXPECT_GT(audit.batches(MigrationReason::kHotnessRank), 0u);
+  // Per-reason page counters partition the engine's own statistics.
+  uint64_t promoted = 0;
+  uint64_t demoted = 0;
+  for (uint32_t r = 0; r < static_cast<uint32_t>(MigrationReason::kCount);
+       ++r) {
+    promoted += audit.promoted_pages(static_cast<MigrationReason>(r));
+    demoted += audit.demoted_pages(static_cast<MigrationReason>(r));
+  }
+  EXPECT_EQ(promoted, result.migration.promoted_pages);
+  EXPECT_EQ(demoted, result.migration.demoted_pages);
+  EXPECT_GT(audit.cooling_epochs(), 0u);
+}
+
+TEST(ObsDeterminism, DiagnosisSinksDoNotPerturbTheSimulation) {
+  const auto run = [](bool with_diagnosis) {
+    LatencyAttribution attr;
+    DecisionAudit audit;
+    StageProfiler stages(/*sample_every=*/1, /*virtual_time=*/true);
+    auto workload = MakeWorkload("zipf", 0.25, 31);
+    auto policy = MakePolicy("HybridTier");
+    SimulationConfig config;
+    config.max_accesses = 300000;
+    config.seed = 31;
+    if (with_diagnosis) {
+      config.telemetry.attribution = &attr;
+      config.telemetry.audit = &audit;
+      config.telemetry.stages = &stages;
+    }
+    return RunSimulation(config, workload.get(), policy.get());
+  };
+  const SimulationResult plain = run(false);
+  const SimulationResult diagnosed = run(true);
+  EXPECT_EQ(plain.ops, diagnosed.ops);
+  EXPECT_EQ(plain.duration_ns, diagnosed.duration_ns);
+  EXPECT_EQ(plain.median_latency_ns, diagnosed.median_latency_ns);
+  EXPECT_EQ(plain.p99_latency_ns, diagnosed.p99_latency_ns);
+  EXPECT_EQ(plain.migration.promoted_pages,
+            diagnosed.migration.promoted_pages);
+  EXPECT_EQ(plain.migration.demoted_pages,
+            diagnosed.migration.demoted_pages);
+}
+
+// ------------------------------------------- Virtual-time StageProfiler --
+
+TEST(StageProfilerVirtual, BucketsPartitionTheSimulatedDuration) {
+  // With sample_every == 1 every op is profiled; in virtual-time mode
+  // the buckets hold simulated ns, so they must reconstruct the modeled
+  // duration exactly: no clock reads, no sampling noise, no remainder.
+  StageProfiler stages(/*sample_every=*/1, /*virtual_time=*/true);
+  auto workload = MakeWorkload("zipf", 0.1, 37);
+  auto policy = MakePolicy("HybridTier");
+  SimulationConfig config;
+  config.max_accesses = 200000;
+  config.seed = 37;
+  config.telemetry.stages = &stages;
+  const SimulationResult result =
+      RunSimulation(config, workload.get(), policy.get());
+
+  ASSERT_GT(stages.sampled_ops(), 0u);
+  EXPECT_EQ(stages.sampled_ops(), result.ops);
+  EXPECT_EQ(stages.sampled_op_wall_ns(), result.duration_ns);
+  EXPECT_EQ(stages.OtherNs(), 0u);
+  EXPECT_GT(stages.totals(Stage::kCache).wall_ns, 0u);
+}
+
+TEST(StageProfilerVirtual, DeterministicAcrossEnginesAndRuns) {
+  const auto run = [](bool batch_execution) {
+    StageProfiler stages(/*sample_every=*/4, /*virtual_time=*/true);
+    auto workload = MakeWorkload("zipf", 0.1, 41);
+    auto policy = MakePolicy("HybridTier");
+    SimulationConfig config;
+    config.max_accesses = 200000;
+    config.seed = 41;
+    config.batch_execution = batch_execution;
+    config.telemetry.stages = &stages;
+    RunSimulation(config, workload.get(), policy.get());
+    return stages.Report();
+  };
+  const std::string batched = run(true);
+  const std::string legacy = run(false);
+  const std::string batched_again = run(true);
+  EXPECT_EQ(batched, legacy);
+  EXPECT_EQ(batched, batched_again);
+}
+
+// ------------------------------------- Fleet x topology metric catalog --
+
+TEST(ObsIntegration, TraceDropCounterSurfacesInTheRegistry) {
+  MetricRegistry metrics;
+  TraceEmitter trace(1, "cell");
+  trace.set_max_events(4);  // Force capped drops early in the run.
+  auto workload = MakeWorkload("zipf", 0.1, 43);
+  auto policy = MakePolicy("HybridTier");
+  SimulationConfig config;
+  config.max_accesses = 300000;
+  config.seed = 43;
+  config.telemetry.metrics = &metrics;
+  config.telemetry.trace = &trace;
+  RunSimulation(config, workload.get(), policy.get());
+
+  ASSERT_GT(trace.dropped_events(), 0u);
+  const std::vector<double>* series =
+      metrics.Series("obs/trace/dropped_events");
+  ASSERT_NE(series, nullptr);
+  ASSERT_FALSE(series->empty());
+  EXPECT_EQ(series->back(),
+            static_cast<double>(trace.dropped_events()));
+}
+
+/** Runs a small fleet cell on the asymmetric topology with the full
+ *  diagnosis stack attached. */
+struct FleetDiagnosisCell {
+  MetricRegistry metrics;
+  LatencyAttribution attr;
+  DecisionAudit audit;
+  SimulationResult result;
+  uint32_t tenant_count = 0;
+};
+
+std::unique_ptr<FleetDiagnosisCell> RunFleetDiagnosisCell(
+    uint32_t top_k) {
+  auto cell = std::make_unique<FleetDiagnosisCell>();
+  std::vector<TenantSpec> specs = ParseTenantList(
+      "fleet:8,zipf=0.9,fp=256,fpskew=0.3,churn=poisson,duty=0.5,"
+      "period=2e7,horizon=1e8,seed=7");
+  auto mux = MakeMuxWorkload(specs, 7);
+  cell->tenant_count = static_cast<uint32_t>(specs.size());
+  auto fair = std::make_unique<FairSharePolicy>(MakePolicy("HybridTier"),
+                                                mux->directory());
+  SimulationConfig config;
+  config.max_accesses = 400000;
+  config.seed = 7;
+  config.topology = kAsymTopology;
+  config.tenant_metrics_top_k = top_k;
+  config.telemetry.metrics = &cell->metrics;
+  config.telemetry.attribution = &cell->attr;
+  config.telemetry.audit = &cell->audit;
+  cell->result = RunSimulation(config, mux.get(), fair.get());
+  return cell;
+}
+
+TEST(ObsIntegration, FleetTopologyCellRegistersTheDiagnosisCatalog) {
+  const auto cell = RunFleetDiagnosisCell(/*top_k=*/4);
+  const std::vector<std::string> names = cell->metrics.ScalarNames();
+  const auto has = [&names](const std::string& name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+
+  // Attribution catalog: one series per component, totals, and
+  // per-endpoint slow splits for all three topology endpoints.
+  for (uint32_t c = 0; c < static_cast<uint32_t>(LatencyComponent::kCount);
+       ++c) {
+    const std::string name =
+        std::string("attr/") +
+        LatencyComponentName(static_cast<LatencyComponent>(c)) + "_ns";
+    EXPECT_TRUE(has(name)) << name;
+  }
+  EXPECT_TRUE(has("attr/total_op_latency_ns"));
+  for (const char* name :
+       {"attr/endpoint0/slow_idle_ns", "attr/endpoint0/slow_queue_ns",
+        "attr/endpoint1/slow_idle_ns", "attr/endpoint1/slow_queue_ns",
+        "attr/endpoint2/slow_idle_ns", "attr/endpoint2/slow_queue_ns"}) {
+    EXPECT_TRUE(has(name)) << name;
+  }
+
+  // Audit catalog: scalar counters plus one triple per real reason.
+  for (const char* name :
+       {"audit/total_batches", "audit/premature_demotions",
+        "audit/late_promotions", "audit/quota_truncated_pages",
+        "audit/cooling_epochs", "audit/endpoint_reorders",
+        "audit/dropped_records"}) {
+    EXPECT_TRUE(has(name)) << name;
+  }
+  for (uint32_t r = 1; r < static_cast<uint32_t>(MigrationReason::kCount);
+       ++r) {
+    const std::string prefix =
+        std::string("audit/reason/") +
+        MigrationReasonName(static_cast<MigrationReason>(r)) + "/";
+    EXPECT_TRUE(has(prefix + "batches")) << prefix;
+    EXPECT_TRUE(has(prefix + "promoted_pages")) << prefix;
+    EXPECT_TRUE(has(prefix + "demoted_pages")) << prefix;
+  }
+
+  // Per-endpoint device telemetry for every endpoint of the topology,
+  // including the queue-delay histograms.
+  for (int e = 0; e < 3; ++e) {
+    const std::string prefix = "mem/endpoint" + std::to_string(e) + "/";
+    EXPECT_TRUE(has(prefix + "bytes")) << prefix;
+    EXPECT_TRUE(has(prefix + "accesses")) << prefix;
+    EXPECT_TRUE(has(prefix + "resident_units")) << prefix;
+    EXPECT_NE(cell->metrics.FindHistogram(prefix + "queue_delay_ns"),
+              nullptr)
+        << prefix;
+  }
+  // The run actually drove the slow tier through the fair-share stack.
+  EXPECT_GT(cell->attr.component_ns(LatencyComponent::kSlowIdle), 0u);
+  EXPECT_EQ(cell->attr.ComponentSumNs(), cell->attr.op_latency_ns());
+  EXPECT_GT(cell->audit.total_batches(), 0u);
+}
+
+TEST(ObsIntegration, TenantMetricsAreCappedToTopKWithRollup) {
+  const auto capped = RunFleetDiagnosisCell(/*top_k=*/4);
+  const std::vector<std::string> names = capped->metrics.ScalarNames();
+  size_t tenant_access_series = 0;
+  bool has_other_rollup = false;
+  for (const std::string& name : names) {
+    if (name.rfind("tenant/", 0) == 0 &&
+        name.size() > std::string("/accesses").size() &&
+        name.compare(name.size() - 9, 9, "/accesses") == 0) {
+      ++tenant_access_series;
+    }
+    if (name == "tenant/other/count") has_other_rollup = true;
+  }
+  // 4 named tenants + the "other" aggregate.
+  EXPECT_EQ(tenant_access_series, 5u);
+  EXPECT_TRUE(has_other_rollup);
+
+  // top_k = 0 means "no cap": every tenant gets its own series and the
+  // rollup disappears.
+  const auto uncapped = RunFleetDiagnosisCell(/*top_k=*/0);
+  size_t uncapped_series = 0;
+  for (const std::string& name : uncapped->metrics.ScalarNames()) {
+    if (name.rfind("tenant/", 0) == 0 &&
+        name.size() > std::string("/accesses").size() &&
+        name.compare(name.size() - 9, 9, "/accesses") == 0) {
+      ++uncapped_series;
+    }
+  }
+  EXPECT_EQ(uncapped_series, uncapped->tenant_count);
+
+  // The cap changes only the metric surface, never the simulation.
+  EXPECT_EQ(capped->result.duration_ns, uncapped->result.duration_ns);
+  EXPECT_EQ(capped->result.ops, uncapped->result.ops);
 }
 
 }  // namespace
