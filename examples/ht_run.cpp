@@ -29,6 +29,7 @@
 #include "core/policy_factory.h"
 #include "core/simulation.h"
 #include "exec/sweep.h"
+#include "fault/fault_spec.h"
 #include "mem/topology.h"
 #include "multitenant/fair_share_policy.h"
 #include "multitenant/mux_workload.h"
@@ -92,6 +93,19 @@ void PrintUsage() {
          "                    34:17:17,link=20' (see src/mem/topology.h\n"
          "                    for the grammar; default: one endpoint\n"
          "                    with the paper's emulated-CXL timings)\n"
+         "  --faults <spec>   deterministic fault schedule, e.g.\n"
+         "                    'faults:ep2@5s=down,ep1@2s-8s=degrade3x'\n"
+         "                    or a seeded chaos schedule\n"
+         "                    'faults:chaos(seed=7,endpoints=3,\n"
+         "                    horizon=20ms,events=4)' (see\n"
+         "                    src/fault/fault_spec.h for the grammar;\n"
+         "                    endpoints are 0-based decode indices).\n"
+         "                    Down/degrade schedules force the bounded\n"
+         "                    queue model\n"
+         "  --watchdog        run the invariant watchdog every stats\n"
+         "                    interval: recount residency/quota/\n"
+         "                    attribution accounting and abort the run\n"
+         "                    on any divergence (pure observation)\n"
          "  --endpoint-aware  fair-share: weigh hotness against each\n"
          "                    unit's home-endpoint cost (idle latency +\n"
          "                    queue backlog) in victim selection and\n"
@@ -221,6 +235,8 @@ int main(int argc, char** argv) {
   bool workload_set = false;
   QuotaMode quota_mode = FairShareConfig{}.quota_mode;
   std::string topology;
+  std::string faults;
+  bool watchdog = false;
   bool endpoint_aware = false;
   std::string trace_out;
   std::string metrics_out;
@@ -323,6 +339,12 @@ int main(int argc, char** argv) {
       topology = next();
       // Validate eagerly so a typo fails before the run starts.
       (void)ParseTopologySpec(topology);
+    } else if (arg == "--faults") {
+      faults = next();
+      // Validate eagerly so a typo fails before the run starts.
+      (void)ParseFaultSpec(faults);
+    } else if (arg == "--watchdog") {
+      watchdog = true;
     } else if (arg == "--endpoint-aware") {
       endpoint_aware = true;
     } else if (arg == "--no-rebalance") {
@@ -422,6 +444,8 @@ int main(int argc, char** argv) {
     config.mode = huge ? PageMode::kHuge : PageMode::kRegular;
     config.seed = seed;
     config.topology = topology;
+    config.faults = faults;
+    config.watchdog = watchdog;
     config.tenant_sample_budget = sampler_budget;
 
     MetricRegistry metrics;
@@ -480,6 +504,13 @@ int main(int argc, char** argv) {
                   << mux->tenant_name(event.tenant) << "\n";
       }
     }
+    if (!faults.empty()) {
+      std::cout << "fault layer:       " << result.fault.transitions
+                << " transitions, " << result.fault.stalled_accesses
+                << " stalled accesses, " << result.fault.evacuated_pages
+                << " evacuated / " << result.fault.spilled_pages
+                << " spilled pages\n";
+    }
     PrintDiagnosis(diagnose, profile_stages, profile_virtual,
                    attribution, audit, stages);
     return 0;
@@ -524,6 +555,8 @@ int main(int argc, char** argv) {
           config.mode = huge ? PageMode::kHuge : PageMode::kRegular;
           config.seed = seed;
           config.topology = topology;
+          config.faults = faults;
+          config.watchdog = watchdog;
           if (!trace_out.empty()) {
             cell_traces[cell.index()] = std::make_unique<TraceEmitter>(
                 static_cast<uint32_t>(cell.index() + 1),
@@ -589,6 +622,8 @@ int main(int argc, char** argv) {
   config.mode = huge ? PageMode::kHuge : PageMode::kRegular;
   config.seed = seed;
   config.topology = topology;
+  config.faults = faults;
+  config.watchdog = watchdog;
 
   MetricRegistry metrics;
   TraceEmitter trace(1, std::string("ht_run:") + workload->name());
@@ -633,6 +668,14 @@ int main(int argc, char** argv) {
             << "tiering LLC share: "
             << FormatDouble(result.TieringLlcMissShare() * 100, 1)
             << " % of misses\n";
+  if (!faults.empty()) {
+    std::cout << "fault layer:       " << result.fault.transitions
+              << " transitions, " << result.fault.stalled_accesses
+              << " stalled accesses, " << result.fault.evacuated_pages
+              << " evacuated / " << result.fault.spilled_pages
+              << " spilled pages (" << result.fault.evac_retries
+              << " backoff retries)\n";
+  }
   PrintDiagnosis(diagnose, profile_stages, profile_virtual, attribution,
                  audit, stages);
   return 0;

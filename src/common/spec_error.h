@@ -1,0 +1,35 @@
+#ifndef HYBRIDTIER_COMMON_SPEC_ERROR_H_
+#define HYBRIDTIER_COMMON_SPEC_ERROR_H_
+
+/**
+ * @file
+ * Uniform fatal-error reporting for config-spec parsers.
+ *
+ * Every spec parser (`ParseTopologySpec`, `ParseFaultSpec`, ...) fails
+ * the same way: the offending token is quoted together with its byte
+ * offset inside the spec, so a user staring at a 120-character topology
+ * string knows exactly which character to fix instead of getting a
+ * generic "malformed spec". Death tests gate the message shape.
+ */
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace hybridtier {
+
+/**
+ * User-error exit for a malformed spec: quotes the bad token and its
+ * byte offset within `spec`. `offset` is where `token` starts (byte 0 =
+ * the first character of the full spec string, prefix included).
+ */
+[[noreturn]] inline void SpecFatal(const std::string& spec, size_t offset,
+                                   const std::string& token,
+                                   const std::string& message) {
+  HT_FATAL("bad token '", token, "' at byte ", offset, " of spec '", spec,
+           "': ", message);
+}
+
+}  // namespace hybridtier
+
+#endif  // HYBRIDTIER_COMMON_SPEC_ERROR_H_

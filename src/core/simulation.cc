@@ -33,6 +33,21 @@ Simulation::Simulation(const SimulationConfig& config, Workload* workload,
                                 static_cast<double>(footprint_units_)));
   fast_capacity_units_ = std::min(fast_capacity_units_, footprint_units_);
 
+  // Fault schedule parses before the timing model exists: an outage or
+  // degradation with the unbounded-backlog queue model would integrate
+  // delay forever (no drain during the fault), so any such schedule
+  // force-enables the bounded queue — loudly when the caller had it off.
+  FaultSchedule fault_schedule;
+  if (!config.faults.empty()) {
+    fault_schedule = ParseFaultSpec(config.faults);
+    if (fault_schedule.HasDownOrDegrade() && !config_.perf.bounded_queue) {
+      HT_WARN("fault schedule '", config.faults,
+              "' requires the bounded queue model; forcing "
+              "perf.bounded_queue=true");
+      config_.perf.bounded_queue = true;
+    }
+  }
+
   if (config.topology.empty()) {
     // No topology configured: the exact legacy construction path (one
     // endpoint from the default slow tier), pinned bit-identical by
@@ -41,7 +56,7 @@ Simulation::Simulation(const SimulationConfig& config, Workload* workload,
         footprint_units_, fast_capacity_units_, footprint_units_,
         config.allocation);
     perf_ = std::make_unique<PerfModel>(
-        config.perf, DefaultFastTier(fast_capacity_units_),
+        config_.perf, DefaultFastTier(fast_capacity_units_),
         DefaultSlowTier(footprint_units_));
   } else {
     const Topology topology = ParseTopologySpec(config.topology);
@@ -50,7 +65,7 @@ Simulation::Simulation(const SimulationConfig& config, Workload* workload,
         config.allocation, topology.endpoint_count(),
         topology.interleave_units);
     perf_ = std::make_unique<PerfModel>(
-        config.perf, DefaultFastTier(fast_capacity_units_),
+        config_.perf, DefaultFastTier(fast_capacity_units_),
         DefaultSlowTier(footprint_units_), topology);
   }
   hierarchy_ = std::make_unique<CacheHierarchy>(config.cache);
@@ -170,6 +185,22 @@ Simulation::Simulation(const SimulationConfig& config, Workload* workload,
                          ? tenant_source_->tenant_count()
                          : 1);
   }
+  if (!fault_schedule.empty()) {
+    // After Bind so health transitions reach a bound policy, before
+    // Advance(0) so a schedule starting at t=0 applies immediately.
+    fault_runtime_ = std::make_unique<FaultRuntime>(
+        fault_schedule, config.fault_runtime, memory_.get(), perf_.get(),
+        migration_.get(), policy_, trace_);
+    faults_on_ = true;
+    fault_runtime_->Advance(0);
+  }
+  if (config.watchdog) {
+    watchdog_ = std::make_unique<InvariantWatchdog>(memory_.get(), attr_);
+    if (const auto* source =
+            dynamic_cast<const InvariantSource*>(policy_)) {
+      watchdog_->RegisterSource("policy", source);
+    }
+  }
   SetupTelemetry();
 }
 
@@ -220,6 +251,48 @@ void Simulation::SetupTelemetry() {
     });
     endpoint_queue_hist_.push_back(
         m.AddHistogram(prefix + "queue_delay_ns"));
+    if (fault_runtime_ != nullptr) {
+      // Health as a numeric series (EndpointHealth enum value). Only
+      // registered with a fault runtime so fault-free metric layouts
+      // stay byte-identical to the pre-fault columns.
+      m.AddProbe(prefix + "state", [this, e] {
+        return static_cast<double>(
+            static_cast<uint32_t>(fault_runtime_->state(e)));
+      });
+    }
+  }
+
+  if (fault_runtime_ != nullptr) {
+    m.AddProbe("fault/transitions", [this] {
+      return static_cast<double>(fault_runtime_->stats().transitions);
+    });
+    m.AddProbe("fault/endpoints_downed", [this] {
+      return static_cast<double>(fault_runtime_->stats().endpoints_downed);
+    });
+    m.AddProbe("fault/endpoints_recovered", [this] {
+      return static_cast<double>(
+          fault_runtime_->stats().endpoints_recovered);
+    });
+    m.AddProbe("fault/stalled_accesses", [this] {
+      return static_cast<double>(fault_runtime_->stats().stalled_accesses);
+    });
+    m.AddProbe("fault/evacuated_pages", [this] {
+      return static_cast<double>(fault_runtime_->stats().evacuated_pages);
+    });
+    m.AddProbe("fault/spilled_pages", [this] {
+      return static_cast<double>(fault_runtime_->stats().spilled_pages);
+    });
+    m.AddProbe("fault/evac_retries", [this] {
+      return static_cast<double>(fault_runtime_->stats().evac_retries);
+    });
+  }
+  if (watchdog_ != nullptr) {
+    m.AddProbe("fault/watchdog_checks", [this] {
+      return static_cast<double>(watchdog_->checks_run());
+    });
+    m.AddProbe("fault/watchdog_violations", [this] {
+      return static_cast<double>(watchdog_->violations());
+    });
   }
 
   m.AddProbe("migration/promotion_batches", [this] {
@@ -489,6 +562,7 @@ void Simulation::RecordTimelinePoint(TimeNs at, bool idle) {
   // the last window median forward would plot an idle machine as still
   // running.
   result_.latency_timeline.Add(at, idle ? 0.0 : window_.Median());
+  result_.p99_timeline.Add(at, idle ? 0.0 : window_.Quantile(0.99));
 
   const uint64_t l1_app = hierarchy_->L1Misses(AccessOwner::kApp);
   const uint64_t l1_tier = hierarchy_->L1Misses(AccessOwner::kTiering);
@@ -572,6 +646,12 @@ void Simulation::RecordTimelinePoint(TimeNs at, bool idle) {
   if (audit_ != nullptr) audit_->AdvanceInterval(at);
   if (trace_ != nullptr) EmitSamplerAdaptEvents(at);
   if (metrics_ != nullptr) metrics_->Snapshot(at);
+
+  // Corruption aborts at the interval it happened, with the failed
+  // check's recount report, instead of surfacing as a wrong figure.
+  if (watchdog_ != nullptr && !watchdog_->RunChecks(at)) [[unlikely]] {
+    HT_FATAL("invariant watchdog tripped: ", watchdog_->last_error());
+  }
 }
 
 void Simulation::FlushMetadataTraffic() {
@@ -631,6 +711,20 @@ void Simulation::RunOpImpl(const OpTrace& op, TenantState* tenant) {
         if (attr_ != nullptr) [[unlikely]] {
           const TimeNs idle = perf_->IdleLatency(Tier::kFast);
           attr_->AddFastFill(attr_tenant, idle, latency - idle);
+        }
+      } else if (faults_on_ &&
+                 perf_->EndpointDown(touch.endpoint)) [[unlikely]] {
+        // Access to a failed device: the timing model returned the
+        // constant fault stall, which belongs to no idle/queue split —
+        // the whole latency is one attribution component, keeping
+        // Σ components == Σ latency exact through an outage.
+        ++result_.slow_mem_accesses;
+        if (tenant != nullptr) ++tenant->slow_mem_accesses;
+        if (attr_ != nullptr) [[unlikely]] {
+          attr_->AddFaultStall(attr_tenant, latency);
+        }
+        if (audit_ != nullptr) [[unlikely]] {
+          audit_->OnSlowFill(unit, now_);
         }
       } else {
         ++result_.slow_mem_accesses;
@@ -743,8 +837,13 @@ void Simulation::RunOpImpl(const OpTrace& op, TenantState* tenant) {
   [[maybe_unused]] uint64_t t_maint = 0;
   if constexpr (kProfiled) t_maint = StageProfiler::NowNs();
 
-  // Periodic policy maintenance.
+  // Periodic policy maintenance. The fault runtime advances first so
+  // the policy's tick sees the health state (and any evacuation moves)
+  // as of its own timestamp.
   while (now_ >= next_tick_) {
+    if (faults_on_) [[unlikely]] {
+      fault_runtime_->Advance(next_tick_);
+    }
     policy_->Tick(next_tick_);
     FlushMetadataTraffic();
     next_tick_ += config_.tick_interval_ns;
@@ -894,6 +993,9 @@ SimulationResult Simulation::Run() {
               skip_forward(next_stats_, config_.stats_interval_ns);
         }
         if (next_tick_ <= next_stats_) {
+          if (faults_on_) [[unlikely]] {
+            fault_runtime_->Advance(next_tick_);
+          }
           policy_->Tick(next_tick_);
           // Replay the tick's metadata traffic before the next timeline
           // point reads the hierarchy's counters.
@@ -974,6 +1076,13 @@ SimulationResult Simulation::Run() {
   result_.p99_latency_ns = reservoir_.Quantile(0.99);
   result_.mean_latency_ns = reservoir_.Mean();
   result_.migration = migration_->stats();
+  if (faults_on_) {
+    // One final advance at the run's end time: transitions scheduled
+    // inside the last partial tick interval still apply, and pending
+    // evacuations get a last drain pass before residency is reported.
+    fault_runtime_->Advance(now_);
+    result_.fault = fault_runtime_->stats();
+  }
   result_.l1_app_misses = hierarchy_->L1Misses(AccessOwner::kApp);
   result_.l1_tiering_misses = hierarchy_->L1Misses(AccessOwner::kTiering);
   result_.llc_app_misses = hierarchy_->LlcMisses(AccessOwner::kApp);
@@ -991,6 +1100,10 @@ SimulationResult Simulation::Run() {
   // exactly on a stats boundary).
   if (audit_ != nullptr) audit_->AdvanceInterval(now_);
   if (metrics_ != nullptr) metrics_->Snapshot(now_);
+  if (watchdog_ != nullptr && !watchdog_->RunChecks(now_)) {
+    HT_FATAL("invariant watchdog tripped at end of run: ",
+             watchdog_->last_error());
+  }
   FinalizeTenantResults();
   return result_;
 }

@@ -24,6 +24,8 @@
 #include "cache/hierarchy.h"
 #include "common/percentile.h"
 #include "common/units.h"
+#include "fault/fault_runtime.h"
+#include "fault/watchdog.h"
 #include "mem/migration.h"
 #include "mem/page.h"
 #include "mem/perf_model.h"
@@ -99,6 +101,26 @@ struct SimulationConfig {
    * golden determinism tests.
    */
   std::string topology;
+  /**
+   * Fault-injection schedule spec (see fault/fault_spec.h), e.g.
+   * "faults:ep2@5s=down,ep1@2s-8s=degrade3x". Empty (the default)
+   * constructs no fault runtime at all and keeps every run bit-identical
+   * to the pre-fault code — the golden determinism tests gate on it.
+   * Any `down`/`degrade` event force-enables `perf.bounded_queue` (with
+   * a warning when it was off): an unbounded backlog integral across an
+   * outage would model infinite recovery.
+   */
+  std::string faults;
+  /**
+   * Runs the invariant watchdog (fault/watchdog.h) at every stats
+   * interval and at end of run; a violated invariant aborts the run
+   * with the failed check's report. Pure observation — an enabled
+   * watchdog never changes results, only whether a corrupt run is
+   * allowed to finish.
+   */
+  bool watchdog = false;
+  /** Failover behavior knobs (only read when `faults` is non-empty). */
+  FaultRuntimeConfig fault_runtime;
   bool measure_metadata_traffic = true; //!< Replay metadata lines in LLC.
   /**
    * Batched access execution (default): policies that declare no
@@ -199,6 +221,8 @@ struct SimulationResult {
 
   // Timelines (sampled every stats_interval_ns).
   TimeSeries latency_timeline;          //!< Windowed median op latency.
+  /** Windowed p99 op latency — the failover bench's recovery series. */
+  TimeSeries p99_timeline;
   TimeSeries tiering_l1_share_timeline; //!< Per-interval tiering L1 share.
   TimeSeries tiering_llc_share_timeline;
   TimeSeries fast_used_timeline;        //!< Fast-tier occupancy fraction.
@@ -208,6 +232,8 @@ struct SimulationResult {
   uint64_t slow_mem_accesses = 0;
   uint64_t hint_faults = 0;
   MigrationStats migration;
+  /** Fault-layer counters (all zero when no fault spec was given). */
+  FaultStats fault;
 
   // Cache attribution (post warmup).
   uint64_t l1_app_misses = 0;
@@ -396,6 +422,12 @@ class Simulation {
   std::unique_ptr<AccessSampler> sampler_;
   /** Replaces sampler_ when tenant_sample_budget is on (tenant runs). */
   std::unique_ptr<BudgetedSampler> budgeted_sampler_;
+  /** Null unless config.faults is non-empty (the common case). */
+  std::unique_ptr<FaultRuntime> fault_runtime_;
+  /** Null unless config.watchdog (pure observation when present). */
+  std::unique_ptr<InvariantWatchdog> watchdog_;
+  /** Mirrors fault_runtime_ != nullptr; hot-loop guard. */
+  bool faults_on_ = false;
   MetadataTrafficCounter metadata_counter_;
 
   // Run state.

@@ -1,0 +1,351 @@
+#include "fault/fault_spec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/rng.h"
+#include "common/spec_error.h"
+#include "mem/topology.h"
+
+namespace hybridtier {
+namespace {
+
+constexpr char kPrefix[] = "faults:";
+constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+constexpr char kChaosPrefix[] = "chaos(";
+
+// Fixed mixing constant for the flap coin so flap behaviour is a pure
+// function of (endpoint, slot, p) — independent of any run seed.
+constexpr uint64_t kFlapSalt = 0x8f1c7a44d20b39e5ULL;
+
+// Chaos expansion bounds: generated events land on a coarse grid so the
+// canonical spec stays readable and the horizon is never exceeded.
+constexpr uint32_t kChaosMaxEvents = 256;
+
+struct Cursor {
+  const std::string& spec;
+  size_t pos = 0;  // Byte offset into `spec`.
+};
+
+/** The comma-separated token starting at `cursor.pos` (for errors). */
+std::string TokenAt(const Cursor& cursor) {
+  size_t end = cursor.spec.find(',', cursor.pos);
+  if (end == std::string::npos) end = cursor.spec.size();
+  return cursor.spec.substr(cursor.pos, end - cursor.pos);
+}
+
+[[noreturn]] void Fail(const Cursor& cursor, const std::string& message) {
+  SpecFatal(cursor.spec, cursor.pos, TokenAt(cursor), message);
+}
+
+bool ConsumeLiteral(Cursor& cursor, const char* literal) {
+  const size_t len = std::char_traits<char>::length(literal);
+  if (cursor.spec.compare(cursor.pos, len, literal) != 0) return false;
+  cursor.pos += len;
+  return true;
+}
+
+/** Parses a non-negative decimal number (digits, optional fraction). */
+double ParseNumber(Cursor& cursor, const char* what) {
+  const size_t start = cursor.pos;
+  size_t p = cursor.pos;
+  while (p < cursor.spec.size() &&
+         (std::isdigit(static_cast<unsigned char>(cursor.spec[p])) ||
+          cursor.spec[p] == '.')) {
+    ++p;
+  }
+  if (p == start) Fail(cursor, std::string("expected ") + what);
+  errno = 0;
+  char* parse_end = nullptr;
+  const std::string digits = cursor.spec.substr(start, p - start);
+  const double value = std::strtod(digits.c_str(), &parse_end);
+  if (errno != 0 || parse_end != digits.c_str() + digits.size() ||
+      !std::isfinite(value)) {
+    Fail(cursor, std::string("malformed ") + what);
+  }
+  cursor.pos = p;
+  return value;
+}
+
+/** Parses a duration/instant: number plus optional ns/us/ms/s suffix. */
+TimeNs ParseTime(Cursor& cursor, const char* what) {
+  const double raw = ParseNumber(cursor, what);
+  double scale = 1.0;
+  if (ConsumeLiteral(cursor, "ns")) {
+    scale = 1.0;
+  } else if (ConsumeLiteral(cursor, "us")) {
+    scale = 1e3;
+  } else if (ConsumeLiteral(cursor, "ms")) {
+    scale = 1e6;
+  } else if (ConsumeLiteral(cursor, "s")) {
+    scale = 1e9;
+  }
+  const double ns = raw * scale;
+  if (ns > 9.0e18) Fail(cursor, std::string(what) + " overflows TimeNs");
+  return static_cast<TimeNs>(ns);
+}
+
+uint32_t ParseEndpointIndex(Cursor& cursor) {
+  const double value = ParseNumber(cursor, "endpoint index");
+  const uint32_t endpoint = static_cast<uint32_t>(value);
+  if (value != static_cast<double>(endpoint) ||
+      endpoint >= kMaxTopologyEndpoints) {
+    Fail(cursor, "endpoint index must be an integer below " +
+                     std::to_string(kMaxTopologyEndpoints));
+  }
+  return endpoint;
+}
+
+/** Parses one `ep<N>@<start>[-<end>]=<kind>` event token. */
+FaultEvent ParseEvent(Cursor& cursor) {
+  const Cursor token_start = cursor;
+  FaultEvent event;
+  if (!ConsumeLiteral(cursor, "ep")) {
+    Fail(token_start, "expected 'ep<N>@...' event");
+  }
+  event.endpoint = ParseEndpointIndex(cursor);
+  if (!ConsumeLiteral(cursor, "@")) {
+    Fail(token_start, "expected '@<start>' after endpoint index");
+  }
+  event.start_ns = ParseTime(cursor, "start time");
+  if (ConsumeLiteral(cursor, "-")) {
+    event.end_ns = ParseTime(cursor, "end time");
+    if (event.end_ns <= event.start_ns) {
+      Fail(token_start, "end time must be after start time");
+    }
+  }
+  if (!ConsumeLiteral(cursor, "=")) {
+    Fail(token_start, "expected '=<down|degrade<F>x|flap(...)>'");
+  }
+  if (ConsumeLiteral(cursor, "down")) {
+    event.kind = FaultKind::kDown;
+  } else if (ConsumeLiteral(cursor, "degrade")) {
+    event.kind = FaultKind::kDegrade;
+    event.factor = ParseNumber(cursor, "degrade factor");
+    if (!ConsumeLiteral(cursor, "x")) {
+      Fail(token_start, "degrade factor must end in 'x' (e.g. degrade3x)");
+    }
+    if (event.factor <= 1.0) {
+      Fail(token_start, "degrade factor must be > 1");
+    }
+  } else if (ConsumeLiteral(cursor, "flap(p=")) {
+    event.kind = FaultKind::kFlap;
+    event.flap_p = ParseNumber(cursor, "flap probability");
+    if (event.flap_p <= 0.0 || event.flap_p > 1.0) {
+      Fail(token_start, "flap probability must be in (0, 1]");
+    }
+    if (!ConsumeLiteral(cursor, ",period=")) {
+      Fail(token_start, "expected ',period=<T>' in flap(...)");
+    }
+    event.flap_period_ns = ParseTime(cursor, "flap period");
+    if (event.flap_period_ns == 0) {
+      Fail(token_start, "flap period must be positive");
+    }
+    if (!ConsumeLiteral(cursor, ")")) {
+      Fail(token_start, "expected ')' closing flap(...)");
+    }
+    if (event.end_ns == 0) {
+      Fail(token_start, "flap events require an end time (ep<N>@a-b=flap)");
+    }
+  } else {
+    Fail(token_start, "unknown fault kind (want down, degrade<F>x, or flap)");
+  }
+  return event;
+}
+
+void CanonicalizeOrder(FaultSchedule& schedule) {
+  std::stable_sort(schedule.events.begin(), schedule.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                     return a.endpoint < b.endpoint;
+                   });
+}
+
+/**
+ * Expands `chaos(seed=,endpoints=,horizon=,events=)` into concrete
+ * down/degrade events from a SplitMix64 stream over the seed. Each
+ * generated event picks an endpoint, a kind (2/3 down, 1/3 degrade),
+ * a start in [horizon/8, 3*horizon/4) and a duration in
+ * [horizon/64, horizon/4), all quantised to a horizon/1024 grid so the
+ * canonical form stays compact. Purely a function of the four knobs.
+ */
+FaultSchedule ExpandChaos(Cursor& cursor) {
+  const Cursor token_start = cursor;
+  if (!ConsumeLiteral(cursor, "chaos(seed=")) {
+    Fail(token_start, "expected chaos(seed=...)");
+  }
+  const double seed_value = ParseNumber(cursor, "chaos seed");
+  if (!ConsumeLiteral(cursor, ",endpoints=")) {
+    Fail(token_start, "expected ',endpoints=<N>' in chaos(...)");
+  }
+  const double endpoints_value = ParseNumber(cursor, "chaos endpoint count");
+  if (!ConsumeLiteral(cursor, ",horizon=")) {
+    Fail(token_start, "expected ',horizon=<T>' in chaos(...)");
+  }
+  const TimeNs horizon = ParseTime(cursor, "chaos horizon");
+  if (!ConsumeLiteral(cursor, ",events=")) {
+    Fail(token_start, "expected ',events=<N>' in chaos(...)");
+  }
+  const double events_value = ParseNumber(cursor, "chaos event count");
+  if (!ConsumeLiteral(cursor, ")")) {
+    Fail(token_start, "expected ')' closing chaos(...)");
+  }
+  if (cursor.pos != cursor.spec.size()) {
+    Fail(cursor, "chaos(...) must be the whole schedule");
+  }
+
+  const uint32_t endpoints = static_cast<uint32_t>(endpoints_value);
+  const uint32_t events = static_cast<uint32_t>(events_value);
+  if (endpoints_value != static_cast<double>(endpoints) || endpoints == 0 ||
+      endpoints > kMaxTopologyEndpoints) {
+    Fail(token_start, "chaos endpoints must be an integer in [1, " +
+                          std::to_string(kMaxTopologyEndpoints) + "]");
+  }
+  if (events_value != static_cast<double>(events) || events == 0 ||
+      events > kChaosMaxEvents) {
+    Fail(token_start, "chaos events must be an integer in [1, " +
+                          std::to_string(kChaosMaxEvents) + "]");
+  }
+  if (horizon < 1024) {
+    Fail(token_start, "chaos horizon must be at least 1024 ns");
+  }
+
+  uint64_t state = static_cast<uint64_t>(seed_value) ^ 0x66a1c0fdecafULL;
+  const TimeNs grid = horizon / 1024;
+  FaultSchedule schedule;
+  schedule.events.reserve(events);
+  for (uint32_t i = 0; i < events; ++i) {
+    FaultEvent event;
+    event.endpoint =
+        static_cast<uint32_t>(SplitMix64Next(state) % endpoints);
+    const TimeNs start_lo = horizon / 8;
+    const TimeNs start_span = (3 * horizon / 4) - start_lo;
+    event.start_ns =
+        start_lo + (SplitMix64Next(state) % start_span) / grid * grid;
+    const TimeNs dur_lo = horizon / 64;
+    const TimeNs dur_span = (horizon / 4) - dur_lo;
+    TimeNs duration =
+        dur_lo + (SplitMix64Next(state) % dur_span) / grid * grid;
+    if (duration == 0) duration = grid > 0 ? grid : 1;
+    event.end_ns = event.start_ns + duration;
+    if (SplitMix64Next(state) % 3 == 0) {
+      event.kind = FaultKind::kDegrade;
+      event.factor =
+          2.0 + static_cast<double>(SplitMix64Next(state) % 7);  // 2x..8x
+    } else {
+      event.kind = FaultKind::kDown;
+    }
+    schedule.events.push_back(event);
+  }
+  CanonicalizeOrder(schedule);
+  return schedule;
+}
+
+void AppendTime(std::string& out, TimeNs t) { out += std::to_string(t); }
+
+void AppendDouble(std::string& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  out += buffer;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDown:
+      return "down";
+    case FaultKind::kDegrade:
+      return "degrade";
+    case FaultKind::kFlap:
+      return "flap";
+  }
+  return "unknown";
+}
+
+uint32_t FaultSchedule::MaxEndpoint() const {
+  uint32_t max_endpoint = 0;
+  for (const FaultEvent& event : events) {
+    max_endpoint = std::max(max_endpoint, event.endpoint);
+  }
+  return max_endpoint;
+}
+
+bool IsFaultSpec(const std::string& text) {
+  return text.compare(0, kPrefixLen, kPrefix) == 0;
+}
+
+FaultSchedule ParseFaultSpec(const std::string& text) {
+  Cursor cursor{text, 0};
+  if (!ConsumeLiteral(cursor, kPrefix)) {
+    Fail(cursor, "fault spec must start with 'faults:'");
+  }
+  if (cursor.pos == text.size()) {
+    Fail(cursor, "empty fault schedule (omit the flag for no faults)");
+  }
+  if (text.compare(cursor.pos, sizeof(kChaosPrefix) - 1, kChaosPrefix) == 0) {
+    return ExpandChaos(cursor);
+  }
+  FaultSchedule schedule;
+  for (;;) {
+    schedule.events.push_back(ParseEvent(cursor));
+    if (cursor.pos == text.size()) break;
+    if (!ConsumeLiteral(cursor, ",")) {
+      Fail(cursor, "expected ',' between fault events");
+    }
+    if (cursor.pos == text.size()) {
+      Fail(cursor, "trailing ',' in fault schedule");
+    }
+  }
+  CanonicalizeOrder(schedule);
+  return schedule;
+}
+
+std::string FormatFaultSpec(const FaultSchedule& schedule) {
+  std::string out = kPrefix;
+  bool first = true;
+  for (const FaultEvent& event : schedule.events) {
+    if (!first) out += ',';
+    first = false;
+    out += "ep";
+    out += std::to_string(event.endpoint);
+    out += '@';
+    AppendTime(out, event.start_ns);
+    if (event.end_ns != 0) {
+      out += '-';
+      AppendTime(out, event.end_ns);
+    }
+    out += '=';
+    switch (event.kind) {
+      case FaultKind::kDown:
+        out += "down";
+        break;
+      case FaultKind::kDegrade:
+        out += "degrade";
+        AppendDouble(out, event.factor);
+        out += 'x';
+        break;
+      case FaultKind::kFlap:
+        out += "flap(p=";
+        AppendDouble(out, event.flap_p);
+        out += ",period=";
+        AppendTime(out, event.flap_period_ns);
+        out += ')';
+        break;
+    }
+  }
+  return out;
+}
+
+bool FlapSlotDown(uint32_t endpoint, uint64_t slot, double p) {
+  uint64_t state = kFlapSalt ^ (static_cast<uint64_t>(endpoint) << 32) ^ slot;
+  const uint64_t draw = SplitMix64Next(state);
+  const double unit = static_cast<double>(draw >> 11) * 0x1.0p-53;
+  return unit < p;
+}
+
+}  // namespace hybridtier

@@ -23,6 +23,14 @@ TimeNs MigrationEngine::ExecuteBatch(std::span<const PageId> pages, Tier dst,
   }
   uint64_t moved = 0;
   for (const PageId page : pages) {
+    if (any_down_ && dst == Tier::kSlow) [[unlikely]] {
+      // Can't demote onto a dead device: the page's HDM home is fixed.
+      const uint32_t home = memory_->EndpointOf(page);
+      if (home < endpoint_down_.size() && endpoint_down_[home]) {
+        ++stats_.failed_demotions;
+        continue;
+      }
+    }
     const bool ok = memory_->IsResident(page) && memory_->Migrate(page, dst);
     if (ok) {
       ++moved;

@@ -49,6 +49,8 @@ PerfModel::PerfModel(const PerfModelConfig& config, const TierConfig& fast,
     endpoint.link = spec.switch_id;
     endpoint.access_service =
         TransferTime(spec.bandwidth_gbps, access_bytes_);
+    endpoint.base_idle_latency_ns = endpoint.idle_latency_ns;
+    endpoint.base_bandwidth_gbps = endpoint.bandwidth_gbps;
     endpoints_.push_back(endpoint);
   }
   links_.reserve(topology.switches.size());
@@ -58,6 +60,18 @@ PerfModel::PerfModel(const PerfModelConfig& config, const TierConfig& fast,
     link.access_service = TransferTime(spec.link_gbps, access_bytes_);
     links_.push_back(link);
   }
+}
+
+void PerfModel::SetEndpointDegrade(uint32_t endpoint, double factor) {
+  HT_ASSERT(factor >= 1.0, "degrade factor must be >= 1");
+  Endpoint& e = endpoints_[endpoint];
+  // Always derived from the healthy baseline so successive factors
+  // replace each other instead of compounding.
+  e.idle_latency_ns =
+      static_cast<TimeNs>(static_cast<double>(e.base_idle_latency_ns) *
+                          factor);
+  e.bandwidth_gbps = e.base_bandwidth_gbps / factor;
+  e.access_service = TransferTime(e.bandwidth_gbps, access_bytes_);
 }
 
 TimeNs PerfModel::TransferTime(double gbps, uint64_t bytes) {

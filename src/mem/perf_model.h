@@ -80,6 +80,14 @@ struct PerfModelConfig {
    * so the fix is opt-in until the goldens are re-baselined.
    */
   bool bounded_queue = false;
+  /**
+   * Latency charged to a demand access aimed at a **down** endpoint
+   * (fault injection, see fault/fault_runtime.h): the time for the
+   * fabric to report the poisoned read and the kernel to field it. A
+   * run constant (no queueing term) so the attribution identity stays
+   * exact — the whole stall lands on `LatencyComponent::kFaultStall`.
+   */
+  TimeNs fault_stall_ns = 2500;
 };
 
 /** Channel-occupancy timing model over the fast tier + CXL endpoints. */
@@ -126,6 +134,14 @@ class PerfModel {
       return fast_idle_latency_ns_ + queue_delay;
     }
     Endpoint& e = endpoints_[endpoint];
+    if (e.down) [[unlikely]] {
+      // The device is gone: the access faults instead of being served.
+      // No channel occupancy, no queueing — a constant so attribution
+      // can charge the whole latency to kFaultStall exactly. Dead
+      // branch without fault injection, so healthy runs are untouched.
+      ++e.stalled_accesses;
+      return config_.fault_stall_ns;
+    }
     TimeNs backlog = e.busy_until > now ? e.busy_until - now : 0;
     if (e.link >= 0) [[unlikely]] {
       Channel& link = links_[static_cast<size_t>(e.link)];
@@ -233,6 +249,35 @@ class PerfModel {
     return std::min<TimeNs>(backlog, max_queue_delay_ns_);
   }
 
+  // --- Fault injection (fault/fault_runtime.h drives these) -----------
+
+  /**
+   * Marks `endpoint` down/up. While down, demand accesses return the
+   * configured `fault_stall_ns` without touching any channel, and
+   * OccupyEndpoint still works (evacuation reads the dying device).
+   */
+  void SetEndpointDown(uint32_t endpoint, bool down) {
+    endpoints_[endpoint].down = down;
+  }
+
+  /**
+   * Applies degrade `factor` to `endpoint`: idle latency is multiplied
+   * and bandwidth divided by it, relative to the endpoint's healthy
+   * baseline (so factors replace, not compound — pass 1.0 to restore).
+   * The per-access occupancy is recomputed from the new bandwidth.
+   */
+  void SetEndpointDegrade(uint32_t endpoint, double factor);
+
+  /** True while `endpoint` is marked down. */
+  bool EndpointDown(uint32_t endpoint) const {
+    return endpoints_[endpoint].down;
+  }
+
+  /** Demand accesses rejected by `endpoint` while it was down. */
+  uint64_t EndpointStalledAccesses(uint32_t endpoint) const {
+    return endpoints_[endpoint].stalled_accesses;
+  }
+
   /** Configuration in use. */
   const PerfModelConfig& config() const { return config_; }
 
@@ -257,6 +302,13 @@ class PerfModel {
     int32_t link = -1;  //!< Index into links_, or -1 (direct).
     uint64_t bytes = 0;
     uint64_t accesses = 0;
+    // Fault-injection state: healthy baselines + current health flags.
+    // `down`/degrade are only ever set by a fault runtime; without one
+    // the extra fields are dead weight off the hot path.
+    TimeNs base_idle_latency_ns = 0;
+    double base_bandwidth_gbps = 0.0;
+    bool down = false;
+    uint64_t stalled_accesses = 0;
   };
 
   /**

@@ -17,7 +17,8 @@ TieredMemory::TieredMemory(uint64_t total_pages, uint64_t fast_capacity,
       allocation_policy_(allocation_policy),
       endpoint_count_(endpoint_count),
       interleave_units_(interleave_units),
-      endpoint_resident_(endpoint_count, 0) {
+      endpoint_resident_(endpoint_count, 0),
+      endpoint_fast_resident_(endpoint_count, 0) {
   HT_ASSERT(total_pages > 0, "address space must not be empty");
   HT_ASSERT(fast_capacity + slow_capacity >= total_pages,
             "tiers too small for the footprint: ", fast_capacity, "+",
@@ -46,6 +47,7 @@ TouchResult TieredMemory::TouchSlowPath(PageId page, TimeNs now) {
       result.endpoint = EndpointOf(page);
     } else {
       f &= static_cast<uint8_t>(~kTierSlow);
+      AccountEndpointFast(page, +1);
     }
     ++used_[static_cast<size_t>(tier)];
     AccountRegion(page, tier, +1);
@@ -111,9 +113,11 @@ bool TieredMemory::Migrate(PageId page, Tier dst) {
   if (dst == Tier::kSlow) {
     f |= kTierSlow;
     AccountEndpoint(page, +1);
+    AccountEndpointFast(page, -1);
   } else {
     f &= static_cast<uint8_t>(~kTierSlow);
     AccountEndpoint(page, -1);
+    AccountEndpointFast(page, +1);
   }
   --used_[static_cast<size_t>(src)];
   ++used_[static_cast<size_t>(dst)];
@@ -131,7 +135,11 @@ uint64_t TieredMemory::Release(PageRange range) {
     const Tier tier = (f & kTierSlow) ? Tier::kSlow : Tier::kFast;
     --used_[static_cast<size_t>(tier)];
     AccountRegion(page, tier, -1);
-    if (tier == Tier::kSlow) AccountEndpoint(page, -1);
+    if (tier == Tier::kSlow) {
+      AccountEndpoint(page, -1);
+    } else {
+      AccountEndpointFast(page, -1);
+    }
     f = 0;
     ++released;
   }

@@ -115,6 +115,22 @@ class TieredMemory {
     return endpoint_resident_[endpoint];
   }
 
+  /**
+   * Fast-resident tracking units whose HDM home is `endpoint` — pages a
+   * demotion would copy back onto that device. When an endpoint dies,
+   * these units can no longer be demoted, so the fault-aware fair-share
+   * water-filler subtracts them from the fast capacity it divides
+   * (fault/fault_runtime.h, multitenant/fair_share_policy.h).
+   */
+  uint64_t EndpointHomedFastResident(uint32_t endpoint) const {
+    HT_ASSERT(endpoint < endpoint_count_, "endpoint ", endpoint,
+              " outside the layout");
+    return endpoint_fast_resident_[endpoint];
+  }
+
+  /** Tracking units per HDM interleave stripe. */
+  uint64_t interleave_units() const { return interleave_units_; }
+
 
   /** Tier of a resident page (asserts residency). */
   Tier TierOf(PageId page) const;
@@ -232,6 +248,12 @@ class TieredMemory {
         static_cast<uint64_t>(delta);
   }
 
+  /** Adjusts the fast-resident-by-home-endpoint counter for `page`. */
+  void AccountEndpointFast(PageId page, int64_t delta) {
+    endpoint_fast_resident_[EndpointOf(page)] +=
+        static_cast<uint64_t>(delta);
+  }
+
   std::vector<uint8_t> flags_;
   std::vector<TimeNs> protect_time_;  //!< Valid while kProtected is set.
   uint64_t capacity_[kNumTiers];
@@ -240,10 +262,16 @@ class TieredMemory {
   uint32_t endpoint_count_ = 1;
   uint64_t interleave_units_ = 1;
   std::vector<uint64_t> endpoint_resident_;  //!< Slow units per endpoint.
+  /** Fast-resident units by HDM home endpoint. */
+  std::vector<uint64_t> endpoint_fast_resident_;
 
   // Per-region residency accounting (empty until DefineRegions).
   std::vector<uint32_t> region_of_;  //!< Region id per page, or kNoRegion.
   std::vector<uint64_t> region_resident_[kNumTiers];
+
+  // The watchdog test peer injects accounting corruption to prove the
+  // invariant checks catch it; nothing else may touch private state.
+  friend class TieredMemoryTestPeer;
 };
 
 }  // namespace hybridtier

@@ -5,16 +5,21 @@
 #include <cstdio>
 
 #include "common/logging.h"
+#include "common/spec_error.h"
 
 namespace hybridtier {
 
 namespace {
 
 constexpr char kPrefix[] = "cxl:";
+constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
 
-/** Parses a positive double like "0.9" or "1e8"; fatal with context. */
+/**
+ * Parses a double like "0.9" or "1e8"; fatal quoting the token and its
+ * byte offset (`offset` = where `text` starts inside `spec`).
+ */
 double ParseNumber(const std::string& text, const std::string& key,
-                   const std::string& spec) {
+                   const std::string& spec, size_t offset) {
   size_t parsed = 0;
   double value = -1.0;
   try {
@@ -23,8 +28,8 @@ double ParseNumber(const std::string& text, const std::string& key,
     parsed = 0;
   }
   if (parsed != text.size() || std::isnan(value)) {
-    HT_FATAL("bad value '", text, "' for topology key '", key,
-             "' in spec '", spec, "'");
+    SpecFatal(spec, offset, text,
+              "not a number for topology key '" + key + "'");
   }
   return value;
 }
@@ -36,17 +41,18 @@ std::string FormatNumber(double value) {
   return buffer;
 }
 
-/** Splits a ':'-separated list into per-element doubles. */
+/** Splits a ':'-separated list (starting at `offset` in `spec`) into
+ *  per-element doubles; each element fails at its own offset. */
 std::vector<double> ParseList(const std::string& text,
                               const std::string& key,
-                              const std::string& spec) {
+                              const std::string& spec, size_t offset) {
   std::vector<double> values;
   size_t start = 0;
   while (start <= text.size()) {
     size_t colon = text.find(':', start);
     if (colon == std::string::npos) colon = text.size();
-    values.push_back(
-        ParseNumber(text.substr(start, colon - start), key, spec));
+    values.push_back(ParseNumber(text.substr(start, colon - start), key,
+                                 spec, offset + start));
     if (colon == text.size()) break;
     start = colon + 1;
   }
@@ -59,26 +65,28 @@ std::vector<double> ParseList(const std::string& text,
  * slots (indexed by id-1) and the switch list in order of appearance.
  */
 void ParseTree(const std::string& tree, const std::string& spec,
-               Topology* out) {
+               size_t tree_offset, Topology* out) {
   if (tree.size() < 3 || tree.front() != '(' || tree.back() != ')') {
-    HT_FATAL("topology tree '", tree, "' in spec '", spec,
-             "' must be a parenthesized child list");
+    SpecFatal(spec, tree_offset, tree,
+              "device tree must be a parenthesized child list");
   }
   std::vector<bool> seen;
+  // `token_offset` is the token's start within `spec` (body positions
+  // translate as tree_offset + 1 + pos: prefix, then the opening '(').
   const auto add_endpoint = [&](const std::string& token,
+                                size_t token_offset,
                                 int32_t switch_id) -> uint32_t {
-    const double value = ParseNumber(token, "tree", spec);
+    const double value = ParseNumber(token, "tree", spec, token_offset);
     if (!(value >= 1.0 && value <= kMaxTopologyEndpoints) ||
         value != std::floor(value)) {
-      HT_FATAL("endpoint id '", token, "' in topology spec '", spec,
-               "' must be an integer in [1, ", kMaxTopologyEndpoints,
-               "]");
+      SpecFatal(spec, token_offset, token,
+                detail::StrCat("endpoint id must be an integer in [1, ",
+                               kMaxTopologyEndpoints, "]"));
     }
     const uint32_t id = static_cast<uint32_t>(value);
     if (seen.size() < id) seen.resize(id, false);
     if (seen[id - 1]) {
-      HT_FATAL("endpoint id ", id, " repeats in topology spec '", spec,
-               "'");
+      SpecFatal(spec, token_offset, token, "endpoint id repeats");
     }
     seen[id - 1] = true;
     if (out->endpoints.size() < id) out->endpoints.resize(id);
@@ -87,24 +95,25 @@ void ParseTree(const std::string& tree, const std::string& spec,
   };
 
   const std::string body = tree.substr(1, tree.size() - 2);
+  const size_t body_offset = tree_offset + 1;
   size_t pos = 0;
   while (pos <= body.size()) {
     if (pos == body.size()) {
-      HT_FATAL("empty child in topology tree '", tree, "' of spec '",
-               spec, "'");
+      SpecFatal(spec, body_offset + pos, "",
+                "empty child in the device tree");
     }
     if (body[pos] == '(') {
       // A switch: a flat id list (nested switches are not modeled).
       const size_t close = body.find(')', pos);
       const size_t inner_open = body.find('(', pos + 1);
       if (close == std::string::npos) {
-        HT_FATAL("unbalanced '(' in topology tree '", tree,
-                 "' of spec '", spec, "'");
+        SpecFatal(spec, body_offset + pos, "(",
+                  "unbalanced '(' in the device tree");
       }
       if (inner_open != std::string::npos && inner_open < close) {
-        HT_FATAL("topology spec '", spec,
-                 "' nests a switch inside a switch; only one switch "
-                 "level is modeled");
+        SpecFatal(spec, body_offset + inner_open, "(",
+                  "a switch nests inside a switch; only one switch "
+                  "level is modeled");
       }
       const int32_t switch_id =
           static_cast<int32_t>(out->switches.size());
@@ -116,12 +125,12 @@ void ParseTree(const std::string& tree, const std::string& spec,
         if (mcomma == std::string::npos) mcomma = member.size();
         const std::string token =
             member.substr(mstart, mcomma - mstart);
+        const size_t token_offset = body_offset + pos + 1 + mstart;
         if (token.empty()) {
-          HT_FATAL("empty member in switch of topology spec '", spec,
-                   "'");
+          SpecFatal(spec, token_offset, "", "empty member in a switch");
         }
         out->switches.back().members.push_back(
-            add_endpoint(token, switch_id));
+            add_endpoint(token, token_offset, switch_id));
         if (mcomma == member.size()) break;
         mstart = mcomma + 1;
       }
@@ -129,22 +138,23 @@ void ParseTree(const std::string& tree, const std::string& spec,
     } else {
       size_t comma = body.find(',', pos);
       if (comma == std::string::npos) comma = body.size();
-      add_endpoint(body.substr(pos, comma - pos), /*switch_id=*/-1);
+      add_endpoint(body.substr(pos, comma - pos), body_offset + pos,
+                   /*switch_id=*/-1);
       pos = comma;
     }
     if (pos == body.size()) break;
     if (body[pos] != ',') {
-      HT_FATAL("expected ',' after child in topology tree '", tree,
-               "' of spec '", spec, "'");
+      SpecFatal(spec, body_offset + pos, std::string(1, body[pos]),
+                "expected ',' after a device-tree child");
     }
     ++pos;
   }
   for (size_t i = 0; i < out->endpoints.size(); ++i) {
     if (i >= seen.size() || !seen[i]) {
-      HT_FATAL("topology spec '", spec, "' names ",
-               out->endpoints.size(),
-               " endpoints but is missing id ", i + 1,
-               " (ids must be exactly 1..N)");
+      SpecFatal(spec, tree_offset, tree,
+                detail::StrCat("names ", out->endpoints.size(),
+                               " endpoints but is missing id ", i + 1,
+                               " (ids must be exactly 1..N)"));
     }
   }
 }
@@ -199,10 +209,11 @@ bool IsTopologySpec(const std::string& text) {
 Topology ParseTopologySpec(const std::string& text) {
   HT_ASSERT(IsTopologySpec(text), "not a topology spec: '", text, "'");
   Topology topology;
-  const std::string body = text.substr(sizeof(kPrefix) - 1);
+  const std::string body = text.substr(kPrefixLen);
   if (body.empty() || body.front() != '(') {
-    HT_FATAL("topology spec '", text,
-             "' must start with a device tree '(...)'");
+    SpecFatal(text, kPrefixLen,
+              body.empty() ? "" : std::string(1, body.front()),
+              "spec must start with a device tree '(...)'");
   }
   // The tree is the prefix up to its matching close paren; everything
   // after is the comma-separated key=value list.
@@ -216,71 +227,76 @@ Topology ParseTopologySpec(const std::string& text) {
     }
   }
   if (tree_end == std::string::npos) {
-    HT_FATAL("unbalanced parentheses in topology spec '", text, "'");
+    SpecFatal(text, kPrefixLen, body, "unbalanced parentheses");
   }
-  ParseTree(body.substr(0, tree_end + 1), text, &topology);
+  ParseTree(body.substr(0, tree_end + 1), text, kPrefixLen, &topology);
 
   std::vector<double> link_list;
   bool have_links = false;
   std::string rest = body.substr(tree_end + 1);
+  const size_t rest_offset = kPrefixLen + tree_end + 1;
   if (!rest.empty() && rest.front() != ',') {
-    HT_FATAL("expected ',' after device tree in topology spec '", text,
-             "'");
+    SpecFatal(text, rest_offset, std::string(1, rest.front()),
+              "expected ',' after the device tree");
   }
   size_t start = 1;
   while (!rest.empty() && start <= rest.size()) {
     size_t comma = rest.find(',', start);
     if (comma == std::string::npos) comma = rest.size();
     const std::string token = rest.substr(start, comma - start);
+    const size_t token_offset = rest_offset + start;
     start = comma + 1;
     if (token.empty()) {
-      HT_FATAL("empty token in topology spec '", text, "'");
+      SpecFatal(text, token_offset, "", "empty key=value token");
     }
     const size_t eq = token.find('=');
     if (eq == std::string::npos) {
-      HT_FATAL("topology token '", token, "' in spec '", text,
-               "' is not key=value");
+      SpecFatal(text, token_offset, token, "expected key=value");
     }
     const std::string key = token.substr(0, eq);
     const std::string value = token.substr(eq + 1);
+    const size_t value_offset = token_offset + eq + 1;
     if (key == "lat") {
-      const std::vector<double> lat = ParseList(value, key, text);
+      const std::vector<double> lat =
+          ParseList(value, key, text, value_offset);
       if (lat.size() != topology.endpoints.size()) {
-        HT_FATAL("topology spec '", text, "' lists ", lat.size(),
-                 " latencies for ", topology.endpoints.size(),
-                 " endpoints");
+        SpecFatal(text, value_offset, value,
+                  detail::StrCat("lists ", lat.size(), " latencies for ",
+                                 topology.endpoints.size(),
+                                 " endpoints"));
       }
       for (size_t i = 0; i < lat.size(); ++i) {
         if (lat[i] < 0.0) {
-          HT_FATAL("endpoint latency must be >= 0 in topology spec '",
-                   text, "'");
+          SpecFatal(text, value_offset, value,
+                    "endpoint latency must be >= 0");
         }
         topology.endpoints[i].idle_latency_ns =
             static_cast<TimeNs>(lat[i]);
       }
     } else if (key == "bw") {
-      const std::vector<double> bw = ParseList(value, key, text);
+      const std::vector<double> bw =
+          ParseList(value, key, text, value_offset);
       if (bw.size() != topology.endpoints.size()) {
-        HT_FATAL("topology spec '", text, "' lists ", bw.size(),
-                 " bandwidths for ", topology.endpoints.size(),
-                 " endpoints");
+        SpecFatal(text, value_offset, value,
+                  detail::StrCat("lists ", bw.size(), " bandwidths for ",
+                                 topology.endpoints.size(),
+                                 " endpoints"));
       }
       for (size_t i = 0; i < bw.size(); ++i) {
         topology.endpoints[i].bandwidth_gbps = bw[i];
       }
     } else if (key == "link") {
-      link_list = ParseList(value, key, text);
+      link_list = ParseList(value, key, text, value_offset);
       have_links = true;
     } else if (key == "gran") {
-      const double gran = ParseNumber(value, key, text);
+      const double gran = ParseNumber(value, key, text, value_offset);
       if (!(gran >= 1.0) || gran != std::floor(gran)) {
-        HT_FATAL("topology gran '", value, "' in spec '", text,
-                 "' must be a positive integer");
+        SpecFatal(text, value_offset, value,
+                  "gran must be a positive integer");
       }
       topology.interleave_units = static_cast<uint64_t>(gran);
     } else {
-      HT_FATAL("unknown topology key '", key, "' in spec '", text,
-               "'");
+      SpecFatal(text, token_offset, key, "unknown topology key");
     }
     if (comma == rest.size()) break;
   }

@@ -107,6 +107,8 @@ void FairSharePolicy::Bind(const PolicyContext& context) {
   marginal_utility_.assign(n, 0.0);
   grace_until_ns_.assign(n, 0);
   occupancy_ready_ = false;
+  endpoint_down_.assign(context.memory->endpoint_count(), 0);
+  any_endpoint_down_ = false;
   // Endpoint awareness needs a timing model to read and more than one
   // endpoint to distinguish; otherwise every unit costs the same and
   // the cost-scaled rankings would just be the blind ones.
@@ -251,8 +253,91 @@ void FairSharePolicy::ComputeStaticQuotas() {
     scratch_caps_[i] = directory_.regions[t].UnitRange(context().mode).size();
   }
   const std::vector<uint64_t> shares = DivideProportional(
-      scratch_demand_, scratch_caps_, context().fast_capacity_units);
+      scratch_demand_, scratch_caps_, EffectiveFastCapacity());
   for (size_t i = 0; i < m; ++i) static_quota_[active_[i]] = shares[i];
+}
+
+uint64_t FairSharePolicy::EffectiveFastCapacity() const {
+  const uint64_t cap = context().fast_capacity_units;
+  if (!any_endpoint_down_) [[likely]] return cap;
+  uint64_t stranded = 0;
+  for (uint32_t e = 0; e < endpoint_down_.size(); ++e) {
+    if (endpoint_down_[e]) stranded += memory().EndpointHomedFastResident(e);
+  }
+  return cap - std::min(cap, stranded);
+}
+
+void FairSharePolicy::OnEndpointHealth(uint32_t endpoint,
+                                       EndpointHealth state, TimeNs now) {
+  if (endpoint < endpoint_down_.size()) {
+    endpoint_down_[endpoint] = state == EndpointHealth::kDown ? 1 : 0;
+  }
+  any_endpoint_down_ = false;
+  for (const uint8_t down : endpoint_down_) {
+    if (down) any_endpoint_down_ = true;
+  }
+  // Re-plan immediately over the effective capacity: the static quotas
+  // shrink/grow with the stranded share, and a full re-division at the
+  // transition instant replaces a thrashing sequence of enforcement
+  // batches spread over the following rebalance window.
+  EnsureOccupancy();
+  ComputeStaticQuotas();
+  if (config_.rebalance) Rebalance(now);
+  else quota_ = static_quota_;
+  if (trace_ != nullptr) {
+    trace_->Instant(controller_track_, "endpoint_health", now,
+                    {{"endpoint", static_cast<double>(endpoint)},
+                     {"state", static_cast<double>(state)},
+                     {"effective_capacity",
+                      static_cast<double>(EffectiveFastCapacity())}});
+  }
+  base_->OnEndpointHealth(endpoint, state, now);
+}
+
+void FairSharePolicy::OnExternalMigration(TimeNs now) {
+  occupancy_ready_ = false;
+  base_->OnExternalMigration(now);
+}
+
+bool FairSharePolicy::CheckInvariants(std::string* error) const {
+  // Quotas must never promise more than the (effective) tier, and a
+  // tenant can never be awarded more than its own region span.
+  uint64_t quota_total = 0;
+  for (const uint32_t t : active_) {
+    const uint64_t span =
+        directory_.regions[t].UnitRange(context().mode).size();
+    if (quota_[t] > span) {
+      *error = detail::StrCat("tenant ", t, " quota ", quota_[t],
+                              " exceeds its region span ", span);
+      return false;
+    }
+    quota_total += quota_[t];
+  }
+  if (quota_total > context().fast_capacity_units) {
+    *error = detail::StrCat("active quotas sum to ", quota_total,
+                            " units > fast capacity ",
+                            context().fast_capacity_units);
+    return false;
+  }
+  // The incremental occupancy mirror must match a fresh region recount
+  // whenever it claims to be in sync (external migrations invalidate
+  // it; the next EnsureOccupancy rescan re-seeds it).
+  if (occupancy_ready_) {
+    for (const uint32_t t : active_) {
+      const PageRange range =
+          directory_.regions[t].UnitRange(context().mode);
+      uint64_t count = 0;
+      memory().ScanResident(range.begin, range.size(), Tier::kFast,
+                            [&count](PageId) { ++count; });
+      if (count != fast_units_[t]) {
+        *error = detail::StrCat("tenant ", t, " occupancy mirror ",
+                                fast_units_[t], " diverges from recount ",
+                                count);
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 bool FairSharePolicy::AdvanceTenantWindows(uint32_t t, TimeNs now) {
@@ -510,7 +595,7 @@ void FairSharePolicy::RebalanceDensity(TimeNs now) {
     scratch_caps_[i] = span - floor_units;
     scratch_demand_[i] = directory_.regions[t].weight * demand_ema_[t];
   }
-  const uint64_t fast_cap = context().fast_capacity_units;
+  const uint64_t fast_cap = EffectiveFastCapacity();
   const std::vector<uint64_t> extra = DivideProportional(
       scratch_demand_, scratch_caps_,
       fast_cap - std::min(fast_cap, floor_total));
@@ -543,7 +628,7 @@ void FairSharePolicy::RebalanceMarginal(TimeNs now) {
   }
   const std::vector<uint64_t> shares =
       MarginalUtilityQuotas(curves, scratch_demand_, scratch_floors_,
-                            scratch_caps_, context().fast_capacity_units);
+                            scratch_caps_, EffectiveFastCapacity());
   for (size_t i = 0; i < m; ++i) {
     const uint32_t t = active_[i];
     quota_[t] = shares[i];
@@ -593,7 +678,7 @@ void FairSharePolicy::Rebalance(TimeNs now) {
     // marginal mode) on its own track.
     trace_->Instant(controller_track_, "rebalance", now,
                     {{"fast_capacity",
-                      static_cast<double>(context().fast_capacity_units)}});
+                      static_cast<double>(EffectiveFastCapacity())}});
     for (const uint32_t t : active_) {
       trace_->Instant(tenant_track_[t], "quota", now,
                       {{"quota_units", static_cast<double>(quota_[t])},

@@ -77,6 +77,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/watchdog.h"
 #include "multitenant/tenant.h"
 #include "multitenant/tenant_stats.h"
 #include "policies/policy.h"
@@ -171,7 +172,8 @@ struct FairShareConfig {
 
 /** Per-tenant quota enforcement as a `TieringPolicy` decorator. */
 class FairSharePolicy : public TieringPolicy,
-                        public TenantQuotaStatsSource {
+                        public TenantQuotaStatsSource,
+                        public InvariantSource {
  public:
   /**
    * @param base      wrapped policy (owned); decides *which* pages move.
@@ -189,6 +191,26 @@ class FairSharePolicy : public TieringPolicy,
   void Tick(TimeNs now) override;
   size_t MetadataBytes() const override;
   const char* name() const override { return name_.c_str(); }
+
+  /**
+   * Fault transition (fault/fault_runtime.h): a down endpoint strands
+   * its fast-resident homed units — they cannot be demoted back, so the
+   * capacity the water-filler divides shrinks to the *effective* fast
+   * capacity (total minus stranded units). Quotas are re-divided
+   * immediately over that effective capacity, so tenants degrade
+   * together instead of the next enforcement pass thrashing whoever
+   * happens to sit over a suddenly-shrunk tier. Recovery restores the
+   * capacity and the regular fill machinery re-admits the endpoint.
+   */
+  void OnEndpointHealth(uint32_t endpoint, EndpointHealth state,
+                        TimeNs now) override;
+
+  /** Fault evacuation/spill moved pages under us: the incremental
+   *  occupancy mirror is stale, so fall back to the lazy rescan. */
+  void OnExternalMigration(TimeNs now) override;
+
+  // InvariantSource: quota/occupancy consistency for the watchdog.
+  bool CheckInvariants(std::string* error) const override;
 
   /**
    * Inline: OnAccess keeps gate charges and occupancy in sync with the
@@ -370,6 +392,16 @@ class FairSharePolicy : public TieringPolicy,
   /** Weight-proportional quotas summing exactly to the fast capacity. */
   void ComputeStaticQuotas();
 
+  /**
+   * Fast capacity the quota divisions run over: the configured size
+   * minus units stranded by down endpoints (fast-resident units homed
+   * on a dead device cannot be demoted off the tier, so they are not
+   * divisible). Equals `context().fast_capacity_units` whenever no
+   * endpoint is down — the healthy path computes the identical quotas
+   * it always did.
+   */
+  uint64_t EffectiveFastCapacity() const;
+
   /** Demand-driven re-division (density EMA or marginal utility). */
   void Rebalance(TimeNs now);
 
@@ -425,6 +457,8 @@ class FairSharePolicy : public TieringPolicy,
 
   std::unique_ptr<QuotaGate> gate_;
   bool occupancy_ready_ = false;
+  std::vector<uint8_t> endpoint_down_;  //!< Down mask (sized at Bind).
+  bool any_endpoint_down_ = false;      //!< Fast path: no fault active.
   /** endpoint_aware resolved against the bound context (see
    *  EndpointCostOf); false whenever awareness could change nothing. */
   bool endpoint_aware_active_ = false;

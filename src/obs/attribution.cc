@@ -24,6 +24,8 @@ const char* LatencyComponentName(LatencyComponent component) {
       return "hint_fault";
     case LatencyComponent::kMigrationStall:
       return "migration_stall";
+    case LatencyComponent::kFaultStall:
+      return "fault_stall";
     case LatencyComponent::kCount:
       break;
   }

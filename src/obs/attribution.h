@@ -55,6 +55,7 @@ enum class LatencyComponent : uint8_t {
   kSlowQueue,          //!< Slow-tier fills: port/uplink queue delay.
   kHintFault,          //!< Hint/minor page-fault charges.
   kMigrationStall,     //!< TLB-shootdown stalls from migration batches.
+  kFaultStall,         //!< Demand accesses rejected by a down endpoint.
   kCount,
 };
 
@@ -104,6 +105,10 @@ class LatencyAttribution {
 
   void AddMigrationStall(uint32_t tenant, TimeNs ns) {
     Add(tenant, LatencyComponent::kMigrationStall, ns);
+  }
+
+  void AddFaultStall(uint32_t tenant, TimeNs ns) {
+    Add(tenant, LatencyComponent::kFaultStall, ns);
   }
 
   /** Closes one op: accumulates the identity's right-hand side. */

@@ -23,6 +23,10 @@ const char* MigrationReasonName(MigrationReason reason) {
       return "quota_rotation";
     case MigrationReason::kChurnDrain:
       return "churn_drain";
+    case MigrationReason::kFaultEvacuation:
+      return "fault_evacuation";
+    case MigrationReason::kFaultSpill:
+      return "fault_spill";
     case MigrationReason::kCount:
       break;
   }

@@ -57,6 +57,8 @@ enum class MigrationReason : uint8_t {
   kQuotaFill,        //!< Fair-share fill-to-quota promotion.
   kQuotaRotation,    //!< Fair-share rotation of a visibly bad resident mix.
   kChurnDrain,       //!< Departed-tenant paced region reclaim.
+  kFaultEvacuation,  //!< Residents pulled off a down endpoint.
+  kFaultSpill,       //!< Fast-tier pages demoted to make evacuation room.
   kCount,
 };
 

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "fault/health.h"
 #include "mem/migration.h"
 #include "mem/page.h"
 #include "mem/tiered_memory.h"
@@ -177,6 +178,30 @@ class TieringPolicy {
 
   /** Periodic maintenance; called every simulator tick interval. */
   virtual void Tick(TimeNs now) { (void)now; }
+
+  /**
+   * Notifies the policy that slow endpoint `endpoint` changed health
+   * (fault injection, fault/fault_runtime.h). Called at the tick
+   * boundary where the transition takes effect, before the same tick's
+   * Tick(). Policies that plan placement over capacity (the fair-share
+   * water-filler) re-plan over *effective* capacity here; the default
+   * ignores faults entirely — reactive policies just see the changed
+   * latencies and fault stalls.
+   */
+  virtual void OnEndpointHealth(uint32_t endpoint, EndpointHealth state,
+                                TimeNs now) {
+    (void)endpoint;
+    (void)state;
+    (void)now;
+  }
+
+  /**
+   * Notifies the policy that pages were migrated *outside* its own
+   * decisions (fault evacuation/spill batches issued by the fault
+   * runtime). Policies that mirror occupancy incrementally must
+   * invalidate their mirrors here. Default: no state to invalidate.
+   */
+  virtual void OnExternalMigration(TimeNs now) { (void)now; }
 
   /**
    * The policy's current hotness estimate for `unit`, on the policy's

@@ -90,21 +90,38 @@ TEST(TopologySpec, FormatParseRoundTripsExactly) {
 }
 
 TEST(TopologySpecDeathTest, RejectsMalformedSpecs) {
+  // Parse errors quote the offending token and its byte offset within
+  // the spec (see common/spec_error.h); the patterns pin both.
   // Endpoint ids must be exactly 1..N, each once.
-  EXPECT_DEATH(ParseTopologySpec("cxl:(1,1)"), "");
-  EXPECT_DEATH(ParseTopologySpec("cxl:(1,3)"), "");
-  EXPECT_DEATH(ParseTopologySpec("cxl:(0,1)"), "");
-  EXPECT_DEATH(ParseTopologySpec("cxl:()"), "");
-  EXPECT_DEATH(ParseTopologySpec("cxl:(1,(2,(3,4)))"), "");  // Nested switch.
-  EXPECT_DEATH(ParseTopologySpec("cxl:(1,(2,3)"), "");       // Unbalanced.
-  EXPECT_DEATH(ParseTopologySpec("cxl:(1,2),lat=124"), "");  // Count.
+  EXPECT_DEATH(ParseTopologySpec("cxl:(1,1)"),
+               "bad token '1' at byte 7 .*endpoint id repeats");
+  EXPECT_DEATH(ParseTopologySpec("cxl:(1,3)"), "missing id 2");
+  EXPECT_DEATH(ParseTopologySpec("cxl:(0,1)"),
+               "bad token '0' at byte 5 .*endpoint id must be an integer");
+  EXPECT_DEATH(ParseTopologySpec("cxl:()"),
+               "at byte 4 .*parenthesized child list");
+  EXPECT_DEATH(ParseTopologySpec("cxl:(1,(2,(3,4)))"),  // Nested switch.
+               "at byte 10 .*nests inside a switch");
+  EXPECT_DEATH(ParseTopologySpec("cxl:(1,(2,3)"),       // Unbalanced.
+               "at byte 4 .*unbalanced parentheses");
+  EXPECT_DEATH(ParseTopologySpec("cxl:(1,2),lat=124"),  // Count.
+               "bad token '124' at byte 14 .*1 latencies for 2 endpoints");
   EXPECT_DEATH(ParseTopologySpec("cxl:(1),bw=0"), "");
-  EXPECT_DEATH(ParseTopologySpec("cxl:(1),lat=-5"), "");
-  EXPECT_DEATH(ParseTopologySpec("cxl:(1),gran=0"), "");
-  EXPECT_DEATH(ParseTopologySpec("cxl:(1),gran=1.5"), "");
-  EXPECT_DEATH(ParseTopologySpec("cxl:(1),color=red"), "");  // Unknown key.
+  EXPECT_DEATH(ParseTopologySpec("cxl:(1),lat=-5"),
+               "bad token '-5' at byte 12 .*latency must be >= 0");
+  EXPECT_DEATH(ParseTopologySpec("cxl:(1),gran=0"),
+               "at byte 13 .*gran must be a positive integer");
+  EXPECT_DEATH(ParseTopologySpec("cxl:(1),gran=1.5"),
+               "bad token '1.5' at byte 13 ");
+  EXPECT_DEATH(ParseTopologySpec("cxl:(1),color=red"),  // Unknown key.
+               "bad token 'color' at byte 8 .*unknown topology key");
   EXPECT_DEATH(ParseTopologySpec("cxl:(1,2),link=10"), "");  // No switch.
-  EXPECT_DEATH(ParseTopologySpec("cxl:1,2"), "");            // No tree.
+  EXPECT_DEATH(ParseTopologySpec("cxl:1,2"),            // No tree.
+               "bad token '1' at byte 4 .*must start with a device tree");
+  EXPECT_DEATH(ParseTopologySpec("cxl:(1),lat"),
+               "bad token 'lat' at byte 8 .*expected key=value");
+  EXPECT_DEATH(ParseTopologySpec("cxl:(1),lat=abc"),
+               "bad token 'abc' at byte 12 .*not a number");
 }
 
 // --------------------------------------------------------- HDM decode --
